@@ -1,0 +1,68 @@
+// Ablation: binary-rounding polish on the optimal solver (quantifies
+// paper Insight 2 — "only two modes of operation for the LEDs are
+// enough"). For a sweep of budgets on the Fig. 7 instance plus random
+// instances, compares the continuous optimum against its fully binary
+// rounding.
+#include <iostream>
+#include <vector>
+
+#include "alloc/optimal.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  const auto tb = sim::make_simulation_testbed();
+  alloc::OptimalSolverConfig cfg;
+  cfg.max_iterations = 250;
+
+  std::cout << "Ablation - binary rounding of the continuous optimum "
+               "(Insight 2)\n\n";
+
+  TablePrinter table{{"budget [W]", "optimal tput [Mbit/s]",
+                      "binary tput [Mbit/s]", "loss [%]", "fractional TXs"}};
+  const auto instances = sim::random_instances(20, 0.25, tb.room, 0xAB1A);
+
+  std::vector<double> losses;  // only budgets >= 0.6 W enter the verdict
+  for (double budget : {0.3, 0.6, 0.9, 1.2, 1.8}) {
+    std::vector<double> opt_t;
+    std::vector<double> bin_t;
+    std::vector<double> fracs;
+    for (const auto& rx_xy : instances) {
+      const auto h = tb.channel_for(rx_xy);
+      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto polished =
+          alloc::polish_binary(h, opt.allocation, budget, tb.budget, 0.9);
+      auto sum = [&](const channel::Allocation& a) {
+        double s = 0.0;
+        for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
+        return s / 1e6;
+      };
+      opt_t.push_back(sum(opt.allocation));
+      bin_t.push_back(sum(polished.allocation));
+      fracs.push_back(static_cast<double>(polished.rounded_up +
+                                          polished.rounded_down));
+    }
+    const double mean_opt = stats::mean(opt_t);
+    const double mean_bin = stats::mean(bin_t);
+    const double loss = 100.0 * (1.0 - mean_bin / mean_opt);
+    if (budget >= 0.6) losses.push_back(loss);
+    table.add_numeric_row({budget, mean_opt, mean_bin, loss,
+                           stats::mean(fracs)},
+                          3);
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "ablation_polish");
+
+  std::cout << "\nPaper Insight 2: binary {0, Isw,max} operation is "
+               "near-optimal. (At starved budgets the paper's own Fig. 9 "
+               "shows intermediate swings, so those are excluded.)\n"
+               "Measured: worst-case binary loss "
+            << fmt(stats::max(losses), 2)
+            << "% across budgets >= 0.6 W ("
+            << (stats::max(losses) < 3.0 ? "confirmed" : "MISMATCH")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension: personalized per-TX kappa (paper Sec. 9, "Personalized and
+// adaptive kappa ... can boost the system performance towards the
+// optimal result").
+//
+// Compares, over random instances and budgets: the uniform kappa = 1.3
+// heuristic, the personalized-kappa search, and the optimal solver.
+#include <iostream>
+#include <vector>
+
+#include "alloc/adaptive_kappa.hpp"
+#include "alloc/optimal.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(20, 0.25, tb.room, 0xADA7);
+  alloc::OptimalSolverConfig ocfg;
+  ocfg.max_iterations = 250;
+  alloc::AssignmentOptions opts;
+
+  std::cout << "Extension - personalized per-TX kappa vs uniform vs "
+               "optimal (20 instances)\n\n";
+
+  // The gap is measured in the proportional-fairness objective the
+  // paper's Eq. (5) optimizes (sum of log throughputs): both the solver
+  // and the kappa search maximize exactly this quantity, so the
+  // personalized gap is never larger than the uniform one by
+  // construction — the question is how much of it the search closes.
+  TablePrinter table{{"budget [W]", "uniform utility gap",
+                      "personalized utility gap", "gap closed [%]",
+                      "search evals"}};
+
+  auto utility = [&](const channel::ChannelMatrix& h,
+                     const channel::Allocation& a) {
+    return channel::sum_log_utility(h, a, tb.budget);
+  };
+
+  std::vector<double> closed_all;
+  for (double budget : {0.4, 0.8, 1.2}) {
+    std::vector<double> uniform_gap;
+    std::vector<double> personal_gap;
+    std::vector<double> evals;
+    for (const auto& rx_xy : instances) {
+      const auto h = tb.channel_for(rx_xy);
+      const auto opt = alloc::solve_optimal(h, budget, tb.budget, ocfg);
+
+      const auto uniform =
+          alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+      alloc::AdaptiveKappaConfig acfg;
+      acfg.max_rounds = 5;
+      const auto personal =
+          alloc::personalize_kappa(h, budget, tb.budget, opts, acfg);
+
+      uniform_gap.push_back(
+          std::max(0.0, opt.utility - utility(h, uniform.allocation)));
+      personal_gap.push_back(
+          std::max(0.0, opt.utility - personal.utility));
+      evals.push_back(static_cast<double>(personal.evaluations));
+    }
+    const double u = stats::mean(uniform_gap);
+    const double p = stats::mean(personal_gap);
+    const double closed = u > 0.0 ? 100.0 * (u - p) / u : 0.0;
+    closed_all.push_back(closed);
+    table.add_numeric_row({budget, u, p, closed, stats::mean(evals)}, 3);
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_adaptive_kappa");
+
+  std::cout << "\nPaper: personalized kappas \"can boost the system "
+               "performance towards the optimal result\".\nMeasured: the "
+               "search closes "
+            << fmt(stats::mean(closed_all), 0)
+            << "% of the uniform heuristic's remaining gap on average ("
+            << (stats::mean(closed_all) > 0.0 ? "confirmed" : "MISMATCH")
+            << ")\n";
+  return 0;
+}

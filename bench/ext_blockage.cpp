@@ -1,0 +1,109 @@
+// Extension: blockage study (paper Sec. 9, "Blockage").
+//
+// The paper conjectures that in cell-free massive MIMO VLC, blockage
+// "could bring benefit to the system since it can reduce the
+// interference from other TXs". This bench quantifies both directions:
+//   - a person standing on a *serving* path hurts the blocked RX;
+//   - a person standing on a dominant *interference* path can raise the
+//     victim RX's throughput (the controller re-allocates around the
+//     shadow).
+#include <iostream>
+#include <vector>
+
+#include "alloc/assignment.hpp"
+#include "channel/blockage.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace densevlc;
+
+struct Outcome {
+  double system_mbps = 0.0;
+  std::vector<double> per_rx_mbps;
+};
+
+Outcome evaluate(const sim::Testbed& tb, const channel::ChannelMatrix& h) {
+  alloc::AssignmentOptions opts;
+  const auto res = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+  const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
+  Outcome out;
+  for (double t : tput) {
+    out.per_rx_mbps.push_back(t / 1e6);
+    out.system_mbps += t / 1e6;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto tb = sim::make_experimental_testbed();
+  const auto rx_xy = sim::fig7_rx_positions();
+  const auto clear = tb.channel_for(rx_xy);
+  const auto tx_poses = tb.tx_poses();
+  const auto rx_poses = tb.rx_poses(rx_xy);
+
+  std::cout << "Extension - blockage in cell-free VLC "
+               "(kappa = 1.3, budget 1.2 W)\n\n";
+
+  const Outcome base = evaluate(tb, clear);
+
+  // Case A: person next to RX1, shadowing its serving TXs.
+  const std::vector<channel::CylinderBlocker> on_service{
+      {rx_xy[0].x + 0.15, rx_xy[0].y, 0.25, 1.7}};
+  const Outcome service = evaluate(
+      tb, channel::apply_blockage(clear, tx_poses, rx_poses, on_service));
+
+  // Case B: sweep a person across the room; find the position that
+  // maximizes system throughput (expected: between beamspots, where the
+  // body shadows interference paths).
+  Outcome best_interference = base;
+  double best_x = 0.0;
+  double best_y = 0.0;
+  for (double x = 0.4; x <= 2.6; x += 0.2) {
+    for (double y = 0.4; y <= 2.6; y += 0.2) {
+      const std::vector<channel::CylinderBlocker> person{{x, y, 0.25, 1.7}};
+      const Outcome o = evaluate(
+          tb, channel::apply_blockage(clear, tx_poses, rx_poses, person));
+      if (o.system_mbps > best_interference.system_mbps) {
+        best_interference = o;
+        best_x = x;
+        best_y = y;
+      }
+    }
+  }
+
+  TablePrinter table{{"scenario", "system [Mbit/s]", "RX1", "RX2", "RX3",
+                      "RX4"}};
+  auto add = [&](const std::string& name, const Outcome& o) {
+    table.add_row({name, fmt(o.system_mbps, 2), fmt(o.per_rx_mbps[0], 2),
+                   fmt(o.per_rx_mbps[1], 2), fmt(o.per_rx_mbps[2], 2),
+                   fmt(o.per_rx_mbps[3], 2)});
+  };
+  add("no blockage", base);
+  add("person on RX1's beamspot", service);
+  add("person at best spot (" + fmt(best_x, 1) + ", " + fmt(best_y, 1) +
+          ")",
+      best_interference);
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_blockage");
+
+  std::cout << "\nPaper conjecture: blockage can *help* by absorbing "
+               "interference.\nMeasured: best-case blocked system "
+               "throughput is "
+            << fmt(best_interference.system_mbps, 2) << " vs "
+            << fmt(base.system_mbps, 2) << " Mbit/s clear ("
+            << (best_interference.system_mbps > base.system_mbps
+                    ? "confirmed - a well-placed body raises throughput"
+                    : "not observed in this layout")
+            << ");\nblocking a serving path costs RX1 "
+            << fmt(100.0 * (1.0 - service.per_rx_mbps[0] /
+                                      std::max(base.per_rx_mbps[0], 1e-9)),
+                   0)
+            << "% of its throughput.\n";
+  return 0;
+}

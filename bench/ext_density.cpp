@@ -1,0 +1,100 @@
+// Extension: TX and RX density study (paper Sec. 9, "TX and RX
+// density ... we will evaluate the impact in future work").
+//
+// Sweeps the ceiling grid density (4x4 / 6x6 / 8x8 over the same room at
+// matching pitch) and the number of receivers (2/4/6/8), reporting system
+// throughput, per-user fairness (Jain index) and power use under the
+// kappa = 1.3 heuristic at a fixed budget.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "alloc/assignment.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace densevlc;
+
+double jain_index(const std::vector<double>& x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension - TX grid density and RX count "
+               "(kappa = 1.3, budget 1.2 W, 20 random drops each)\n\n";
+
+  TablePrinter table{{"grid", "pitch [m]", "RXs", "system tput [Mbit/s]",
+                      "Jain fairness", "TXs used"}};
+
+  const double budget_w = 1.2;
+  Rng rng{0xDE45};
+
+  struct GridCase {
+    std::size_t per_axis;
+    double pitch;
+  };
+  double tput_4x4_4rx = 0.0;
+  double tput_8x8_4rx = 0.0;
+
+  for (const GridCase grid : {GridCase{4, 0.75}, {6, 0.5}, {8, 0.375}}) {
+    for (std::size_t num_rx : {2u, 4u, 6u, 8u}) {
+      sim::Testbed tb = sim::make_simulation_testbed();
+      tb.grid = geom::GridSpec{grid.per_axis, grid.per_axis, grid.pitch,
+                               2.8};
+
+      double tput_acc = 0.0;
+      double fair_acc = 0.0;
+      double txs_acc = 0.0;
+      const int drops = 20;
+      for (int d = 0; d < drops; ++d) {
+        std::vector<geom::Vec3> rx_xy;
+        for (std::size_t k = 0; k < num_rx; ++k) {
+          rx_xy.push_back(
+              {rng.uniform(0.4, 2.6), rng.uniform(0.4, 2.6), 0.0});
+        }
+        const auto h = tb.channel_for(rx_xy);
+        alloc::AssignmentOptions opts;
+        const auto res =
+            alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts);
+        const auto tput =
+            channel::throughput_bps(h, res.allocation, tb.budget);
+        double total = 0.0;
+        for (double t : tput) total += t;
+        tput_acc += total / 1e6;
+        fair_acc += jain_index(tput);
+        txs_acc += static_cast<double>(res.txs_assigned);
+      }
+      const double mean_tput = tput_acc / drops;
+      if (grid.per_axis == 4 && num_rx == 4) tput_4x4_4rx = mean_tput;
+      if (grid.per_axis == 8 && num_rx == 4) tput_8x8_4rx = mean_tput;
+      table.add_row({std::to_string(grid.per_axis) + "x" +
+                         std::to_string(grid.per_axis),
+                     fmt(grid.pitch, 3), std::to_string(num_rx),
+                     fmt(mean_tput, 2), fmt(fair_acc / drops, 3),
+                     fmt(txs_acc / drops, 1)});
+    }
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_density");
+
+  std::cout << "\nPaper conjecture: \"the lower the TX density, the less "
+               "degrees of freedom ... lower system throughput and user "
+               "fairness\".\nMeasured: 8x8 grid vs 4x4 grid at 4 RXs: "
+            << fmt(tput_8x8_4rx, 2) << " vs " << fmt(tput_4x4_4rx, 2)
+            << " Mbit/s ("
+            << (tput_8x8_4rx > tput_4x4_4rx ? "confirmed" : "MISMATCH")
+            << ")\n";
+  return 0;
+}

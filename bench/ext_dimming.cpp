@@ -1,0 +1,74 @@
+// Extension: dimming vs communication capacity (paper Sec. 3.4: "Setting
+// the bias Ib at the center of the linear region allows us to use a
+// larger Isw,max. The opposite holds for a smaller or larger value of
+// Ib").
+//
+// Sweeps the illumination target; for each level the luminaire planner
+// sizes the per-LED bias, the swing ceiling follows (min(0.9 A, 2 Ib)),
+// and the communication layer is re-evaluated under a fixed power budget
+// with that ceiling — quantifying the illumination/communication
+// coupling DenseVLC lives with.
+#include <iostream>
+
+#include "alloc/assignment.hpp"
+#include "common/table.hpp"
+#include "illum/dimming.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  const auto tb = sim::make_simulation_testbed();
+  const auto rx_xy = sim::fig7_rx_positions();
+  const double comm_budget_w = 0.6;
+
+  std::cout << "Extension - dimming level vs communication "
+               "(fixed 0.6 W communication budget, Fig. 7 RXs)\n\n";
+
+  TablePrinter table{{"target [lux]", "Ib [mA]", "Isw,max [mA]",
+                      "ISO >= 500 lux", "system tput [Mbit/s]",
+                      "P_ill per TX [W]"}};
+  double tput_at_500 = 0.0;
+  double tput_at_200 = 0.0;
+  for (double lux : {150.0, 200.0, 300.0, 400.0, 500.0, 600.0}) {
+    illum::LuminaireDesign design;
+    design.target_lux = lux;
+    const auto plan = plan_luminaires(tb.room, tb.tx_poses(), tb.emitter,
+                                      tb.led.electrical(), design);
+
+    // Rebuild the electrical operating point at the dimmed bias.
+    const optics::LedModel led{tb.led.electrical(),
+                               {plan.bias_a, plan.max_swing_a}};
+    const auto budget =
+        channel::LinkBudget::from_led(led, 0.4, 7.02e-23, 1e6);
+    const auto h = tb.channel_for(rx_xy);
+
+    alloc::AssignmentOptions opts;
+    opts.max_swing_a = plan.max_swing_a;
+    const auto res =
+        alloc::heuristic_allocate(h, 1.3, comm_budget_w, budget, opts);
+    double tput = 0.0;
+    for (double t : channel::throughput_bps(h, res.allocation, budget)) {
+      tput += t;
+    }
+    if (lux == 500.0) tput_at_500 = tput;
+    if (lux == 200.0) tput_at_200 = tput;
+
+    table.add_row({fmt(lux, 0), fmt(plan.bias_a * 1e3, 0),
+                   fmt(plan.max_swing_a * 1e3, 0),
+                   plan.achieved_lux >= 500.0 ? "yes" : "no",
+                   fmt(tput / 1e6, 2),
+                   fmt(plan.illumination_power_w, 2)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_dimming");
+
+  std::cout << "\nPaper: a smaller bias shrinks the valid modulation "
+               "region.\nMeasured: dimming from 500 to 200 lux costs "
+            << fmt(100.0 * (1.0 - tput_at_200 /
+                                      std::max(tput_at_500, 1e-9)),
+                   0)
+            << "% of system throughput at the same communication power "
+               "budget.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension: why software sync floors out at microseconds (supports
+// paper Sec. 6.1's conclusion that NTP/PTP "cannot be synchronized with
+// a higher accuracy ... because it relies on external libraries running
+// on top of an operating system").
+//
+// Simulates IEEE-1588-style two-way exchanges at the message level and
+// decomposes the residual into the averaging-reducible jitter part and
+// the irreducible path-asymmetry part.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sync/ptp.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  Rng rng{0xE7B};
+  const double true_offset = 40e-6;
+
+  std::cout << "Extension - PTP residual decomposition "
+               "(two-way exchanges, 300 runs per point)\n\n";
+
+  // Panel 1: residual vs exchanges averaged (jitter integrates away).
+  {
+    sync::PtpLinkConfig link;  // default: 4 us jitter, 1.5 us asymmetry
+    TablePrinter table{{"exchanges averaged", "median |residual| [us]"}};
+    for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      std::vector<double> residuals;
+      for (int t = 0; t < 300; ++t) {
+        residuals.push_back(std::fabs(
+            sync::ptp_residual_after_sync(true_offset, link, n, rng)));
+      }
+      table.add_row({std::to_string(n),
+                     fmt(units::to_us(stats::median(residuals)), 3)});
+    }
+    table.print(std::cout);
+    table.print_csv(std::cout, "ext_ptp_avg");
+    std::cout << "Asymmetry floor for this link: "
+              << fmt(units::to_us(sync::ptp_asymmetry_floor(link)), 2)
+              << " us — averaging approaches it but never crosses it.\n\n";
+  }
+
+  // Panel 2: residual vs path asymmetry at fixed averaging.
+  {
+    TablePrinter table{{"asymmetry [us]", "median |residual| [us]",
+                        "analytic floor [us]"}};
+    for (double asym_us : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      sync::PtpLinkConfig link;
+      link.asymmetry_s = asym_us * 1e-6;
+      std::vector<double> residuals;
+      for (int t = 0; t < 300; ++t) {
+        residuals.push_back(std::fabs(
+            sync::ptp_residual_after_sync(true_offset, link, 16, rng)));
+      }
+      table.add_row({fmt(asym_us, 1),
+                     fmt(units::to_us(stats::median(residuals)), 3),
+                     fmt(asym_us / 2.0, 2)});
+    }
+    table.print(std::cout);
+    table.print_csv(std::cout, "ext_ptp_asym");
+  }
+
+  std::cout << "\nConclusion: the few-microsecond NTP/PTP error the paper "
+               "measures (4.565 us) is consistent with ordinary Ethernet "
+               "jitter and sub-10 us path asymmetry — and no amount of "
+               "averaging removes the asymmetry term, which is why the "
+               "NLOS-VLC method (0.575 us) wins.\n";
+  return 0;
+}

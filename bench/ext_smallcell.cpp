@@ -1,0 +1,76 @@
+// Extension: cell-free vs small-cell under mobility (paper Sec. 1: the
+// cell-free design "facilitates mobility and improves the dynamic
+// performance, compared to the conventional small cell-based design").
+//
+// A receiver walks a straight line across the room, crossing the
+// boundaries of a 2x2 small-cell partition. At each step both designs
+// re-allocate under the same power budget; the small-cell design shows
+// deep throughput dips at the cell edges while the cell-free design
+// glides through.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "alloc/assignment.hpp"
+#include "alloc/small_cell.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  const auto tb = sim::make_experimental_testbed();
+  const alloc::CellPartition cells{tb.room, 2, 2};
+  const double budget = 0.5;
+
+  std::cout << "Extension - cell-free vs small-cell under mobility "
+               "(one RX crossing the room; budget "
+            << fmt(budget, 2) << " W)\n\n";
+
+  TablePrinter table{{"x [m]", "cell", "cell-free [Mbit/s]",
+                      "small-cell [Mbit/s]"}};
+  std::vector<double> free_curve;
+  std::vector<double> cell_curve;
+  for (double x = 0.3; x <= 2.71; x += 0.1) {
+    const std::vector<geom::Vec3> rx{{x, 1.45, 0.0}};
+    const auto h = tb.channel_for(rx);
+
+    alloc::AssignmentOptions opts;
+    const auto dense =
+        alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+    const auto cellular = alloc::small_cell_allocate(
+        h, cells, tb.tx_poses(), rx, budget, 0.9, tb.budget);
+
+    const double t_free =
+        channel::throughput_bps(h, dense.allocation, tb.budget)[0] / 1e6;
+    const double t_cell =
+        channel::throughput_bps(h, cellular.allocation, tb.budget)[0] / 1e6;
+    free_curve.push_back(t_free);
+    cell_curve.push_back(t_cell);
+    table.add_row({fmt(x, 2),
+                   std::to_string(cells.cell_of(x, 1.45)),
+                   fmt(t_free, 2), fmt(t_cell, 2)});
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_smallcell");
+
+  const double free_min = stats::min(free_curve);
+  const double free_mean = stats::mean(free_curve);
+  const double cell_min = stats::min(cell_curve);
+  const double cell_mean = stats::mean(cell_curve);
+
+  std::cout << "\nPaper: cell-free facilitates mobility vs small cells.\n"
+            << "Measured: worst-case throughput along the walk — "
+               "cell-free "
+            << fmt(free_min, 2) << " Mbit/s ("
+            << fmt(100.0 * free_min / free_mean, 0)
+            << "% of its mean) vs small-cell " << fmt(cell_min, 2)
+            << " Mbit/s (" << fmt(100.0 * cell_min / std::max(cell_mean, 1e-9), 0)
+            << "% of its mean) — "
+            << (free_min > cell_min ? "confirmed: no boundary collapse "
+                                      "in the cell-free design"
+                                    : "MISMATCH")
+            << '\n';
+  return 0;
+}

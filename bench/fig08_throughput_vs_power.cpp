@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 8: system and per-RX throughput versus the
+// communication power budget P_C,tot under the *optimal* allocation, with
+// 95% confidence intervals over the 100 random receiver instances of
+// Fig. 6. The paper's headline observations: throughput grows with the
+// budget, the per-RX throughputs are balanced (proportional fairness),
+// RX3/RX4 outperform RX1/RX2 at high budgets, and power efficiency drops
+// beyond a knee near 1.2 W.
+#include <iostream>
+#include <vector>
+
+#include "alloc/optimal.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(100, 0.25, tb.room, 0xF16'8);
+
+  std::cout << "Fig. 8 - Optimal throughput vs communication power "
+               "(100 random instances, 95% CI)\n\n";
+
+  TablePrinter table{{"P_C,tot [W]", "system [Mbit/s]", "ci95", "RX1", "RX2",
+                      "RX3", "RX4"}};
+
+  alloc::OptimalSolverConfig cfg;
+  cfg.max_iterations = 250;
+
+  double knee_prev_slope = -1.0;
+  double prev_sys = 0.0;
+  double prev_budget = 0.0;
+  double knee_at = 0.0;
+
+  for (double budget = 0.0; budget <= 3.01; budget += 0.25) {
+    std::vector<double> sys;
+    std::vector<std::vector<double>> per_rx(4);
+    for (const auto& rx_xy : instances) {
+      const auto h = tb.channel_for(rx_xy);
+      const auto res = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
+      double total = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        per_rx[k].push_back(tput[k] / 1e6);
+        total += tput[k];
+      }
+      sys.push_back(total / 1e6);
+    }
+    const double mean_sys = stats::mean(sys);
+    table.add_numeric_row({budget, mean_sys, stats::ci95_halfwidth(sys),
+                           stats::mean(per_rx[0]), stats::mean(per_rx[1]),
+                           stats::mean(per_rx[2]), stats::mean(per_rx[3])},
+                          3);
+    // Knee detection: where the marginal Mbit/s per watt halves.
+    if (budget > 0.0) {
+      const double slope = (mean_sys - prev_sys) / (budget - prev_budget);
+      if (knee_prev_slope > 0.0 && knee_at == 0.0 &&
+          slope < knee_prev_slope / 2.0) {
+        knee_at = budget;
+      }
+      knee_prev_slope = slope;
+    }
+    prev_sys = mean_sys;
+    prev_budget = budget;
+  }
+  table.print(std::cout);
+  table.print_csv(std::cout, "fig08");
+
+  std::cout << "\nPaper: power efficiency drops noticeably beyond ~1.2 W.\n"
+            << "Measured: marginal throughput halves near "
+            << (knee_at > 0.0 ? fmt(knee_at, 2) + " W" : "(no knee found)")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces paper Fig. 11: (left) system throughput of the ranking
+// heuristic versus the optimal solution over the power budget, for the
+// Fig. 7 instance and kappa in {1.0, 1.2, 1.3, 1.5}; (right) histograms
+// of the average throughput loss over the 100 random instances. The paper
+// reports average losses of 40.3% (kappa 1.0), 2.4% (1.2), 1.8% (1.3) and
+// 2.6% (1.5); kappa = 1.3 is the best pick.
+#include <iostream>
+#include <vector>
+
+#include "alloc/assignment.hpp"
+#include "alloc/optimal.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace densevlc;
+
+double sum_tput(const channel::ChannelMatrix& h,
+                const channel::Allocation& a,
+                const channel::LinkBudget& budget) {
+  double s = 0.0;
+  for (double t : channel::throughput_bps(h, a, budget)) s += t;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const auto tb = sim::make_simulation_testbed();
+  const std::vector<double> kappas{1.0, 1.2, 1.3, 1.5};
+
+  alloc::OptimalSolverConfig cfg;
+  cfg.max_iterations = 250;
+  alloc::AssignmentOptions opts;
+  opts.allow_partial_tail = true;
+
+  // Left panel: Fig. 7 instance, budget sweep.
+  {
+    const auto h = tb.channel_for(sim::fig7_rx_positions());
+    std::cout << "Fig. 11 (left) - system throughput [Mbit/s] vs budget, "
+                 "Fig. 7 instance\n\n";
+    TablePrinter table{{"P_C,tot [W]", "optimal", "k=1.0", "k=1.2", "k=1.3",
+                        "k=1.5"}};
+    for (double budget = 0.2; budget <= 3.01; budget += 0.2) {
+      std::vector<double> row{budget};
+      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      row.push_back(sum_tput(h, opt.allocation, tb.budget) / 1e6);
+      for (double kappa : kappas) {
+        const auto res =
+            alloc::heuristic_allocate(h, kappa, budget, tb.budget, opts);
+        row.push_back(sum_tput(h, res.allocation, tb.budget) / 1e6);
+      }
+      table.add_numeric_row(row, 3);
+    }
+    table.print(std::cout);
+    table.print_csv(std::cout, "fig11_left");
+  }
+
+  // Right panel: loss distribution over the 100 random instances,
+  // averaged over the budget sweep per instance.
+  const auto instances = sim::random_instances(100, 0.25, tb.room, 0xF16'8);
+  std::vector<std::vector<double>> losses(kappas.size());
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    std::vector<double> loss_acc(kappas.size(), 0.0);
+    std::size_t points = 0;
+    for (double budget = 0.3; budget <= 2.51; budget += 0.4) {
+      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const double opt_tput = sum_tput(h, opt.allocation, tb.budget);
+      if (opt_tput <= 0.0) continue;
+      ++points;
+      for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
+        const auto res = alloc::heuristic_allocate(h, kappas[ki], budget,
+                                                   tb.budget, opts);
+        loss_acc[ki] +=
+            100.0 * (1.0 - sum_tput(h, res.allocation, tb.budget) / opt_tput);
+      }
+    }
+    if (points == 0) continue;
+    for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
+      losses[ki].push_back(loss_acc[ki] / static_cast<double>(points));
+    }
+  }
+
+  std::cout << "\nFig. 11 (right) - throughput loss vs optimal, "
+               "100 instances\n\n";
+  TablePrinter summary{{"kappa", "paper mean loss [%]", "measured mean [%]",
+                        "median [%]", "p90 [%]"}};
+  const std::vector<std::string> paper_losses{"40.3", "2.4", "1.8", "2.6"};
+  for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
+    summary.add_row({fmt(kappas[ki], 1), paper_losses[ki],
+                     fmt(stats::mean(losses[ki]), 2),
+                     fmt(stats::median(losses[ki]), 2),
+                     fmt(stats::quantile(losses[ki], 0.9), 2)});
+  }
+  summary.print(std::cout);
+  summary.print_csv(std::cout, "fig11_right");
+
+  // Histogram for the best kappa, mirroring the paper's right-most panel.
+  const auto hist = stats::histogram(losses[2], -10.0, 20.0, 15);
+  std::cout << "\nLoss histogram for kappa = 1.3 (bin center : probability):\n";
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    if (hist.counts[b] == 0) continue;
+    std::cout << "  " << fmt(hist.bin_center(b), 1) << "% : "
+              << fmt(100.0 * hist.probability(b), 1) << "%\n";
+  }
+  return 0;
+}

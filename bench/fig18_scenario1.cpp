@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 18: Scenario 1 — interference-free, no dominating
+// TX (RXs at the four 2 m-spaced corners of Table 6). Expected shape:
+// assigning a TX to one RX costs the others nothing; all kappa values
+// perform similarly, with kappa = 1.0 slightly behind.
+#include "scenario_bench.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  return densevlc::bench::run_scenario_bench(
+      "fig18", "Scenario 1: interference-free, no dominating TX",
+      densevlc::sim::scenario1_rx_positions());
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 19: Scenario 2 — with interference, no dominating
+// TX (the Fig. 7 receiver placement of Table 6). Expected shape: RX1 ends
+// below the other RXs (it sits nearest the interference hot zone);
+// kappa = 1.0 starts slow at low budgets; kappa = 1.3 performs well.
+#include "scenario_bench.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  return densevlc::bench::run_scenario_bench(
+      "fig19", "Scenario 2: interference, no dominating TX",
+      densevlc::sim::fig7_rx_positions());
+}

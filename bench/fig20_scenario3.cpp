@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 20: Scenario 3 — with interference and dominating
+// TXs (each RX exactly under a TX, 1 m spacing, Table 6). Expected shape:
+// RX throughputs comparable; the system curve sags at very high budgets
+// as late assignments add more interference than signal.
+#include "scenario_bench.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  return densevlc::bench::run_scenario_bench(
+      "fig20", "Scenario 3: interference, dominating TXs",
+      densevlc::sim::scenario3_rx_positions());
+}

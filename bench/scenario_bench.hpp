@@ -1,0 +1,25 @@
+// Shared driver for the experimental-scenario benches (paper Figs. 18-20).
+//
+// Methodology mirrors Sec. 8.2: channel gains are *measured* by driving
+// the waveform-level prober (not taken from geometry), the ranking
+// heuristic is run for each kappa, TXs are granted full swing one by one
+// down the ranked list (budget growing step by step), and the SINR /
+// throughput are evaluated with Eq. (12) on the measured gains.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace densevlc::bench {
+
+/// Runs the full Fig. 18/19/20 pipeline and prints the two panels
+/// (per-RX normalized throughput for kappa = 1.3; normalized system
+/// throughput for the kappa sweep) plus scenario-specific observations.
+/// `figure` is e.g. "fig18"; `description` names the interference regime.
+int run_scenario_bench(const std::string& figure,
+                       const std::string& description,
+                       const std::vector<geom::Vec3>& rx_positions);
+
+}  // namespace densevlc::bench

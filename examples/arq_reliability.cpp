@@ -1,0 +1,63 @@
+// ARQ reliability walkthrough: pushes a fixed workload through the
+// waveform data path under increasingly hostile conditions (lossy WiFi
+// ACKs, starved beamspots) and shows how stop-and-wait ARQ converts
+// residual frame loss into bounded latency instead of data loss.
+//
+//   $ ./arq_reliability
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/system.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  std::cout << "ARQ reliability demo\n====================\n\n"
+            << "Workload: 10 segments x 40 B to one RX through the full "
+               "waveform PHY.\n\n";
+
+  TablePrinter table{{"condition", "delivered", "dropped",
+                      "transmissions", "duplicates", "goodput"}};
+
+  struct Case {
+    const char* name;
+    double wifi_loss;
+    double budget_w;
+    std::size_t attempts;
+  };
+  for (const Case c : {Case{"clean uplink, healthy beamspot", 0.0, 0.25, 4},
+                       {"30% ACK loss", 0.3, 0.25, 6},
+                       {"60% ACK loss", 0.6, 0.25, 8},
+                       {"starved beamspot at the room edge", 0.0, 0.06,
+                        4}}) {
+    core::SystemConfig cfg;
+    cfg.testbed = sim::make_experimental_testbed();
+    cfg.mac.epoch_period_s = 1.0;  // reports retry every second
+    cfg.power_budget_w = c.budget_w;
+    cfg.wifi.loss_probability = c.wifi_loss;
+    // The starved case pushes the RX to the grid's edge where even the
+    // nearest TX is weak; the others sit at a well-covered spot.
+    const geom::Vec3 rx_pos = c.budget_w < 0.1
+                                  ? geom::Vec3{2.95, 2.95, 0.0}
+                                  : geom::Vec3{1.35, 1.15, 0.0};
+    auto system = core::DenseVlcSystem::with_static_rxs(cfg, {rx_pos});
+    const auto report = system.run_arq(5.0, 40, 10, c.attempts);
+    const auto& rx = report.rx[0];
+    table.add_row({c.name,
+                   std::to_string(rx.segments_delivered) + "/10",
+                   std::to_string(rx.segments_dropped),
+                   std::to_string(rx.transmissions),
+                   std::to_string(rx.duplicates),
+                   fmt_si(report.goodput_bps(0, 40), 1) + "bit/s"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: lost ACKs trigger retransmissions "
+               "that the receiver deduplicates — data still arrives "
+               "exactly once, at the cost of extra airtime. Even the "
+               "starved room-edge beamspot delivers: the OOK + RS link "
+               "budget has margin, so segment drops only appear when the "
+               "retry budget is exhausted under genuine outage.\n";
+  return 0;
+}

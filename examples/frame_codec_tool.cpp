@@ -1,0 +1,84 @@
+// Frame codec tool: encode a message into the DenseVLC on-air frame
+// format (paper Table 3), inject byte errors, and decode — demonstrating
+// the Reed-Solomon protection and the Manchester chip stream.
+//
+//   $ ./frame_codec_tool "hello dense vlc" 6
+//
+// argv[1] is the payload text (default shown), argv[2] the number of
+// random byte errors to inject (default 4; capacity is 8 per 200-byte
+// block).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "phy/frame.hpp"
+#include "phy/manchester.hpp"
+
+int main(int argc, char** argv) {
+  using namespace densevlc;
+
+  const std::string text =
+      argc > 1 ? argv[1] : "hello dense vlc, greetings from the ceiling";
+  const std::size_t errors =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+
+  phy::MacFrame frame;
+  frame.dst = 1;
+  frame.src = 0xC0;
+  frame.protocol = static_cast<std::uint16_t>(phy::Protocol::kData);
+  frame.payload.assign(text.begin(), text.end());
+
+  const auto wire = phy::serialize_frame(frame);
+  const auto chips = phy::frame_to_chips(frame);
+
+  std::cout << "DenseVLC frame codec tool\n=========================\n\n";
+  TablePrinter layout{{"field", "size"}};
+  layout.add_row({"preamble", std::to_string(phy::kPreambleChips) + " chips"});
+  layout.add_row({"SFD + length + dst + src + protocol", "9 B"});
+  layout.add_row({"payload", std::to_string(frame.payload.size()) + " B"});
+  layout.add_row(
+      {"Reed-Solomon parity",
+       std::to_string(wire.size() - 9 - frame.payload.size()) + " B"});
+  layout.add_row({"total on-air", std::to_string(chips.size()) + " chips (" +
+                                      fmt(chips.size() / 100e3 * 1e3, 2) +
+                                      " ms at 100 Kchip/s)"});
+  layout.print(std::cout);
+
+  // Show the first Manchester chips.
+  std::cout << "\nFirst 48 data chips (H = Ib+Isw/2, L = Ib-Isw/2): ";
+  const auto body = phy::manchester_encode(phy::bytes_to_bits(
+      std::vector<std::uint8_t>(wire.begin(), wire.begin() + 3)));
+  for (const auto chip : body) {
+    std::cout << (chip == phy::Chip::kHigh ? 'H' : 'L');
+  }
+  std::cout << "\n\n";
+
+  // Corrupt and decode.
+  auto corrupted = wire;
+  Rng rng{0xC0DEC};
+  std::cout << "Injecting " << errors << " random byte errors at offsets:";
+  for (std::size_t e = 0; e < errors; ++e) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        9, static_cast<std::int64_t>(corrupted.size()) - 1));
+    corrupted[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    std::cout << ' ' << pos;
+  }
+  std::cout << "\n\n";
+
+  const auto decoded = phy::parse_frame(corrupted);
+  if (!decoded) {
+    std::cout << "Decode FAILED — error count exceeds the Reed-Solomon "
+                 "capacity (8 per 200-byte block).\n";
+    return 0;
+  }
+  std::cout << "Decoded OK, " << decoded->corrected_bytes
+            << " bytes corrected.\nRecovered payload: \""
+            << std::string(decoded->frame.payload.begin(),
+                           decoded->frame.payload.end())
+            << "\"\n"
+            << (decoded->frame == frame ? "Payload matches the original.\n"
+                                        : "PAYLOAD MISMATCH!\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Heatmap tool: export illuminance and communication-coverage maps of
+// the testbed as PGM images (plus summaries), including a failed-
+// luminaire what-if.
+//
+//   $ ./heatmap_tool [out_dir]
+//
+// Writes illuminance.pgm, coverage.pgm and coverage_degraded.pgm.
+#include <iostream>
+#include <string>
+
+#include "common/pgm.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/coverage.hpp"
+#include "illum/illuminance_map.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace densevlc;
+
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  const auto tb = sim::make_simulation_testbed();
+
+  // Illuminance field.
+  const std::size_t n = 61;
+  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
+                                  tb.led,   0.8,           n,
+                                  kWhiteLedEfficacy};
+  ScalarField lux;
+  lux.width = n;
+  lux.height = n;
+  lux.values.resize(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      lux.values[(n - 1 - iy) * n + ix] = map.at(ix, iy);
+    }
+  }
+  const std::string lux_path = dir + "/illuminance.pgm";
+  const bool lux_ok = write_pgm(lux, lux_path);
+
+  // Coverage, healthy and with a failed 2x2 luminaire block.
+  core::CoverageConfig cfg;
+  cfg.raster_per_axis = 41;
+  const auto healthy = core::compute_coverage(tb, cfg);
+  const auto degraded =
+      core::compute_coverage(tb, cfg, {14, 15, 20, 21});  // TX15/16/21/22
+
+  const std::string cov_path = dir + "/coverage.pgm";
+  const std::string deg_path = dir + "/coverage_degraded.pgm";
+  // Shared scale so the images are visually comparable.
+  const bool cov_ok =
+      write_pgm(healthy.throughput_mbps, cov_path, 0.0, healthy.max_mbps);
+  const bool deg_ok =
+      write_pgm(degraded.throughput_mbps, deg_path, 0.0, healthy.max_mbps);
+
+  std::cout << "DenseVLC heatmap export\n=======================\n\n";
+  TablePrinter table{{"map", "file", "min", "mean", "max"}};
+  const auto aoi = map.area_of_interest_stats(2.2);
+  table.add_row({"illuminance [lux]", lux_ok ? lux_path : "WRITE FAILED",
+                 fmt(aoi.min_lux, 0), fmt(aoi.average_lux, 0),
+                 fmt(aoi.max_lux, 0)});
+  table.add_row({"coverage [Mbit/s]", cov_ok ? cov_path : "WRITE FAILED",
+                 fmt(healthy.min_mbps, 2), fmt(healthy.mean_mbps, 2),
+                 fmt(healthy.max_mbps, 2)});
+  table.add_row({"coverage, 4 TXs failed",
+                 deg_ok ? deg_path : "WRITE FAILED",
+                 fmt(degraded.min_mbps, 2), fmt(degraded.mean_mbps, 2),
+                 fmt(degraded.max_mbps, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nCoverage >= 50% of peak over "
+            << fmt(100.0 * healthy.coverage_fraction(0.5), 0)
+            << "% of the floor (healthy) vs "
+            << fmt(100.0 * degraded.coverage_fraction(0.5), 0)
+            << "% with the failed block.\n";
+  return (lux_ok && cov_ok && deg_ok) ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Mobility tracking: a receiver rides an ACRO-style positioner across
+// the room while the controller re-measures and re-allocates every
+// epoch. Demonstrates the "fast adaptation" design goal — the beamspot
+// follows the user, and throughput stays high while a static allocation
+// would collapse.
+//
+//   $ ./mobility_tracking
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/system.hpp"
+#include "core/trace.hpp"
+#include "sim/mobility.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  core::SystemConfig config;
+  config.power_budget_w = 0.6;
+
+  // RX1 walks a diagonal across the room in 20 s; RX2 sits still.
+  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
+  mobility.push_back(std::make_unique<sim::WaypointMobility>(
+      std::vector<sim::WaypointMobility::Waypoint>{
+          {0.0, {0.6, 0.6, 0.0}},
+          {10.0, {2.4, 1.2, 0.0}},
+          {20.0, {2.4, 2.4, 0.0}}}));
+  mobility.push_back(
+      std::make_unique<sim::StaticMobility>(geom::Vec3{0.75, 2.25, 0.0}));
+
+  core::DenseVlcSystem system{config, std::move(mobility)};
+
+  std::cout << "Mobility tracking: RX1 crosses the room, the controller "
+               "re-forms beamspots each epoch\n\n";
+  TablePrinter table{{"t [s]", "RX1 position", "RX1 leader",
+                      "RX1 tput [Mbit/s]", "RX2 tput [Mbit/s]"}};
+
+  // Also quantify what *not* adapting would cost: freeze the t=0
+  // allocation and evaluate it against the moving channel.
+  core::SystemConfig frozen_cfg = config;
+  auto frozen = core::DenseVlcSystem::with_static_rxs(
+      frozen_cfg, {{0.6, 0.6, 0.0}, {0.75, 2.25, 0.0}});
+  const auto frozen_epoch = frozen.run_epoch_analytic(0.0);
+  double adaptive_sum = 0.0;
+  double frozen_sum = 0.0;
+  std::size_t samples = 0;
+
+  core::TraceRecorder trace;
+  for (double t = 0.0; t <= 20.0; t += 2.0) {
+    const auto epoch = system.run_epoch_analytic(t);
+    trace.record_epoch(t, epoch.throughput_bps, epoch.beamspots,
+                       epoch.power_used_w);
+    const auto pos = system.true_channel(t);  // for leader lookup below
+    std::string leader = "-";
+    for (const auto& spot : epoch.beamspots) {
+      if (spot.rx == 0) leader = "TX" + std::to_string(spot.leader + 1);
+    }
+    const geom::Vec3 p = [&] {
+      // Re-derive RX1's position from the waypoint path for display.
+      const sim::WaypointMobility path{{{0.0, {0.6, 0.6, 0.0}},
+                                        {10.0, {2.4, 1.2, 0.0}},
+                                        {20.0, {2.4, 2.4, 0.0}}}};
+      return path.position(t);
+    }();
+    table.add_row({fmt(t, 0), "(" + fmt(p.x, 2) + ", " + fmt(p.y, 2) + ")",
+                   leader, fmt(epoch.throughput_bps[0] / 1e6, 2),
+                   fmt(epoch.throughput_bps[1] / 1e6, 2)});
+
+    // Frozen-allocation comparison: evaluate the t=0 beamspots on the
+    // current channel.
+    const auto h_now = system.true_channel(t);
+    const auto frozen_tput =
+        frozen.controller().expected_throughput(h_now);
+    adaptive_sum += epoch.throughput_bps[0];
+    frozen_sum += frozen_tput[0];
+    ++samples;
+    (void)pos;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRX1 average throughput, adaptive: "
+            << fmt(adaptive_sum / samples / 1e6, 2)
+            << " Mbit/s; frozen t=0 allocation: "
+            << fmt(frozen_sum / samples / 1e6, 2) << " Mbit/s ("
+            << fmt(adaptive_sum / std::max(frozen_sum, 1.0), 1)
+            << "x better with adaptation)\n";
+
+  std::cout << "Beamspot handovers for RX1 along the walk: "
+            << trace.leader_changes(0) << '\n';
+  if (trace.save("mobility_trace.csv")) {
+    std::cout << "Full timeline written to mobility_trace.csv ("
+              << trace.rows().size() << " rows)\n";
+  }
+  return 0;
+}

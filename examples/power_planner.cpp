@@ -1,0 +1,94 @@
+// Power-budget planner: for a user-specified room, sweep the
+// communication power budget, report the throughput curve, locate the
+// efficiency knee, and verify ISO 8995-1 illumination compliance.
+//
+//   $ ./power_planner [room_side_m] [num_rx]
+//
+// Defaults reproduce the paper's room (3 m, 4 RXs).
+#include <cstdlib>
+#include <iostream>
+
+#include "alloc/assignment.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "illum/illuminance_map.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace densevlc;
+
+  const double side = argc > 1 ? std::atof(argv[1]) : 3.0;
+  const std::size_t num_rx =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  if (side < 1.0 || side > 20.0 || num_rx < 1 || num_rx > 16) {
+    std::cerr << "usage: power_planner [room_side_m in 1..20] "
+                 "[num_rx in 1..16]\n";
+    return 1;
+  }
+
+  // Scale the paper's grid density (one TX per 0.5 m) to the room.
+  sim::Testbed tb = sim::make_simulation_testbed();
+  tb.room = geom::Room{side, side, 2.8};
+  const auto per_axis = static_cast<std::size_t>(side / 0.5);
+  tb.grid = geom::GridSpec{per_axis, per_axis, 0.5, 2.8};
+
+  std::cout << "Power planner: " << side << " m x " << side << " m room, "
+            << tb.grid.count() << " TXs, " << num_rx << " RXs\n\n";
+
+  // Illumination check first — communication must not be planned on a
+  // grid that fails its primary job.
+  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
+                                  tb.led,   0.8,           41,
+                                  kWhiteLedEfficacy};
+  const auto illum_stats = map.area_of_interest_stats(side - 0.8);
+  std::cout << "Illumination: " << fmt(illum_stats.average_lux, 0)
+            << " lux average, uniformity " << fmt(illum_stats.uniformity, 2)
+            << (map.satisfies(illum::IsoRequirement{}, side - 0.8)
+                    ? "  [ISO 8995-1 PASS]\n\n"
+                    : "  [ISO 8995-1 FAIL - increase bias or density]\n\n");
+
+  // Drop RXs uniformly at random (deterministic seed) and sweep budgets.
+  Rng rng{0x91A7};
+  std::vector<geom::Vec3> rx_xy;
+  for (std::size_t k = 0; k < num_rx; ++k) {
+    rx_xy.push_back({rng.uniform(0.4, side - 0.4),
+                     rng.uniform(0.4, side - 0.4), 0.0});
+  }
+  const auto h = tb.channel_for(rx_xy);
+
+  alloc::AssignmentOptions opts;
+  const double per_tx = alloc::full_swing_tx_power(0.9, tb.budget);
+
+  TablePrinter table{{"budget [W]", "TXs", "system tput [Mbit/s]",
+                      "efficiency [Mbit/s/W]"}};
+  double best_eff = 0.0;
+  double knee_budget = 0.0;
+  double prev_tput = 0.0;
+  for (double budget = per_tx; budget <= 3.0; budget += per_tx) {
+    const auto res = alloc::heuristic_allocate(h, 1.3, budget, tb.budget,
+                                               opts);
+    double tput = 0.0;
+    for (double t : channel::throughput_bps(h, res.allocation, tb.budget)) {
+      tput += t;
+    }
+    const double eff = res.power_used_w > 0.0
+                           ? tput / 1e6 / res.power_used_w
+                           : 0.0;
+    table.add_numeric_row({budget, static_cast<double>(res.txs_assigned),
+                           tput / 1e6, eff},
+                          2);
+    if (eff > best_eff) {
+      best_eff = eff;
+      knee_budget = budget;
+    }
+    prev_tput = tput;
+  }
+  (void)prev_tput;
+  table.print(std::cout);
+
+  std::cout << "\nRecommended operating point: "
+            << fmt(knee_budget, 2) << " W (best efficiency, "
+            << fmt(best_eff, 1) << " Mbit/s per watt)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Synchronization walkthrough: shows every stage of the NLOS VLC sync of
+// paper Sec. 6.2 — the floor-bounce channel, pilot detection at the
+// oversampling follower, the residual start error, and finally a joint
+// two-BBB frame transmission that only decodes because of the sync.
+//
+//   $ ./sync_demo
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/beamspot.hpp"
+#include "sim/scenario.hpp"
+#include "sync/nlos_sync.hpp"
+#include "sync/timesync.hpp"
+
+int main() {
+  using namespace densevlc;
+
+  std::cout << "NLOS VLC synchronization demo\n"
+               "=============================\n\n";
+
+  // Stage 1: the optical side-channel. TX2 (leader) bounces its pilot off
+  // the floor into TX3's ceiling-facing photodiode.
+  sync::NlosSyncConfig nc;
+  nc.leader_pose = geom::ceiling_pose(0.75, 0.25, 2.0);    // TX2
+  nc.follower_pose = geom::ceiling_pose(1.25, 0.25, 2.0);  // TX3
+  sync::NlosSynchronizer synchronizer{nc};
+  std::cout << "1. Floor-bounce channel gain TX2 -> floor -> TX3: "
+            << fmt_si(synchronizer.channel_gain(), 3)
+            << " (a LOS data link is ~1e-6; this is why the RX front-end "
+               "has a dedicated AC gain stage)\n\n";
+
+  // Stage 2: one synchronization attempt, narrated.
+  Rng rng{0xDE30};
+  const auto attempt = synchronizer.simulate_once(rng);
+  std::cout << "2. Leader transmits [pilot | leader-ID] at 100 Kchip/s; "
+               "follower samples at 1 Msps and correlates.\n"
+            << "   detected: " << (attempt.detected ? "yes" : "no")
+            << ", correlation " << fmt(attempt.correlation, 2)
+            << ", leader ID verified: "
+            << (attempt.id_matches ? "yes" : "no")
+            << ", start error "
+            << fmt(units::to_us(attempt.start_error_s), 3) << " us\n\n";
+
+  // Stage 3: the error distribution versus the software baselines.
+  const auto errors = synchronizer.measure_errors(100, rng);
+  const sync::TimeSyncConfig ts;
+  const double none = sync::measure_sync_delay(sync::SyncMethod::kNone, ts,
+                                               100e3, 1000, 50, rng);
+  const double ptp = sync::measure_sync_delay(sync::SyncMethod::kNtpPtp,
+                                              ts, 100e3, 1000, 50, rng);
+  TablePrinter table{{"method", "median error [us]"}};
+  table.add_row({"No synchronization", fmt(units::to_us(none), 3)});
+  table.add_row({"NTP/PTP", fmt(units::to_us(ptp), 3)});
+  table.add_row({"NLOS VLC", fmt(units::to_us(stats::median(errors)), 3)});
+  std::cout << "3. Error comparison over repeated attempts:\n";
+  table.print(std::cout);
+
+  // Stage 4: why it matters — a joint transmission from two BBBs.
+  const auto tb = sim::make_experimental_testbed();
+  core::JointTransmission jt{tb.led, phy::OokParams{},
+                             phy::FrontEndConfig{}};
+  const auto h = tb.channel_for({{1.0, 0.5, 0.0}});
+  phy::MacFrame frame;
+  frame.payload.assign(60, 0x42);
+
+  auto try_joint = [&](double skew) {
+    std::vector<core::ServingTx> servers;
+    std::size_t i = 0;
+    for (std::size_t tx : {1u, 2u, 7u, 8u}) {  // TX2, TX3, TX8, TX9
+      servers.push_back({tx, h.gain(tx, 0), 0.9, i < 2 ? 0.0 : skew});
+      ++i;
+    }
+    return jt.transmit(servers, frame, rng).delivered;
+  };
+
+  const double synced_skew = stats::median(errors);
+  std::cout << "\n4. Joint 4-TX transmission to the RX under the beamspot "
+               "center:\n"
+            << "   second BBB skewed by the NLOS residual ("
+            << fmt(units::to_us(synced_skew), 2) << " us): frame "
+            << (try_joint(synced_skew) ? "DECODED" : "lost") << '\n'
+            << "   second BBB skewed by a no-sync delivery delay (25 us): "
+               "frame "
+            << (try_joint(25e-6) ? "DECODED" : "lost") << '\n';
+  return 0;
+}

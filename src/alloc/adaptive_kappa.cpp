@@ -1,0 +1,100 @@
+#include "alloc/adaptive_kappa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densevlc::alloc {
+
+std::vector<RankedTx> rank_transmitters_per_tx(
+    const channel::ChannelMatrix& h, const std::vector<double>& kappas) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+
+  std::vector<double> sjr(n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row_sum += h.gain(i, j);
+    if (row_sum <= 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double gain = h.gain(i, j);
+      sjr[i * m + j] =
+          gain > 0.0 ? std::pow(gain, kappas[i]) / row_sum : 0.0;
+    }
+  }
+
+  std::vector<RankedTx> ranking;
+  ranking.reserve(n);
+  std::vector<bool> used(n, false);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t best_tx = 0;
+    std::size_t best_rx = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (sjr[i * m + j] > best_score) {
+          best_score = sjr[i * m + j];
+          best_tx = i;
+          best_rx = j;
+        }
+      }
+    }
+    used[best_tx] = true;
+    ranking.push_back({best_tx, best_rx, best_score});
+  }
+  return ranking;
+}
+
+AdaptiveKappaResult personalize_kappa(const channel::ChannelMatrix& h,
+                                      double power_budget_w,
+                                      const channel::LinkBudget& budget,
+                                      const AssignmentOptions& opts,
+                                      const AdaptiveKappaConfig& cfg) {
+  const std::size_t n = h.num_tx();
+  AdaptiveKappaResult out;
+  out.kappas.assign(n, cfg.initial_kappa);
+
+  auto evaluate = [&](const std::vector<double>& kappas) {
+    const auto ranking = rank_transmitters_per_tx(h, kappas);
+    const auto res = assign_by_ranking(ranking, n, h.num_rx(),
+                                       power_budget_w, budget, opts);
+    ++out.evaluations;
+    return std::pair{channel::sum_log_utility(h, res.allocation, budget),
+                     res.allocation};
+  };
+
+  auto [best_utility, best_alloc] = evaluate(out.kappas);
+  out.baseline_utility = best_utility;
+
+  double step = cfg.step;
+  for (std::size_t round = 0; round < cfg.max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const double direction : {+1.0, -1.0}) {
+        const double candidate = std::clamp(
+            out.kappas[j] + direction * step, cfg.kappa_min, cfg.kappa_max);
+        if (candidate == out.kappas[j]) continue;
+        std::vector<double> trial = out.kappas;
+        trial[j] = candidate;
+        auto [utility, alloc] = evaluate(trial);
+        if (utility > best_utility + 1e-12) {
+          best_utility = utility;
+          best_alloc = std::move(alloc);
+          out.kappas = std::move(trial);
+          improved = true;
+          break;  // take the first improving direction for this TX
+        }
+      }
+    }
+    if (!improved) {
+      step /= 2.0;
+      if (step < cfg.min_step) break;
+    }
+  }
+
+  out.allocation = std::move(best_alloc);
+  out.utility = best_utility;
+  return out;
+}
+
+}  // namespace densevlc::alloc

@@ -1,0 +1,57 @@
+#include "alloc/assignment.hpp"
+
+#include <cmath>
+
+namespace densevlc::alloc {
+
+double full_swing_tx_power(double max_swing_a,
+                           const channel::LinkBudget& budget) {
+  return channel::tx_comm_power(max_swing_a, budget);
+}
+
+AssignmentResult assign_by_ranking(const std::vector<RankedTx>& ranking,
+                                   std::size_t num_tx, std::size_t num_rx,
+                                   double power_budget_w,
+                                   const channel::LinkBudget& budget,
+                                   const AssignmentOptions& opts) {
+  AssignmentResult out;
+  out.allocation = channel::Allocation{num_tx, num_rx};
+  const double per_tx = full_swing_tx_power(opts.max_swing_a, budget);
+
+  double remaining = power_budget_w;
+  for (const RankedTx& entry : ranking) {
+    if (entry.sjr <= 0.0) break;  // TX reaches no RX; so will the rest
+    if (remaining >= per_tx) {
+      out.allocation.set_swing(entry.tx, entry.rx, opts.max_swing_a);
+      remaining -= per_tx;
+      ++out.txs_assigned;
+      continue;
+    }
+    if (opts.allow_partial_tail && remaining > 0.0) {
+      // r * (Isw/2)^2 = remaining  =>  Isw = 2 sqrt(remaining / r).
+      const double partial =
+          2.0 * std::sqrt(remaining / budget.dynamic_resistance_ohm);
+      if (partial > 0.0) {
+        out.allocation.set_swing(entry.tx, entry.rx,
+                                 std::min(partial, opts.max_swing_a));
+        remaining -= channel::tx_comm_power(
+            out.allocation.swing(entry.tx, entry.rx), budget);
+        ++out.txs_assigned;
+      }
+    }
+    break;
+  }
+  out.power_used_w = power_budget_w - remaining;
+  return out;
+}
+
+AssignmentResult heuristic_allocate(const channel::ChannelMatrix& h,
+                                    double kappa, double power_budget_w,
+                                    const channel::LinkBudget& budget,
+                                    const AssignmentOptions& opts) {
+  const auto ranking = rank_transmitters(h, kappa);
+  return assign_by_ranking(ranking, h.num_tx(), h.num_rx(), power_budget_w,
+                           budget, opts);
+}
+
+}  // namespace densevlc::alloc

@@ -1,0 +1,51 @@
+// Sequential full-swing power assignment over a ranked TX list.
+//
+// Insight 2 of the paper: near-optimal allocations need only two LED
+// states — zero swing (illumination mode) or full swing Isw,max. Given a
+// ranked list (from the SJR heuristic) and a communication power budget,
+// this walks the list granting each TX full swing for its RX while the
+// budget allows; optionally the first TX that no longer fits is granted
+// the partial swing that exactly exhausts the budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/sjr.hpp"
+#include "channel/model.hpp"
+
+namespace densevlc::alloc {
+
+/// Assignment policy knobs.
+struct AssignmentOptions {
+  double max_swing_a = 0.9;        ///< Isw,max per TX
+  bool allow_partial_tail = false; ///< grant a fractional swing to the
+                                   ///< first TX that exceeds the budget
+};
+
+/// Result of walking the ranked list under a budget.
+struct AssignmentResult {
+  channel::Allocation allocation;
+  double power_used_w = 0.0;
+  std::size_t txs_assigned = 0;  ///< TXs with nonzero swing
+};
+
+/// Grants power down `ranking` until `power_budget_w` is exhausted.
+AssignmentResult assign_by_ranking(const std::vector<RankedTx>& ranking,
+                                   std::size_t num_tx, std::size_t num_rx,
+                                   double power_budget_w,
+                                   const channel::LinkBudget& budget,
+                                   const AssignmentOptions& opts);
+
+/// The full heuristic pipeline of Sec. 5: rank with kappa, then assign.
+AssignmentResult heuristic_allocate(const channel::ChannelMatrix& h,
+                                    double kappa, double power_budget_w,
+                                    const channel::LinkBudget& budget,
+                                    const AssignmentOptions& opts);
+
+/// Electrical power cost of one full-swing TX [W]:
+/// P_C,tx,max = r * (Isw,max / 2)^2  (74.42 mW with Table 1 values).
+double full_swing_tx_power(double max_swing_a,
+                           const channel::LinkBudget& budget);
+
+}  // namespace densevlc::alloc

@@ -1,0 +1,67 @@
+#include "alloc/baselines.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace densevlc::alloc {
+namespace {
+
+struct Candidate {
+  std::size_t tx;
+  std::size_t rx;
+  double gain;
+};
+
+/// Greedy gain-ordered matching: every TX serves at most one RX; each RX
+/// receives at most `per_rx` TXs.
+channel::Allocation match_by_gain(const channel::ChannelMatrix& h,
+                                  std::size_t per_rx, double max_swing_a) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+  std::vector<Candidate> candidates;
+  candidates.reserve(n * m);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < m; ++k) {
+      if (h.gain(j, k) > 0.0) candidates.push_back({j, k, h.gain(j, k)});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.gain != b.gain) return a.gain > b.gain;
+              if (a.tx != b.tx) return a.tx < b.tx;
+              return a.rx < b.rx;
+            });
+
+  channel::Allocation alloc{n, m};
+  std::vector<bool> tx_used(n, false);
+  std::vector<std::size_t> rx_count(m, 0);
+  for (const auto& c : candidates) {
+    if (tx_used[c.tx] || rx_count[c.rx] >= per_rx) continue;
+    alloc.set_swing(c.tx, c.rx, max_swing_a);
+    tx_used[c.tx] = true;
+    ++rx_count[c.rx];
+  }
+  return alloc;
+}
+
+}  // namespace
+
+BaselineResult siso_nearest_tx(const channel::ChannelMatrix& h,
+                               double max_swing_a,
+                               const channel::LinkBudget& budget) {
+  BaselineResult out;
+  out.allocation = match_by_gain(h, 1, max_swing_a);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  return out;
+}
+
+BaselineResult dmiso_all_tx(const channel::ChannelMatrix& h,
+                            std::size_t group_size, double max_swing_a,
+                            const channel::LinkBudget& budget) {
+  BaselineResult out;
+  out.allocation = match_by_gain(h, group_size, max_swing_a);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  return out;
+}
+
+}  // namespace densevlc::alloc

@@ -1,0 +1,39 @@
+// Baseline allocation policies the paper compares against (Sec. 8.3).
+//
+// - Nearest-TX (SISO): each RX is served only by its strongest TX, all
+//   other LEDs stay in illumination mode. 4 assigned TXs total.
+// - All-TXs (D-MISO): position-independent dense service — each RX is
+//   served by its `surrounding` strongest TXs (9 in the paper's setup,
+//   i.e. the 3x3 neighbourhood), every selected TX at full swing. TXs
+//   whose strongest RX differs are still assigned per-RX, so the total
+//   power scales with the number of RXs times the group size.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/model.hpp"
+
+namespace densevlc::alloc {
+
+/// Baseline operating point: the allocation plus its cost.
+struct BaselineResult {
+  channel::Allocation allocation;
+  double power_used_w = 0.0;
+};
+
+/// SISO: strongest TX per RX at full swing. A TX that is strongest for two
+/// RXs serves only the one with the higher gain; the loser falls back to
+/// its next-best unassigned TX.
+BaselineResult siso_nearest_tx(const channel::ChannelMatrix& h,
+                               double max_swing_a,
+                               const channel::LinkBudget& budget);
+
+/// D-MISO: each RX is served by its `group_size` strongest TXs (ties on
+/// ownership resolved toward the higher gain; each TX serves exactly one
+/// RX). With group_size = 9 this reproduces the paper's "9 surrounding
+/// TXs" configuration.
+BaselineResult dmiso_all_tx(const channel::ChannelMatrix& h,
+                            std::size_t group_size, double max_swing_a,
+                            const channel::LinkBudget& budget);
+
+}  // namespace densevlc::alloc

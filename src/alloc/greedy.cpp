@@ -1,0 +1,55 @@
+#include "alloc/greedy.hpp"
+
+#include "alloc/assignment.hpp"
+
+namespace densevlc::alloc {
+
+GreedyResult greedy_allocate(const channel::ChannelMatrix& h,
+                             double power_budget_w,
+                             const channel::LinkBudget& budget,
+                             double max_swing_a) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+  GreedyResult out;
+  out.allocation = channel::Allocation{n, m};
+
+  const double per_tx = full_swing_tx_power(max_swing_a, budget);
+  double remaining = power_budget_w;
+  std::vector<bool> used(n, false);
+  double current_utility =
+      channel::sum_log_utility(h, out.allocation, budget);
+
+  while (remaining >= per_tx) {
+    double best_utility = current_utility;
+    std::size_t best_tx = n;
+    std::size_t best_rx = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (h.gain(j, k) <= 0.0) continue;
+        out.allocation.set_swing(j, k, max_swing_a);
+        const double utility =
+            channel::sum_log_utility(h, out.allocation, budget);
+        ++out.evaluations;
+        out.allocation.set_swing(j, k, 0.0);
+        if (utility > best_utility + 1e-12) {
+          best_utility = utility;
+          best_tx = j;
+          best_rx = k;
+        }
+      }
+    }
+    if (best_tx == n) break;  // no grant improves the objective
+    out.allocation.set_swing(best_tx, best_rx, max_swing_a);
+    used[best_tx] = true;
+    current_utility = best_utility;
+    remaining -= per_tx;
+    ++out.txs_assigned;
+  }
+
+  out.utility = current_utility;
+  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  return out;
+}
+
+}  // namespace densevlc::alloc

@@ -1,0 +1,54 @@
+#include "alloc/sjr.hpp"
+
+#include <cmath>
+
+namespace densevlc::alloc {
+
+std::vector<double> sjr_matrix(const channel::ChannelMatrix& h,
+                               double kappa) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+  std::vector<double> out(n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row_sum += h.gain(i, j);
+    if (row_sum <= 0.0) continue;  // TX reaches no RX: score stays 0
+    for (std::size_t j = 0; j < m; ++j) {
+      const double gain = h.gain(i, j);
+      out[i * m + j] = gain > 0.0 ? std::pow(gain, kappa) / row_sum : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<RankedTx> rank_transmitters(const channel::ChannelMatrix& h,
+                                        double kappa) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+  const auto sjr = sjr_matrix(h, kappa);
+
+  std::vector<RankedTx> ranking;
+  ranking.reserve(n);
+  std::vector<bool> tx_used(n, false);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t best_tx = 0;
+    std::size_t best_rx = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tx_used[i]) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double score = sjr[i * m + j];
+        if (score > best_score) {
+          best_score = score;
+          best_tx = i;
+          best_rx = j;
+        }
+      }
+    }
+    tx_used[best_tx] = true;
+    ranking.push_back({best_tx, best_rx, best_score});
+  }
+  return ranking;
+}
+
+}  // namespace densevlc::alloc

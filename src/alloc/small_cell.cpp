@@ -1,0 +1,84 @@
+#include "alloc/small_cell.hpp"
+
+#include <algorithm>
+
+#include "alloc/assignment.hpp"
+
+namespace densevlc::alloc {
+
+std::size_t CellPartition::cell_of(double x, double y) const {
+  const double cw = room.width / static_cast<double>(cells_x);
+  const double ch = room.depth / static_cast<double>(cells_y);
+  auto cx = static_cast<std::size_t>(std::clamp(
+      x / cw, 0.0, static_cast<double>(cells_x) - 1.0));
+  auto cy = static_cast<std::size_t>(std::clamp(
+      y / ch, 0.0, static_cast<double>(cells_y) - 1.0));
+  return cy * cells_x + cx;
+}
+
+SmallCellResult small_cell_allocate(
+    const channel::ChannelMatrix& h, const CellPartition& cells,
+    const std::vector<geom::Pose>& tx_poses,
+    const std::vector<geom::Vec3>& rx_positions, double power_budget_w,
+    double max_swing_a, const channel::LinkBudget& budget) {
+  const std::size_t n = h.num_tx();
+  const std::size_t m = h.num_rx();
+  SmallCellResult out;
+  out.allocation = channel::Allocation{n, m};
+  out.rx_cell.resize(m);
+
+  // Assign TXs and RXs to cells.
+  std::vector<std::size_t> tx_cell(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    tx_cell[j] = cells.cell_of(tx_poses[j].position.x,
+                               tx_poses[j].position.y);
+  }
+  std::vector<std::vector<std::size_t>> cell_rxs(cells.cell_count());
+  for (std::size_t k = 0; k < m; ++k) {
+    out.rx_cell[k] = cells.cell_of(rx_positions[k].x, rx_positions[k].y);
+    cell_rxs[out.rx_cell[k]].push_back(k);
+  }
+
+  std::size_t occupied = 0;
+  for (const auto& rxs : cell_rxs) occupied += rxs.empty() ? 0 : 1;
+  if (occupied == 0) return out;
+  const double per_cell_budget =
+      power_budget_w / static_cast<double>(occupied);
+  const double per_tx = full_swing_tx_power(max_swing_a, budget);
+
+  // Within each occupied cell, grant its TXs to its RXs best-gain first.
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    if (cell_rxs[c].empty()) continue;
+    struct Pair {
+      std::size_t tx;
+      std::size_t rx;
+      double gain;
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (tx_cell[j] != c) continue;
+      for (std::size_t k : cell_rxs[c]) {
+        if (h.gain(j, k) > 0.0) pairs.push_back({j, k, h.gain(j, k)});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      if (a.gain != b.gain) return a.gain > b.gain;
+      if (a.tx != b.tx) return a.tx < b.tx;
+      return a.rx < b.rx;
+    });
+
+    double remaining = per_cell_budget;
+    std::vector<bool> tx_used(n, false);
+    for (const auto& p : pairs) {
+      if (tx_used[p.tx] || remaining < per_tx) continue;
+      out.allocation.set_swing(p.tx, p.rx, max_swing_a);
+      tx_used[p.tx] = true;
+      remaining -= per_tx;
+    }
+  }
+
+  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  return out;
+}
+
+}  // namespace densevlc::alloc

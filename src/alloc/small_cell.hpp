@@ -1,0 +1,50 @@
+// Small-cell baseline (paper Sec. 1: cell-free "facilitates mobility and
+// improves the dynamic performance, compared to the conventional small
+// cell-based design").
+//
+// The room is partitioned into a fixed grid of cells; each cell owns the
+// TXs whose positions fall inside it, and serves only RXs located in the
+// same cell (each RX gets its cell's strongest TXs at full swing, up to
+// the per-cell power share). A moving receiver is handed over between
+// cells when it crosses a boundary — with the throughput dips at cell
+// edges that motivate the cell-free design.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/model.hpp"
+#include "geom/grid.hpp"
+#include "geom/vec3.hpp"
+
+namespace densevlc::alloc {
+
+/// A fixed partition of the room into cells_x x cells_y rectangles.
+struct CellPartition {
+  geom::Room room{};
+  std::size_t cells_x = 2;
+  std::size_t cells_y = 2;
+
+  std::size_t cell_count() const { return cells_x * cells_y; }
+
+  /// Cell owning point (x, y) (edges go to the lower-index cell;
+  /// out-of-room points clamp).
+  std::size_t cell_of(double x, double y) const;
+};
+
+/// Small-cell allocation: every RX is served only by TXs of its own
+/// cell, best-gain first, within `power_budget_w` split equally across
+/// *occupied* cells. TXs outside occupied cells stay dark.
+struct SmallCellResult {
+  channel::Allocation allocation;
+  double power_used_w = 0.0;
+  std::vector<std::size_t> rx_cell;  ///< cell id per RX
+};
+
+SmallCellResult small_cell_allocate(
+    const channel::ChannelMatrix& h, const CellPartition& cells,
+    const std::vector<geom::Pose>& tx_poses,
+    const std::vector<geom::Vec3>& rx_positions, double power_budget_w,
+    double max_swing_a, const channel::LinkBudget& budget);
+
+}  // namespace densevlc::alloc

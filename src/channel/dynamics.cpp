@@ -1,0 +1,37 @@
+#include "channel/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densevlc::channel {
+
+GaussMarkovFading::GaussMarkovFading(std::size_t num_tx, std::size_t num_rx,
+                                     const FadingConfig& cfg, Rng rng)
+    : num_tx_{num_tx}, num_rx_{num_rx}, cfg_{cfg}, rng_{rng} {
+  factors_.resize(num_tx_ * num_rx_);
+  for (double& f : factors_) {
+    f = std::max(0.0, rng_.gaussian(1.0, cfg_.sigma));
+  }
+}
+
+void GaussMarkovFading::step(double dt_s) {
+  if (dt_s <= 0.0) return;
+  const double a = std::exp(-dt_s / cfg_.correlation_time_s);
+  const double innovation = std::sqrt(1.0 - a * a) * cfg_.sigma;
+  for (double& f : factors_) {
+    f = 1.0 + a * (f - 1.0) + rng_.gaussian(0.0, innovation);
+    f = std::max(0.0, f);
+  }
+}
+
+ChannelMatrix GaussMarkovFading::apply(const ChannelMatrix& h) const {
+  ChannelMatrix out = h;
+  for (std::size_t j = 0; j < num_tx_ && j < h.num_tx(); ++j) {
+    for (std::size_t k = 0; k < num_rx_ && k < h.num_rx(); ++k) {
+      out.set_gain(j, k, h.gain(j, k) * factor(j, k));
+    }
+  }
+  return out;
+}
+
+}  // namespace densevlc::channel

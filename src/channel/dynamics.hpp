@@ -1,0 +1,59 @@
+// Temporal channel dynamics (paper Sec. 2.1: "VLC links exhibit high
+// dynamics when the TXs and RXs are not static", citing DanceVLC-style
+// measurements).
+//
+// Beyond deterministic geometry changes from mobility, real links
+// fluctuate from small orientation wobble, hand shadows and reflections.
+// The standard first-order model is a Gauss-Markov multiplicative
+// process per link:
+//
+//   f_{t+dt} = mu + a (f_t - mu) + sqrt(1 - a^2) * sigma * w,
+//   a = exp(-dt / tau)
+//
+// with stationary mean mu = 1, stddev sigma, correlation time tau.
+// Fluctuations clamp at zero (gains cannot go negative).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/model.hpp"
+#include "common/rng.hpp"
+
+namespace densevlc::channel {
+
+/// Parameters of the per-link fluctuation process.
+struct FadingConfig {
+  double sigma = 0.1;              ///< stationary relative stddev
+  double correlation_time_s = 0.5; ///< tau
+};
+
+/// Time-correlated multiplicative fading for an N x M link set.
+class GaussMarkovFading {
+ public:
+  /// Factors start at their stationary distribution.
+  GaussMarkovFading(std::size_t num_tx, std::size_t num_rx,
+                    const FadingConfig& cfg, Rng rng);
+
+  /// Advances all link factors by `dt_s` seconds.
+  void step(double dt_s);
+
+  /// Current factor of link (tx, rx) (>= 0, mean 1).
+  double factor(std::size_t tx, std::size_t rx) const {
+    return factors_[tx * num_rx_ + rx];
+  }
+
+  /// Applies the current factors to a geometric channel matrix.
+  ChannelMatrix apply(const ChannelMatrix& h) const;
+
+  const FadingConfig& config() const { return cfg_; }
+
+ private:
+  std::size_t num_tx_;
+  std::size_t num_rx_;
+  FadingConfig cfg_;
+  Rng rng_;
+  std::vector<double> factors_;
+};
+
+}  // namespace densevlc::channel

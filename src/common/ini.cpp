@@ -1,0 +1,111 @@
+#include "common/ini.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace densevlc {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+IniConfig IniConfig::parse(const std::string& text) {
+  IniConfig cfg;
+  std::istringstream in{text};
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  std::ostringstream errors;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments (outside of values containing ';' we keep simple:
+    // comment starts at the first ';' or '#').
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        errors << "line " << line_no << ": malformed section header\n";
+        continue;
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      errors << "line " << line_no << ": expected key = value\n";
+      continue;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      errors << "line " << line_no << ": empty key\n";
+      continue;
+    }
+    const std::string full = section.empty() ? key : section + "." + key;
+    cfg.values_[full] = value;
+  }
+  cfg.errors_ = errors.str();
+  return cfg;
+}
+
+std::optional<IniConfig> IniConfig::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> IniConfig::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool IniConfig::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+double IniConfig::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return end != v->c_str() && end != nullptr && *end == '\0' ? parsed
+                                                             : fallback;
+}
+
+long IniConfig::get_int(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  return end != v->c_str() && end != nullptr && *end == '\0' ? parsed
+                                                             : fallback;
+}
+
+bool IniConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+std::string IniConfig::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+}  // namespace densevlc

@@ -1,0 +1,54 @@
+// Minimal INI-style configuration parser.
+//
+// Examples and tools accept scenario files so users can describe their
+// own rooms without recompiling. Supported syntax:
+//
+//   ; comment      # comment
+//   [section]
+//   key = value
+//
+// Keys are addressed as "section.key" ("" section for keys before any
+// header). Values keep their raw text; typed getters parse on demand.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace densevlc {
+
+/// Parsed INI content with typed accessors.
+class IniConfig {
+ public:
+  /// Parses text. Malformed lines (no '=', unterminated section) are
+  /// reported via the error string; parsing continues past them.
+  static IniConfig parse(const std::string& text);
+
+  /// Loads a file; nullopt when it cannot be read.
+  static std::optional<IniConfig> load(const std::string& path);
+
+  /// Raw text value of "section.key".
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters; return the fallback when missing or unparsable.
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Whether the key exists.
+  bool has(const std::string& key) const;
+
+  /// Number of key-value pairs.
+  std::size_t size() const { return values_.size(); }
+
+  /// Parse diagnostics (one line per problem; empty when clean).
+  const std::string& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string errors_;
+};
+
+}  // namespace densevlc

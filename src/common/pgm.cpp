@@ -1,0 +1,45 @@
+#include "common/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <string>
+
+namespace densevlc {
+
+std::vector<std::uint8_t> to_pgm(const ScalarField& field, double lo,
+                                 double hi) {
+  std::vector<std::uint8_t> out;
+  if (field.width == 0 || field.height == 0 ||
+      field.values.size() != field.width * field.height) {
+    return out;
+  }
+  if (lo >= hi) {
+    lo = *std::min_element(field.values.begin(), field.values.end());
+    hi = *std::max_element(field.values.begin(), field.values.end());
+    if (lo >= hi) hi = lo + 1.0;  // flat field: render mid-gray-ish
+  }
+
+  const std::string header = "P5\n" + std::to_string(field.width) + " " +
+                             std::to_string(field.height) + "\n255\n";
+  out.assign(header.begin(), header.end());
+  out.reserve(out.size() + field.values.size());
+  for (double v : field.values) {
+    const double norm = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    out.push_back(static_cast<std::uint8_t>(std::lround(norm * 255.0)));
+  }
+  return out;
+}
+
+bool write_pgm(const ScalarField& field, const std::string& path, double lo,
+               double hi) {
+  const auto bytes = to_pgm(field, lo, hi);
+  if (bytes.empty()) return false;
+  std::ofstream out{path, std::ios::binary};
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace densevlc

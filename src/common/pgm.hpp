@@ -1,0 +1,32 @@
+// Grayscale PGM image export for spatial maps (illuminance, coverage).
+//
+// PGM is the simplest portable raster format: any image viewer opens it
+// and it needs no dependencies. Values are normalized to [0, 255] over
+// the data range (or an explicit range for comparable scales across
+// images).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace densevlc {
+
+/// A row-major scalar field destined for an image.
+struct ScalarField {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<double> values;  ///< size == width * height, row-major;
+                               ///< row 0 renders at the image top
+};
+
+/// Renders the field into binary PGM (P5) bytes, mapping [lo, hi] to
+/// [0, 255] with clipping. Pass lo >= hi to auto-range over the data.
+std::vector<std::uint8_t> to_pgm(const ScalarField& field, double lo = 0.0,
+                                 double hi = 0.0);
+
+/// Writes the PGM to a file. Returns false on I/O failure.
+bool write_pgm(const ScalarField& field, const std::string& path,
+               double lo = 0.0, double hi = 0.0);
+
+}  // namespace densevlc

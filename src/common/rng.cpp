@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace densevlc {
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1), the standard bit-exact recipe.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  // Rejection sampling for an unbiased integer in [lo, hi].
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>(engine_());
+  }
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t draw;
+  do {
+    draw = engine_();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller: two uniforms -> two independent standard normals.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * kPi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork() {
+  // Mix two draws so sibling forks do not share prefixes.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng{a ^ (b * 0x9E3779B97F4A7C15ULL)};
+}
+
+}  // namespace densevlc

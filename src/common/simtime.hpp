@@ -1,0 +1,86 @@
+// Fixed-point simulation time.
+//
+// The discrete-event simulator and the synchronization subsystem need a
+// time representation that is exact under addition (no floating-point
+// drift when accumulating millions of symbol periods). SimTime stores
+// nanoseconds in a signed 64-bit integer, giving ~292 years of range —
+// ample for 100-second experiment runs at nanosecond resolution.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace densevlc {
+
+/// A point in (or duration of) simulated time, in integer nanoseconds.
+///
+/// SimTime is a regular value type with full ordering; arithmetic between
+/// SimTimes yields SimTime (durations and instants share the
+/// representation, as in std::chrono's practice for simulation clocks).
+class SimTime {
+ public:
+  /// Zero time (the epoch of every simulation run).
+  constexpr SimTime() = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr SimTime from_ns(std::int64_t ns) { return SimTime{ns}; }
+
+  /// Constructs from integer microseconds.
+  static constexpr SimTime from_us(std::int64_t us) {
+    return SimTime{us * 1000};
+  }
+
+  /// Constructs from integer milliseconds.
+  static constexpr SimTime from_ms(std::int64_t ms) {
+    return SimTime{ms * 1000000};
+  }
+
+  /// Constructs from integer seconds.
+  static constexpr SimTime from_sec(std::int64_t sec) {
+    return SimTime{sec * 1000000000};
+  }
+
+  /// Constructs from a floating-point second count, rounding to nearest ns.
+  static constexpr SimTime from_seconds(double seconds) {
+    const double ns = seconds * 1e9;
+    return SimTime{static_cast<std::int64_t>(ns >= 0 ? ns + 0.5 : ns - 0.5)};
+  }
+
+  /// Raw nanosecond count.
+  constexpr std::int64_t ns() const { return ns_; }
+
+  /// Value in microseconds (exact division truncates; use seconds() for
+  /// fractional display).
+  constexpr std::int64_t us() const { return ns_ / 1000; }
+
+  /// Value in seconds as a double (display / ratio use only).
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr SimTime operator+(SimTime other) const {
+    return SimTime{ns_ + other.ns_};
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    return SimTime{ns_ - other.ns_};
+  }
+  constexpr SimTime operator-() const { return SimTime{-ns_}; }
+  constexpr SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  /// Scales a duration by an integer factor (e.g. n symbol periods).
+  constexpr SimTime operator*(std::int64_t factor) const {
+    return SimTime{ns_ * factor};
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace densevlc

@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace densevlc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_numeric_row(const std::vector<double>& values,
+                                   int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+         << '|';
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void TablePrinter::print_csv(std::ostream& os, const std::string& tag) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "csv," << tag;
+    for (const auto& cell : cells) os << ',' << cell;
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string fmt_si(double value, int precision) {
+  const double mag = std::fabs(value);
+  const char* suffix = "";
+  double scaled = value;
+  if (mag >= 1e9) {
+    scaled = value / 1e9;
+    suffix = "G";
+  } else if (mag >= 1e6) {
+    scaled = value / 1e6;
+    suffix = "M";
+  } else if (mag >= 1e3) {
+    scaled = value / 1e3;
+    suffix = "k";
+  } else if (mag > 0.0 && mag < 1e-6) {
+    scaled = value * 1e9;
+    suffix = "n";
+  } else if (mag > 0.0 && mag < 1e-3) {
+    scaled = value * 1e6;
+    suffix = "u";
+  } else if (mag > 0.0 && mag < 1.0) {
+    scaled = value * 1e3;
+    suffix = "m";
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << scaled << suffix;
+  return oss.str();
+}
+
+}  // namespace densevlc

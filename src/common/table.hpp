@@ -1,0 +1,49 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints its figure/table data twice: once as an
+// aligned human-readable table and once as CSV (prefixed lines) so the
+// series can be re-plotted. TablePrinter keeps that output uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace densevlc {
+
+/// Accumulates rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision into a row.
+  void add_numeric_row(const std::vector<double>& values, int precision = 4);
+
+  /// Renders an aligned, boxed table.
+  void print(std::ostream& os) const;
+
+  /// Renders CSV lines, each prefixed with "csv," so they are easy to grep
+  /// out of mixed bench output.
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+  /// Number of data rows accumulated so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for ad-hoc rows).
+std::string fmt(double value, int precision = 4);
+
+/// Formats a double in engineering style with an SI-ish suffix for
+/// readability in tables (e.g. 1.25e6 -> "1.250M"). Values in [0.001,
+/// 1000) print plainly.
+std::string fmt_si(double value, int precision = 3);
+
+}  // namespace densevlc

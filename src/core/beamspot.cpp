@@ -1,0 +1,112 @@
+#include "core/beamspot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/snr_estimator.hpp"
+
+namespace densevlc::core {
+
+JointTransmission::JointTransmission(const optics::LedModel& led,
+                                     const phy::OokParams& ook,
+                                     const phy::FrontEndConfig& frontend)
+    : led_{led}, ook_{ook}, frontend_{frontend} {}
+
+double JointTransmission::frame_airtime_s(const phy::MacFrame& frame) const {
+  const auto chips = phy::frame_to_chips(frame).size();
+  return static_cast<double>(chips) / ook_.chip_rate_hz;
+}
+
+TransmissionOutcome JointTransmission::transmit(
+    std::span<const ServingTx> servers, const phy::MacFrame& frame,
+    Rng& rng, std::span<const InterfererGroup> interferers,
+    double ambient_optical_w) const {
+  TransmissionOutcome out;
+  if (servers.empty()) return out;
+
+  const auto chips = phy::frame_to_chips(frame);
+  const double tx_rate = ook_.sample_rate_hz();
+
+  // Every participating chip stream shares one timeline.
+  std::size_t longest_chips = chips.size();
+  double max_offset = 0.0;
+  for (const auto& s : servers) {
+    max_offset = std::max(max_offset, std::fabs(s.start_offset_s));
+  }
+  std::vector<std::vector<phy::Chip>> interferer_chips;
+  interferer_chips.reserve(interferers.size());
+  for (const auto& group : interferers) {
+    interferer_chips.push_back(phy::frame_to_chips(group.frame));
+    longest_chips = std::max(longest_chips, interferer_chips.back().size());
+    for (const auto& s : group.txs) {
+      max_offset = std::max(max_offset, std::fabs(s.start_offset_s));
+    }
+  }
+
+  const std::size_t guard_samples = 16 * ook_.samples_per_chip;
+  const auto offset_samples_max =
+      static_cast<std::size_t>(std::ceil(max_offset * tx_rate));
+  const std::size_t total = longest_chips * ook_.samples_per_chip +
+                            2 * guard_samples + 2 * offset_samples_max;
+
+  dsp::Waveform optical;
+  optical.sample_rate_hz = tx_rate;
+  optical.samples.assign(total, ambient_optical_w);
+
+  const double eta = led_.electrical().wall_plug_efficiency;
+  const double bias = led_.operating_point().bias_current_a;
+  const auto base_start =
+      static_cast<double>(guard_samples + offset_samples_max);
+
+  auto add_stream = [&](const ServingTx& server,
+                        const std::vector<phy::Chip>& stream) {
+    if (server.gain <= 0.0) return;
+    const auto start = static_cast<std::ptrdiff_t>(
+        base_start + std::llround(server.start_offset_s * tx_rate));
+    const double half = server.swing_a / 2.0;
+    const double p_bias = eta * led_.power_at_current(bias);
+    const double p_high = eta * led_.power_at_current(bias + half);
+    const double p_low = eta * led_.power_at_current(bias - half);
+    const auto frame_samples = static_cast<std::ptrdiff_t>(
+        stream.size() * ook_.samples_per_chip);
+
+    for (std::size_t s = 0; s < total; ++s) {
+      const auto rel = static_cast<std::ptrdiff_t>(s) - start;
+      double level;
+      if (rel < 0 || rel >= frame_samples) {
+        level = p_bias;  // idle illumination before/after the frame
+      } else {
+        const auto chip_idx =
+            static_cast<std::size_t>(rel) / ook_.samples_per_chip;
+        level = stream[chip_idx] == phy::Chip::kHigh ? p_high : p_low;
+      }
+      optical.samples[s] += server.gain * level;
+    }
+  };
+
+  for (const auto& server : servers) add_stream(server, chips);
+  for (std::size_t g = 0; g < interferers.size(); ++g) {
+    for (const auto& itx : interferers[g].txs) {
+      add_stream(itx, interferer_chips[g]);
+    }
+  }
+
+  phy::ReceiverFrontEnd fe{frontend_, rng.fork()};
+  const dsp::Waveform rx = fe.process(optical);
+
+  const phy::OokDemodulator demod{ook_.chip_rate_hz,
+                                  frontend_.adc.sample_rate_hz};
+  const auto result = demod.receive_frame(rx.samples);
+  if (!result) return out;
+
+  out.preamble_found = true;
+  out.correlation = result->correlation;
+  out.corrected_bytes = result->parsed.corrected_bytes;
+  out.delivered = result->parsed.frame == frame;
+  if (const auto snr = dsp::m2m4_snr(rx.samples)) {
+    out.snr_estimate_db = snr->snr_db;
+  }
+  return out;
+}
+
+}  // namespace densevlc::core

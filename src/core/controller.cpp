@@ -1,0 +1,91 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "alloc/adaptive_kappa.hpp"
+
+namespace densevlc::core {
+
+std::size_t Controller::update_channel(
+    const channel::ChannelMatrix& measured) {
+  alloc::AssignmentOptions opts;
+  opts.max_swing_a = cfg_.max_swing_a;
+  opts.allow_partial_tail = false;  // Insight 2: binary swing in practice
+
+  std::vector<alloc::RankedTx> ranking;
+  if (cfg_.personalize_kappa) {
+    alloc::AdaptiveKappaConfig acfg;
+    acfg.initial_kappa = cfg_.kappa;
+    acfg.max_rounds = 4;
+    const auto personal = alloc::personalize_kappa(
+        measured, cfg_.power_budget_w, cfg_.link_budget, opts, acfg);
+    ranking = alloc::rank_transmitters_per_tx(measured, personal.kappas);
+  } else {
+    ranking = alloc::rank_transmitters(measured, cfg_.kappa);
+  }
+  const auto result =
+      alloc::assign_by_ranking(ranking, measured.num_tx(), measured.num_rx(),
+                               cfg_.power_budget_w, cfg_.link_budget, opts);
+  alloc_ = result.allocation;
+  power_used_w_ = result.power_used_w;
+
+  // Group assigned TXs into beamspots, preserving rank order so the
+  // first-listed TX is the best channel — it becomes the leader.
+  beamspots_.clear();
+  for (std::size_t rx = 0; rx < measured.num_rx(); ++rx) {
+    Beamspot spot;
+    spot.rx = rx;
+    for (const auto& entry : ranking) {
+      if (entry.rx == rx && alloc_.swing(entry.tx, rx) > 0.0) {
+        spot.txs.push_back(entry.tx);
+      }
+    }
+    if (!spot.txs.empty()) {
+      // The leader is the member with the best measured channel to the
+      // served RX: its pilot reaches the co-serving neighbours strongest.
+      spot.leader = spot.txs.front();
+      for (std::size_t tx : spot.txs) {
+        if (measured.gain(tx, rx) > measured.gain(spot.leader, rx)) {
+          spot.leader = tx;
+        }
+      }
+      beamspots_.push_back(std::move(spot));
+    }
+  }
+  return result.txs_assigned;
+}
+
+std::optional<Beamspot> Controller::beamspot_for(std::size_t rx) const {
+  for (const auto& spot : beamspots_) {
+    if (spot.rx == rx) return spot;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> Controller::expected_throughput(
+    const channel::ChannelMatrix& truth) const {
+  if (alloc_.num_tx() != truth.num_tx() ||
+      alloc_.num_rx() != truth.num_rx()) {
+    return std::vector<double>(truth.num_rx(), 0.0);
+  }
+  return channel::throughput_bps(truth, alloc_, cfg_.link_budget);
+}
+
+std::optional<phy::ControllerFrame> Controller::make_data_command(
+    std::size_t rx, std::vector<std::uint8_t> payload,
+    std::uint16_t src) const {
+  const auto spot = beamspot_for(rx);
+  if (!spot) return std::nullopt;
+  phy::ControllerFrame cf;
+  for (std::size_t tx : spot->txs) {
+    if (tx < 64) cf.tx_mask |= (std::uint64_t{1} << tx);
+  }
+  cf.leading_tx = static_cast<std::uint8_t>(spot->leader);
+  cf.frame.dst = static_cast<std::uint16_t>(rx);
+  cf.frame.src = src;
+  cf.frame.protocol = static_cast<std::uint16_t>(phy::Protocol::kData);
+  cf.frame.payload = std::move(payload);
+  return cf;
+}
+
+}  // namespace densevlc::core

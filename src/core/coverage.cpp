@@ -1,0 +1,70 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+
+#include "alloc/assignment.hpp"
+
+namespace densevlc::core {
+
+double CoverageResult::coverage_fraction(double threshold_fraction) const {
+  if (throughput_mbps.values.empty() || max_mbps <= 0.0) return 0.0;
+  const double threshold = threshold_fraction * max_mbps;
+  std::size_t covered = 0;
+  for (double v : throughput_mbps.values) {
+    covered += v >= threshold ? 1 : 0;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(throughput_mbps.values.size());
+}
+
+CoverageResult compute_coverage(const sim::Testbed& testbed,
+                                const CoverageConfig& cfg,
+                                const std::vector<std::size_t>& failed_txs) {
+  CoverageResult out;
+  const std::size_t n = cfg.raster_per_axis;
+  out.throughput_mbps.width = n;
+  out.throughput_mbps.height = n;
+  out.throughput_mbps.values.assign(n * n, 0.0);
+  if (n == 0) return out;
+
+  alloc::AssignmentOptions opts;
+  opts.max_swing_a = cfg.max_swing_a;
+  opts.allow_partial_tail = true;
+
+  const double dx =
+      n > 1 ? testbed.room.width / static_cast<double>(n - 1) : 0.0;
+  const double dy =
+      n > 1 ? testbed.room.depth / static_cast<double>(n - 1) : 0.0;
+
+  double sum = 0.0;
+  bool first = true;
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double x = static_cast<double>(ix) * dx;
+      const double y = static_cast<double>(iy) * dy;
+      auto h = testbed.channel_for({{x, y, 0.0}});
+      for (std::size_t dead : failed_txs) {
+        if (dead < h.num_tx()) h.set_gain(dead, 0, 0.0);
+      }
+      const auto res = alloc::heuristic_allocate(
+          h, cfg.kappa, cfg.power_budget_w, testbed.budget, opts);
+      const double mbps =
+          channel::throughput_bps(h, res.allocation, testbed.budget)[0] /
+          1e6;
+      // Image row 0 is the top: y = max renders first.
+      out.throughput_mbps.values[(n - 1 - iy) * n + ix] = mbps;
+      sum += mbps;
+      if (first) {
+        out.min_mbps = out.max_mbps = mbps;
+        first = false;
+      } else {
+        out.min_mbps = std::min(out.min_mbps, mbps);
+        out.max_mbps = std::max(out.max_mbps, mbps);
+      }
+    }
+  }
+  out.mean_mbps = sum / static_cast<double>(n * n);
+  return out;
+}
+
+}  // namespace densevlc::core

@@ -1,0 +1,47 @@
+// Spatial communication coverage analysis.
+//
+// Where can a user actually receive data, and how fast? CoverageMap
+// rasterizes the room and evaluates, at every point, the throughput a
+// single roaming receiver would get if the controller formed a beamspot
+// for it there under a given power budget — the communication analogue
+// of the illuminance map, and the planner's main tool for spotting dead
+// zones (e.g. under a failed luminaire or outside the grid footprint).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/pgm.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc::core {
+
+/// Parameters of a coverage computation.
+struct CoverageConfig {
+  double power_budget_w = 0.3;  ///< budget granted to the roaming user
+  double kappa = 1.3;
+  double max_swing_a = 0.9;
+  std::size_t raster_per_axis = 31;
+};
+
+/// Result raster plus summary statistics.
+struct CoverageResult {
+  ScalarField throughput_mbps;  ///< row-major, row 0 at y = max (image top)
+  double min_mbps = 0.0;
+  double max_mbps = 0.0;
+  double mean_mbps = 0.0;
+
+  /// Fraction of points reaching at least `threshold_fraction` of the
+  /// map maximum.
+  double coverage_fraction(double threshold_fraction) const;
+};
+
+/// Computes the map for a testbed: a single roaming RX per raster point,
+/// served by the SJR heuristic under the config's budget. `failed_txs`
+/// marks dead luminaires (their links contribute nothing) — the failure-
+/// injection case coverage analysis exists for.
+CoverageResult compute_coverage(const sim::Testbed& testbed,
+                                const CoverageConfig& cfg,
+                                const std::vector<std::size_t>& failed_txs = {});
+
+}  // namespace densevlc::core

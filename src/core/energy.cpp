@@ -1,0 +1,17 @@
+#include "core/energy.hpp"
+
+namespace densevlc::core {
+
+void EnergyMeter::accumulate(const channel::Allocation& alloc, double dt_s,
+                             const channel::LinkBudget& budget) {
+  if (dt_s <= 0.0) return;
+  illumination_j_ +=
+      led_.illumination_power() * static_cast<double>(num_tx_) * dt_s;
+  double comm_w = 0.0;
+  for (std::size_t j = 0; j < alloc.num_tx(); ++j) {
+    comm_w += channel::tx_comm_power(alloc.tx_total_swing(j), budget);
+  }
+  communication_j_ += comm_w * dt_s;
+}
+
+}  // namespace densevlc::core

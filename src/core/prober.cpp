@@ -1,0 +1,146 @@
+#include "core/prober.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "dsp/correlate.hpp"
+
+namespace densevlc::core {
+namespace {
+
+constexpr std::size_t kProbeChips = 64;
+
+/// Deterministic, DC-balanced probe pattern (maximal-length LFSR bits,
+/// then forced balance by pairing).
+const std::vector<phy::Chip>& probe_pattern() {
+  static const std::vector<phy::Chip> pattern = [] {
+    std::vector<phy::Chip> chips;
+    chips.reserve(kProbeChips);
+    unsigned lfsr = 0xACE1u;
+    for (std::size_t i = 0; i < kProbeChips / 2; ++i) {
+      const unsigned bit =
+          ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+      lfsr = (lfsr >> 1) | (bit << 15);
+      // Emit the bit and its complement: guaranteed DC-free.
+      chips.push_back(bit ? phy::Chip::kHigh : phy::Chip::kLow);
+      chips.push_back(bit ? phy::Chip::kLow : phy::Chip::kHigh);
+    }
+    return chips;
+  }();
+  return pattern;
+}
+
+}  // namespace
+
+ChannelProber::ChannelProber(const optics::LedModel& led,
+                             const phy::OokParams& ook,
+                             const phy::FrontEndConfig& frontend,
+                             double max_swing_a)
+    : led_{led}, ook_{ook}, frontend_{frontend}, swing_a_{max_swing_a} {
+  // Calibration: optical swing amplitude at full probe swing, times the
+  // receive chain's small-signal gain, gives volts of slicer amplitude
+  // per unit channel gain.
+  const double ib = led_.operating_point().bias_current_a;
+  const double optical_amplitude =
+      led_.electrical().wall_plug_efficiency *
+      (led_.power_at_current(ib + swing_a_ / 2.0) -
+       led_.power_at_current(ib - swing_a_ / 2.0)) /
+      2.0;
+  volts_per_gain_ = frontend_.responsivity_a_per_w * frontend_.tia_gain_ohm *
+                    frontend_.ac_gain * optical_amplitude;
+}
+
+ProbeResult ChannelProber::probe_link(double h, Rng& rng) const {
+  ProbeResult out;
+  if (h <= 0.0) return out;
+
+  // Build the TX current waveform: bias lead-in, probe at full swing,
+  // bias tail for filter settling.
+  phy::OokParams params = ook_;
+  params.swing_current_a = swing_a_;
+  const phy::OokModulator mod{params};
+  const auto& pattern = probe_pattern();
+
+  dsp::Waveform current = mod.idle(8);
+  {
+    const dsp::Waveform body = mod.modulate(pattern);
+    current.samples.insert(current.samples.end(), body.samples.begin(),
+                           body.samples.end());
+    const dsp::Waveform tail = mod.idle(8);
+    current.samples.insert(current.samples.end(), tail.samples.begin(),
+                           tail.samples.end());
+  }
+
+  // Electro-optics and the channel.
+  dsp::Waveform optical = current;
+  const double eta = led_.electrical().wall_plug_efficiency;
+  for (double& s : optical.samples) {
+    s = h * eta * led_.power_at_current(s);
+  }
+
+  phy::ReceiverFrontEnd fe{frontend_, rng.fork()};
+  const dsp::Waveform rx = fe.process(optical);
+
+  // Locate the probe.
+  const double spc = frontend_.adc.sample_rate_hz / params.chip_rate_hz;
+  std::vector<double> tpl;
+  tpl.reserve(static_cast<std::size_t>(
+      std::ceil(static_cast<double>(pattern.size()) * spc)));
+  for (std::size_t s = 0;
+       s < static_cast<std::size_t>(
+               std::ceil(static_cast<double>(pattern.size()) * spc));
+       ++s) {
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(s) / spc),
+        pattern.size() - 1);
+    tpl.push_back(pattern[idx] == phy::Chip::kHigh ? 1.0 : -1.0);
+  }
+  const auto peak = dsp::detect_pattern(rx.samples, tpl, 0.5);
+  if (!peak) return out;
+  out.detected = true;
+
+  // Slice with the known pattern and average sign-corrected amplitudes.
+  phy::OokDemodulator demod{params.chip_rate_hz,
+                            frontend_.adc.sample_rate_hz};
+  std::vector<double> chip_values;
+  chip_values.reserve(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const double start =
+        static_cast<double>(peak->index) + static_cast<double>(i) * spc;
+    const auto lo = static_cast<std::size_t>(start + 0.25 * spc);
+    const auto hi = static_cast<std::size_t>(start + 0.75 * spc);
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t s = lo; s <= hi && s < rx.samples.size(); ++s) {
+      acc += rx.samples[s];
+      ++n;
+    }
+    if (n > 0) chip_values.push_back(acc / static_cast<double>(n));
+  }
+  double amplitude = 0.0;
+  for (std::size_t i = 0; i < chip_values.size(); ++i) {
+    const double sign = pattern[i] == phy::Chip::kHigh ? 1.0 : -1.0;
+    amplitude += sign * chip_values[i];
+  }
+  amplitude /= static_cast<double>(chip_values.size());
+  out.gain_estimate = std::max(0.0, amplitude) / volts_per_gain_;
+
+  if (const auto snr = dsp::m2m4_snr(chip_values)) {
+    out.snr_db = snr->snr_db;
+  }
+  return out;
+}
+
+channel::ChannelMatrix ChannelProber::probe_matrix(
+    const channel::ChannelMatrix& truth, Rng& rng) const {
+  channel::ChannelMatrix measured = truth;
+  for (std::size_t j = 0; j < truth.num_tx(); ++j) {
+    for (std::size_t k = 0; k < truth.num_rx(); ++k) {
+      measured.set_gain(j, k,
+                        probe_link(truth.gain(j, k), rng).gain_estimate);
+    }
+  }
+  return measured;
+}
+
+}  // namespace densevlc::core

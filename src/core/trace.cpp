@@ -1,0 +1,76 @@
+#include "core/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace densevlc::core {
+
+void TraceRecorder::record_epoch(double time_s,
+                                 const std::vector<double>& throughput_bps,
+                                 const std::vector<Beamspot>& beamspots,
+                                 double power_used_w) {
+  for (std::size_t rx = 0; rx < throughput_bps.size(); ++rx) {
+    TraceRow row;
+    row.time_s = time_s;
+    row.rx = rx;
+    row.throughput_bps = throughput_bps[rx];
+    row.power_used_w = power_used_w;
+    for (const auto& spot : beamspots) {
+      if (spot.rx == rx) {
+        row.served = true;
+        row.serving_txs = spot.txs.size();
+        row.leader = spot.leader;
+      }
+    }
+    rows_.push_back(row);
+  }
+  ++epochs_;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time_s,rx,throughput_bps,served,serving_txs,leader,power_w\n";
+  for (const auto& r : rows_) {
+    os << r.time_s << ',' << r.rx << ',' << r.throughput_bps << ','
+       << (r.served ? 1 : 0) << ',' << r.serving_txs << ','
+       << (r.served ? static_cast<long>(r.leader) : -1) << ','
+       << r.power_used_w << '\n';
+  }
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+double TraceRecorder::mean_throughput(std::size_t rx) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& r : rows_) {
+    if (r.rx == rx) {
+      sum += r.throughput_bps;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::size_t TraceRecorder::leader_changes(std::size_t rx) const {
+  std::size_t changes = 0;
+  bool have_prev = false;
+  std::size_t prev = 0;
+  bool prev_served = false;
+  for (const auto& r : rows_) {
+    if (r.rx != rx) continue;
+    if (have_prev && r.served && prev_served && r.leader != prev) {
+      ++changes;
+    }
+    prev = r.leader;
+    prev_served = r.served;
+    have_prev = true;
+  }
+  return changes;
+}
+
+}  // namespace densevlc::core

@@ -1,0 +1,62 @@
+// Run tracing: structured CSV timelines of what the controller decided.
+//
+// Long-running experiments need post-hoc inspection — which beamspots
+// formed when, how throughput moved, what the power budget did. The
+// TraceRecorder accumulates one row per (epoch, RX) and renders CSV that
+// spreadsheet tools and plotting scripts ingest directly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace densevlc::core {
+
+/// One per-RX snapshot of an epoch.
+struct TraceRow {
+  double time_s = 0.0;
+  std::size_t rx = 0;
+  double throughput_bps = 0.0;
+  std::size_t serving_txs = 0;
+  std::size_t leader = 0;       ///< 0-based TX id; only valid if served
+  bool served = false;
+  double power_used_w = 0.0;    ///< whole-system figure, repeated per RX
+};
+
+/// Collects epoch snapshots and renders them.
+class TraceRecorder {
+ public:
+  /// Records one epoch: per-RX throughputs plus the beamspot layout.
+  void record_epoch(double time_s,
+                    const std::vector<double>& throughput_bps,
+                    const std::vector<Beamspot>& beamspots,
+                    double power_used_w);
+
+  /// All rows so far, epoch-major then RX-major.
+  const std::vector<TraceRow>& rows() const { return rows_; }
+
+  /// Number of epochs recorded.
+  std::size_t epochs() const { return epochs_; }
+
+  /// Renders CSV with a header line.
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes to a file; false on I/O error.
+  bool save(const std::string& path) const;
+
+  /// Per-RX mean throughput across all recorded epochs [bit/s].
+  double mean_throughput(std::size_t rx) const;
+
+  /// Number of epochs in which the RX's leader changed from the
+  /// previous epoch (a beamspot handover).
+  std::size_t leader_changes(std::size_t rx) const;
+
+ private:
+  std::vector<TraceRow> rows_;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace densevlc::core

@@ -1,0 +1,52 @@
+// Analog-to-digital converter model (paper: ADS7883, 1 Msps, SPI to PRU).
+//
+// The ADC samples the filtered front-end voltage at a fixed rate and
+// quantizes into an unsigned code of `bits` resolution across
+// [min_volts, max_volts]. Out-of-range inputs clip, as the real part does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/waveform.hpp"
+
+namespace densevlc::dsp {
+
+/// Converter configuration.
+struct AdcConfig {
+  double sample_rate_hz = 1e6;  ///< 1 Msps per the paper
+  unsigned bits = 12;           ///< ADS7883 is a 12-bit converter
+  double min_volts = 0.0;       ///< bottom of input range
+  double max_volts = 3.3;       ///< top of input range
+};
+
+/// Samples and quantizes analog waveforms.
+class Adc {
+ public:
+  Adc() = default;
+  explicit Adc(const AdcConfig& cfg) : cfg_{cfg} {}
+
+  const AdcConfig& config() const { return cfg_; }
+
+  /// Quantizes one instantaneous voltage to its output code.
+  std::uint32_t quantize(double volts) const;
+
+  /// Converts a code back to the center voltage of its quantization bin.
+  double code_to_volts(std::uint32_t code) const;
+
+  /// Resamples `analog` (at its own rate) to the ADC rate by zero-order
+  /// hold (sample-and-hold behaviour) and quantizes each sample.
+  std::vector<std::uint32_t> digitize(const Waveform& analog) const;
+
+  /// Like digitize() but returns the reconstructed voltages — convenient
+  /// for downstream floating-point DSP while still modeling quantization.
+  Waveform digitize_to_voltage(const Waveform& analog) const;
+
+  /// Quantization step size [V].
+  double lsb() const;
+
+ private:
+  AdcConfig cfg_{};
+};
+
+}  // namespace densevlc::dsp

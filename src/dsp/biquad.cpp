@@ -1,0 +1,48 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/units.hpp"
+
+namespace densevlc::dsp {
+
+BiquadCascade::BiquadCascade(const std::vector<BiquadCoeffs>& sections) {
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+double BiquadCascade::step(double x) {
+  for (auto& s : sections_) x = s.step(x);
+  return x;
+}
+
+Waveform BiquadCascade::process(const Waveform& in) {
+  Waveform out;
+  out.sample_rate_hz = in.sample_rate_hz;
+  out.samples.reserve(in.samples.size());
+  for (double x : in.samples) out.samples.push_back(step(x));
+  return out;
+}
+
+void BiquadCascade::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+double BiquadCascade::magnitude_at(double freq_hz,
+                                   double sample_rate_hz) const {
+  const double omega = 2.0 * kPi * freq_hz / sample_rate_hz;
+  const std::complex<double> z_inv = std::polar(1.0, -omega);
+  std::complex<double> h{1.0, 0.0};
+  for (const auto& s : sections_) {
+    const auto& c = s.coeffs();
+    const std::complex<double> num =
+        c.b0 + c.b1 * z_inv + c.b2 * z_inv * z_inv;
+    const std::complex<double> den =
+        1.0 + c.a1 * z_inv + c.a2 * z_inv * z_inv;
+    h *= num / den;
+  }
+  return std::abs(h);
+}
+
+}  // namespace densevlc::dsp

@@ -1,0 +1,69 @@
+// Direct-form-II-transposed biquad sections and cascades.
+//
+// All IIR filtering in the receiver front-end model (AC coupling,
+// anti-aliasing Butterworth) runs through these sections. DF2T is the
+// numerically preferred direct form for double-precision audio-rate work.
+#pragma once
+
+#include <vector>
+
+#include "dsp/waveform.hpp"
+
+namespace densevlc::dsp {
+
+/// Normalized biquad coefficients (a0 == 1 implied):
+///   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+struct BiquadCoeffs {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+/// One stateful biquad section.
+class Biquad {
+ public:
+  Biquad() = default;
+  explicit Biquad(const BiquadCoeffs& c) : c_{c} {}
+
+  /// Processes one sample.
+  double step(double x) {
+    const double y = c_.b0 * x + s1_;
+    s1_ = c_.b1 * x - c_.a1 * y + s2_;
+    s2_ = c_.b2 * x - c_.a2 * y;
+    return y;
+  }
+
+  /// Clears the delay line.
+  void reset() { s1_ = s2_ = 0.0; }
+
+  const BiquadCoeffs& coeffs() const { return c_; }
+
+ private:
+  BiquadCoeffs c_{};
+  double s1_ = 0.0, s2_ = 0.0;
+};
+
+/// A cascade of biquad sections applied in series.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(const std::vector<BiquadCoeffs>& sections);
+
+  /// Processes one sample through every section.
+  double step(double x);
+
+  /// Filters a whole waveform (stateful: continues from previous state).
+  Waveform process(const Waveform& in);
+
+  /// Clears all delay lines.
+  void reset();
+
+  /// Magnitude response |H(e^{j 2 pi f / fs})| of the cascade.
+  double magnitude_at(double freq_hz, double sample_rate_hz) const;
+
+  std::size_t section_count() const { return sections_.size(); }
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+}  // namespace densevlc::dsp

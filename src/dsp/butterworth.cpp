@@ -1,0 +1,76 @@
+#include "dsp/butterworth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace densevlc::dsp {
+
+std::vector<BiquadCoeffs> design_butterworth_lowpass(std::size_t order,
+                                                     double cutoff_hz,
+                                                     double sample_rate_hz) {
+  if (order == 0) throw std::invalid_argument{"butterworth: order must be >= 1"};
+  if (!(cutoff_hz > 0.0) || !(cutoff_hz < sample_rate_hz / 2.0)) {
+    throw std::invalid_argument{
+        "butterworth: cutoff must lie in (0, fs/2)"};
+  }
+  // Prewarped analog corner (bilinear transform with T = 2 absorbed).
+  const double warped = std::tan(kPi * cutoff_hz / sample_rate_hz);
+
+  std::vector<BiquadCoeffs> sections;
+  sections.reserve((order + 1) / 2);
+
+  // Conjugate pole pairs: analog prototype poles at angle
+  // phi_k = (2k - 1) * pi / (2 * order) from the negative real axis give
+  // normalized sections s^2 + 2 sin(phi_k) s + 1.
+  const std::size_t pairs = order / 2;
+  for (std::size_t k = 1; k <= pairs; ++k) {
+    const double phi =
+        (2.0 * static_cast<double>(k) - 1.0) * kPi /
+        (2.0 * static_cast<double>(order));
+    const double q = 2.0 * std::sin(phi);  // section damping coefficient
+    const double w = warped;
+    const double a0 = 1.0 + q * w + w * w;
+    BiquadCoeffs c;
+    c.b0 = w * w / a0;
+    c.b1 = 2.0 * w * w / a0;
+    c.b2 = w * w / a0;
+    c.a1 = (2.0 * w * w - 2.0) / a0;
+    c.a2 = (1.0 - q * w + w * w) / a0;
+    sections.push_back(c);
+  }
+
+  // Odd order: one real pole at s = -warped, as a degenerate biquad.
+  if (order % 2 == 1) {
+    const double w = warped;
+    const double a0 = 1.0 + w;
+    BiquadCoeffs c;
+    c.b0 = w / a0;
+    c.b1 = w / a0;
+    c.b2 = 0.0;
+    c.a1 = (w - 1.0) / a0;
+    c.a2 = 0.0;
+    sections.push_back(c);
+  }
+  return sections;
+}
+
+BiquadCoeffs design_ac_coupling_highpass(double cutoff_hz,
+                                         double sample_rate_hz) {
+  if (!(cutoff_hz > 0.0) || !(cutoff_hz < sample_rate_hz / 2.0)) {
+    throw std::invalid_argument{
+        "ac coupling: cutoff must lie in (0, fs/2)"};
+  }
+  const double w = std::tan(kPi * cutoff_hz / sample_rate_hz);
+  const double a0 = 1.0 + w;
+  BiquadCoeffs c;
+  c.b0 = 1.0 / a0;
+  c.b1 = -1.0 / a0;
+  c.b2 = 0.0;
+  c.a1 = (w - 1.0) / a0;
+  c.a2 = 0.0;
+  return c;
+}
+
+}  // namespace densevlc::dsp

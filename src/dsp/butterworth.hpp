@@ -1,0 +1,38 @@
+// Butterworth low-pass design and first-order AC-coupling high-pass.
+//
+// The paper's RX front-end (Sec. 7.1, Fig. 16) uses a 7th-order passive
+// Butterworth low-pass as anti-aliasing filter before the 1 Msps ADC, and
+// an AC-coupled amplifier stage that removes low-frequency ambient light.
+// We synthesize digital equivalents via the bilinear transform with
+// frequency prewarping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+
+namespace densevlc::dsp {
+
+/// Designs an order-`order` Butterworth low-pass with -3 dB corner at
+/// `cutoff_hz` for signals sampled at `sample_rate_hz`.
+///
+/// The design places the analog prototype poles on the unit circle, pairs
+/// conjugates into second-order sections (odd orders get one first-order
+/// section expressed as a degenerate biquad), denormalizes to the
+/// prewarped corner and maps through the bilinear transform.
+///
+/// Preconditions: order >= 1 and 0 < cutoff_hz < sample_rate_hz / 2.
+std::vector<BiquadCoeffs> design_butterworth_lowpass(std::size_t order,
+                                                     double cutoff_hz,
+                                                     double sample_rate_hz);
+
+/// Designs the first-order high-pass that models an AC-coupling capacitor
+/// with corner `cutoff_hz` (removes DC ambient light and the illumination
+/// bias from the photodiode signal).
+///
+/// Preconditions: 0 < cutoff_hz < sample_rate_hz / 2.
+BiquadCoeffs design_ac_coupling_highpass(double cutoff_hz,
+                                         double sample_rate_hz);
+
+}  // namespace densevlc::dsp

@@ -1,0 +1,87 @@
+#include "dsp/correlate.hpp"
+
+#include <cmath>
+
+namespace densevlc::dsp {
+
+std::vector<double> correlate(std::span<const double> signal,
+                              std::span<const double> pattern) {
+  std::vector<double> out;
+  if (pattern.empty() || signal.size() < pattern.size()) return out;
+  const std::size_t n = signal.size() - pattern.size() + 1;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < pattern.size(); ++j) {
+      acc += signal[i + j] * pattern[j];
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> normalized_correlate(std::span<const double> signal,
+                                         std::span<const double> pattern) {
+  std::vector<double> out;
+  if (pattern.empty() || signal.size() < pattern.size()) return out;
+  const std::size_t m = pattern.size();
+
+  // Mean-removed pattern and its energy, computed once.
+  double pat_mean = 0.0;
+  for (double p : pattern) pat_mean += p;
+  pat_mean /= static_cast<double>(m);
+  std::vector<double> pat(m);
+  double pat_energy = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    pat[j] = pattern[j] - pat_mean;
+    pat_energy += pat[j] * pat[j];
+  }
+  if (pat_energy <= 0.0) {
+    out.assign(signal.size() - m + 1, 0.0);
+    return out;
+  }
+
+  // Rolling window sums let each position cost O(m) for the dot product
+  // but O(1) for mean/energy bookkeeping.
+  const std::size_t n = signal.size() - m + 1;
+  out.reserve(n);
+  double win_sum = 0.0;
+  double win_sq = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    win_sum += signal[j];
+    win_sq += signal[j] * signal[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean = win_sum / static_cast<double>(m);
+    const double var = win_sq - win_sum * mean;  // sum of squared deviations
+    double score = 0.0;
+    if (var > 1e-30) {
+      double dot = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        dot += (signal[i + j] - mean) * pat[j];
+      }
+      score = dot / std::sqrt(var * pat_energy);
+    }
+    out.push_back(score);
+    if (i + m < signal.size()) {
+      win_sum += signal[i + m] - signal[i];
+      win_sq += signal[i + m] * signal[i + m] - signal[i] * signal[i];
+    }
+  }
+  return out;
+}
+
+std::optional<PeakDetection> detect_pattern(std::span<const double> signal,
+                                            std::span<const double> pattern,
+                                            double threshold) {
+  const auto scores = normalized_correlate(signal, pattern);
+  std::optional<PeakDetection> best;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold && (!best || scores[i] > best->score)) {
+      best = PeakDetection{i, scores[i]};
+    }
+  }
+  return best;
+}
+
+}  // namespace densevlc::dsp

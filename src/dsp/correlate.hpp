@@ -1,0 +1,40 @@
+// Cross-correlation utilities for preamble and pilot detection.
+//
+// Both the data receiver (frame preamble search) and the synchronization
+// listener (NLOS pilot search at frx oversampling) locate a known pattern
+// inside a noisy sample stream via normalized cross-correlation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace densevlc::dsp {
+
+/// Raw sliding-dot-product correlation of `pattern` against `signal`.
+/// Output length is signal.size() - pattern.size() + 1; empty if the
+/// pattern is longer than the signal.
+std::vector<double> correlate(std::span<const double> signal,
+                              std::span<const double> pattern);
+
+/// Normalized cross-correlation in [-1, 1]: each window of the signal is
+/// mean-removed and scaled by its energy, as is the pattern. Windows with
+/// no variance correlate as 0.
+std::vector<double> normalized_correlate(std::span<const double> signal,
+                                         std::span<const double> pattern);
+
+/// Result of a pattern search.
+struct PeakDetection {
+  std::size_t index = 0;   ///< sample offset of the best alignment
+  double score = 0.0;      ///< normalized correlation at the peak
+};
+
+/// Finds the best normalized-correlation alignment of `pattern` within
+/// `signal`, requiring the peak to reach `threshold`. Returns nullopt when
+/// nothing crosses the threshold (e.g. pilot absent / blocked).
+std::optional<PeakDetection> detect_pattern(std::span<const double> signal,
+                                            std::span<const double> pattern,
+                                            double threshold);
+
+}  // namespace densevlc::dsp

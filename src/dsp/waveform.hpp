@@ -1,0 +1,29 @@
+// Sampled-signal container used across the PHY and front-end models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace densevlc::dsp {
+
+/// A uniformly sampled real-valued signal.
+///
+/// Plain data: samples plus the rate they were taken at. All front-end
+/// stages consume and produce Waveforms at explicit rates, which keeps
+/// resampling sites visible in the code.
+struct Waveform {
+  std::vector<double> samples;
+  double sample_rate_hz = 0.0;
+
+  /// Duration covered by the samples [s].
+  double duration() const {
+    return sample_rate_hz > 0.0
+               ? static_cast<double>(samples.size()) / sample_rate_hz
+               : 0.0;
+  }
+
+  /// Number of samples.
+  std::size_t size() const { return samples.size(); }
+};
+
+}  // namespace densevlc::dsp

@@ -1,0 +1,41 @@
+#include "geom/grid.hpp"
+
+namespace densevlc::geom {
+
+std::vector<Pose> make_ceiling_grid(const Room& room, const GridSpec& spec) {
+  std::vector<Pose> poses;
+  poses.reserve(spec.count());
+  // Center the grid footprint in the room.
+  const double span_x = static_cast<double>(spec.cols - 1) * spec.pitch;
+  const double span_y = static_cast<double>(spec.rows - 1) * spec.pitch;
+  const double x0 = (room.width - span_x) / 2.0;
+  const double y0 = (room.depth - span_y) / 2.0;
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      poses.push_back(ceiling_pose(x0 + static_cast<double>(c) * spec.pitch,
+                                   y0 + static_cast<double>(r) * spec.pitch,
+                                   spec.mount_height));
+    }
+  }
+  return poses;
+}
+
+std::vector<Vec3> make_raster(double x0, double x1, double y0, double y1,
+                              double z, std::size_t per_axis) {
+  std::vector<Vec3> pts;
+  if (per_axis == 0) return pts;
+  pts.reserve(per_axis * per_axis);
+  const double dx =
+      per_axis > 1 ? (x1 - x0) / static_cast<double>(per_axis - 1) : 0.0;
+  const double dy =
+      per_axis > 1 ? (y1 - y0) / static_cast<double>(per_axis - 1) : 0.0;
+  for (std::size_t iy = 0; iy < per_axis; ++iy) {
+    for (std::size_t ix = 0; ix < per_axis; ++ix) {
+      pts.push_back({x0 + static_cast<double>(ix) * dx,
+                     y0 + static_cast<double>(iy) * dy, z});
+    }
+  }
+  return pts;
+}
+
+}  // namespace densevlc::geom

@@ -1,0 +1,47 @@
+#include "illum/dimming.hpp"
+
+#include <algorithm>
+
+#include "illum/illuminance_map.hpp"
+
+namespace densevlc::illum {
+
+LuminairePlan plan_luminaires(const geom::Room& room,
+                              const std::vector<geom::Pose>& luminaires,
+                              const optics::LambertianEmitter& emitter,
+                              const optics::LedElectrical& elec,
+                              const LuminaireDesign& design) {
+  LuminairePlan plan;
+  if (design.leds_per_tx == 0) return plan;
+
+  // Each of the M LEDs carries 1/M of the luminous load.
+  const double per_led_target =
+      design.target_lux / static_cast<double>(design.leds_per_tx);
+  const double i_max = 1.5;  // beyond the CREE XT-E absolute maximum
+  plan.bias_a = size_bias_for_average_lux(
+      room, luminaires, emitter, elec, design.plane_height_m,
+      design.aoi_side_m, per_led_target, design.efficacy_lm_per_w, i_max);
+  plan.max_swing_a = std::min(design.hw_max_swing_a, 2.0 * plan.bias_a);
+
+  const optics::LedModel led{elec,
+                             {plan.bias_a, design.hw_max_swing_a}};
+  plan.illumination_power_w =
+      led.illumination_power() * static_cast<double>(design.leds_per_tx);
+
+  // Verify on a fresh map (one LED's field scaled by M via the target
+  // split: total lux = M * per-LED lux).
+  const IlluminanceMap map{room,
+                           luminaires,
+                           emitter,
+                           led,
+                           design.plane_height_m,
+                           31,
+                           design.efficacy_lm_per_w};
+  plan.achieved_lux =
+      map.area_of_interest_stats(design.aoi_side_m).average_lux *
+      static_cast<double>(design.leds_per_tx);
+  plan.target_met = plan.achieved_lux >= design.target_lux * 0.98;
+  return plan;
+}
+
+}  // namespace densevlc::illum

@@ -1,0 +1,50 @@
+// Luminaire planning: dimming and multi-LED transmitters.
+//
+// Paper Sec. 3.3/3.4: the bias current Ib is dictated by the desired
+// illumination level, and the usable modulation range follows from it —
+// the low rail Ib - Isw/2 must stay in the conducting region, so
+// Isw,max <= 2 Ib (with the hardware cap on top). Footnote 1 adds that a
+// TX may carry M LEDs to reach the illumination target, with power
+// scaling linearly in M. This module solves the resulting design
+// problem: given a target illuminance and LED count per luminaire, find
+// the per-LED bias, the implied swing ceiling, and the electrical cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "optics/lambertian.hpp"
+#include "optics/led_model.hpp"
+
+namespace densevlc::illum {
+
+/// Design inputs.
+struct LuminaireDesign {
+  double target_lux = 500.0;       ///< area-of-interest average
+  std::size_t leds_per_tx = 1;     ///< M of paper footnote 1
+  double hw_max_swing_a = 0.9;     ///< driver limit per LED
+  double plane_height_m = 0.8;
+  double aoi_side_m = 2.2;
+  double efficacy_lm_per_w = 300.0;
+};
+
+/// Design outputs.
+struct LuminairePlan {
+  double bias_a = 0.0;             ///< per-LED Ib meeting the target
+  double max_swing_a = 0.0;        ///< min(hw cap, 2 * Ib)
+  double achieved_lux = 0.0;       ///< at the planned bias
+  double illumination_power_w = 0.0;  ///< per TX (all M LEDs)
+  bool target_met = false;         ///< false if even max drive falls short
+};
+
+/// Solves the bias for the target illuminance (splitting the luminous
+/// load across the M LEDs of each luminaire) and derives the modulation
+/// ceiling the communication layer must respect.
+LuminairePlan plan_luminaires(const geom::Room& room,
+                              const std::vector<geom::Pose>& luminaires,
+                              const optics::LambertianEmitter& emitter,
+                              const optics::LedElectrical& elec,
+                              const LuminaireDesign& design);
+
+}  // namespace densevlc::illum

@@ -1,0 +1,123 @@
+#include "illum/illuminance_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densevlc::illum {
+
+IlluminanceMap::IlluminanceMap(const geom::Room& room,
+                               const std::vector<geom::Pose>& luminaires,
+                               const optics::LambertianEmitter& emitter,
+                               const optics::LedModel& led,
+                               double plane_height_m,
+                               std::size_t samples_per_axis,
+                               double efficacy_lm_per_w)
+    : room_{room},
+      luminaires_{luminaires},
+      emitter_{emitter},
+      optical_power_w_{led.optical_power_illumination()},
+      efficacy_{efficacy_lm_per_w},
+      plane_height_{plane_height_m},
+      per_axis_{samples_per_axis} {
+  lux_.resize(per_axis_ * per_axis_, 0.0);
+  if (per_axis_ == 0) return;
+  const double dx =
+      per_axis_ > 1 ? room.width / static_cast<double>(per_axis_ - 1) : 0.0;
+  const double dy =
+      per_axis_ > 1 ? room.depth / static_cast<double>(per_axis_ - 1) : 0.0;
+  for (std::size_t iy = 0; iy < per_axis_; ++iy) {
+    for (std::size_t ix = 0; ix < per_axis_; ++ix) {
+      lux_[iy * per_axis_ + ix] = evaluate(static_cast<double>(ix) * dx,
+                                           static_cast<double>(iy) * dy);
+    }
+  }
+}
+
+double IlluminanceMap::at(std::size_t ix, std::size_t iy) const {
+  return lux_[iy * per_axis_ + ix];
+}
+
+double IlluminanceMap::evaluate(double x, double y) const {
+  const geom::Pose point = geom::floor_pose(x, y, plane_height_);
+  double total = 0.0;
+  for (const auto& lum : luminaires_) {
+    total += optics::illuminance_lux(emitter_, lum, point, optical_power_w_,
+                                     efficacy_);
+  }
+  return total;
+}
+
+IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
+    double side_m) const {
+  AreaStats s;
+  if (per_axis_ == 0) return s;
+  const double cx = room_.width / 2.0;
+  const double cy = room_.depth / 2.0;
+  const double half = side_m / 2.0;
+  const double dx =
+      per_axis_ > 1 ? room_.width / static_cast<double>(per_axis_ - 1) : 0.0;
+  const double dy =
+      per_axis_ > 1 ? room_.depth / static_cast<double>(per_axis_ - 1) : 0.0;
+  double sum = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t iy = 0; iy < per_axis_; ++iy) {
+    const double y = static_cast<double>(iy) * dy;
+    if (y < cy - half || y > cy + half) continue;
+    for (std::size_t ix = 0; ix < per_axis_; ++ix) {
+      const double x = static_cast<double>(ix) * dx;
+      if (x < cx - half || x > cx + half) continue;
+      const double v = at(ix, iy);
+      if (s.samples == 0) {
+        lo = hi = v;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      sum += v;
+      ++s.samples;
+    }
+  }
+  if (s.samples == 0) return s;
+  s.average_lux = sum / static_cast<double>(s.samples);
+  s.min_lux = lo;
+  s.max_lux = hi;
+  s.uniformity = s.average_lux > 0.0 ? s.min_lux / s.average_lux : 0.0;
+  return s;
+}
+
+bool IlluminanceMap::satisfies(const IsoRequirement& req,
+                               double side_m) const {
+  const AreaStats s = area_of_interest_stats(side_m);
+  return s.average_lux >= req.min_average_lux &&
+         s.uniformity >= req.min_uniformity;
+}
+
+double size_bias_for_average_lux(const geom::Room& room,
+                                 const std::vector<geom::Pose>& luminaires,
+                                 const optics::LambertianEmitter& emitter,
+                                 const optics::LedElectrical& elec,
+                                 double plane_height_m, double aoi_side_m,
+                                 double target_lux, double efficacy_lm_per_w,
+                                 double i_max_a) {
+  auto average_at = [&](double bias) {
+    optics::LedModel led{elec, {bias, 2.0 * bias}};
+    const IlluminanceMap map{room,          luminaires, emitter, led,
+                             plane_height_m, 31,         efficacy_lm_per_w};
+    return map.area_of_interest_stats(aoi_side_m).average_lux;
+  };
+  double lo = 1e-4;
+  double hi = i_max_a;
+  if (average_at(hi) < target_lux) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (average_at(mid) < target_lux) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace densevlc::illum

@@ -1,0 +1,91 @@
+// Spatial illuminance analysis (paper Fig. 5 and the ISO 8995-1 checks).
+//
+// The primary function of the LED grid is lighting: ISO 8995-1 requires
+// indoor office premises to reach an average of >= 500 lux with an
+// illuminance uniformity (min / average) of >= 70%. DenseVLC verifies both
+// over a centered 2.2 m x 2.2 m area of interest. Because Manchester
+// coding keeps the mean LED current at the bias Ib in both operating
+// modes, the illuminance map is independent of the communication state —
+// a property the tests assert explicitly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "geom/vec3.hpp"
+#include "optics/lambertian.hpp"
+#include "optics/led_model.hpp"
+
+namespace densevlc::illum {
+
+/// Illumination requirements of ISO 8995-1 for office premises.
+struct IsoRequirement {
+  double min_average_lux = 500.0;
+  double min_uniformity = 0.70;  ///< min illuminance / average illuminance
+};
+
+/// A rasterized illuminance field over a horizontal work plane.
+class IlluminanceMap {
+ public:
+  /// Computes the map produced by `luminaires` (all driven at the bias of
+  /// `led`, i.e. optical power = led.optical_power_illumination()), sampled
+  /// on a `samples_per_axis`^2 raster covering the room's floor rectangle
+  /// at height `plane_height_m`, with `efficacy_lm_per_w` converting
+  /// optical watts to lumens.
+  IlluminanceMap(const geom::Room& room,
+                 const std::vector<geom::Pose>& luminaires,
+                 const optics::LambertianEmitter& emitter,
+                 const optics::LedModel& led, double plane_height_m,
+                 std::size_t samples_per_axis, double efficacy_lm_per_w);
+
+  /// Illuminance at raster point (ix, iy) [lux].
+  double at(std::size_t ix, std::size_t iy) const;
+
+  /// Raster resolution per axis.
+  std::size_t samples_per_axis() const { return per_axis_; }
+
+  /// Work-plane height the map was computed at [m].
+  double plane_height() const { return plane_height_; }
+
+  /// Point-wise illuminance at an arbitrary (x, y) on the plane (direct
+  /// evaluation, not interpolation).
+  double evaluate(double x, double y) const;
+
+  /// Statistics over a centered square area of interest of the given side
+  /// length (the paper uses 2.2 m to exclude the boundary).
+  struct AreaStats {
+    double average_lux = 0.0;
+    double min_lux = 0.0;
+    double max_lux = 0.0;
+    double uniformity = 0.0;  ///< min / average
+    std::size_t samples = 0;
+  };
+  AreaStats area_of_interest_stats(double side_m) const;
+
+  /// True if the area-of-interest statistics satisfy `req`.
+  bool satisfies(const IsoRequirement& req, double side_m) const;
+
+ private:
+  geom::Room room_;
+  std::vector<geom::Pose> luminaires_;
+  optics::LambertianEmitter emitter_;
+  double optical_power_w_ = 0.0;
+  double efficacy_ = 0.0;
+  double plane_height_ = 0.0;
+  std::size_t per_axis_ = 0;
+  std::vector<double> lux_;  // row-major [iy * per_axis + ix]
+};
+
+/// Finds the bias current that makes the map's area-of-interest average
+/// reach `target_lux`, by bisection on Ib in (0, i_max]. Returns the bias
+/// in amperes (clamped to i_max when even the maximum falls short).
+double size_bias_for_average_lux(const geom::Room& room,
+                                 const std::vector<geom::Pose>& luminaires,
+                                 const optics::LambertianEmitter& emitter,
+                                 const optics::LedElectrical& elec,
+                                 double plane_height_m, double aoi_side_m,
+                                 double target_lux, double efficacy_lm_per_w,
+                                 double i_max_a = 1.5);
+
+}  // namespace densevlc::illum

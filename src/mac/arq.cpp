@@ -1,0 +1,71 @@
+#include "mac/arq.hpp"
+
+#include <span>
+
+namespace densevlc::mac {
+
+std::vector<std::uint8_t> encode_segment(const Segment& segment) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + segment.data.size());
+  out.push_back(segment.seq);
+  out.insert(out.end(), segment.data.begin(), segment.data.end());
+  return out;
+}
+
+std::optional<Segment> decode_segment(
+    std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return std::nullopt;
+  Segment segment;
+  segment.seq = payload[0];
+  segment.data.assign(payload.begin() + 1, payload.end());
+  return segment;
+}
+
+void ArqTransmitter::enqueue(std::vector<std::uint8_t> data) {
+  queue_.push_back(std::move(data));
+}
+
+std::optional<Segment> ArqTransmitter::next_segment() {
+  if (!outstanding_) {
+    if (queue_.empty()) return std::nullopt;
+    outstanding_ = Segment{next_seq_, std::move(queue_.front())};
+    queue_.pop_front();
+    next_seq_ = static_cast<std::uint8_t>(next_seq_ + 1);
+    attempts_ = 0;
+  }
+  ++attempts_;
+  ++transmissions_;
+  return outstanding_;
+}
+
+void ArqTransmitter::on_timeout() {
+  if (!outstanding_) return;
+  if (attempts_ >= max_attempts_) {
+    outstanding_.reset();
+    ++dropped_;
+  }
+  // Otherwise keep the segment outstanding; next_segment() resends it.
+}
+
+bool ArqTransmitter::on_ack(std::uint8_t seq) {
+  if (!outstanding_ || outstanding_->seq != seq) return false;
+  outstanding_.reset();
+  ++delivered_;
+  return true;
+}
+
+ArqReceiver::RxOutcome ArqReceiver::on_segment(const Segment& segment) {
+  RxOutcome out;
+  out.ack_seq = segment.seq;
+  if (last_seq_ && *last_seq_ == segment.seq) {
+    ++duplicates_;
+    out.deliver_to_app = false;
+  } else {
+    last_seq_ = segment.seq;
+    ++accepted_;
+    out.deliver_to_app = true;
+  }
+  return out;
+}
+
+}  // namespace densevlc::mac

@@ -1,0 +1,99 @@
+// Stop-and-wait ARQ over the VLC downlink / WiFi-ACK uplink.
+//
+// The paper's MAC acknowledges decoded frames over WiFi (Sec. 7.2) but
+// leaves recovery unspecified; any deployment needs one, so this module
+// supplies the natural design: per-receiver stop-and-wait with sequence
+// numbers (1 byte prefixed to every data payload), bounded
+// retransmissions, and duplicate suppression at the receiver. One
+// outstanding frame per RX matches the slotted downlink, where each
+// beamspot sends exactly one frame per slot anyway.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace densevlc::mac {
+
+/// A data segment as carried inside a MAC frame payload: one sequence
+/// byte followed by user bytes.
+struct Segment {
+  std::uint8_t seq = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const Segment&) const = default;
+};
+
+/// Prefixes the sequence number.
+std::vector<std::uint8_t> encode_segment(const Segment& segment);
+
+/// Splits a received payload. Returns nullopt on an empty payload.
+std::optional<Segment> decode_segment(
+    std::span<const std::uint8_t> payload);
+
+/// Controller-side ARQ state for one receiver.
+class ArqTransmitter {
+ public:
+  /// `max_attempts` bounds transmissions per segment (1 = no retry).
+  explicit ArqTransmitter(std::size_t max_attempts = 4)
+      : max_attempts_{max_attempts} {}
+
+  /// Queues user data for delivery.
+  void enqueue(std::vector<std::uint8_t> data);
+
+  /// The segment to transmit in the next slot, or nullopt when idle.
+  /// Repeated calls without ack()/expire in between return the same
+  /// segment (it is still outstanding).
+  std::optional<Segment> next_segment();
+
+  /// Call when the slot's transmission completed without an ACK arriving
+  /// in time. After max_attempts the segment is dropped (counted).
+  void on_timeout();
+
+  /// Call when an ACK for sequence `seq` arrives. Out-of-date ACKs are
+  /// ignored. Returns true if it acknowledged the outstanding segment.
+  bool on_ack(std::uint8_t seq);
+
+  /// Counters.
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::size_t backlog() const {
+    return queue_.size() + (outstanding_ ? 1 : 0);
+  }
+
+ private:
+  std::size_t max_attempts_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::optional<Segment> outstanding_;
+  std::size_t attempts_ = 0;
+  std::uint8_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t transmissions_ = 0;
+};
+
+/// Receiver-side ARQ state: deduplicates by sequence number and tells
+/// the caller which ACK to send.
+class ArqReceiver {
+ public:
+  /// Result of processing one decoded downlink segment.
+  struct RxOutcome {
+    bool deliver_to_app = false;  ///< first time this segment was seen
+    std::uint8_t ack_seq = 0;     ///< always ACK what was received
+  };
+
+  RxOutcome on_segment(const Segment& segment);
+
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  std::optional<std::uint8_t> last_seq_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace densevlc::mac

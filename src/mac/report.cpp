@@ -1,0 +1,77 @@
+#include "mac/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace densevlc::mac {
+
+std::uint16_t quantize_gain(double gain) {
+  if (gain <= 0.0) return 0;
+  const double code = std::round(gain / kGainLsb);
+  return static_cast<std::uint16_t>(std::min(code, 65535.0));
+}
+
+double dequantize_gain(std::uint16_t code) {
+  return static_cast<double>(code) * kGainLsb;
+}
+
+std::vector<std::uint8_t> encode_report(const ChannelReport& report) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + report.gains.size() * 2);
+  out.push_back(static_cast<std::uint8_t>(report.rx_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(report.rx_id & 0xFF));
+  out.push_back(report.epoch);
+  out.push_back(static_cast<std::uint8_t>(report.gains.size()));
+  for (double g : report.gains) {
+    const std::uint16_t code = quantize_gain(g);
+    out.push_back(static_cast<std::uint8_t>(code >> 8));
+    out.push_back(static_cast<std::uint8_t>(code & 0xFF));
+  }
+  return out;
+}
+
+std::optional<ChannelReport> decode_report(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  ChannelReport report;
+  report.rx_id = static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+  report.epoch = payload[2];
+  const std::size_t count = payload[3];
+  if (payload.size() < 4 + count * 2) return std::nullopt;
+  report.gains.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto code = static_cast<std::uint16_t>(
+        (payload[4 + 2 * i] << 8) | payload[5 + 2 * i]);
+    report.gains.push_back(dequantize_gain(code));
+  }
+  return report;
+}
+
+phy::MacFrame report_frame(const ChannelReport& report,
+                           std::uint16_t controller_addr) {
+  phy::MacFrame frame;
+  frame.dst = controller_addr;
+  frame.src = report.rx_id;
+  frame.protocol = static_cast<std::uint16_t>(phy::Protocol::kChannelReport);
+  frame.payload = encode_report(report);
+  return frame;
+}
+
+channel::ChannelMatrix matrix_from_reports(
+    std::span<const ChannelReport> reports, std::size_t num_tx,
+    std::size_t num_rx) {
+  channel::ChannelMatrix out{num_tx, num_rx,
+                             std::vector<double>(num_tx * num_rx, 0.0)};
+  // Later reports of the same RX overwrite earlier ones (span order is
+  // arrival order).
+  for (const auto& report : reports) {
+    if (report.rx_id >= num_rx) continue;
+    if (report.gains.size() != num_tx) continue;
+    for (std::size_t j = 0; j < num_tx; ++j) {
+      out.set_gain(j, report.rx_id, report.gains[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace densevlc::mac

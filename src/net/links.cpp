@@ -1,0 +1,47 @@
+#include "net/links.hpp"
+
+#include <cmath>
+
+namespace densevlc::net {
+
+double SimLink::draw_latency() {
+  double u;
+  do {
+    u = rng_.uniform();
+  } while (u <= 0.0);
+  return cfg_.base_latency_s - cfg_.jitter_mean_s * std::log(u);
+}
+
+bool SimLink::send(std::vector<std::uint8_t> payload, Handler handler) {
+  ++sent_;
+  if (rng_.bernoulli(cfg_.loss_probability)) {
+    ++lost_;
+    return false;
+  }
+  const double latency = draw_latency();
+  sim_->schedule_in(SimTime::from_seconds(latency),
+                    [payload = std::move(payload),
+                     handler = std::move(handler)] { handler(payload); });
+  return true;
+}
+
+std::size_t EthernetMulticast::subscribe(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return handlers_.size() - 1;
+}
+
+void EthernetMulticast::send(const std::vector<std::uint8_t>& payload) {
+  for (std::size_t id = 0; id < handlers_.size(); ++id) {
+    double u;
+    do {
+      u = rng_.uniform();
+    } while (u <= 0.0);
+    const double latency = cfg_.base_latency_s - cfg_.jitter_mean_s *
+                                                     std::log(u);
+    sim_->schedule_in(
+        SimTime::from_seconds(latency),
+        [this, id, payload] { handlers_[id](id, payload); });
+  }
+}
+
+}  // namespace densevlc::net

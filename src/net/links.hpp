@@ -1,0 +1,85 @@
+// Control-plane network models (paper Sec. 7.2).
+//
+// The controller pushes frames to the TXs over Ethernet multicast; RXs
+// acknowledge and report channel measurements back over a WiFi uplink
+// (the BBB Wireless' built-in radio). Neither path needs bit-level
+// modeling — the MAC only cares about delivery, latency and loss — so
+// both are discrete-event link models with configurable distributions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "sim/event_queue.hpp"
+
+namespace densevlc::net {
+
+/// Latency/loss parameters of a link.
+struct LinkConfig {
+  double base_latency_s = 100e-6;   ///< fixed propagation + stack time
+  double jitter_mean_s = 20e-6;     ///< exponential jitter mean
+  double loss_probability = 0.0;    ///< independent per-delivery loss
+};
+
+/// Point-to-point link: delivers byte payloads to a handler with
+/// randomized latency; lost deliveries simply never arrive.
+class SimLink {
+ public:
+  using Handler = std::function<void(const std::vector<std::uint8_t>&)>;
+
+  SimLink(sim::Simulator& simulator, const LinkConfig& cfg, Rng rng)
+      : sim_{&simulator}, cfg_{cfg}, rng_{rng} {}
+
+  /// Queues a delivery. Returns false if the draw decided the packet is
+  /// lost (the handler will never fire for it).
+  bool send(std::vector<std::uint8_t> payload, Handler handler);
+
+  /// One latency draw [s] (exposed for tests).
+  double draw_latency();
+
+  const LinkConfig& config() const { return cfg_; }
+
+  /// Counters.
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t lost() const { return lost_; }
+
+ private:
+  sim::Simulator* sim_;
+  LinkConfig cfg_;
+  Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+/// Ethernet multicast from the controller to all subscribed TXs: one
+/// send() fans out to every subscriber with independent latency draws
+/// (switch queuing differs per port).
+class EthernetMulticast {
+ public:
+  using Handler =
+      std::function<void(std::size_t subscriber_id,
+                         const std::vector<std::uint8_t>&)>;
+
+  EthernetMulticast(sim::Simulator& simulator, const LinkConfig& cfg,
+                    Rng rng)
+      : sim_{&simulator}, cfg_{cfg}, rng_{rng} {}
+
+  /// Registers a subscriber; returns its id.
+  std::size_t subscribe(Handler handler);
+
+  /// Multicasts a payload to every subscriber.
+  void send(const std::vector<std::uint8_t>& payload);
+
+  std::size_t subscriber_count() const { return handlers_.size(); }
+
+ private:
+  sim::Simulator* sim_;
+  LinkConfig cfg_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace densevlc::net

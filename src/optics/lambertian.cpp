@@ -1,0 +1,75 @@
+#include "optics/lambertian.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace densevlc::optics {
+
+double LambertianEmitter::order() const {
+  return -std::log(2.0) / std::log(std::cos(half_power_semi_angle_rad));
+}
+
+double Photodiode::concentrator_gain(double psi_rad) const {
+  if (psi_rad > field_of_view_rad) return 0.0;
+  const double s = std::sin(field_of_view_rad);
+  if (s <= 0.0) return 0.0;
+  return concentrator_index * concentrator_index / (s * s);
+}
+
+LinkGeometry resolve_geometry(const geom::Pose& emitter,
+                              const geom::Pose& receiver,
+                              double field_of_view_rad) {
+  LinkGeometry g;
+  const geom::Vec3 delta = receiver.position - emitter.position;
+  g.distance_m = delta.norm();
+  if (g.distance_m <= 0.0) return g;
+  const geom::Vec3 dir = delta / g.distance_m;
+
+  const double cos_phi = emitter.normal.dot(dir);
+  const double cos_psi = receiver.normal.dot(geom::Vec3{} - dir);
+  if (cos_phi <= 0.0 || cos_psi <= 0.0) return g;  // facing away
+
+  g.irradiation_angle_rad = std::acos(std::min(1.0, cos_phi));
+  g.incidence_angle_rad = std::acos(std::min(1.0, cos_psi));
+  g.in_field_of_view = g.incidence_angle_rad <= field_of_view_rad;
+  return g;
+}
+
+double los_gain(const LambertianEmitter& emitter, const Photodiode& pd,
+                const geom::Pose& tx_pose, const geom::Pose& rx_pose) {
+  const LinkGeometry g =
+      resolve_geometry(tx_pose, rx_pose, pd.field_of_view_rad);
+  if (!g.in_field_of_view || g.distance_m <= 0.0) return 0.0;
+  const double m = emitter.order();
+  const double cos_phi = std::cos(g.irradiation_angle_rad);
+  const double cos_psi = std::cos(g.incidence_angle_rad);
+  return (m + 1.0) * pd.collection_area_m2 /
+         (2.0 * kPi * g.distance_m * g.distance_m) * std::pow(cos_phi, m) *
+         pd.concentrator_gain(g.incidence_angle_rad) * cos_psi;
+}
+
+double radiant_intensity_factor(const LambertianEmitter& emitter,
+                                double phi_rad) {
+  const double cos_phi = std::cos(phi_rad);
+  if (cos_phi <= 0.0) return 0.0;
+  const double m = emitter.order();
+  return (m + 1.0) / (2.0 * kPi) * std::pow(cos_phi, m);
+}
+
+double illuminance_lux(const LambertianEmitter& emitter,
+                       const geom::Pose& tx_pose, const geom::Pose& surface,
+                       double optical_power_w, double efficacy_lm_per_w) {
+  // Illuminance = luminous intensity toward the point, projected on the
+  // surface and spread over d^2:
+  //   E = efficacy * P_opt * (m+1)/(2 pi) cos^m(phi) * cos(psi) / d^2.
+  const LinkGeometry g = resolve_geometry(tx_pose, surface, kPi / 2.0);
+  if (g.distance_m <= 0.0 || !g.in_field_of_view) return 0.0;
+  const double intensity =
+      radiant_intensity_factor(emitter, g.irradiation_angle_rad) *
+      optical_power_w * efficacy_lm_per_w;
+  return intensity * std::cos(g.incidence_angle_rad) /
+         (g.distance_m * g.distance_m);
+}
+
+}  // namespace densevlc::optics

@@ -1,0 +1,98 @@
+// Electrical and optical model of the LED transmitter (paper Sec. 3.4.1).
+//
+// Power draw of the diode at forward current I (Eq. 8):
+//
+//   P_led(I) = k * Vt * ln(I/Is + 1) * I + Rs * I^2
+//
+// with ideality factor k, thermal voltage Vt, reverse saturation current
+// Is, and series resistance Rs. Modulating a swing Isw around the bias Ib
+// with Manchester-coded OOK costs, on Taylor expansion to second order
+// (Eqs. 9-10), an average extra power
+//
+//   P_C = r * (Isw/2)^2,   r = k*Vt/(2*Ib) + Rs
+//
+// the LED's dynamic resistance at the bias point. These formulas drive the
+// entire power-budget optimization; Fig. 4 quantifies the Taylor error.
+#pragma once
+
+namespace densevlc::optics {
+
+/// Datasheet-level electrical parameters of one LED (defaults: CREE XT-E
+/// fit from paper Table 1).
+struct LedElectrical {
+  double ideality_factor = 2.68;         ///< k
+  double thermal_voltage_v = 0.025852;   ///< Vt [V] at ~300 K
+  double saturation_current_a = 1.44e-18;///< Is [A]
+  double series_resistance_ohm = 0.19;   ///< Rs [ohm]
+  double wall_plug_efficiency = 0.4;     ///< eta: optical W out / electrical W in
+};
+
+/// Operating point / modulation parameters of one LED transmitter.
+struct LedOperatingPoint {
+  double bias_current_a = 0.45;       ///< Ib: sets the illumination level
+  double max_swing_current_a = 0.9;   ///< Isw,max: full-swing bound
+};
+
+/// The LED transmitter model used by optimization, illumination sizing and
+/// PHY waveform generation.
+class LedModel {
+ public:
+  LedModel() = default;
+  LedModel(const LedElectrical& elec, const LedOperatingPoint& op)
+      : elec_{elec}, op_{op} {}
+
+  const LedElectrical& electrical() const { return elec_; }
+  const LedOperatingPoint& operating_point() const { return op_; }
+
+  /// Exact electrical power draw at forward current I [W] (Eq. 8).
+  /// Currents <= 0 draw nothing (the diode blocks).
+  double power_at_current(double current_a) const;
+
+  /// Forward voltage at current I [V]: V = k*Vt*ln(I/Is + 1) + Rs*I.
+  double forward_voltage(double current_a) const;
+
+  /// Dynamic resistance r = k*Vt/(2*Ib) + Rs at the configured bias [ohm].
+  double dynamic_resistance() const;
+
+  /// Taylor-approximated average extra power for communication at swing
+  /// Isw [W] (Eq. 10): P_C = r * (Isw/2)^2.
+  double comm_power_approx(double swing_a) const;
+
+  /// Exact average extra power for communication at swing Isw [W]:
+  /// the Manchester-coded waveform spends half the time at Ib + Isw/2 and
+  /// half at Ib - Isw/2, so
+  ///   P_C = (P_led(Ih) + P_led(Il)) / 2 - P_led(Ib).
+  double comm_power_exact(double swing_a) const;
+
+  /// Relative Taylor-approximation error on the LED's average power
+  /// consumption while communicating (the quantity Fig. 4 plots, as a
+  /// fraction not percent):
+  ///   |(P_I + P_C,approx) - (P_I + P_C,exact)| / (P_I + P_C,exact).
+  /// The paper reports 0.45% at Isw = 900 mA. Returns 0 at zero swing.
+  double comm_power_relative_error(double swing_a) const;
+
+  /// Power draw in pure illumination mode [W]: P_led(Ib).
+  double illumination_power() const;
+
+  /// Emitted optical power in illumination mode [W]:
+  /// eta * P_led(Ib). The average optical power is the same in
+  /// illumination+communication mode (Manchester symmetry), which is what
+  /// keeps brightness constant across mode switches.
+  double optical_power_illumination() const;
+
+  /// Optical *signal* power corresponding to electrical communication
+  /// power at swing Isw: eta * r * (Isw/2)^2. This is the quantity whose
+  /// product with the channel gain H enters the SINR numerator (Eq. 12).
+  double optical_signal_power(double swing_a) const;
+
+  /// Largest swing that keeps both rails in the diode's conducting,
+  /// quasi-linear region: min(Isw,max, 2*Ib) — the low rail Ib - Isw/2
+  /// must stay >= 0.
+  double max_feasible_swing() const;
+
+ private:
+  LedElectrical elec_{};
+  LedOperatingPoint op_{};
+};
+
+}  // namespace densevlc::optics

@@ -1,0 +1,74 @@
+#include "optics/nlos.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace densevlc::optics {
+
+double nlos_floor_gain(const LambertianEmitter& emitter, const Photodiode& pd,
+                       const geom::Pose& tx_pose, const geom::Pose& rx_pose,
+                       const FloorSurface& floor,
+                       std::span<const FloorOccluder> occluders) {
+  if (floor.patches_per_axis == 0) return 0.0;
+  const double m = emitter.order();
+  const double dx = floor.width / static_cast<double>(floor.patches_per_axis);
+  const double dy = floor.depth / static_cast<double>(floor.patches_per_axis);
+  const double patch_area = dx * dy;
+  const geom::Vec3 up{0.0, 0.0, 1.0};
+
+  double total = 0.0;
+  for (std::size_t iy = 0; iy < floor.patches_per_axis; ++iy) {
+    for (std::size_t ix = 0; ix < floor.patches_per_axis; ++ix) {
+      const geom::Vec3 patch{(static_cast<double>(ix) + 0.5) * dx,
+                             (static_cast<double>(iy) + 0.5) * dy, 0.0};
+
+      // Occluded patches (a person standing there) absorb the light.
+      bool occluded = false;
+      for (const auto& occ : occluders) {
+        const double ox = patch.x - occ.x;
+        const double oy = patch.y - occ.y;
+        if (ox * ox + oy * oy <= occ.radius * occ.radius) {
+          occluded = true;
+          break;
+        }
+      }
+      if (occluded) continue;
+
+      // Leg 1: TX -> patch. The patch collects like a bare Lambertian
+      // receiver of area dA facing up.
+      const geom::Vec3 d1v = patch - tx_pose.position;
+      const double d1 = d1v.norm();
+      if (d1 <= 0.0) continue;
+      const geom::Vec3 dir1 = d1v / d1;
+      const double cos_phi1 = tx_pose.normal.dot(dir1);
+      const double cos_psi1 = up.dot(geom::Vec3{} - dir1);
+      if (cos_phi1 <= 0.0 || cos_psi1 <= 0.0) continue;
+
+      const double incident = (m + 1.0) / (2.0 * kPi * d1 * d1) *
+                              std::pow(cos_phi1, m) * cos_psi1 * patch_area;
+
+      // Leg 2: patch -> RX photodiode. The patch re-emits diffusely
+      // (first-order Lambertian, 1/pi steradian-normalized).
+      const geom::Vec3 d2v = rx_pose.position - patch;
+      const double d2 = d2v.norm();
+      if (d2 <= 0.0) continue;
+      const geom::Vec3 dir2 = d2v / d2;
+      const double cos_phi2 = up.dot(dir2);
+      const double cos_psi2 = rx_pose.normal.dot(geom::Vec3{} - dir2);
+      if (cos_phi2 <= 0.0 || cos_psi2 <= 0.0) continue;
+      const double psi2 = std::acos(std::min(1.0, cos_psi2));
+      const double gain = pd.concentrator_gain(psi2);
+      if (gain <= 0.0) continue;
+
+      const double bounce = floor.reflectance / kPi * cos_phi2 *
+                            pd.collection_area_m2 / (d2 * d2) * gain *
+                            cos_psi2;
+
+      total += incident * bounce;
+    }
+  }
+  return total;
+}
+
+}  // namespace densevlc::optics

@@ -1,0 +1,55 @@
+// Non-line-of-sight (one-bounce) optical path via a diffuse floor.
+//
+// DenseVLC's synchronization (paper Sec. 6.2, Fig. 14) rides on light from
+// a leading TX reflecting off the floor and reaching the photodiodes of
+// neighbouring ceiling TXs. The standard first-order VLC reflection model
+// discretizes the reflecting surface into small patches; each patch
+// receives light like a Lambertian receiver and re-emits it as an ideal
+// diffuse (order-1 Lambertian) secondary source scaled by the surface
+// reflectance rho:
+//
+//   H_nlos = sum over patches p of
+//     [(m+1)/(2 pi d1^2) cos^m(phi1) cos(psi1) * dA]      (TX -> patch)
+//     * rho
+//     * [Apd/(pi d2^2) cos(phi2) g(psi2) cos(psi2)]       (patch -> PD)
+//
+// with the receiver FoV applied on psi2. The result is a (tiny) optical DC
+// gain, typically 3-4 orders of magnitude below LOS gains — which is why
+// the RX front-end needs its dedicated AC amplification stage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/vec3.hpp"
+#include "optics/lambertian.hpp"
+
+namespace densevlc::optics {
+
+/// Reflecting floor description.
+struct FloorSurface {
+  double width = 3.0;         ///< x extent [m]
+  double depth = 3.0;         ///< y extent [m]
+  double reflectance = 0.5;   ///< rho: 0.1 dark carpet .. 0.8 glossy white
+  std::size_t patches_per_axis = 40;  ///< discretization resolution
+};
+
+/// A circular absorbing region on the floor — the shadow of a person or
+/// an object standing on the reflection path (paper Sec. 9, "NLOS
+/// synchronization ... even when a person is walking by").
+struct FloorOccluder {
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.25;
+};
+
+/// One-bounce NLOS channel gain from `tx_pose` to `rx_pose` via the floor
+/// at z = 0. Both poses may face any direction; typically both face down
+/// (ceiling TX LED and ceiling peer photodiode). Floor patches covered by
+/// any occluder contribute nothing.
+double nlos_floor_gain(const LambertianEmitter& emitter, const Photodiode& pd,
+                       const geom::Pose& tx_pose, const geom::Pose& rx_pose,
+                       const FloorSurface& floor,
+                       std::span<const FloorOccluder> occluders = {});
+
+}  // namespace densevlc::optics

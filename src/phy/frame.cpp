@@ -1,0 +1,168 @@
+#include "phy/frame.hpp"
+
+#include <stdexcept>
+
+#include "phy/reed_solomon.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+// 13-chip Barker code (+1 -> HIGH) repeated/padded to 32 chips, then the
+// tail inverted so the pattern is not periodic — sharp autocorrelation.
+constexpr std::array<std::uint8_t, 32> kPilotBits = {
+    1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1,   // Barker-13
+    0, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0,   // inverted Barker-13
+    1, 1, 0, 0, 1, 0};
+// A different fixed word for the data preamble so pilot detectors do not
+// fire on data frames and vice versa.
+constexpr std::array<std::uint8_t, 32> kPreambleBits = {
+    1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0,
+    1, 1, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0};
+
+std::array<Chip, 32> to_chips(const std::array<std::uint8_t, 32>& bits) {
+  std::array<Chip, 32> chips{};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    chips[i] = bits[i] ? Chip::kHigh : Chip::kLow;
+  }
+  return chips;
+}
+
+const std::array<Chip, 32>& pilot_chips() {
+  static const std::array<Chip, 32> chips = to_chips(kPilotBits);
+  return chips;
+}
+
+const std::array<Chip, 32>& preamble_chips() {
+  static const std::array<Chip, 32> chips = to_chips(kPreambleBits);
+  return chips;
+}
+
+const ReedSolomon& rs_codec() {
+  static const ReedSolomon rs{kRsBlockParity};
+  return rs;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+}  // namespace
+
+std::span<const Chip> pilot_pattern() { return pilot_chips(); }
+
+std::span<const Chip> preamble_pattern() { return preamble_chips(); }
+
+std::size_t serialized_frame_bytes(std::size_t payload_bytes) {
+  const std::size_t blocks =
+      (payload_bytes + kRsBlockData - 1) / kRsBlockData;
+  return 9 + payload_bytes + blocks * kRsBlockParity;
+}
+
+std::vector<std::uint8_t> serialize_frame(const MacFrame& frame) {
+  if (frame.payload.size() > kMaxPayload) {
+    throw std::invalid_argument{"serialize_frame: payload exceeds kMaxPayload"};
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_frame_bytes(frame.payload.size()));
+  out.push_back(kSfd);
+  put_u16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  put_u16(out, frame.dst);
+  put_u16(out, frame.src);
+  put_u16(out, frame.protocol);
+  // Payload followed by per-block RS parity: block i covers payload bytes
+  // [i*200, min((i+1)*200, x)). Parity for all blocks trails the payload,
+  // matching Table 3's single trailing Reed-Solomon field.
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  const auto& rs = rs_codec();
+  for (std::size_t off = 0; off < frame.payload.size(); off += kRsBlockData) {
+    const std::size_t len =
+        std::min(kRsBlockData, frame.payload.size() - off);
+    const auto cw = rs.encode(
+        std::span<const std::uint8_t>{frame.payload}.subspan(off, len));
+    out.insert(out.end(), cw.end() - static_cast<std::ptrdiff_t>(kRsBlockParity),
+               cw.end());
+  }
+  return out;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 9) return std::nullopt;
+  if (bytes[0] != kSfd) return std::nullopt;
+  const std::uint16_t length = get_u16(bytes, 1);
+  if (length > kMaxPayload) return std::nullopt;
+  const std::size_t blocks = (length + kRsBlockData - 1) / kRsBlockData;
+  const std::size_t expected = 9 + length + blocks * kRsBlockParity;
+  if (bytes.size() < expected) return std::nullopt;
+
+  ParsedFrame out;
+  out.frame.dst = get_u16(bytes, 3);
+  out.frame.src = get_u16(bytes, 5);
+  out.frame.protocol = get_u16(bytes, 7);
+
+  const auto& rs = rs_codec();
+  out.frame.payload.reserve(length);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t off = b * kRsBlockData;
+    const std::size_t len = std::min(kRsBlockData,
+                                     static_cast<std::size_t>(length) - off);
+    std::vector<std::uint8_t> codeword;
+    codeword.reserve(len + kRsBlockParity);
+    codeword.insert(codeword.end(), bytes.begin() + 9 + off,
+                    bytes.begin() + 9 + off + static_cast<std::ptrdiff_t>(len));
+    const std::size_t parity_at = 9 + length + b * kRsBlockParity;
+    codeword.insert(codeword.end(), bytes.begin() + static_cast<std::ptrdiff_t>(parity_at),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(parity_at + kRsBlockParity));
+    const auto decoded = rs.decode(codeword);
+    if (!decoded) return std::nullopt;
+    out.corrected_bytes += decoded->corrected_errors;
+    out.frame.payload.insert(out.frame.payload.end(), decoded->data.begin(),
+                             decoded->data.end());
+  }
+  return out;
+}
+
+std::vector<Chip> frame_to_chips(const MacFrame& frame) {
+  const auto bytes = serialize_frame(frame);
+  const auto bits = bytes_to_bits(bytes);
+  const auto data_chips = manchester_encode(bits);
+  std::vector<Chip> chips;
+  chips.reserve(kPreambleChips + data_chips.size());
+  const auto pre = preamble_pattern();
+  chips.insert(chips.end(), pre.begin(), pre.end());
+  chips.insert(chips.end(), data_chips.begin(), data_chips.end());
+  return chips;
+}
+
+std::vector<std::uint8_t> serialize_controller_frame(
+    const ControllerFrame& cf) {
+  std::vector<std::uint8_t> out;
+  const auto body = serialize_frame(cf.frame);
+  out.reserve(9 + body.size());
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((cf.tx_mask >> (8 * i)) & 0xFF));
+  }
+  out.push_back(cf.leading_tx);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<ControllerFrame> parse_controller_frame(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 9 + 9) return std::nullopt;
+  ControllerFrame cf;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cf.tx_mask = (cf.tx_mask << 8) | bytes[i];
+  }
+  cf.leading_tx = bytes[8];
+  const auto parsed = parse_frame(bytes.subspan(9));
+  if (!parsed) return std::nullopt;
+  cf.frame = parsed->frame;
+  return cf;
+}
+
+}  // namespace densevlc::phy

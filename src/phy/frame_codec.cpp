@@ -1,0 +1,43 @@
+#include "phy/frame_codec.hpp"
+
+#include <algorithm>
+
+#include "phy/interleaver.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 9;
+
+}  // namespace
+
+std::vector<std::uint8_t> FrameCodec::encode(const MacFrame& frame) const {
+  auto wire = serialize_frame(frame);
+  if (depth_ <= 1 || wire.size() <= kHeaderBytes) return wire;
+  const std::span<const std::uint8_t> body{wire.data() + kHeaderBytes,
+                                           wire.size() - kHeaderBytes};
+  const auto mixed = interleave(body, depth_);
+  std::copy(mixed.begin(), mixed.end(), wire.begin() + kHeaderBytes);
+  return wire;
+}
+
+std::optional<ParsedFrame> FrameCodec::decode(
+    std::span<const std::uint8_t> bytes) const {
+  if (depth_ <= 1 || bytes.size() <= kHeaderBytes) {
+    return parse_frame(bytes);
+  }
+  std::vector<std::uint8_t> wire(bytes.begin(), bytes.end());
+  const std::span<const std::uint8_t> body{wire.data() + kHeaderBytes,
+                                           wire.size() - kHeaderBytes};
+  const auto restored = deinterleave(body, depth_);
+  std::copy(restored.begin(), restored.end(), wire.begin() + kHeaderBytes);
+  return parse_frame(wire);
+}
+
+std::size_t FrameCodec::matched_depth(std::size_t payload_bytes) {
+  const std::size_t blocks =
+      (payload_bytes + kRsBlockData - 1) / kRsBlockData;
+  return blocks <= 1 ? 1 : blocks;
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,70 @@
+#include "phy/frontend.hpp"
+
+#include <cmath>
+
+#include "dsp/butterworth.hpp"
+
+namespace densevlc::phy {
+
+ReceiverFrontEnd::ReceiverFrontEnd(const FrontEndConfig& cfg, Rng rng)
+    : cfg_{cfg}, rng_{rng}, adc_{cfg.adc} {
+  // Snap the mid-rail reference to the ADC grid so a zero input maps to a
+  // representable code and back to exactly zero (no systematic offset).
+  const double nominal_mid = (cfg.adc.min_volts + cfg.adc.max_volts) / 2.0;
+  mid_rail_ = adc_.code_to_volts(adc_.quantize(nominal_mid));
+  // Filters are designed at the ADC rate; process() runs the whole chain
+  // at that rate (the optical input is zero-order-hold resampled first).
+  const double fs = cfg_.adc.sample_rate_hz;
+  ac_stage_ = dsp::BiquadCascade{
+      {dsp::design_ac_coupling_highpass(cfg_.ac_corner_hz, fs)}};
+  lowpass_ = dsp::BiquadCascade{dsp::design_butterworth_lowpass(
+      cfg_.butterworth_order, cfg_.butterworth_corner_hz, fs)};
+}
+
+double ReceiverFrontEnd::noise_current_sigma(double sample_rate_hz) const {
+  return std::sqrt(cfg_.noise_psd_a2_per_hz * sample_rate_hz / 2.0);
+}
+
+dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
+  const double fs = cfg_.adc.sample_rate_hz;
+  // Resample the optical power to the ADC rate by zero-order hold.
+  dsp::Waveform out;
+  out.sample_rate_hz = fs;
+  if (optical.samples.empty() || optical.sample_rate_hz <= 0.0) return out;
+  const auto n_out =
+      static_cast<std::size_t>(optical.duration() * fs);
+  out.samples.reserve(n_out);
+
+  const double noise_sigma = noise_current_sigma(fs);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    auto idx = static_cast<std::size_t>(t * optical.sample_rate_hz);
+    idx = std::min(idx, optical.samples.size() - 1);
+
+    // Photodiode + noise.
+    const double current = cfg_.responsivity_a_per_w * optical.samples[idx] +
+                           rng_.gaussian(0.0, noise_sigma);
+    // TIA.
+    double v = cfg_.tia_gain_ohm * current;
+    // AC-coupled gain stage.
+    v = cfg_.ac_gain * ac_stage_.step(v);
+    // Anti-aliasing low-pass.
+    v = lowpass_.step(v);
+    out.samples.push_back(v);
+  }
+
+  // Model the ADC around mid-rail, then remove the offset again so
+  // downstream DSP sees a zero-referenced signal with quantization applied.
+  for (double& v : out.samples) {
+    const std::uint32_t code = adc_.quantize(v + mid_rail_);
+    v = adc_.code_to_volts(code) - mid_rail_;
+  }
+  return out;
+}
+
+void ReceiverFrontEnd::reset() {
+  ac_stage_.reset();
+  lowpass_.reset();
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,65 @@
+// Receiver analog front-end model (paper Sec. 7.1, Fig. 16).
+//
+// Three stages, mirroring the hardware: (1) an S5971 photodiode feeding a
+// low-noise transimpedance amplifier, (2) an AC-coupled gain stage that
+// strips ambient light and the illumination bias, enabling detection of
+// very weak signals such as floor-reflected pilots, (3) a 7th-order
+// Butterworth anti-aliasing low-pass in front of a 1 Msps ADC.
+//
+// Noise enters as additive white Gaussian photocurrent with single-sided
+// spectral density N0 (Table 1: 7.02e-23 A^2/Hz), which over the sampled
+// bandwidth fs/2 gives a per-sample current variance of N0 * fs / 2.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dsp/adc.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/waveform.hpp"
+
+namespace densevlc::phy {
+
+/// Front-end configuration. Defaults model the paper's BBB-cape RX.
+struct FrontEndConfig {
+  double responsivity_a_per_w = 0.4;     ///< photodiode R [A/W]
+  double tia_gain_ohm = 50e3;            ///< transimpedance stage [V/A]
+  double ac_gain = 20.0;                 ///< AC-coupled amplifier gain
+  double ac_corner_hz = 1e3;             ///< AC-coupling high-pass corner
+  double noise_psd_a2_per_hz = 7.02e-23; ///< N0, single-sided [A^2/Hz]
+  std::size_t butterworth_order = 7;     ///< anti-aliasing filter order
+  double butterworth_corner_hz = 400e3;  ///< LP corner before 1 Msps ADC
+  dsp::AdcConfig adc{};                  ///< converter parameters
+};
+
+/// Stateful receive chain: optical power waveform in, digitized (and
+/// re-centered to zero-mean) voltage waveform out.
+class ReceiverFrontEnd {
+ public:
+  /// `rng` seeds the noise process; each front-end owns its substream.
+  ReceiverFrontEnd(const FrontEndConfig& cfg, Rng rng);
+
+  const FrontEndConfig& config() const { return cfg_; }
+
+  /// Processes a waveform of instantaneous received optical power [W]
+  /// sampled at `optical.sample_rate_hz`. Returns the ADC output voltage
+  /// referenced to mid-rail (i.e. zero-mean for a DC-free signal), at the
+  /// ADC sample rate. Stateful across calls — filters keep their delay
+  /// lines so back-to-back calls model a continuous stream.
+  dsp::Waveform process(const dsp::Waveform& optical);
+
+  /// Resets all filter state (fresh reception).
+  void reset();
+
+  /// Per-sample standard deviation of the photocurrent noise at the given
+  /// processing rate [A].
+  double noise_current_sigma(double sample_rate_hz) const;
+
+ private:
+  FrontEndConfig cfg_;
+  Rng rng_;
+  dsp::Adc adc_;
+  dsp::BiquadCascade ac_stage_;
+  dsp::BiquadCascade lowpass_;
+  double mid_rail_ = 0.0;
+};
+
+}  // namespace densevlc::phy

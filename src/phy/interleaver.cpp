@@ -1,0 +1,58 @@
+#include "phy/interleaver.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+/// Computes the permutation: out[i] = data[perm[i]]. Row-wise write,
+/// column-wise read over a depth x cols matrix, skipping pad cells of
+/// the final partial row.
+std::vector<std::size_t> permutation(std::size_t size, std::size_t depth) {
+  const std::size_t cols = (size + depth - 1) / depth;
+  std::vector<std::size_t> perm;
+  perm.reserve(size);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < size) perm.push_back(idx);
+    }
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> data,
+                                     std::size_t depth) {
+  if (depth <= 1 || data.size() <= depth) {
+    return {data.begin(), data.end()};
+  }
+  const auto perm = permutation(data.size(), depth);
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[perm[i]];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> data,
+                                       std::size_t depth) {
+  if (depth <= 1 || data.size() <= depth) {
+    return {data.begin(), data.end()};
+  }
+  const auto perm = permutation(data.size(), depth);
+  std::vector<std::uint8_t> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[perm[i]] = data[i];
+  }
+  return out;
+}
+
+std::size_t burst_tolerance(std::size_t depth, std::size_t rs_capacity) {
+  if (depth <= 1) return rs_capacity;
+  // A burst of length L covers at most ceil(L / depth) consecutive
+  // positions of any one row; rows map into RS blocks contiguously, so
+  // tolerance = depth * capacity.
+  return depth * rs_capacity;
+}
+
+}  // namespace densevlc::phy

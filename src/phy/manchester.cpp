@@ -1,0 +1,80 @@
+#include "phy/manchester.hpp"
+
+namespace densevlc::phy {
+
+std::vector<Chip> manchester_encode(std::span<const std::uint8_t> bits) {
+  std::vector<Chip> chips;
+  chips.reserve(bits.size() * 2);
+  for (std::uint8_t bit : bits) {
+    if (bit) {
+      chips.push_back(Chip::kHigh);  // 1: Ih -> Il
+      chips.push_back(Chip::kLow);
+    } else {
+      chips.push_back(Chip::kLow);   // 0: Il -> Ih
+      chips.push_back(Chip::kHigh);
+    }
+  }
+  return chips;
+}
+
+std::optional<std::vector<std::uint8_t>> manchester_decode(
+    std::span<const Chip> chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    if (chips[i] == Chip::kLow && chips[i + 1] == Chip::kHigh) {
+      bits.push_back(0);
+    } else if (chips[i] == Chip::kHigh && chips[i + 1] == Chip::kLow) {
+      bits.push_back(1);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return bits;
+}
+
+LenientDecode manchester_decode_lenient(std::span<const Chip> chips) {
+  LenientDecode out;
+  out.bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i + 1 < chips.size(); i += 2) {
+    if (chips[i] == Chip::kLow && chips[i + 1] == Chip::kHigh) {
+      out.bits.push_back(0);
+    } else if (chips[i] == Chip::kHigh && chips[i + 1] == Chip::kLow) {
+      out.bits.push_back(1);
+    } else {
+      out.bits.push_back(0);
+      ++out.violations;
+    }
+  }
+  if (chips.size() % 2 != 0) ++out.violations;
+  return out;
+}
+
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1));
+    }
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> bits_to_bytes(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() % 8 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i < bits.size(); i += 8) {
+    std::uint8_t b = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      b = static_cast<std::uint8_t>((b << 1) | (bits[i + j] & 1));
+    }
+    bytes.push_back(b);
+  }
+  return bytes;
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,49 @@
+// Manchester line coding (paper Sec. 3.3).
+//
+// DenseVLC keeps LED brightness constant across operating modes by
+// Manchester-coding the OOK stream: every data bit becomes a transition,
+// so HIGH and LOW chips are equiprobable regardless of payload. Paper
+// convention: Il -> Ih (LOW then HIGH) encodes binary 0, Ih -> Il (HIGH
+// then LOW) encodes binary 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace densevlc::phy {
+
+/// A transmitted chip (half a Manchester symbol).
+enum class Chip : std::uint8_t {
+  kLow = 0,   ///< current Il = Ib - Isw/2
+  kHigh = 1,  ///< current Ih = Ib + Isw/2
+};
+
+/// Encodes bits into chips; output has exactly 2 chips per bit.
+std::vector<Chip> manchester_encode(std::span<const std::uint8_t> bits);
+
+/// Decodes chips back into bits. Returns nullopt when the length is odd
+/// or any chip pair lacks a transition (LL / HH is a coding violation —
+/// either noise or loss of symbol lock).
+std::optional<std::vector<std::uint8_t>> manchester_decode(
+    std::span<const Chip> chips);
+
+/// Decodes leniently: coding violations resolve to a best guess (0) and
+/// are counted. Used by the demodulator so RS can mop up residual errors
+/// instead of dropping whole frames on one bad chip pair.
+struct LenientDecode {
+  std::vector<std::uint8_t> bits;
+  std::size_t violations = 0;
+};
+LenientDecode manchester_decode_lenient(std::span<const Chip> chips);
+
+/// Unpacks bytes MSB-first into a bit vector (0/1 values).
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (0/1 values, length must be a multiple of 8) MSB-first into
+/// bytes. Returns nullopt on ragged length.
+std::optional<std::vector<std::uint8_t>> bits_to_bytes(
+    std::span<const std::uint8_t> bits);
+
+}  // namespace densevlc::phy

@@ -1,0 +1,227 @@
+#include "phy/ofdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace densevlc::phy {
+namespace {
+
+/// Gray decode: index of the amplitude whose Gray code equals v.
+std::uint32_t gray_decode(std::uint32_t v) {
+  std::uint32_t a = v;
+  while (v >>= 1) a ^= v;
+  return a;
+}
+
+std::uint32_t gray_encode(std::uint32_t a) { return a ^ (a >> 1); }
+
+/// Per-axis PAM amplitude for Gray-coded bits `v` with 2^half levels,
+/// normalized later at the constellation level.
+double pam_level(std::uint32_t v, std::size_t half_bits) {
+  const auto levels = std::uint32_t{1} << half_bits;
+  const std::uint32_t idx = gray_decode(v);
+  return 2.0 * static_cast<double>(idx) - static_cast<double>(levels - 1);
+}
+
+std::uint32_t pam_slice(double value, std::size_t half_bits) {
+  const auto levels = std::uint32_t{1} << half_bits;
+  // Invert: idx = (value + (levels-1)) / 2, clamped.
+  const double raw = (value + static_cast<double>(levels - 1)) / 2.0;
+  const auto idx = static_cast<std::uint32_t>(std::clamp(
+      std::lround(raw), 0L, static_cast<long>(levels - 1)));
+  return gray_encode(idx);
+}
+
+/// Unit-average-power scaling for square QAM with 2^bits points.
+double qam_scale(std::size_t bits) {
+  const auto levels_sq = static_cast<double>(std::uint32_t{1} << (bits / 2));
+  // Average energy of (2i - (L-1)) per axis over L levels: (L^2 - 1)/3.
+  const double per_axis = (levels_sq * levels_sq - 1.0) / 3.0;
+  return 1.0 / std::sqrt(2.0 * per_axis);
+}
+
+}  // namespace
+
+dsp::Complex qam_modulate(std::uint32_t symbol, std::size_t bits) {
+  const std::size_t half = bits / 2;
+  const std::uint32_t mask = (std::uint32_t{1} << half) - 1;
+  const std::uint32_t i_bits = (symbol >> half) & mask;
+  const std::uint32_t q_bits = symbol & mask;
+  const double scale = qam_scale(bits);
+  return {pam_level(i_bits, half) * scale, pam_level(q_bits, half) * scale};
+}
+
+std::uint32_t qam_demodulate(dsp::Complex point, std::size_t bits) {
+  const std::size_t half = bits / 2;
+  const double scale = qam_scale(bits);
+  const std::uint32_t i_bits = pam_slice(point.real() / scale, half);
+  const std::uint32_t q_bits = pam_slice(point.imag() / scale, half);
+  return (i_bits << half) | q_bits;
+}
+
+OfdmModem::OfdmModem(const OfdmConfig& cfg) : cfg_{cfg} {
+  if (!dsp::is_power_of_two(cfg_.fft_size) || cfg_.fft_size < 8) {
+    throw std::invalid_argument{"OfdmModem: fft_size must be 2^k >= 8"};
+  }
+  if (cfg_.bits_per_symbol != 2 && cfg_.bits_per_symbol != 4 &&
+      cfg_.bits_per_symbol != 6) {
+    throw std::invalid_argument{
+        "OfdmModem: bits_per_symbol must be 2, 4 or 6"};
+  }
+  if (cfg_.cyclic_prefix >= cfg_.fft_size) {
+    throw std::invalid_argument{"OfdmModem: cyclic prefix >= fft size"};
+  }
+}
+
+std::vector<dsp::Complex> OfdmModem::pilot_points() const {
+  // Deterministic QPSK pilot: LFSR-driven phases, unit magnitude.
+  std::vector<dsp::Complex> points(cfg_.data_subcarriers());
+  unsigned lfsr = 0xB5AD;
+  for (auto& p : points) {
+    const unsigned bit =
+        ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+    lfsr = (lfsr >> 1) | (bit << 15);
+    const unsigned bit2 =
+        ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+    lfsr = (lfsr >> 1) | (bit2 << 15);
+    const double i = bit ? 1.0 : -1.0;
+    const double q = bit2 ? 1.0 : -1.0;
+    p = dsp::Complex{i, q} / std::sqrt(2.0);
+  }
+  return points;
+}
+
+std::vector<dsp::Complex> OfdmModem::load_subcarriers(
+    std::span<const dsp::Complex> points) const {
+  std::vector<dsp::Complex> freq(cfg_.fft_size, dsp::Complex{0.0, 0.0});
+  for (std::size_t k = 1; k < cfg_.fft_size / 2; ++k) {
+    const dsp::Complex p = points[k - 1];
+    freq[k] = p;
+    freq[cfg_.fft_size - k] = std::conj(p);  // Hermitian: real output
+  }
+  return freq;
+}
+
+std::size_t OfdmModem::symbols_for_bits(std::size_t bit_count) const {
+  const std::size_t per_symbol = cfg_.bits_per_ofdm_symbol();
+  return (bit_count + per_symbol - 1) / per_symbol;
+}
+
+double OfdmModem::bit_rate_bps() const {
+  const double symbol_time =
+      static_cast<double>(samples_per_symbol()) / cfg_.sample_rate_hz;
+  return static_cast<double>(cfg_.bits_per_ofdm_symbol()) / symbol_time;
+}
+
+dsp::Waveform OfdmModem::modulate(std::span<const std::uint8_t> bits) const {
+  const std::size_t n_data = symbols_for_bits(bits.size());
+
+  // Collect time-domain symbols (pilot first), unbiased.
+  std::vector<std::vector<double>> symbols;
+  symbols.reserve(n_data + 1);
+
+  auto render = [&](std::span<const dsp::Complex> points) {
+    auto freq = load_subcarriers(points);
+    dsp::ifft(freq);
+    std::vector<double> time(cfg_.fft_size);
+    for (std::size_t t = 0; t < cfg_.fft_size; ++t) {
+      time[t] = freq[t].real();  // imaginary part is ~0 by symmetry
+    }
+    return time;
+  };
+
+  symbols.push_back(render(pilot_points()));
+
+  std::size_t bit_at = 0;
+  for (std::size_t s = 0; s < n_data; ++s) {
+    std::vector<dsp::Complex> points(cfg_.data_subcarriers());
+    for (auto& p : points) {
+      std::uint32_t word = 0;
+      for (std::size_t b = 0; b < cfg_.bits_per_symbol; ++b) {
+        const std::uint8_t bit =
+            bit_at < bits.size() ? bits[bit_at] : 0;  // zero padding
+        word = (word << 1) | (bit & 1);
+        ++bit_at;
+      }
+      p = qam_modulate(word, cfg_.bits_per_symbol);
+    }
+    symbols.push_back(render(points));
+  }
+
+  // Common RMS normalization so swing_scale_a sets the AC current RMS.
+  double power = 0.0;
+  std::size_t count = 0;
+  for (const auto& sym : symbols) {
+    for (double v : sym) {
+      power += v * v;
+      ++count;
+    }
+  }
+  const double rms = std::sqrt(power / static_cast<double>(count));
+  const double gain = rms > 0.0 ? cfg_.swing_scale_a / rms : 0.0;
+
+  dsp::Waveform wf;
+  wf.sample_rate_hz = cfg_.sample_rate_hz;
+  wf.samples.reserve(symbols.size() * samples_per_symbol());
+  const double clip_hi = 2.0 * cfg_.bias_current_a;
+  for (const auto& sym : symbols) {
+    // Cyclic prefix then body, biased and clipped to the LED range.
+    auto emit = [&](double v) {
+      const double current =
+          std::clamp(cfg_.bias_current_a + gain * v, 0.0, clip_hi);
+      wf.samples.push_back(current);
+    };
+    for (std::size_t t = cfg_.fft_size - cfg_.cyclic_prefix;
+         t < cfg_.fft_size; ++t) {
+      emit(sym[t]);
+    }
+    for (double v : sym) emit(v);
+  }
+  return wf;
+}
+
+std::optional<std::vector<std::uint8_t>> OfdmModem::demodulate(
+    const dsp::Waveform& rx, std::size_t bit_count) const {
+  const std::size_t sps = samples_per_symbol();
+  const std::size_t n_data = symbols_for_bits(bit_count);
+  if (rx.samples.size() < sps * (n_data + 1)) return std::nullopt;
+
+  auto spectrum = [&](std::size_t symbol_index) {
+    std::vector<dsp::Complex> block(cfg_.fft_size);
+    const std::size_t start = symbol_index * sps + cfg_.cyclic_prefix;
+    for (std::size_t t = 0; t < cfg_.fft_size; ++t) {
+      block[t] = dsp::Complex{rx.samples[start + t], 0.0};
+    }
+    dsp::fft(block);
+    return block;
+  };
+
+  // One-tap equalizer from the pilot.
+  const auto pilot_rx = spectrum(0);
+  const auto pilot_tx = pilot_points();
+  std::vector<dsp::Complex> eq(cfg_.fft_size / 2, dsp::Complex{0.0, 0.0});
+  for (std::size_t k = 1; k < cfg_.fft_size / 2; ++k) {
+    const dsp::Complex ref = pilot_tx[k - 1];
+    if (std::abs(ref) > 1e-12) eq[k] = pilot_rx[k] / ref;
+  }
+
+  std::vector<std::uint8_t> bits;
+  bits.reserve(n_data * cfg_.bits_per_ofdm_symbol());
+  for (std::size_t s = 0; s < n_data; ++s) {
+    const auto freq = spectrum(s + 1);
+    for (std::size_t k = 1; k < cfg_.fft_size / 2; ++k) {
+      dsp::Complex point{0.0, 0.0};
+      if (std::abs(eq[k]) > 1e-12) point = freq[k] / eq[k];
+      const std::uint32_t word =
+          qam_demodulate(point, cfg_.bits_per_symbol);
+      for (std::size_t b = cfg_.bits_per_symbol; b-- > 0;) {
+        bits.push_back(static_cast<std::uint8_t>((word >> b) & 1));
+      }
+    }
+  }
+  bits.resize(bit_count);
+  return bits;
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,96 @@
+// DCO-OFDM: the "advanced modulation" extension (paper Sec. 9).
+//
+// The paper's TX front-end is limited to OOK by the BBB PRU's sampling
+// budget; with faster hardware it suggests OFDM. DC-biased optical OFDM
+// (DCO-OFDM) is the standard intensity-modulation variant: QAM symbols
+// occupy subcarriers 1..N/2-1, Hermitian symmetry forces a real IFFT
+// output, and a DC bias (here: the illumination bias current) shifts the
+// bipolar waveform into the LED's positive-intensity range, with residual
+// negative peaks clipped.
+//
+// Frames consist of one known pilot OFDM symbol (for one-tap per-
+// subcarrier equalization) followed by data symbols, each with a cyclic
+// prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/waveform.hpp"
+
+namespace densevlc::phy {
+
+/// DCO-OFDM parameters.
+struct OfdmConfig {
+  std::size_t fft_size = 64;        ///< N (power of two)
+  std::size_t cyclic_prefix = 8;    ///< samples of CP per OFDM symbol
+  std::size_t bits_per_symbol = 4;  ///< QAM order exponent: 2=4QAM,
+                                    ///< 4=16QAM, 6=64QAM
+  double sample_rate_hz = 2e6;      ///< DAC/ADC rate of the OFDM PHY
+  double bias_current_a = 0.45;     ///< Ib: the DC operating point
+  double swing_scale_a = 0.3;       ///< RMS current of the AC waveform
+                                    ///< (clipped to [0, 2*Ib])
+
+  /// Data-bearing subcarriers: 1 .. N/2 - 1.
+  std::size_t data_subcarriers() const { return fft_size / 2 - 1; }
+
+  /// Payload bits carried by one OFDM data symbol.
+  std::size_t bits_per_ofdm_symbol() const {
+    return data_subcarriers() * bits_per_symbol;
+  }
+};
+
+/// Square-QAM mapping helpers (Gray-coded per axis). Exposed for tests.
+dsp::Complex qam_modulate(std::uint32_t symbol, std::size_t bits);
+std::uint32_t qam_demodulate(dsp::Complex point, std::size_t bits);
+
+/// DCO-OFDM modulator/demodulator pair.
+class OfdmModem {
+ public:
+  /// Throws std::invalid_argument for non-power-of-two FFT sizes or
+  /// unsupported QAM orders (supported: 2, 4, 6 bits per symbol).
+  explicit OfdmModem(const OfdmConfig& cfg);
+
+  const OfdmConfig& config() const { return cfg_; }
+
+  /// Modulates bits into an LED current waveform: [pilot symbol | data
+  /// symbols...], each with cyclic prefix, biased at Ib and clipped to
+  /// the diode's conducting range. Bits are padded with zeros to fill
+  /// the last OFDM symbol.
+  dsp::Waveform modulate(std::span<const std::uint8_t> bits) const;
+
+  /// Demodulates a received waveform (same sample rate, aligned to the
+  /// frame start) back into bits. `bit_count` tells the demodulator how
+  /// many of the recovered bits are payload (the zero padding is
+  /// dropped). The pilot symbol provides the one-tap equalizer, so any
+  /// flat channel gain cancels. Returns nullopt if the waveform is too
+  /// short for even the pilot.
+  std::optional<std::vector<std::uint8_t>> demodulate(
+      const dsp::Waveform& rx, std::size_t bit_count) const;
+
+  /// Number of OFDM data symbols needed for `bit_count` bits.
+  std::size_t symbols_for_bits(std::size_t bit_count) const;
+
+  /// Samples per OFDM symbol including cyclic prefix.
+  std::size_t samples_per_symbol() const {
+    return cfg_.fft_size + cfg_.cyclic_prefix;
+  }
+
+  /// Gross PHY bit rate (payload bits per second of data symbols).
+  double bit_rate_bps() const;
+
+ private:
+  /// Builds the frequency-domain vector for one symbol from QAM points.
+  std::vector<dsp::Complex> load_subcarriers(
+      std::span<const dsp::Complex> points) const;
+
+  /// Known pilot constellation (all subcarriers, deterministic).
+  std::vector<dsp::Complex> pilot_points() const;
+
+  OfdmConfig cfg_;
+};
+
+}  // namespace densevlc::phy

@@ -1,0 +1,141 @@
+#include "phy/ook.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+
+namespace densevlc::phy {
+
+double OokModulator::chip_current(Chip chip) const {
+  const double half = params_.swing_current_a / 2.0;
+  return chip == Chip::kHigh ? params_.bias_current_a + half
+                             : params_.bias_current_a - half;
+}
+
+dsp::Waveform OokModulator::modulate(std::span<const Chip> chips) const {
+  dsp::Waveform wf;
+  wf.sample_rate_hz = params_.sample_rate_hz();
+  wf.samples.reserve(chips.size() * params_.samples_per_chip);
+  for (Chip c : chips) {
+    const double level = chip_current(c);
+    wf.samples.insert(wf.samples.end(), params_.samples_per_chip, level);
+  }
+  return wf;
+}
+
+dsp::Waveform OokModulator::idle(std::size_t idle_chips) const {
+  dsp::Waveform wf;
+  wf.sample_rate_hz = params_.sample_rate_hz();
+  wf.samples.assign(idle_chips * params_.samples_per_chip,
+                    params_.bias_current_a);
+  return wf;
+}
+
+dsp::Waveform OokModulator::modulate_frame(const MacFrame& frame,
+                                           bool include_pilot,
+                                           std::uint8_t tx_id,
+                                           std::size_t guard_chips) const {
+  std::vector<Chip> chips;
+  if (include_pilot) {
+    const auto pilot = pilot_pattern();
+    chips.insert(chips.end(), pilot.begin(), pilot.end());
+    // TX id byte, Manchester-coded, so listeners can verify the leader.
+    const std::uint8_t id_byte[1] = {tx_id};
+    const auto id_bits = bytes_to_bits(id_byte);
+    const auto id_chips = manchester_encode(id_bits);
+    chips.insert(chips.end(), id_chips.begin(), id_chips.end());
+  }
+  const auto body = frame_to_chips(frame);
+  chips.insert(chips.end(), body.begin(), body.end());
+
+  dsp::Waveform wf = idle(guard_chips);
+  const dsp::Waveform data = modulate(chips);
+  wf.samples.insert(wf.samples.end(), data.samples.begin(),
+                    data.samples.end());
+  const dsp::Waveform tail = idle(guard_chips);
+  wf.samples.insert(wf.samples.end(), tail.samples.begin(),
+                    tail.samples.end());
+  return wf;
+}
+
+std::vector<Chip> OokDemodulator::slice_chips(std::span<const double> signal,
+                                              double offset_samples,
+                                              std::size_t count) const {
+  std::vector<Chip> chips;
+  chips.reserve(count);
+  const double spc = samples_per_chip();
+  for (std::size_t i = 0; i < count; ++i) {
+    const double start = offset_samples + static_cast<double>(i) * spc;
+    // Integrate the central half of the chip to dodge edge transients.
+    const auto lo = static_cast<std::size_t>(
+        std::max(0.0, start + 0.25 * spc));
+    const auto hi = static_cast<std::size_t>(
+        std::max(0.0, start + 0.75 * spc));
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t s = lo; s <= hi && s < signal.size(); ++s) {
+      acc += signal[s];
+      ++n;
+    }
+    const double mean = n > 0 ? acc / static_cast<double>(n) : 0.0;
+    chips.push_back(mean > 0.0 ? Chip::kHigh : Chip::kLow);
+  }
+  return chips;
+}
+
+std::vector<double> OokDemodulator::preamble_template() const {
+  const auto pre = preamble_pattern();
+  const double spc = samples_per_chip();
+  const auto total = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(pre.size()) * spc));
+  std::vector<double> tpl(total);
+  for (std::size_t s = 0; s < total; ++s) {
+    const auto chip_idx = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(s) / spc),
+        pre.size() - 1);
+    tpl[s] = pre[chip_idx] == Chip::kHigh ? 1.0 : -1.0;
+  }
+  return tpl;
+}
+
+std::optional<OokDemodulator::RxResult> OokDemodulator::receive_frame(
+    std::span<const double> signal, double min_correlation) const {
+  const auto tpl = preamble_template();
+  const auto peak = dsp::detect_pattern(signal, tpl, min_correlation);
+  if (!peak) return std::nullopt;
+
+  const double spc = samples_per_chip();
+  const double data_start =
+      static_cast<double>(peak->index) +
+      static_cast<double>(kPreambleChips) * spc;
+
+  // First decode the 9 header bytes (9 * 8 bits * 2 chips).
+  const std::size_t header_chips = 9 * 8 * 2;
+  const auto head = slice_chips(signal, data_start, header_chips);
+  auto head_decoded = manchester_decode_lenient(head);
+  const auto head_bytes = bits_to_bytes(head_decoded.bits);
+  if (!head_bytes || head_bytes->size() != 9) return std::nullopt;
+  if ((*head_bytes)[0] != kSfd) return std::nullopt;
+  const std::uint16_t length = static_cast<std::uint16_t>(
+      ((*head_bytes)[1] << 8) | (*head_bytes)[2]);
+  if (length > kMaxPayload) return std::nullopt;
+
+  const std::size_t total_bytes = serialized_frame_bytes(length);
+  const std::size_t total_chips = total_bytes * 8 * 2;
+  const auto all = slice_chips(signal, data_start, total_chips);
+  auto decoded = manchester_decode_lenient(all);
+  const auto bytes = bits_to_bytes(decoded.bits);
+  if (!bytes) return std::nullopt;
+  const auto parsed = parse_frame(*bytes);
+  if (!parsed) return std::nullopt;
+
+  RxResult out;
+  out.parsed = *parsed;
+  out.preamble_at = peak->index;
+  out.correlation = peak->score;
+  out.manchester_violations = decoded.violations;
+  return out;
+}
+
+}  // namespace densevlc::phy

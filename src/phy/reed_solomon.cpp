@@ -1,0 +1,190 @@
+#include "phy/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/gf256.hpp"
+
+namespace densevlc::phy {
+
+namespace gf = gf256;
+
+ReedSolomon::ReedSolomon(std::size_t parity_symbols)
+    : n_parity_{parity_symbols} {
+  if (parity_symbols < 2 || parity_symbols > 254 || parity_symbols % 2 != 0) {
+    throw std::invalid_argument{
+        "ReedSolomon: parity_symbols must be even and in [2, 254]"};
+  }
+  // Generator polynomial g(x) = prod_{i=0}^{2t-1} (x - alpha^i),
+  // descending-degree coefficients.
+  generator_ = {1};
+  for (std::size_t i = 0; i < n_parity_; ++i) {
+    const std::uint8_t root = gf::pow_alpha(static_cast<int>(i));
+    const std::uint8_t factor[2] = {1, root};  // (x + alpha^i); char 2: -=+
+    generator_ = gf::poly_mul(generator_, factor);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    std::span<const std::uint8_t> message) const {
+  if (message.size() + n_parity_ > 255) {
+    throw std::invalid_argument{"ReedSolomon: message too long for GF(256)"};
+  }
+  // Systematic encoding: remainder of message * x^{2t} divided by g(x).
+  std::vector<std::uint8_t> remainder(n_parity_, 0);
+  for (std::uint8_t byte : message) {
+    const std::uint8_t feedback = gf::add(byte, remainder.front());
+    // Shift left by one, feeding in zero.
+    std::rotate(remainder.begin(), remainder.begin() + 1, remainder.end());
+    remainder.back() = 0;
+    if (feedback != 0) {
+      for (std::size_t i = 0; i < n_parity_; ++i) {
+        // generator_[0] == 1; parity taps are generator_[1..2t].
+        remainder[i] = gf::add(remainder[i],
+                               gf::mul(feedback, generator_[i + 1]));
+      }
+    }
+  }
+  std::vector<std::uint8_t> codeword(message.begin(), message.end());
+  codeword.insert(codeword.end(), remainder.begin(), remainder.end());
+  return codeword;
+}
+
+std::optional<RsDecodeResult> ReedSolomon::decode(
+    std::span<const std::uint8_t> codeword) const {
+  if (codeword.size() <= n_parity_ || codeword.size() > 255)
+    return std::nullopt;
+  const std::size_t n = codeword.size();
+  const std::size_t k = n - n_parity_;
+
+  // Syndromes S_i = c(alpha^i), i = 0 .. 2t-1.
+  std::vector<std::uint8_t> syndromes(n_parity_);
+  bool all_zero = true;
+  for (std::size_t i = 0; i < n_parity_; ++i) {
+    syndromes[i] = gf::poly_eval(codeword, gf::pow_alpha(static_cast<int>(i)));
+    all_zero = all_zero && syndromes[i] == 0;
+  }
+  if (all_zero) {
+    return RsDecodeResult{{codeword.begin(), codeword.begin() +
+                                                 static_cast<std::ptrdiff_t>(k)},
+                          0};
+  }
+
+  // Berlekamp-Massey: find the error locator polynomial sigma
+  // (ascending-degree coefficients here; sigma[0] == 1).
+  std::vector<std::uint8_t> sigma{1};
+  std::vector<std::uint8_t> prev_sigma{1};
+  std::size_t errors = 0;  // current LFSR length L
+  std::size_t m = 1;       // steps since last update
+  std::uint8_t prev_discrepancy = 1;
+  for (std::size_t step = 0; step < n_parity_; ++step) {
+    // Discrepancy: d = S_step + sum_{i=1}^{L} sigma_i * S_{step-i}.
+    std::uint8_t d = syndromes[step];
+    for (std::size_t i = 1; i < sigma.size() && i <= step; ++i) {
+      d = gf::add(d, gf::mul(sigma[i], syndromes[step - i]));
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * errors <= step) {
+      // Length change: sigma' = sigma - (d/b) x^m prev_sigma, L' = step+1-L.
+      const std::vector<std::uint8_t> old_sigma = sigma;
+      const std::uint8_t coeff = gf::div(d, prev_discrepancy);
+      std::vector<std::uint8_t> adjust(prev_sigma.size() + m, 0);
+      for (std::size_t i = 0; i < prev_sigma.size(); ++i) {
+        adjust[i + m] = gf::mul(prev_sigma[i], coeff);
+      }
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t i = 0; i < adjust.size(); ++i) {
+        sigma[i] = gf::add(sigma[i], adjust[i]);
+      }
+      errors = step + 1 - errors;
+      prev_sigma = old_sigma;
+      prev_discrepancy = d;
+      m = 1;
+    } else {
+      const std::uint8_t coeff = gf::div(d, prev_discrepancy);
+      std::vector<std::uint8_t> adjust(prev_sigma.size() + m, 0);
+      for (std::size_t i = 0; i < prev_sigma.size(); ++i) {
+        adjust[i + m] = gf::mul(prev_sigma[i], coeff);
+      }
+      if (adjust.size() > sigma.size()) sigma.resize(adjust.size(), 0);
+      for (std::size_t i = 0; i < adjust.size(); ++i) {
+        sigma[i] = gf::add(sigma[i], adjust[i]);
+      }
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const std::size_t num_errors = sigma.size() - 1;
+  if (num_errors == 0 || num_errors > correction_capacity())
+    return std::nullopt;
+
+  // Chien search: roots of sigma are alpha^{-position} for codeword
+  // positions counted from the highest-degree end (position 0 is the
+  // first byte, exponent n-1 in the codeword polynomial).
+  std::vector<std::size_t> error_positions;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const int exponent = static_cast<int>(n - 1 - pos);
+    const std::uint8_t x_inv = gf::pow_alpha(-exponent);
+    // Evaluate sigma (ascending order) at x_inv.
+    std::uint8_t acc = 0;
+    for (std::size_t i = sigma.size(); i-- > 0;) {
+      acc = gf::add(gf::mul(acc, x_inv), sigma[i]);
+    }
+    if (acc == 0) error_positions.push_back(pos);
+  }
+  if (error_positions.size() != num_errors) return std::nullopt;
+
+  // Forney: error magnitudes from the error evaluator polynomial
+  // omega(x) = [S(x) * sigma(x)] mod x^{2t}  (ascending order).
+  std::vector<std::uint8_t> omega(n_parity_, 0);
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    for (std::size_t j = 0; j + i < n_parity_ && j < syndromes.size(); ++j) {
+      omega[i + j] = gf::add(omega[i + j], gf::mul(sigma[i], syndromes[j]));
+    }
+  }
+  // Formal derivative of sigma: keep odd-degree terms shifted down.
+  std::vector<std::uint8_t> sigma_deriv;
+  for (std::size_t i = 1; i < sigma.size(); i += 2) {
+    sigma_deriv.push_back(sigma[i]);
+  }
+
+  std::vector<std::uint8_t> corrected(codeword.begin(), codeword.end());
+  for (std::size_t pos : error_positions) {
+    const int exponent = static_cast<int>(n - 1 - pos);
+    const std::uint8_t x_inv = gf::pow_alpha(-exponent);
+    // omega(x_inv), ascending evaluation.
+    std::uint8_t num = 0;
+    for (std::size_t i = omega.size(); i-- > 0;) {
+      num = gf::add(gf::mul(num, x_inv), omega[i]);
+    }
+    // sigma'(x_inv): derivative has only even powers of x_inv left after
+    // the shift; evaluate at x_inv^2.
+    const std::uint8_t x_inv2 = gf::mul(x_inv, x_inv);
+    std::uint8_t den = 0;
+    for (std::size_t i = sigma_deriv.size(); i-- > 0;) {
+      den = gf::add(gf::mul(den, x_inv2), sigma_deriv[i]);
+    }
+    if (den == 0) return std::nullopt;
+    // With syndromes anchored at alpha^0 (b = 0), Forney's formula carries
+    // an extra factor X_j^{1-b} = X_j = alpha^{exponent}.
+    const std::uint8_t magnitude =
+        gf::mul(gf::div(num, den), gf::pow_alpha(exponent));
+    corrected[pos] = gf::add(corrected[pos], magnitude);
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  for (std::size_t i = 0; i < n_parity_; ++i) {
+    if (gf::poly_eval(corrected, gf::pow_alpha(static_cast<int>(i))) != 0) {
+      return std::nullopt;
+    }
+  }
+
+  return RsDecodeResult{
+      {corrected.begin(), corrected.begin() + static_cast<std::ptrdiff_t>(k)},
+      error_positions.size()};
+}
+
+}  // namespace densevlc::phy

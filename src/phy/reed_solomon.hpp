@@ -1,0 +1,58 @@
+// Systematic Reed-Solomon codec over GF(2^8).
+//
+// DenseVLC's frame format (paper Table 3) appends 16 parity bytes per
+// ceil(x/200) block of payload, i.e. a shortened RS(216, 200) code per
+// block that corrects up to 8 byte errors. This codec implements the
+// general RS(n, k) machinery — encoder via LFSR division by the generator
+// polynomial, decoder via syndromes, Berlekamp-Massey, Chien search and
+// Forney's algorithm — and the frame layer instantiates it with 16 parity
+// symbols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace densevlc::phy {
+
+/// Outcome of a successful decode.
+struct RsDecodeResult {
+  std::vector<std::uint8_t> data;   ///< corrected message (k' bytes)
+  std::size_t corrected_errors = 0; ///< number of byte positions fixed
+};
+
+/// A Reed-Solomon code with a fixed number of parity symbols.
+///
+/// Message length is flexible per call (shortened code): any k with
+/// k + parity <= 255 is accepted.
+class ReedSolomon {
+ public:
+  /// Creates a codec adding `parity_symbols` bytes (must be even and in
+  /// [2, 254]; throws std::invalid_argument otherwise). Correction
+  /// capacity is parity_symbols / 2 byte errors.
+  explicit ReedSolomon(std::size_t parity_symbols);
+
+  /// Number of parity bytes appended per codeword.
+  std::size_t parity_symbols() const { return n_parity_; }
+
+  /// Maximum number of correctable byte errors per codeword.
+  std::size_t correction_capacity() const { return n_parity_ / 2; }
+
+  /// Encodes a message of up to 255 - parity_symbols() bytes. Returns
+  /// message followed by parity (systematic). Throws std::invalid_argument
+  /// on over-long messages.
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> message) const;
+
+  /// Decodes a codeword (message + parity). Returns the corrected message
+  /// or nullopt when more than correction_capacity() errors corrupted the
+  /// word (decode failure).
+  std::optional<RsDecodeResult> decode(
+      std::span<const std::uint8_t> codeword) const;
+
+ private:
+  std::size_t n_parity_;
+  std::vector<std::uint8_t> generator_;  // descending-degree coefficients
+};
+
+}  // namespace densevlc::phy

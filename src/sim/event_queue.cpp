@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace densevlc::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace_back(id, std::move(cb));
+  return id;
+}
+
+std::uint64_t Simulator::schedule_in(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+Simulator::Callback* Simulator::find_callback(std::uint64_t id) {
+  for (auto& [cb_id, cb] : callbacks_) {
+    if (cb_id == id) return &cb;
+  }
+  return nullptr;
+}
+
+void Simulator::erase_callback(std::uint64_t id) {
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [id](const auto& p) { return p.first == id; }),
+      callbacks_.end());
+}
+
+bool Simulator::cancel(std::uint64_t id) {
+  if (find_callback(id) == nullptr) return false;
+  erase_callback(id);
+  ++cancelled_count_;  // its queue entry becomes a tombstone
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    Callback* cb = find_callback(ev.id);
+    if (cb == nullptr) {
+      // Cancelled tombstone.
+      if (cancelled_count_ > 0) --cancelled_count_;
+      continue;
+    }
+    Callback run = std::move(*cb);
+    erase_callback(ev.id);
+    now_ = ev.when;
+    run();
+    ++executed;
+  }
+  if (now_ < limit) now_ = limit;
+  return executed;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    Callback* cb = find_callback(ev.id);
+    if (cb == nullptr) {
+      if (cancelled_count_ > 0) --cancelled_count_;
+      continue;
+    }
+    Callback run = std::move(*cb);
+    erase_callback(ev.id);
+    now_ = ev.when;
+    run();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace densevlc::sim

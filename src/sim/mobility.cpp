@@ -1,0 +1,80 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace densevlc::sim {
+
+WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
+    : waypoints_{std::move(waypoints)} {
+  if (waypoints_.empty()) {
+    throw std::invalid_argument{"WaypointMobility: need >= 1 waypoint"};
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].time_s <= waypoints_[i - 1].time_s) {
+      throw std::invalid_argument{
+          "WaypointMobility: times must be strictly increasing"};
+    }
+  }
+}
+
+geom::Vec3 WaypointMobility::position(double t_s) const {
+  if (t_s <= waypoints_.front().time_s) return waypoints_.front().pos;
+  if (t_s >= waypoints_.back().time_s) return waypoints_.back().pos;
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (t_s <= waypoints_[i].time_s) {
+      const auto& a = waypoints_[i - 1];
+      const auto& b = waypoints_[i];
+      const double f = (t_s - a.time_s) / (b.time_s - a.time_s);
+      return a.pos + (b.pos - a.pos) * f;
+    }
+  }
+  return waypoints_.back().pos;
+}
+
+RandomWalkMobility::RandomWalkMobility(geom::Vec3 start, double speed_mps,
+                                       double heading_interval_s,
+                                       const geom::Room& room,
+                                       double duration_s,
+                                       std::uint64_t seed) {
+  Rng rng{seed};
+  const auto ticks =
+      static_cast<std::size_t>(std::ceil(duration_s / tick_s_)) + 1;
+  track_.reserve(ticks);
+  geom::Vec3 pos = start;
+  double heading = rng.uniform(0.0, 2.0 * kPi);
+  double until_turn = heading_interval_s;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    track_.push_back(pos);
+    until_turn -= tick_s_;
+    if (until_turn <= 0.0) {
+      heading = rng.uniform(0.0, 2.0 * kPi);
+      until_turn = heading_interval_s;
+    }
+    double nx = pos.x + speed_mps * tick_s_ * std::cos(heading);
+    double ny = pos.y + speed_mps * tick_s_ * std::sin(heading);
+    // Reflect off the walls.
+    if (nx < 0.0 || nx > room.width) {
+      heading = kPi - heading;
+      nx = std::clamp(nx, 0.0, room.width);
+    }
+    if (ny < 0.0 || ny > room.depth) {
+      heading = -heading;
+      ny = std::clamp(ny, 0.0, room.depth);
+    }
+    pos.x = nx;
+    pos.y = ny;
+  }
+}
+
+geom::Vec3 RandomWalkMobility::position(double t_s) const {
+  if (track_.empty()) return {};
+  auto idx = static_cast<std::size_t>(std::max(0.0, t_s) / tick_s_);
+  idx = std::min(idx, track_.size() - 1);
+  return track_[idx];
+}
+
+}  // namespace densevlc::sim

@@ -1,0 +1,103 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace densevlc::sim {
+
+std::vector<geom::Pose> Testbed::tx_poses() const {
+  return geom::make_ceiling_grid(room, grid);
+}
+
+std::vector<geom::Pose> Testbed::rx_poses(
+    const std::vector<geom::Vec3>& xy) const {
+  std::vector<geom::Pose> poses;
+  poses.reserve(xy.size());
+  for (const auto& p : xy) {
+    poses.push_back(geom::floor_pose(p.x, p.y, rx_height_m));
+  }
+  return poses;
+}
+
+channel::ChannelMatrix Testbed::channel_for(
+    const std::vector<geom::Vec3>& rx_xy) const {
+  return channel::ChannelMatrix::from_geometry(tx_poses(), rx_poses(rx_xy),
+                                               emitter, pd);
+}
+
+channel::ChannelMatrix Testbed::channel_for_poses(
+    const std::vector<geom::Pose>& rx) const {
+  return channel::ChannelMatrix::from_geometry(tx_poses(), rx, emitter, pd);
+}
+
+namespace {
+
+Testbed make_testbed(double mount_height, double rx_height) {
+  Testbed tb;
+  tb.room = geom::Room{3.0, 3.0, std::max(mount_height, 2.8)};
+  tb.grid = geom::GridSpec{6, 6, 0.5, mount_height};
+  tb.rx_height_m = rx_height;
+  tb.emitter.half_power_semi_angle_rad = units::deg_to_rad(15.0);
+  tb.pd = optics::Photodiode{};  // Table 1 defaults
+  tb.led = optics::LedModel{optics::LedElectrical{},
+                            optics::LedOperatingPoint{0.45, 0.9}};
+  tb.budget = channel::LinkBudget::from_led(tb.led, 0.4, 7.02e-23, 1e6);
+  return tb;
+}
+
+}  // namespace
+
+Testbed make_simulation_testbed() { return make_testbed(2.8, 0.8); }
+
+Testbed make_experimental_testbed() { return make_testbed(2.0, 0.0); }
+
+std::vector<geom::Vec3> fig7_rx_positions() {
+  return {{0.92, 0.92, 0.0},
+          {1.65, 0.65, 0.0},
+          {0.72, 1.93, 0.0},
+          {1.99, 1.69, 0.0}};
+}
+
+std::vector<geom::Vec3> scenario1_rx_positions() {
+  return {{0.50, 0.50, 0.0},
+          {2.50, 0.50, 0.0},
+          {0.50, 2.50, 0.0},
+          {2.50, 2.50, 0.0}};
+}
+
+std::vector<geom::Vec3> scenario3_rx_positions() {
+  return {{0.75, 0.75, 0.0},
+          {1.75, 0.75, 0.0},
+          {0.75, 1.75, 0.0},
+          {1.75, 1.75, 0.0}};
+}
+
+std::vector<std::vector<geom::Vec3>> random_instances(std::size_t count,
+                                                      double radius_m,
+                                                      const geom::Room& room,
+                                                      std::uint64_t seed) {
+  const auto anchors = fig7_rx_positions();
+  Rng rng{seed};
+  std::vector<std::vector<geom::Vec3>> instances;
+  instances.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<geom::Vec3> rxs;
+    rxs.reserve(anchors.size());
+    for (const auto& anchor : anchors) {
+      // Uniform in a disc: r = R sqrt(u).
+      const double r = radius_m * std::sqrt(rng.uniform());
+      const double theta = rng.uniform(0.0, 2.0 * kPi);
+      geom::Vec3 p{anchor.x + r * std::cos(theta),
+                   anchor.y + r * std::sin(theta), 0.0};
+      p.x = std::clamp(p.x, 0.0, room.width);
+      p.y = std::clamp(p.y, 0.0, room.depth);
+      rxs.push_back(p);
+    }
+    instances.push_back(std::move(rxs));
+  }
+  return instances;
+}
+
+}  // namespace densevlc::sim

@@ -1,0 +1,16 @@
+#include "sync/clock.hpp"
+
+namespace densevlc::sync {
+
+ClockModel ClockModel::draw(const ClockPopulation& pop, Rng& rng) {
+  return ClockModel{rng.gaussian(0.0, pop.offset_stddev_s),
+                    rng.gaussian(0.0, pop.drift_ppm_stddev),
+                    pop.jitter_stddev_s};
+}
+
+ClockModel ClockModel::corrected(double residual_sigma, Rng& rng) const {
+  return ClockModel{rng.gaussian(0.0, residual_sigma), drift_ppm_,
+                    jitter_stddev_s_};
+}
+
+}  // namespace densevlc::sync

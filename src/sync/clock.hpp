@@ -1,0 +1,66 @@
+// Local-clock error model for the embedded transmitters.
+//
+// Each BBB-driven TX owns a free-running oscillator with a fixed offset
+// from true time, a frequency error (drift, in parts per million) and
+// white sampling jitter. Synchronization protocols differ only in how
+// tightly they bound the offset that remains after correction; the clock
+// model is shared.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace densevlc::sync {
+
+/// Distribution parameters for a population of clocks.
+struct ClockPopulation {
+  double offset_stddev_s = 5e-6;  ///< residual offset sigma after sync
+  double drift_ppm_stddev = 10.0; ///< oscillator frequency error sigma
+  double jitter_stddev_s = 0.2e-6;///< per-event scheduling jitter sigma
+};
+
+/// One realized clock.
+class ClockModel {
+ public:
+  ClockModel() = default;
+
+  /// Draws a clock from the population.
+  static ClockModel draw(const ClockPopulation& pop, Rng& rng);
+
+  /// Explicit construction (tests).
+  ClockModel(double offset_s, double drift_ppm, double jitter_stddev_s)
+      : offset_s_{offset_s},
+        drift_ppm_{drift_ppm},
+        jitter_stddev_s_{jitter_stddev_s} {}
+
+  /// The local timestamp this clock shows at true time `t_true` [s].
+  double local_time(double t_true_s) const {
+    return t_true_s + offset_s_ + drift_ppm_ * 1e-6 * t_true_s;
+  }
+
+  /// The true time at which this clock's local reading crosses
+  /// `t_local_s` — i.e. when a "transmit at T" order actually fires.
+  double true_time_of_local(double t_local_s) const {
+    return (t_local_s - offset_s_) / (1.0 + drift_ppm_ * 1e-6);
+  }
+
+  /// One realization of an event scheduled at local time `t_local_s`,
+  /// including per-event jitter.
+  double fire_time(double t_local_s, Rng& rng) const {
+    return true_time_of_local(t_local_s) +
+           rng.gaussian(0.0, jitter_stddev_s_);
+  }
+
+  double offset() const { return offset_s_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+  /// Returns a copy with the offset reduced to `residual_sigma` (what a
+  /// time-sync protocol achieves), keeping drift and jitter.
+  ClockModel corrected(double residual_sigma, Rng& rng) const;
+
+ private:
+  double offset_s_ = 0.0;
+  double drift_ppm_ = 0.0;
+  double jitter_stddev_s_ = 0.0;
+};
+
+}  // namespace densevlc::sync

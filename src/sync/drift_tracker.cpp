@@ -1,0 +1,51 @@
+#include "sync/drift_tracker.hpp"
+
+namespace densevlc::sync {
+
+void DriftTracker::observe(double nominal_s, double local_s) {
+  samples_.push_back({nominal_s, local_s});
+  while (samples_.size() > window_) samples_.pop_front();
+}
+
+double DriftTracker::drift_ppm() const {
+  if (samples_.size() < 2) return 0.0;
+  // Least-squares slope of local over nominal.
+  double mean_n = 0.0;
+  double mean_l = 0.0;
+  for (const auto& s : samples_) {
+    mean_n += s.nominal;
+    mean_l += s.local;
+  }
+  const auto count = static_cast<double>(samples_.size());
+  mean_n /= count;
+  mean_l /= count;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : samples_) {
+    num += (s.nominal - mean_n) * (s.local - mean_l);
+    den += (s.nominal - mean_n) * (s.nominal - mean_n);
+  }
+  if (den <= 0.0) return 0.0;
+  return (num / den - 1.0) * 1e6;
+}
+
+double DriftTracker::predict_local(double nominal_s) const {
+  if (samples_.empty()) return nominal_s;
+  const auto& last = samples_.back();
+  if (samples_.size() < 2) {
+    // Offset-only: assume nominal rate.
+    return last.local + (nominal_s - last.nominal);
+  }
+  const double rate = 1.0 + drift_ppm() * 1e-6;
+  return last.local + (nominal_s - last.nominal) * rate;
+}
+
+double DriftTracker::prediction_error(double nominal_s,
+                                      double true_drift_ppm,
+                                      double true_offset_s) const {
+  const double true_local =
+      true_offset_s + nominal_s * (1.0 + true_drift_ppm * 1e-6);
+  return predict_local(nominal_s) - true_local;
+}
+
+}  // namespace densevlc::sync

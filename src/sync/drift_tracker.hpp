@@ -1,0 +1,62 @@
+// Drift tracking between synchronization pilots.
+//
+// One NLOS pilot aligns a follower's *phase*; its oscillator still runs
+// at a slightly wrong *rate* (tens of ppm), so alignment decays until
+// the next pilot. A follower that remembers successive pilot arrivals
+// can estimate its rate error against the leader and extrapolate between
+// pilots — stretching the usable re-sync interval by an order of
+// magnitude. This module implements that estimator (least-squares slope
+// over a sliding window of pilot observations) and quantifies the
+// residual alignment error as a function of the pilot period.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace densevlc::sync {
+
+/// Online drift estimator over pilot observations.
+///
+/// Each observation pairs the follower's local receive timestamp with
+/// the pilot's nominal (leader-schedule) time. The slope of local-vs-
+/// nominal minus one is the rate error; predictions extrapolate the
+/// latest observation with the estimated rate.
+class DriftTracker {
+ public:
+  /// `window` bounds how many past pilots inform the fit (>= 2 for a
+  /// slope; older observations age out).
+  explicit DriftTracker(std::size_t window = 8) : window_{window} {}
+
+  /// Records a pilot: the follower clock read `local_s` when the leader
+  /// schedule says `nominal_s`.
+  void observe(double nominal_s, double local_s);
+
+  /// Number of observations currently in the window.
+  std::size_t observations() const { return samples_.size(); }
+
+  /// Estimated rate error in parts per million (0 until two
+  /// observations exist).
+  double drift_ppm() const;
+
+  /// Predicts the follower-local time corresponding to leader-nominal
+  /// time `nominal_s`, extrapolating drift from the window. With fewer
+  /// than two observations, falls back to offset-only prediction (or
+  /// the identity when empty).
+  double predict_local(double nominal_s) const;
+
+  /// Alignment error at `nominal_s` if the follower fires by
+  /// prediction while its true clock runs at `true_drift_ppm` with
+  /// offset `true_offset_s` [s].
+  double prediction_error(double nominal_s, double true_drift_ppm,
+                          double true_offset_s) const;
+
+ private:
+  struct Sample {
+    double nominal;
+    double local;
+  };
+  std::size_t window_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace densevlc::sync

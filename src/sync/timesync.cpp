@@ -1,0 +1,73 @@
+#include "sync/timesync.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace densevlc::sync {
+
+PairStart draw_pair_start(SyncMethod method, const TimeSyncConfig& cfg,
+                          Rng& rng) {
+  PairStart out;
+  out.drift_a_ppm = rng.gaussian(0.0, cfg.drift_ppm_stddev);
+  out.drift_b_ppm = rng.gaussian(0.0, cfg.drift_ppm_stddev);
+  switch (method) {
+    case SyncMethod::kNone: {
+      // Fire on multicast arrival: exponential delivery tails dominate.
+      auto exp_draw = [&] {
+        double u;
+        do {
+          u = rng.uniform();
+        } while (u <= 0.0);
+        return -cfg.delivery_jitter_mean_s * std::log(u);
+      };
+      out.tx_a_s = exp_draw() + rng.gaussian(0.0, cfg.event_jitter_sigma_s);
+      out.tx_b_s = exp_draw() + rng.gaussian(0.0, cfg.event_jitter_sigma_s);
+      break;
+    }
+    case SyncMethod::kNtpPtp: {
+      // Fire at an absolute local timestamp: residual clock offsets.
+      out.tx_a_s = rng.gaussian(0.0, cfg.ntp_ptp_residual_sigma_s) +
+                   rng.gaussian(0.0, cfg.event_jitter_sigma_s);
+      out.tx_b_s = rng.gaussian(0.0, cfg.ntp_ptp_residual_sigma_s) +
+                   rng.gaussian(0.0, cfg.event_jitter_sigma_s);
+      break;
+    }
+  }
+  return out;
+}
+
+double measure_sync_delay(SyncMethod method, const TimeSyncConfig& cfg,
+                          double symbol_rate_hz,
+                          std::size_t symbols_per_frame, std::size_t frames,
+                          Rng& rng) {
+  const double period = 1.0 / symbol_rate_hz;
+  std::vector<double> medians;
+  medians.reserve(frames);
+  std::vector<double> diffs;
+  diffs.reserve(symbols_per_frame);
+  for (std::size_t f = 0; f < frames; ++f) {
+    const PairStart start = draw_pair_start(method, cfg, rng);
+    diffs.clear();
+    for (std::size_t k = 0; k < symbols_per_frame; ++k) {
+      const double edge_a =
+          start.tx_a_s +
+          static_cast<double>(k) * period * (1.0 + start.drift_a_ppm * 1e-6);
+      const double edge_b =
+          start.tx_b_s +
+          static_cast<double>(k) * period * (1.0 + start.drift_b_ppm * 1e-6);
+      diffs.push_back(std::fabs(edge_a - edge_b));
+    }
+    medians.push_back(stats::median(diffs));
+  }
+  return stats::mean(medians);
+}
+
+double max_symbol_rate_for_overlap(double delay_s, double overlap_fraction) {
+  if (delay_s <= 0.0) return 0.0;
+  // delay <= overlap_fraction * (1 / rate)  =>  rate <= overlap / delay.
+  return overlap_fraction / delay_s;
+}
+
+}  // namespace densevlc::sync

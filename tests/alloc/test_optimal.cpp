@@ -1,0 +1,160 @@
+// Tests for the projected-gradient optimal solver (paper Eq. 5-7).
+#include "alloc/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/assignment.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc::alloc {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  OptimalSolverConfig cfg{};
+};
+
+TEST(Gradient, MatchesFiniteDifferences) {
+  Fixture f;
+  channel::Allocation a{36, 4};
+  // A generic interior point with several active entries.
+  a.set_swing(7, 0, 0.4);
+  a.set_swing(13, 0, 0.2);
+  a.set_swing(9, 1, 0.5);
+  a.set_swing(19, 2, 0.3);
+  a.set_swing(21, 3, 0.45);
+
+  std::vector<double> grad;
+  utility_gradient(f.h, a, f.tb.budget, grad);
+
+  const double eps = 1e-6;
+  for (const auto [j, k] : {std::pair<std::size_t, std::size_t>{7, 0},
+                            {13, 0},
+                            {9, 1},
+                            {19, 2},
+                            {21, 3}}) {
+    channel::Allocation up = a;
+    up.set_swing(j, k, a.swing(j, k) + eps);
+    channel::Allocation down = a;
+    down.set_swing(j, k, std::max(0.0, a.swing(j, k) - eps));
+    const double numeric =
+        (channel::sum_log_utility(f.h, up, f.tb.budget) -
+         channel::sum_log_utility(f.h, down, f.tb.budget)) /
+        (up.swing(j, k) - down.swing(j, k));
+    const double analytic = grad[j * 4 + k];
+    EXPECT_NEAR(analytic, numeric,
+                std::max(1e-6, std::fabs(numeric) * 1e-3))
+        << "entry (" << j << "," << k << ")";
+  }
+
+  // At zero swing the one-sided derivative is exactly zero (dq/dI = I/2):
+  // the analytic gradient must report that, not a finite-difference ghost.
+  EXPECT_DOUBLE_EQ(grad[9 * 4 + 0], 0.0);
+  EXPECT_DOUBLE_EQ(grad[0 * 4 + 0], 0.0);
+}
+
+TEST(Projection, EnforcesAllConstraints) {
+  Fixture f;
+  channel::Allocation a{36, 4};
+  for (auto& v : a.data()) v = 0.5;  // wildly infeasible
+  project_feasible(a, 1.0, 0.9, f.tb.budget);
+  for (std::size_t j = 0; j < 36; ++j) {
+    EXPECT_LE(a.tx_total_swing(j), 0.9 + 1e-9);
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_GE(a.swing(j, k), 0.0);
+  }
+  EXPECT_LE(channel::total_comm_power(a, f.tb.budget), 1.0 + 1e-9);
+}
+
+TEST(Projection, FeasiblePointUntouched) {
+  Fixture f;
+  channel::Allocation a{36, 4};
+  a.set_swing(7, 0, 0.9);
+  const auto before = a.data();
+  project_feasible(a, 1.0, 0.9, f.tb.budget);
+  EXPECT_EQ(a.data(), before);
+}
+
+TEST(Projection, ClampsNegatives) {
+  Fixture f;
+  channel::Allocation a{2, 2};
+  a.set_swing(0, 0, -0.5);
+  a.set_swing(1, 1, 0.3);
+  project_feasible(a, 10.0, 0.9, f.tb.budget);
+  EXPECT_DOUBLE_EQ(a.swing(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.swing(1, 1), 0.3);
+}
+
+TEST(Solver, SolutionIsFeasible) {
+  Fixture f;
+  f.cfg.max_iterations = 150;
+  const auto res = solve_optimal(f.h, 1.2, f.tb.budget, f.cfg);
+  EXPECT_LE(res.power_used_w, 1.2 + 1e-6);
+  for (std::size_t j = 0; j < 36; ++j) {
+    EXPECT_LE(res.allocation.tx_total_swing(j), 0.9 + 1e-9);
+  }
+}
+
+TEST(Solver, NeverWorseThanHeuristic) {
+  Fixture f;
+  f.cfg.max_iterations = 150;
+  for (double budget : {0.3, 0.8, 1.5}) {
+    const auto opt = solve_optimal(f.h, budget, f.tb.budget, f.cfg);
+    AssignmentOptions opts;
+    opts.allow_partial_tail = true;
+    const auto heur = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, opts);
+    const double heur_utility =
+        channel::sum_log_utility(f.h, heur.allocation, f.tb.budget);
+    EXPECT_GE(opt.utility, heur_utility - 1e-9) << "budget " << budget;
+  }
+}
+
+TEST(Solver, HeuristicLossIsSmall) {
+  // Paper Sec. 5: the kappa = 1.3 heuristic loses only ~1.8% of system
+  // throughput versus the optimum. Check the loss stays single-digit
+  // percent on the Fig. 7 instance at the paper's mid budget.
+  Fixture f;
+  const auto opt = solve_optimal(f.h, 1.2, f.tb.budget, f.cfg);
+  AssignmentOptions opts;
+  const auto heur = heuristic_allocate(f.h, 1.3, 1.2, f.tb.budget, opts);
+  auto sum_tput = [&](const channel::Allocation& a) {
+    double sum = 0.0;
+    for (double t : channel::throughput_bps(f.h, a, f.tb.budget)) sum += t;
+    return sum;
+  };
+  const double loss =
+      1.0 - sum_tput(heur.allocation) / sum_tput(opt.allocation);
+  EXPECT_LT(loss, 0.10);
+}
+
+TEST(Solver, UtilityGrowsWithBudget) {
+  Fixture f;
+  f.cfg.max_iterations = 120;
+  double prev = -1e300;
+  for (double budget : {0.2, 0.6, 1.2}) {
+    const auto res = solve_optimal(f.h, budget, f.tb.budget, f.cfg);
+    EXPECT_GE(res.utility, prev - 1e-9);
+    prev = res.utility;
+  }
+}
+
+TEST(Solver, ZeroBudgetGivesZeroPower) {
+  Fixture f;
+  f.cfg.max_iterations = 30;
+  const auto res = solve_optimal(f.h, 0.0, f.tb.budget, f.cfg);
+  EXPECT_NEAR(res.power_used_w, 0.0, 1e-12);
+}
+
+TEST(Solver, DeterministicGivenSeed) {
+  Fixture f;
+  f.cfg.max_iterations = 60;
+  const auto a = solve_optimal(f.h, 0.8, f.tb.budget, f.cfg);
+  const auto b = solve_optimal(f.h, 0.8, f.tb.budget, f.cfg);
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  EXPECT_EQ(a.allocation.data(), b.allocation.data());
+}
+
+}  // namespace
+}  // namespace densevlc::alloc

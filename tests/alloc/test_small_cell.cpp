@@ -1,0 +1,96 @@
+// Tests for the small-cell baseline.
+#include "alloc/small_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/assignment.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc::alloc {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_experimental_testbed();
+  CellPartition cells{tb.room, 2, 2};
+  std::vector<geom::Vec3> rx_xy = sim::scenario1_rx_positions();
+  channel::ChannelMatrix h = tb.channel_for(rx_xy);
+};
+
+TEST(CellPartition, MapsQuadrants) {
+  const CellPartition cells{geom::Room{3.0, 3.0, 2.8}, 2, 2};
+  EXPECT_EQ(cells.cell_of(0.5, 0.5), 0u);
+  EXPECT_EQ(cells.cell_of(2.5, 0.5), 1u);
+  EXPECT_EQ(cells.cell_of(0.5, 2.5), 2u);
+  EXPECT_EQ(cells.cell_of(2.5, 2.5), 3u);
+  // Out-of-room clamps.
+  EXPECT_EQ(cells.cell_of(-1.0, -1.0), 0u);
+  EXPECT_EQ(cells.cell_of(9.0, 9.0), 3u);
+}
+
+TEST(SmallCell, ServesEachRxFromOwnCellOnly) {
+  Fixture f;
+  const auto res = small_cell_allocate(f.h, f.cells, f.tb.tx_poses(),
+                                       f.rx_xy, 1.2, 0.9, f.tb.budget);
+  const auto tx_poses = f.tb.tx_poses();
+  for (std::size_t j = 0; j < f.h.num_tx(); ++j) {
+    for (std::size_t k = 0; k < f.h.num_rx(); ++k) {
+      if (res.allocation.swing(j, k) > 0.0) {
+        EXPECT_EQ(f.cells.cell_of(tx_poses[j].position.x,
+                                  tx_poses[j].position.y),
+                  res.rx_cell[k])
+            << "TX " << j << " serves RX " << k << " across cells";
+      }
+    }
+  }
+}
+
+TEST(SmallCell, BudgetSplitAcrossOccupiedCells) {
+  Fixture f;
+  const double budget = 0.5;
+  const auto res = small_cell_allocate(f.h, f.cells, f.tb.tx_poses(),
+                                       f.rx_xy, budget, 0.9, f.tb.budget);
+  EXPECT_LE(res.power_used_w, budget + 1e-9);
+  // Scenario 1 has one RX per quadrant: all four cells occupied, so each
+  // gets 0.125 W = 2 full-swing TXs.
+  const double per_tx = full_swing_tx_power(0.9, f.tb.budget);
+  const auto expected_per_cell =
+      static_cast<std::size_t>(budget / 4.0 / per_tx);
+  for (std::size_t k = 0; k < 4; ++k) {
+    std::size_t servers = 0;
+    for (std::size_t j = 0; j < f.h.num_tx(); ++j) {
+      if (res.allocation.swing(j, k) > 0.0) ++servers;
+    }
+    EXPECT_EQ(servers, expected_per_cell) << "RX " << k;
+  }
+}
+
+TEST(SmallCell, EmptyRoomAllocatesNothing) {
+  Fixture f;
+  const auto h_empty = f.tb.channel_for({});
+  const auto res = small_cell_allocate(h_empty, f.cells, f.tb.tx_poses(),
+                                       {}, 1.2, 0.9, f.tb.budget);
+  EXPECT_DOUBLE_EQ(res.power_used_w, 0.0);
+}
+
+TEST(SmallCell, CellFreeBeatsSmallCellAtBoundary) {
+  // The cell-free pitch: an RX standing on a cell boundary is served by
+  // neighbours from both sides under DenseVLC, but only by its own
+  // (half-empty) cell under small cells.
+  Fixture f;
+  const std::vector<geom::Vec3> boundary_rx{{1.5, 0.75, 0.0}};
+  const auto h = f.tb.channel_for(boundary_rx);
+  const double budget = 0.3;
+
+  const auto cellular = small_cell_allocate(
+      h, f.cells, f.tb.tx_poses(), boundary_rx, budget, 0.9, f.tb.budget);
+  AssignmentOptions opts;
+  const auto dense = heuristic_allocate(h, 1.3, budget, f.tb.budget, opts);
+
+  auto tput = [&](const channel::Allocation& a) {
+    return channel::throughput_bps(h, a, f.tb.budget)[0];
+  };
+  EXPECT_GT(tput(dense.allocation), tput(cellular.allocation));
+}
+
+}  // namespace
+}  // namespace densevlc::alloc

@@ -1,0 +1,117 @@
+// Tests for the Gauss-Markov link fading model.
+#include "channel/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace densevlc::channel {
+namespace {
+
+TEST(Fading, StationaryMeanAndSigma) {
+  FadingConfig cfg;
+  cfg.sigma = 0.1;
+  GaussMarkovFading fading{6, 6, cfg, Rng{1}};
+  std::vector<double> samples;
+  for (int step = 0; step < 4000; ++step) {
+    fading.step(0.1);
+    samples.push_back(fading.factor(2, 3));
+  }
+  EXPECT_NEAR(stats::mean(samples), 1.0, 0.02);
+  EXPECT_NEAR(stats::stddev(samples), 0.1, 0.02);
+}
+
+TEST(Fading, FactorsNonNegative) {
+  FadingConfig cfg;
+  cfg.sigma = 0.8;  // violent fading: clamping must engage
+  GaussMarkovFading fading{4, 4, cfg, Rng{2}};
+  for (int step = 0; step < 500; ++step) {
+    fading.step(0.05);
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_GE(fading.factor(j, k), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Fading, TemporalCorrelationDecays) {
+  FadingConfig cfg;
+  cfg.sigma = 0.2;
+  cfg.correlation_time_s = 1.0;
+  GaussMarkovFading fading{1, 1, cfg, Rng{3}};
+  // Lag-1 autocorrelation at dt = 0.1 should be ~exp(-0.1) = 0.905;
+  // at dt = 2.0 it should be ~exp(-2) = 0.135.
+  auto measure_corr = [&](double dt) {
+    std::vector<double> a;
+    std::vector<double> b;
+    double prev = fading.factor(0, 0);
+    for (int i = 0; i < 6000; ++i) {
+      fading.step(dt);
+      const double cur = fading.factor(0, 0);
+      a.push_back(prev - 1.0);
+      b.push_back(cur - 1.0);
+      prev = cur;
+    }
+    double num = 0.0;
+    double den_a = 0.0;
+    double den_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      num += a[i] * b[i];
+      den_a += a[i] * a[i];
+      den_b += b[i] * b[i];
+    }
+    return num / std::sqrt(den_a * den_b);
+  };
+  EXPECT_NEAR(measure_corr(0.1), std::exp(-0.1), 0.05);
+  EXPECT_NEAR(measure_corr(2.0), std::exp(-2.0), 0.08);
+}
+
+TEST(Fading, ZeroDtIsNoOp) {
+  GaussMarkovFading fading{2, 2, FadingConfig{}, Rng{4}};
+  const double before = fading.factor(1, 1);
+  fading.step(0.0);
+  fading.step(-1.0);
+  EXPECT_DOUBLE_EQ(fading.factor(1, 1), before);
+}
+
+TEST(Fading, AppliesMultiplicatively) {
+  GaussMarkovFading fading{2, 2, FadingConfig{}, Rng{5}};
+  const ChannelMatrix h{2, 2, {1e-6, 2e-6, 3e-6, 4e-6}};
+  const auto faded = fading.apply(h);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(faded.gain(j, k), h.gain(j, k) * fading.factor(j, k),
+                  1e-18);
+    }
+  }
+}
+
+TEST(Fading, LinksFadeIndependently) {
+  FadingConfig cfg;
+  cfg.sigma = 0.2;
+  GaussMarkovFading fading{2, 1, cfg, Rng{6}};
+  // Correlation between two different links should be ~0.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 5000; ++i) {
+    fading.step(0.5);
+    a.push_back(fading.factor(0, 0) - 1.0);
+    b.push_back(fading.factor(1, 0) - 1.0);
+  }
+  double num = 0.0;
+  double den_a = 0.0;
+  double den_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += a[i] * b[i];
+    den_a += a[i] * a[i];
+    den_b += b[i] * b[i];
+  }
+  EXPECT_NEAR(num / std::sqrt(den_a * den_b), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace densevlc::channel

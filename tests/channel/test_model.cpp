@@ -1,0 +1,169 @@
+// Tests for the channel matrix, SINR (Eq. 12), throughput and power
+// accounting (Eqs. 7, 11).
+#include "channel/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/scenario.hpp"
+
+namespace densevlc::channel {
+namespace {
+
+LinkBudget paper_budget() {
+  return sim::make_simulation_testbed().budget;
+}
+
+/// Tiny 2x2 setup with hand-set gains for closed-form checks.
+ChannelMatrix tiny_matrix() {
+  // TX0 strong to RX0, weak to RX1; TX1 symmetric.
+  return ChannelMatrix{2, 2, {1e-6, 1e-8, 1e-8, 1e-6}};
+}
+
+TEST(ChannelMatrix, SizeValidation) {
+  EXPECT_THROW((ChannelMatrix{2, 2, {1.0}}), std::invalid_argument);
+}
+
+TEST(ChannelMatrix, GeometryBestTxMatchesPaper) {
+  const auto tb = sim::make_simulation_testbed();
+  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  EXPECT_EQ(h.num_tx(), 36u);
+  EXPECT_EQ(h.num_rx(), 4u);
+  // Paper Sec. 4.2: TX8 serves RX1 first, TX10 serves RX2 first
+  // (1-based); our indices are 0-based.
+  EXPECT_EQ(h.best_tx_for(0), 7u);
+  EXPECT_EQ(h.best_tx_for(1), 9u);
+}
+
+TEST(ChannelMatrix, SetGainOverwrites) {
+  auto h = tiny_matrix();
+  h.set_gain(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(h.gain(0, 1), 0.5);
+}
+
+TEST(Allocation, RowTotals) {
+  Allocation a{2, 2};
+  a.set_swing(0, 0, 0.4);
+  a.set_swing(0, 1, 0.3);
+  EXPECT_DOUBLE_EQ(a.tx_total_swing(0), 0.7);
+  EXPECT_DOUBLE_EQ(a.tx_total_swing(1), 0.0);
+}
+
+TEST(Power, QuadraticInTotalSwing) {
+  const auto b = paper_budget();
+  EXPECT_NEAR(tx_comm_power(0.9, b),
+              b.dynamic_resistance_ohm * 0.45 * 0.45, 1e-15);
+  // Splitting a TX's swing across RXs costs the same as one big swing.
+  Allocation split{1, 2};
+  split.set_swing(0, 0, 0.5);
+  split.set_swing(0, 1, 0.4);
+  Allocation merged{1, 1};
+  merged.set_swing(0, 0, 0.9);
+  EXPECT_NEAR(total_comm_power(split, b), total_comm_power(merged, b),
+              1e-15);
+}
+
+TEST(Sinr, ZeroAllocationIsZero) {
+  const auto s = sinr(tiny_matrix(), Allocation{2, 2}, paper_budget());
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(Sinr, SingleLinkClosedForm) {
+  const auto b = paper_budget();
+  auto h = tiny_matrix();
+  Allocation a{2, 2};
+  a.set_swing(0, 0, 0.9);
+  const double scale = b.responsivity_a_per_w * b.wall_plug_efficiency *
+                       b.dynamic_resistance_ohm;
+  const double current = scale * 1e-6 * 0.45 * 0.45;
+  const double expected =
+      current * current / (b.noise_psd_a2_per_hz * b.bandwidth_hz);
+  EXPECT_NEAR(sinr(h, a, b)[0], expected, expected * 1e-12);
+}
+
+TEST(Sinr, InterferenceLowersSinr) {
+  const auto b = paper_budget();
+  const auto h = tiny_matrix();
+  Allocation alone{2, 2};
+  alone.set_swing(0, 0, 0.9);
+  Allocation both = alone;
+  both.set_swing(1, 1, 0.9);  // TX1 serves RX1, interferes at RX0
+  EXPECT_GT(sinr(h, alone, b)[0], sinr(h, both, b)[0]);
+}
+
+TEST(Sinr, MoreServersRaiseSinr) {
+  const auto b = paper_budget();
+  const auto tb = sim::make_simulation_testbed();
+  const auto h = tb.channel_for({{0.92, 0.92, 0.0}});
+  Allocation one{36, 1};
+  one.set_swing(h.best_tx_for(0), 0, 0.9);
+  Allocation two = one;
+  two.set_swing(13, 0, 0.9);  // TX14, the second-preferred for this spot
+  EXPECT_GT(sinr(h, two, b)[0], sinr(h, one, b)[0]);
+}
+
+TEST(Throughput, ShannonOfSinr) {
+  const auto b = paper_budget();
+  const auto h = tiny_matrix();
+  Allocation a{2, 2};
+  a.set_swing(0, 0, 0.9);
+  const auto s = sinr(h, a, b);
+  const auto t = throughput_bps(h, a, b);
+  EXPECT_NEAR(t[0], b.bandwidth_hz * std::log2(1.0 + s[0]), 1e-6);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+}
+
+TEST(Utility, MonotoneInThroughput) {
+  const auto b = paper_budget();
+  const auto h = tiny_matrix();
+  Allocation weak{2, 2};
+  weak.set_swing(0, 0, 0.3);
+  weak.set_swing(1, 1, 0.3);
+  Allocation strong{2, 2};
+  strong.set_swing(0, 0, 0.9);
+  strong.set_swing(1, 1, 0.9);
+  EXPECT_GT(sum_log_utility(h, strong, b), sum_log_utility(h, weak, b));
+}
+
+TEST(Utility, FiniteWhenOneRxIsDark) {
+  const auto b = paper_budget();
+  const auto h = tiny_matrix();
+  Allocation a{2, 2};
+  a.set_swing(0, 0, 0.9);  // RX1 gets nothing
+  const double u = sum_log_utility(h, a, b);
+  EXPECT_TRUE(std::isfinite(u));
+}
+
+TEST(LinkBudget, FromLedDerivesScalars) {
+  const optics::LedModel led{optics::LedElectrical{},
+                             optics::LedOperatingPoint{0.45, 0.9}};
+  const auto b = LinkBudget::from_led(led, 0.4, 7.02e-23, 1e6);
+  EXPECT_DOUBLE_EQ(b.dynamic_resistance_ohm, led.dynamic_resistance());
+  EXPECT_DOUBLE_EQ(b.wall_plug_efficiency, 0.4);
+  EXPECT_DOUBLE_EQ(b.responsivity_a_per_w, 0.4);
+}
+
+// Property: SINR of every RX is non-increasing when any *other* RX's
+// swing grows (interference monotonicity).
+class InterferenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InterferenceSweep, OtherRxSwingNeverHelps) {
+  const auto b = paper_budget();
+  const auto tb = sim::make_simulation_testbed();
+  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  Allocation base{36, 4};
+  base.set_swing(7, 0, 0.9);
+  base.set_swing(9, 1, GetParam());
+  Allocation more = base;
+  more.set_swing(9, 1, std::min(0.9, GetParam() + 0.2));
+  EXPECT_LE(sinr(h, more, b)[0], sinr(h, base, b)[0] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Swings, InterferenceSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace densevlc::channel

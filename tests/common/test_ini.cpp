@@ -1,0 +1,98 @@
+// Tests for the INI configuration parser.
+#include "common/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace densevlc {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto cfg = IniConfig::parse(
+      "top = 1\n"
+      "[room]\n"
+      "width = 3.5\n"
+      "depth = 4\n"
+      "[system]\n"
+      "kappa = 1.3\n");
+  EXPECT_EQ(cfg.size(), 4u);
+  EXPECT_EQ(cfg.get_string("top", ""), "1");
+  EXPECT_DOUBLE_EQ(cfg.get_double("room.width", 0.0), 3.5);
+  EXPECT_EQ(cfg.get_int("room.depth", 0), 4);
+  EXPECT_DOUBLE_EQ(cfg.get_double("system.kappa", 0.0), 1.3);
+}
+
+TEST(Ini, CommentsAndWhitespace) {
+  const auto cfg = IniConfig::parse(
+      "; full line comment\n"
+      "# another\n"
+      "  key1 =  spaced value \n"
+      "key2 = 7 ; trailing comment\n"
+      "\n");
+  EXPECT_EQ(cfg.get_string("key1", ""), "spaced value");
+  EXPECT_EQ(cfg.get_int("key2", 0), 7);
+}
+
+TEST(Ini, MalformedLinesReportedButSkipped) {
+  const auto cfg = IniConfig::parse(
+      "good = 1\n"
+      "this line has no equals\n"
+      "[unterminated\n"
+      "= empty key\n"
+      "still_good = 2\n");
+  EXPECT_EQ(cfg.get_int("good", 0), 1);
+  EXPECT_EQ(cfg.get_int("still_good", 0), 2);
+  EXPECT_FALSE(cfg.errors().empty());
+}
+
+TEST(Ini, TypedGettersFallBack) {
+  const auto cfg = IniConfig::parse("num = abc\nflag = maybe\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("num", 9.5), 9.5);
+  EXPECT_EQ(cfg.get_int("num", 3), 3);
+  EXPECT_TRUE(cfg.get_bool("flag", true));
+  EXPECT_FALSE(cfg.get_bool("missing", false));
+  EXPECT_EQ(cfg.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Ini, BoolSpellings) {
+  const auto cfg = IniConfig::parse(
+      "a = true\nb = 1\nc = yes\nd = on\ne = false\nf = 0\ng = no\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_TRUE(cfg.get_bool("d", false));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+  EXPECT_FALSE(cfg.get_bool("g", true));
+}
+
+TEST(Ini, HasAndGet) {
+  const auto cfg = IniConfig::parse("[s]\nk = v\n");
+  EXPECT_TRUE(cfg.has("s.k"));
+  EXPECT_FALSE(cfg.has("s.other"));
+  ASSERT_TRUE(cfg.get("s.k").has_value());
+  EXPECT_EQ(*cfg.get("s.k"), "v");
+}
+
+TEST(Ini, LastDuplicateWins) {
+  const auto cfg = IniConfig::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Ini, LoadsFromFile) {
+  const std::string path = "/tmp/densevlc_ini_test.ini";
+  {
+    std::ofstream out{path};
+    out << "[test]\nvalue = 42\n";
+  }
+  const auto cfg = IniConfig::load(path);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->get_int("test.value", 0), 42);
+  std::remove(path.c_str());
+  EXPECT_FALSE(IniConfig::load("/nonexistent/nowhere.ini").has_value());
+}
+
+}  // namespace
+}  // namespace densevlc

@@ -1,0 +1,81 @@
+// Tests for the PGM image writer.
+#include "common/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace densevlc {
+namespace {
+
+ScalarField gradient(std::size_t w, std::size_t h) {
+  ScalarField f;
+  f.width = w;
+  f.height = h;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      f.values.push_back(static_cast<double>(x + y));
+    }
+  }
+  return f;
+}
+
+TEST(Pgm, HeaderAndSize) {
+  const auto bytes = to_pgm(gradient(4, 3));
+  ASSERT_FALSE(bytes.empty());
+  const std::string header(bytes.begin(), bytes.begin() + 11);
+  EXPECT_EQ(header, "P5\n4 3\n255\n");
+  EXPECT_EQ(bytes.size(), 11u + 12u);
+}
+
+TEST(Pgm, AutoRangeUsesFullScale) {
+  const auto bytes = to_pgm(gradient(4, 3));
+  // Min (0) -> 0, max (5) -> 255.
+  EXPECT_EQ(bytes[11], 0);
+  EXPECT_EQ(bytes.back(), 255);
+}
+
+TEST(Pgm, ExplicitRangeClips) {
+  ScalarField f;
+  f.width = 3;
+  f.height = 1;
+  f.values = {-1.0, 0.5, 2.0};
+  const auto bytes = to_pgm(f, 0.0, 1.0);
+  EXPECT_EQ(bytes[bytes.size() - 3], 0);    // clipped low
+  EXPECT_EQ(bytes[bytes.size() - 2], 128);  // mid
+  EXPECT_EQ(bytes.back(), 255);             // clipped high
+}
+
+TEST(Pgm, FlatFieldDoesNotDivideByZero) {
+  ScalarField f;
+  f.width = 2;
+  f.height = 2;
+  f.values.assign(4, 7.0);
+  const auto bytes = to_pgm(f);
+  ASSERT_FALSE(bytes.empty());
+}
+
+TEST(Pgm, MalformedFieldRejected) {
+  ScalarField bad;
+  bad.width = 3;
+  bad.height = 3;
+  bad.values.assign(5, 0.0);  // wrong size
+  EXPECT_TRUE(to_pgm(bad).empty());
+  EXPECT_FALSE(write_pgm(bad, "/tmp/densevlc_bad.pgm"));
+}
+
+TEST(Pgm, WritesFile) {
+  const std::string path = "/tmp/densevlc_pgm_test.pgm";
+  EXPECT_TRUE(write_pgm(gradient(8, 8), path));
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace densevlc

@@ -1,0 +1,121 @@
+// Tests for the deterministic RNG wrapper.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace densevlc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng{8};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng{9};
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng{11};
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.gaussian();
+  EXPECT_NEAR(stats::mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(stats::stddev(samples), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScalesMeanAndSigma) {
+  Rng rng{12};
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(stats::mean(samples), 5.0, 0.05);
+  EXPECT_NEAR(stats::stddev(samples), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{13};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{14};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{21};
+  Rng child = parent.fork();
+  // The child stream must not replay the parent's continuation.
+  Rng parent_copy{21};
+  (void)parent_copy.fork();
+  double max_diff = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(child.uniform() - parent.uniform()));
+  }
+  EXPECT_GT(max_diff, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+}  // namespace
+}  // namespace densevlc

@@ -1,0 +1,59 @@
+// Tests for the fixed-point simulation time type.
+#include "common/simtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace densevlc {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+}
+
+TEST(SimTime, FactoryUnits) {
+  EXPECT_EQ(SimTime::from_us(3).ns(), 3000);
+  EXPECT_EQ(SimTime::from_ms(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::from_sec(1).ns(), 1'000'000'000);
+}
+
+TEST(SimTime, FromSecondsRoundsToNearest) {
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.4e-9).ns(), 1);
+  EXPECT_EQ(SimTime::from_seconds(1.6e-9).ns(), 2);
+  EXPECT_EQ(SimTime::from_seconds(-1.6e-9).ns(), -2);
+}
+
+TEST(SimTime, ArithmeticIsExact) {
+  SimTime t;
+  const SimTime step = SimTime::from_ns(7);
+  for (int i = 0; i < 1'000'000; ++i) t += step;
+  EXPECT_EQ(t.ns(), 7'000'000);
+}
+
+TEST(SimTime, ComparisonOperators) {
+  const SimTime a = SimTime::from_us(1);
+  const SimTime b = SimTime::from_us(2);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, SimTime::from_ns(1000));
+  EXPECT_LE(a, a);
+}
+
+TEST(SimTime, NegationAndSubtraction) {
+  const SimTime a = SimTime::from_us(5);
+  const SimTime b = SimTime::from_us(8);
+  EXPECT_EQ((a - b).ns(), -3000);
+  EXPECT_EQ((-a).ns(), -5000);
+}
+
+TEST(SimTime, ScalarMultiply) {
+  EXPECT_EQ((SimTime::from_ns(125) * 8).ns(), 1000);
+}
+
+TEST(SimTime, SecondsRoundTrip) {
+  const SimTime t = SimTime::from_seconds(0.125);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.125);
+}
+
+}  // namespace
+}  // namespace densevlc

@@ -1,0 +1,53 @@
+// Tests for the table/CSV printer.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace densevlc {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  TablePrinter t{{"a", "bb"}};
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, CsvHasTagPrefix) {
+  TablePrinter t{{"x", "y"}};
+  t.add_numeric_row({1.5, 2.5}, 1);
+  std::ostringstream oss;
+  t.print_csv(oss, "fig1");
+  EXPECT_NE(oss.str().find("csv,fig1,x,y"), std::string::npos);
+  EXPECT_NE(oss.str().find("csv,fig1,1.5,2.5"), std::string::npos);
+}
+
+TEST(Table, ShortRowsRenderEmptyCells) {
+  TablePrinter t{{"a", "b", "c"}};
+  t.add_row({"only"});
+  std::ostringstream oss;
+  t.print(oss);  // must not crash; widths accommodate
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.0, 0), "-1");
+}
+
+TEST(Table, FmtSiSuffixes) {
+  EXPECT_EQ(fmt_si(1.25e6, 2), "1.25M");
+  EXPECT_EQ(fmt_si(2500.0, 1), "2.5k");
+  EXPECT_EQ(fmt_si(0.5e-6, 1), "500.0n");
+  EXPECT_EQ(fmt_si(0.002, 0), "2m");
+  EXPECT_EQ(fmt_si(42.0, 0), "42");
+}
+
+}  // namespace
+}  // namespace densevlc

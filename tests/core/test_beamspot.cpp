@@ -1,0 +1,150 @@
+// Tests for joint multi-TX frame transmission (the Table 5 data path).
+#include "core/beamspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace densevlc::core {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_experimental_testbed();
+  phy::OokParams ook{};
+  phy::FrontEndConfig frontend{};
+  JointTransmission jt{tb.led, ook, frontend};
+
+  phy::MacFrame frame(std::size_t len = 60) {
+    phy::MacFrame f;
+    f.dst = 0;
+    f.src = 0xC0;
+    f.payload.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      f.payload[i] = static_cast<std::uint8_t>(i);
+    }
+    return f;
+  }
+};
+
+TEST(Beamspot, SingleTxDelivers) {
+  Fixture f;
+  Rng rng{1};
+  const std::vector<ServingTx> servers{{7, 8e-7, 0.9, 0.0}};
+  const auto out = f.jt.transmit(servers, f.frame(), rng);
+  EXPECT_TRUE(out.preamble_found);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(Beamspot, NoServersNoDelivery) {
+  Fixture f;
+  Rng rng{2};
+  const auto out = f.jt.transmit({}, f.frame(), rng);
+  EXPECT_FALSE(out.delivered);
+}
+
+TEST(Beamspot, TwoAlignedTxsDeliver) {
+  Fixture f;
+  Rng rng{3};
+  const std::vector<ServingTx> servers{{7, 6e-7, 0.9, 0.0},
+                                       {13, 4e-7, 0.9, 0.0}};
+  const auto out = f.jt.transmit(servers, f.frame(), rng);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(Beamspot, SubMicrosecondOffsetTolerated) {
+  // NLOS sync residual (~0.6 us) against 10 us chips: must still decode.
+  Fixture f;
+  Rng rng{4};
+  const std::vector<ServingTx> servers{{7, 6e-7, 0.9, 0.0},
+                                       {13, 5e-7, 0.9, 0.7e-6}};
+  const auto out = f.jt.transmit(servers, f.frame(), rng);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(Beamspot, GrossMisalignmentDestroysFrame) {
+  // No-sync delivery skew (tens of us, multiple chips) from a comparably
+  // strong second TX: Table 5's "4 TXs (no sync) -> 100% PER" row.
+  Fixture f;
+  Rng rng{5};
+  int delivered = 0;
+  for (int t = 0; t < 5; ++t) {
+    const std::vector<ServingTx> servers{{7, 6e-7, 0.9, 0.0},
+                                         {13, 6e-7, 0.9, 35e-6}};
+    delivered += f.jt.transmit(servers, f.frame(), rng).delivered ? 1 : 0;
+  }
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Beamspot, WeakLinkFailsStrongLinkWorks) {
+  Fixture f;
+  Rng rng{6};
+  const std::vector<ServingTx> weak{{7, 1e-9, 0.9, 0.0}};
+  EXPECT_FALSE(f.jt.transmit(weak, f.frame(), rng).delivered);
+  const std::vector<ServingTx> strong{{7, 8e-7, 0.9, 0.0}};
+  EXPECT_TRUE(f.jt.transmit(strong, f.frame(), rng).delivered);
+}
+
+TEST(Beamspot, StrongInterfererBreaksReception) {
+  Fixture f;
+  Rng rng{7};
+  const std::vector<ServingTx> servers{{7, 5e-7, 0.9, 0.0}};
+  InterfererGroup other;
+  other.frame = f.frame(60);
+  other.frame.dst = 1;
+  other.frame.payload[0] = 0xEE;  // different content
+  other.txs = {{9, 5e-7, 0.9, 0.3e-6}};  // equally strong at the victim
+  const std::vector<InterfererGroup> interferers{other};
+  const auto out = f.jt.transmit(servers, f.frame(), rng, interferers);
+  EXPECT_FALSE(out.delivered);
+}
+
+TEST(Beamspot, WeakInterfererTolerated) {
+  Fixture f;
+  Rng rng{8};
+  const std::vector<ServingTx> servers{{7, 8e-7, 0.9, 0.0}};
+  InterfererGroup other;
+  other.frame = f.frame(60);
+  other.frame.dst = 1;
+  other.txs = {{30, 2e-8, 0.9, 0.0}};  // 16x weaker and far away
+  const std::vector<InterfererGroup> interferers{other};
+  const auto out = f.jt.transmit(servers, f.frame(), rng, interferers);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(Beamspot, AmbientLightDoesNotBlockDecoding) {
+  Fixture f;
+  Rng rng{9};
+  const std::vector<ServingTx> servers{{7, 8e-7, 0.9, 0.0}};
+  const auto out =
+      f.jt.transmit(servers, f.frame(), rng, {}, /*ambient=*/5e-7);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(Beamspot, AirtimeMatchesChipCount) {
+  Fixture f;
+  const auto frame = f.frame(100);
+  const double airtime = f.jt.frame_airtime_s(frame);
+  const double expected =
+      static_cast<double>(phy::frame_to_chips(frame).size()) / 100e3;
+  EXPECT_DOUBLE_EQ(airtime, expected);
+}
+
+TEST(Beamspot, RsCorrectionsReported) {
+  // Near-threshold gain: some frames decode only thanks to RS.
+  Fixture f;
+  Rng rng{10};
+  std::size_t corrected_total = 0;
+  for (int t = 0; t < 6; ++t) {
+    const std::vector<ServingTx> servers{{7, 1.1e-7, 0.9, 0.0}};
+    const auto out = f.jt.transmit(servers, f.frame(120), rng);
+    if (out.delivered) corrected_total += out.corrected_bytes;
+  }
+  // Not asserting a count (noise-dependent) — just that the path runs and
+  // reports a sane value.
+  EXPECT_LT(corrected_total, 200u);
+}
+
+}  // namespace
+}  // namespace densevlc::core

@@ -1,0 +1,135 @@
+// Tests for the controller's decision logic and beamspot formation.
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/scenario.hpp"
+
+namespace densevlc::core {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+
+  ControllerConfig config(double budget = 1.2) {
+    ControllerConfig cc;
+    cc.kappa = 1.3;
+    cc.power_budget_w = budget;
+    cc.max_swing_a = 0.9;
+    cc.link_budget = tb.budget;
+    return cc;
+  }
+};
+
+TEST(Controller, UpdateFormsBeamspots) {
+  Fixture f;
+  Controller ctl{f.config()};
+  const auto assigned = ctl.update_channel(f.h);
+  EXPECT_GT(assigned, 4u);
+  EXPECT_EQ(ctl.beamspots().size(), 4u);  // all RXs served at 1.2 W
+  EXPECT_GT(ctl.power_used_w(), 0.0);
+  EXPECT_LE(ctl.power_used_w(), 1.2);
+}
+
+TEST(Controller, LeaderHasBestChannelInSpot) {
+  Fixture f;
+  Controller ctl{f.config()};
+  ctl.update_channel(f.h);
+  for (const auto& spot : ctl.beamspots()) {
+    for (std::size_t tx : spot.txs) {
+      EXPECT_LE(f.h.gain(tx, spot.rx), f.h.gain(spot.leader, spot.rx) + 1e-15);
+    }
+  }
+}
+
+TEST(Controller, BeamspotsAreDisjoint) {
+  Fixture f;
+  Controller ctl{f.config()};
+  ctl.update_channel(f.h);
+  std::vector<bool> used(36, false);
+  for (const auto& spot : ctl.beamspots()) {
+    for (std::size_t tx : spot.txs) {
+      EXPECT_FALSE(used[tx]) << "TX " << tx << " in two beamspots";
+      used[tx] = true;
+    }
+  }
+}
+
+TEST(Controller, TinyBudgetServesSubsetOfRxs) {
+  Fixture f;
+  Controller ctl{f.config(0.06)};  // ~1 full-swing TX
+  ctl.update_channel(f.h);
+  EXPECT_EQ(ctl.beamspots().size(), 1u);
+  EXPECT_FALSE(ctl.beamspot_for(3).has_value() &&
+               ctl.beamspot_for(2).has_value() &&
+               ctl.beamspot_for(1).has_value() &&
+               ctl.beamspot_for(0).has_value());
+}
+
+TEST(Controller, DataCommandEncodesSpot) {
+  Fixture f;
+  Controller ctl{f.config()};
+  ctl.update_channel(f.h);
+  const auto cmd = ctl.make_data_command(1, {1, 2, 3}, 0xC0);
+  ASSERT_TRUE(cmd.has_value());
+  const auto spot = ctl.beamspot_for(1);
+  ASSERT_TRUE(spot.has_value());
+  for (std::size_t tx : spot->txs) EXPECT_TRUE(cmd->selects(tx));
+  EXPECT_EQ(cmd->leading_tx, spot->leader);
+  EXPECT_EQ(cmd->frame.dst, 1);
+  EXPECT_EQ(cmd->frame.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Controller, NoSpotNoCommand) {
+  Fixture f;
+  Controller ctl{f.config(0.06)};
+  ctl.update_channel(f.h);
+  // Find an unserved RX and ask for a command.
+  for (std::size_t rx = 0; rx < 4; ++rx) {
+    if (!ctl.beamspot_for(rx)) {
+      EXPECT_FALSE(ctl.make_data_command(rx, {1}, 0).has_value());
+      return;
+    }
+  }
+  FAIL() << "expected at least one unserved RX at a 0.06 W budget";
+}
+
+TEST(Controller, ExpectedThroughputPositiveForServedRxs) {
+  Fixture f;
+  Controller ctl{f.config()};
+  ctl.update_channel(f.h);
+  const auto tput = ctl.expected_throughput(f.h);
+  ASSERT_EQ(tput.size(), 4u);
+  for (std::size_t rx = 0; rx < 4; ++rx) {
+    if (ctl.beamspot_for(rx)) EXPECT_GT(tput[rx], 0.0) << "RX " << rx;
+  }
+}
+
+TEST(Controller, ExpectedThroughputZeroBeforeUpdate) {
+  Fixture f;
+  Controller ctl{f.config()};
+  const auto tput = ctl.expected_throughput(f.h);
+  for (double t : tput) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Controller, ReactsToChannelChange) {
+  Fixture f;
+  Controller ctl{f.config()};
+  ctl.update_channel(f.h);
+  const auto spot_before = ctl.beamspot_for(0);
+  ASSERT_TRUE(spot_before.has_value());
+  // Move RX0 to the opposite corner: its beamspot must relocate.
+  auto moved = sim::fig7_rx_positions();
+  moved[0] = {2.6, 2.6, 0.0};
+  const auto h2 = f.tb.channel_for(moved);
+  ctl.update_channel(h2);
+  const auto spot_after = ctl.beamspot_for(0);
+  ASSERT_TRUE(spot_after.has_value());
+  EXPECT_NE(spot_before->leader, spot_after->leader);
+}
+
+}  // namespace
+}  // namespace densevlc::core

@@ -1,0 +1,80 @@
+// Tests for the communication coverage map.
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace densevlc::core {
+namespace {
+
+CoverageConfig small_config() {
+  CoverageConfig cfg;
+  cfg.raster_per_axis = 11;  // keep the test fast
+  return cfg;
+}
+
+TEST(Coverage, RasterShapeAndStats) {
+  const auto tb = sim::make_experimental_testbed();
+  const auto result = compute_coverage(tb, small_config());
+  EXPECT_EQ(result.throughput_mbps.width, 11u);
+  EXPECT_EQ(result.throughput_mbps.height, 11u);
+  EXPECT_EQ(result.throughput_mbps.values.size(), 121u);
+  EXPECT_GT(result.max_mbps, 0.0);
+  EXPECT_GE(result.mean_mbps, result.min_mbps);
+  EXPECT_LE(result.mean_mbps, result.max_mbps);
+}
+
+TEST(Coverage, CenterBeatsCorner) {
+  const auto tb = sim::make_experimental_testbed();
+  const auto result = compute_coverage(tb, small_config());
+  const auto& f = result.throughput_mbps;
+  const double center = f.values[5 * 11 + 5];
+  const double corner = f.values[0];
+  EXPECT_GT(center, corner);
+}
+
+TEST(Coverage, FractionBoundsAndMonotonicity) {
+  const auto tb = sim::make_experimental_testbed();
+  const auto result = compute_coverage(tb, small_config());
+  const double at_half = result.coverage_fraction(0.5);
+  const double at_ninety = result.coverage_fraction(0.9);
+  EXPECT_GE(at_half, at_ninety);
+  EXPECT_GT(at_half, 0.0);
+  EXPECT_LE(at_half, 1.0);
+}
+
+TEST(Coverage, FailedTxDimsItsNeighborhood) {
+  const auto tb = sim::make_experimental_testbed();
+  const auto cfg = small_config();
+  const auto healthy = compute_coverage(tb, cfg);
+  // Kill TX22 (0-based 21) near the center and its 3 neighbours: the
+  // neighbourhood must lose throughput while the far corner is
+  // unaffected.
+  const auto degraded = compute_coverage(tb, cfg, {14, 15, 20, 21});
+  const auto& h = healthy.throughput_mbps;
+  const auto& d = degraded.throughput_mbps;
+  // Point nearest the dead zone (~room center):
+  EXPECT_LT(d.values[5 * 11 + 5], h.values[5 * 11 + 5]);
+  // Far corner barely changes.
+  EXPECT_NEAR(d.values[0], h.values[0], h.values[0] * 0.05 + 1e-9);
+}
+
+TEST(Coverage, HigherBudgetNeverHurts) {
+  const auto tb = sim::make_experimental_testbed();
+  CoverageConfig lo = small_config();
+  lo.power_budget_w = 0.06;
+  CoverageConfig hi = small_config();
+  hi.power_budget_w = 0.5;
+  const auto map_lo = compute_coverage(tb, lo);
+  const auto map_hi = compute_coverage(tb, hi);
+  EXPECT_GE(map_hi.mean_mbps, map_lo.mean_mbps);
+}
+
+TEST(Coverage, ExportsToPgm) {
+  const auto tb = sim::make_experimental_testbed();
+  const auto result = compute_coverage(tb, small_config());
+  const auto bytes = to_pgm(result.throughput_mbps);
+  EXPECT_FALSE(bytes.empty());
+}
+
+}  // namespace
+}  // namespace densevlc::core

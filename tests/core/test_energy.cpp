@@ -1,0 +1,69 @@
+// Tests for the energy meter.
+#include "core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace densevlc::core {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_simulation_testbed();
+  EnergyMeter meter{tb.led, 36};
+};
+
+TEST(Energy, IlluminationAccruesForAllTxs) {
+  Fixture f;
+  const channel::Allocation idle{36, 4};
+  f.meter.accumulate(idle, 10.0, f.tb.budget);
+  EXPECT_NEAR(f.meter.illumination_energy_j(),
+              f.tb.led.illumination_power() * 36.0 * 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.meter.communication_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(f.meter.communication_overhead(), 0.0);
+}
+
+TEST(Energy, CommunicationMatchesEq10) {
+  Fixture f;
+  channel::Allocation alloc{36, 4};
+  alloc.set_swing(7, 0, 0.9);
+  alloc.set_swing(9, 1, 0.9);
+  f.meter.accumulate(alloc, 5.0, f.tb.budget);
+  const double per_tx = channel::tx_comm_power(0.9, f.tb.budget);
+  EXPECT_NEAR(f.meter.communication_energy_j(), 2.0 * per_tx * 5.0, 1e-12);
+}
+
+TEST(Energy, OverheadIsSmallFraction) {
+  // The paper's pitch: communication adds only a small fraction on top
+  // of lighting. 22 full-swing TXs (the 1.2 W operating point) against
+  // 36 lit LEDs should stay below ~5%.
+  Fixture f;
+  channel::Allocation alloc{36, 4};
+  for (std::size_t j = 0; j < 22; ++j) alloc.set_swing(j, j % 4, 0.9);
+  f.meter.accumulate(alloc, 1.0, f.tb.budget);
+  EXPECT_GT(f.meter.communication_overhead(), 0.0);
+  EXPECT_LT(f.meter.communication_overhead(), 0.05);
+}
+
+TEST(Energy, EnergyPerBit) {
+  Fixture f;
+  channel::Allocation alloc{36, 4};
+  alloc.set_swing(7, 0, 0.9);
+  f.meter.accumulate(alloc, 2.0, f.tb.budget);
+  EXPECT_DOUBLE_EQ(f.meter.energy_per_bit(), 0.0);  // nothing delivered
+  f.meter.deliver_bits(1'000'000);
+  const double expected =
+      channel::tx_comm_power(0.9, f.tb.budget) * 2.0 / 1e6;
+  EXPECT_NEAR(f.meter.energy_per_bit(), expected, 1e-15);
+}
+
+TEST(Energy, NegativeDtIgnored) {
+  Fixture f;
+  channel::Allocation alloc{36, 4};
+  alloc.set_swing(0, 0, 0.9);
+  f.meter.accumulate(alloc, -5.0, f.tb.budget);
+  EXPECT_DOUBLE_EQ(f.meter.illumination_energy_j(), 0.0);
+}
+
+}  // namespace
+}  // namespace densevlc::core

@@ -1,0 +1,87 @@
+// Failure-injection tests: the assembled system must degrade, not die.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc::core {
+namespace {
+
+SystemConfig base_config() {
+  SystemConfig cfg;
+  cfg.testbed = sim::make_experimental_testbed();
+  cfg.power_budget_w = 0.5;
+  return cfg;
+}
+
+TEST(FailureInjection, BlackFloorStillConstructs) {
+  // A perfectly absorbing floor kills the NLOS sync side-channel; the
+  // system must fall back to its degraded one-sample sync assumption
+  // instead of crashing or hanging.
+  SystemConfig cfg = base_config();
+  cfg.floor.reflectance = 0.0;
+  auto system = DenseVlcSystem::with_static_rxs(cfg, {{1.0, 1.0, 0.0}});
+  ASSERT_FALSE(system.nlos_error_samples().empty());
+  const auto epoch = system.run_epoch_analytic(0.0);
+  EXPECT_GT(epoch.throughput_bps[0], 0.0);
+}
+
+TEST(FailureInjection, TotalReportLossKeepsLastAllocation) {
+  SystemConfig cfg = base_config();
+  cfg.wifi.loss_probability = 0.0;
+  auto system = DenseVlcSystem::with_static_rxs(
+      cfg, {{1.0, 1.0, 0.0}, {2.0, 2.0, 0.0}});
+  const auto first = system.run_epoch_analytic(0.0);
+  ASSERT_FALSE(first.beamspots.empty());
+
+  // From now on every report is lost: allocations must persist (stale),
+  // not collapse to nothing.
+  // (Reach in via config copy — rebuild a system whose uplink is dead
+  // after a good first epoch is emulated by comparing against one that
+  // never hears anything.)
+  SystemConfig deaf = base_config();
+  deaf.wifi.loss_probability = 1.0;
+  auto deaf_system = DenseVlcSystem::with_static_rxs(
+      deaf, {{1.0, 1.0, 0.0}, {2.0, 2.0, 0.0}});
+  const auto silent = deaf_system.run_epoch_analytic(0.0);
+  EXPECT_TRUE(silent.beamspots.empty());  // nothing ever reported
+  for (double t : silent.throughput_bps) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(FailureInjection, RxOutsideGridIsUnservedNotFatal) {
+  SystemConfig cfg = base_config();
+  auto system = DenseVlcSystem::with_static_rxs(
+      cfg, {{1.0, 1.0, 0.0}, {2.95, 2.95, 0.0}});
+  const auto epoch = system.run_epoch_analytic(0.0);
+  EXPECT_GT(epoch.throughput_bps[0], 0.0);
+  // The edge RX may or may not make the cut under a shared budget, but
+  // the epoch completes and the served RX is unaffected.
+  EXPECT_GE(epoch.throughput_bps[1], 0.0);
+}
+
+TEST(FailureInjection, ZeroBudgetRunsCleanly) {
+  SystemConfig cfg = base_config();
+  cfg.power_budget_w = 0.0;
+  auto system = DenseVlcSystem::with_static_rxs(cfg, {{1.0, 1.0, 0.0}});
+  const auto epoch = system.run_epoch_analytic(0.0);
+  EXPECT_TRUE(epoch.beamspots.empty());
+  const auto run = system.run(0.3, 40);
+  EXPECT_EQ(run.rx[0].frames_sent, 0u);
+}
+
+TEST(FailureInjection, PersonalizedKappaControllerWorksEndToEnd) {
+  SystemConfig cfg = base_config();
+  cfg.personalize_kappa = true;
+  cfg.power_budget_w = 1.2;
+  auto system = DenseVlcSystem::with_static_rxs(
+      cfg, sim::fig7_rx_positions());
+  const auto epoch = system.run_epoch_analytic(0.0);
+  EXPECT_EQ(epoch.beamspots.size(), 4u);
+  double total = 0.0;
+  for (double t : epoch.throughput_bps) total += t;
+  // Must at least match the uniform controller's ballpark.
+  EXPECT_GT(total, 8e6);
+}
+
+}  // namespace
+}  // namespace densevlc::core

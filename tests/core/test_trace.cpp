@@ -1,0 +1,87 @@
+// Tests for the run trace recorder.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace densevlc::core {
+namespace {
+
+std::vector<Beamspot> spots_with_leader(std::size_t rx, std::size_t leader) {
+  Beamspot s;
+  s.rx = rx;
+  s.leader = leader;
+  s.txs = {leader, leader + 1};
+  return {s};
+}
+
+TEST(Trace, RecordsPerRxRows) {
+  TraceRecorder trace;
+  trace.record_epoch(0.0, {1e6, 2e6}, spots_with_leader(0, 7), 0.5);
+  ASSERT_EQ(trace.rows().size(), 2u);
+  EXPECT_EQ(trace.epochs(), 1u);
+  EXPECT_TRUE(trace.rows()[0].served);
+  EXPECT_EQ(trace.rows()[0].serving_txs, 2u);
+  EXPECT_FALSE(trace.rows()[1].served);
+  EXPECT_DOUBLE_EQ(trace.rows()[1].throughput_bps, 2e6);
+}
+
+TEST(Trace, MeanThroughputPerRx) {
+  TraceRecorder trace;
+  trace.record_epoch(0.0, {1e6, 4e6}, {}, 0.0);
+  trace.record_epoch(1.0, {3e6, 0.0}, {}, 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_throughput(0), 2e6);
+  EXPECT_DOUBLE_EQ(trace.mean_throughput(1), 2e6);
+  EXPECT_DOUBLE_EQ(trace.mean_throughput(9), 0.0);
+}
+
+TEST(Trace, CountsLeaderHandovers) {
+  TraceRecorder trace;
+  trace.record_epoch(0.0, {1e6}, spots_with_leader(0, 7), 0.1);
+  trace.record_epoch(1.0, {1e6}, spots_with_leader(0, 7), 0.1);
+  trace.record_epoch(2.0, {1e6}, spots_with_leader(0, 9), 0.1);
+  trace.record_epoch(3.0, {1e6}, spots_with_leader(0, 13), 0.1);
+  EXPECT_EQ(trace.leader_changes(0), 2u);
+}
+
+TEST(Trace, UnservedGapsDontCountAsHandover) {
+  TraceRecorder trace;
+  trace.record_epoch(0.0, {1e6}, spots_with_leader(0, 7), 0.1);
+  trace.record_epoch(1.0, {0.0}, {}, 0.1);  // outage epoch
+  trace.record_epoch(2.0, {1e6}, spots_with_leader(0, 9), 0.1);
+  // 7 -> (gap) -> 9: the change spans an unserved epoch; by the
+  // definition (consecutive served epochs) it does not count.
+  EXPECT_EQ(trace.leader_changes(0), 0u);
+}
+
+TEST(Trace, CsvShape) {
+  TraceRecorder trace;
+  trace.record_epoch(0.5, {1e6}, spots_with_leader(0, 3), 0.25);
+  std::ostringstream oss;
+  trace.write_csv(oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("time_s,rx,throughput_bps"), std::string::npos);
+  EXPECT_NE(csv.find("0.5,0,1e+06,1,2,3,0.25"), std::string::npos);
+}
+
+TEST(Trace, UnservedLeaderRendersMinusOne) {
+  TraceRecorder trace;
+  trace.record_epoch(1.0, {0.0}, {}, 0.0);
+  std::ostringstream oss;
+  trace.write_csv(oss);
+  EXPECT_NE(oss.str().find(",-1,"), std::string::npos);
+}
+
+TEST(Trace, SavesToFile) {
+  TraceRecorder trace;
+  trace.record_epoch(0.0, {1e6}, {}, 0.0);
+  const std::string path = "/tmp/densevlc_trace_test.csv";
+  EXPECT_TRUE(trace.save(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(trace.save("/nonexistent/dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace densevlc::core

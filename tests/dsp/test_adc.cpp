@@ -1,0 +1,68 @@
+// Tests for the quantizing ADC model.
+#include "dsp/adc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace densevlc::dsp {
+namespace {
+
+TEST(Adc, QuantizeEndpoints) {
+  Adc adc{AdcConfig{1e6, 12, 0.0, 3.3}};
+  EXPECT_EQ(adc.quantize(0.0), 0u);
+  EXPECT_EQ(adc.quantize(3.3), 4095u);
+}
+
+TEST(Adc, ClipsOutOfRange) {
+  Adc adc{AdcConfig{1e6, 12, 0.0, 3.3}};
+  EXPECT_EQ(adc.quantize(-1.0), 0u);
+  EXPECT_EQ(adc.quantize(10.0), 4095u);
+}
+
+TEST(Adc, RoundTripWithinHalfLsb) {
+  Adc adc{AdcConfig{1e6, 12, 0.0, 3.3}};
+  for (double v = 0.0; v <= 3.3; v += 0.123) {
+    const double rt = adc.code_to_volts(adc.quantize(v));
+    EXPECT_NEAR(rt, v, adc.lsb() / 2.0 + 1e-12);
+  }
+}
+
+TEST(Adc, LsbMatchesResolution) {
+  Adc adc8{AdcConfig{1e6, 8, 0.0, 2.55}};
+  EXPECT_NEAR(adc8.lsb(), 0.01, 1e-12);
+}
+
+TEST(Adc, CodeToVoltsClampsOverflowCodes) {
+  Adc adc{AdcConfig{1e6, 8, 0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(adc.code_to_volts(255), 1.0);
+  EXPECT_DOUBLE_EQ(adc.code_to_volts(9999), 1.0);
+}
+
+TEST(Adc, DigitizeResamplesDuration) {
+  Adc adc{AdcConfig{1e6, 12, 0.0, 3.3}};
+  Waveform analog;
+  analog.sample_rate_hz = 4e6;  // TX oversampled 4x
+  analog.samples.assign(4000, 1.0);  // 1 ms
+  const auto codes = adc.digitize(analog);
+  EXPECT_EQ(codes.size(), 1000u);  // 1 ms at 1 Msps
+}
+
+TEST(Adc, DigitizeZeroOrderHold) {
+  Adc adc{AdcConfig{1000.0, 12, 0.0, 1.0}};
+  Waveform analog;
+  analog.sample_rate_hz = 500.0;  // upsampling case: hold values
+  analog.samples = {0.0, 1.0};
+  const auto out = adc.digitize_to_voltage(analog);
+  ASSERT_EQ(out.samples.size(), 4u);
+  EXPECT_NEAR(out.samples[0], 0.0, adc.lsb());
+  EXPECT_NEAR(out.samples[1], 0.0, adc.lsb());
+  EXPECT_NEAR(out.samples[2], 1.0, adc.lsb());
+  EXPECT_NEAR(out.samples[3], 1.0, adc.lsb());
+}
+
+TEST(Adc, EmptyInputGivesEmptyOutput) {
+  Adc adc{AdcConfig{}};
+  EXPECT_TRUE(adc.digitize(Waveform{}).empty());
+}
+
+}  // namespace
+}  // namespace densevlc::dsp

@@ -1,0 +1,102 @@
+// Tests for Butterworth low-pass design and the AC-coupling high-pass.
+#include "dsp/butterworth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace densevlc::dsp {
+namespace {
+
+constexpr double kFs = 1e6;
+
+TEST(Butterworth, RejectsBadArguments) {
+  EXPECT_THROW(design_butterworth_lowpass(0, 1000.0, kFs),
+               std::invalid_argument);
+  EXPECT_THROW(design_butterworth_lowpass(4, 0.0, kFs),
+               std::invalid_argument);
+  EXPECT_THROW(design_butterworth_lowpass(4, kFs, kFs),
+               std::invalid_argument);
+}
+
+TEST(Butterworth, SectionCountMatchesOrder) {
+  EXPECT_EQ(design_butterworth_lowpass(7, 100e3, kFs).size(), 4u);
+  EXPECT_EQ(design_butterworth_lowpass(4, 100e3, kFs).size(), 2u);
+  EXPECT_EQ(design_butterworth_lowpass(1, 100e3, kFs).size(), 1u);
+}
+
+TEST(Butterworth, UnityGainAtDc) {
+  for (std::size_t order : {1u, 2u, 5u, 7u}) {
+    BiquadCascade c{design_butterworth_lowpass(order, 100e3, kFs)};
+    EXPECT_NEAR(c.magnitude_at(1.0, kFs), 1.0, 1e-6) << "order " << order;
+  }
+}
+
+TEST(Butterworth, MinusThreeDbAtCorner) {
+  for (std::size_t order : {2u, 4u, 7u}) {
+    BiquadCascade c{design_butterworth_lowpass(order, 100e3, kFs)};
+    EXPECT_NEAR(c.magnitude_at(100e3, kFs), std::sqrt(0.5), 1e-3)
+        << "order " << order;
+  }
+}
+
+TEST(Butterworth, MonotoneMagnitudeResponse) {
+  // Butterworth is maximally flat: |H| decreases monotonically with f.
+  BiquadCascade c{design_butterworth_lowpass(7, 100e3, kFs)};
+  double prev = 2.0;
+  for (double f = 1000.0; f < kFs / 2.0; f *= 1.3) {
+    const double mag = c.magnitude_at(f, kFs);
+    EXPECT_LE(mag, prev + 1e-9);
+    prev = mag;
+  }
+}
+
+TEST(Butterworth, SeventhOrderRollsOffSteeply) {
+  // ~42 dB/octave: one octave above the corner must be below -36 dB...
+  // use the asymptotic bound loosely: >= 30 dB down at 2x corner.
+  BiquadCascade c{design_butterworth_lowpass(7, 100e3, kFs)};
+  const double mag = c.magnitude_at(200e3, kFs);
+  EXPECT_LT(20.0 * std::log10(mag), -30.0);
+}
+
+TEST(Butterworth, HigherOrderIsSharper) {
+  BiquadCascade c2{design_butterworth_lowpass(2, 100e3, kFs)};
+  BiquadCascade c7{design_butterworth_lowpass(7, 100e3, kFs)};
+  EXPECT_GT(c2.magnitude_at(200e3, kFs), c7.magnitude_at(200e3, kFs));
+}
+
+TEST(AcCoupling, BlocksDcPassesBand) {
+  BiquadCascade c{{design_ac_coupling_highpass(1000.0, kFs)}};
+  EXPECT_NEAR(c.magnitude_at(0.0, kFs), 0.0, 1e-9);
+  EXPECT_NEAR(c.magnitude_at(100e3, kFs), 1.0, 1e-3);
+  EXPECT_NEAR(c.magnitude_at(1000.0, kFs), std::sqrt(0.5), 1e-3);
+}
+
+TEST(AcCoupling, RemovesConstantOffsetInTime) {
+  BiquadCascade c{{design_ac_coupling_highpass(1000.0, kFs)}};
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = c.step(5.0);  // constant input
+  EXPECT_NEAR(y, 0.0, 1e-6);
+}
+
+TEST(AcCoupling, RejectsBadArguments) {
+  EXPECT_THROW(design_ac_coupling_highpass(0.0, kFs), std::invalid_argument);
+  EXPECT_THROW(design_ac_coupling_highpass(kFs, kFs), std::invalid_argument);
+}
+
+// Property sweep: for all orders 1..8 the corner attenuation is -3 dB and
+// DC gain is 1 (the definition of a Butterworth low-pass).
+class OrderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrderSweep, CornerAndDcInvariants) {
+  BiquadCascade c{design_butterworth_lowpass(GetParam(), 50e3, kFs)};
+  EXPECT_NEAR(c.magnitude_at(1.0, kFs), 1.0, 1e-6);
+  EXPECT_NEAR(c.magnitude_at(50e3, kFs), std::sqrt(0.5), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace densevlc::dsp

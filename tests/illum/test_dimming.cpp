@@ -1,0 +1,101 @@
+// Tests for luminaire planning (dimming + multi-LED TXs).
+#include "illum/dimming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc::illum {
+namespace {
+
+struct Fixture {
+  sim::Testbed tb = sim::make_simulation_testbed();
+  LuminaireDesign design{};  // 500 lux, 1 LED, defaults
+};
+
+TEST(Dimming, MeetsTargetLux) {
+  Fixture f;
+  const auto plan = plan_luminaires(f.tb.room, f.tb.tx_poses(), f.tb.emitter,
+                                    f.tb.led.electrical(), f.design);
+  EXPECT_TRUE(plan.target_met);
+  EXPECT_NEAR(plan.achieved_lux, 500.0, 15.0);
+  EXPECT_GT(plan.bias_a, 0.0);
+}
+
+TEST(Dimming, LowerTargetLowersBiasAndSwing) {
+  Fixture f;
+  LuminaireDesign dim = f.design;
+  dim.target_lux = 200.0;
+  const auto bright = plan_luminaires(f.tb.room, f.tb.tx_poses(),
+                                      f.tb.emitter, f.tb.led.electrical(),
+                                      f.design);
+  const auto dimmed = plan_luminaires(f.tb.room, f.tb.tx_poses(),
+                                      f.tb.emitter, f.tb.led.electrical(),
+                                      dim);
+  EXPECT_LT(dimmed.bias_a, bright.bias_a);
+  EXPECT_LE(dimmed.max_swing_a, bright.max_swing_a);
+  EXPECT_LT(dimmed.illumination_power_w, bright.illumination_power_w);
+}
+
+TEST(Dimming, SwingCeilingFollowsBias) {
+  // Deep dimming: max swing is bound by 2*Ib, not the 0.9 A driver cap.
+  Fixture f;
+  LuminaireDesign deep = f.design;
+  deep.target_lux = 150.0;
+  const auto plan = plan_luminaires(f.tb.room, f.tb.tx_poses(), f.tb.emitter,
+                                    f.tb.led.electrical(), deep);
+  EXPECT_NEAR(plan.max_swing_a, 2.0 * plan.bias_a, 1e-12);
+  EXPECT_LT(plan.max_swing_a, 0.9);
+}
+
+TEST(Dimming, BrightTargetHitsDriverCap) {
+  Fixture f;  // 500 lux needs Ib ~ 0.39 A; the cap binds above Ib=0.45
+  LuminaireDesign bright = f.design;
+  bright.target_lux = 700.0;
+  const auto plan = plan_luminaires(f.tb.room, f.tb.tx_poses(), f.tb.emitter,
+                                    f.tb.led.electrical(), bright);
+  if (plan.bias_a >= 0.45) {
+    EXPECT_DOUBLE_EQ(plan.max_swing_a, 0.9);
+  }
+}
+
+TEST(Dimming, MultiLedSplitsTheLoad) {
+  Fixture f;
+  LuminaireDesign quad = f.design;
+  quad.leds_per_tx = 4;
+  const auto single = plan_luminaires(f.tb.room, f.tb.tx_poses(),
+                                      f.tb.emitter, f.tb.led.electrical(),
+                                      f.design);
+  const auto multi = plan_luminaires(f.tb.room, f.tb.tx_poses(),
+                                     f.tb.emitter, f.tb.led.electrical(),
+                                     quad);
+  EXPECT_TRUE(multi.target_met);
+  // Per-LED bias drops sharply with 4 LEDs sharing the load...
+  EXPECT_LT(multi.bias_a, single.bias_a / 2.0);
+  // ...and running 4 cool LEDs is *more* efficient than 1 hot one only
+  // in the diode's nonlinear terms; power should at least not explode.
+  EXPECT_LT(multi.illumination_power_w, single.illumination_power_w * 2.0);
+}
+
+TEST(Dimming, ImpossibleTargetReported) {
+  Fixture f;
+  LuminaireDesign impossible = f.design;
+  impossible.target_lux = 50000.0;
+  const auto plan = plan_luminaires(f.tb.room, f.tb.tx_poses(), f.tb.emitter,
+                                    f.tb.led.electrical(), impossible);
+  EXPECT_FALSE(plan.target_met);
+}
+
+TEST(Dimming, ZeroLedsRejected) {
+  Fixture f;
+  LuminaireDesign bad = f.design;
+  bad.leds_per_tx = 0;
+  const auto plan = plan_luminaires(f.tb.room, f.tb.tx_poses(), f.tb.emitter,
+                                    f.tb.led.electrical(), bad);
+  EXPECT_FALSE(plan.target_met);
+  EXPECT_DOUBLE_EQ(plan.bias_a, 0.0);
+}
+
+}  // namespace
+}  // namespace densevlc::illum

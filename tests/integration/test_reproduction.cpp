@@ -1,0 +1,134 @@
+// Golden reproduction tests: pin the headline numbers this repo
+// reproduces from the paper, so regressions in any substrate (optics,
+// LED model, solver, sync chain) surface as failures here rather than
+// as silent drift in the benches. Tolerances are deliberately loose —
+// these guard the *shape*, not the third decimal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/assignment.hpp"
+#include "alloc/baselines.hpp"
+#include "alloc/optimal.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "illum/illuminance_map.hpp"
+#include "sim/scenario.hpp"
+#include "sync/nlos_sync.hpp"
+#include "sync/timesync.hpp"
+
+namespace densevlc {
+namespace {
+
+TEST(Golden, Fig4TaylorErrorAt900mA) {
+  // Paper: 0.45%. Ours: 0.445%.
+  const optics::LedModel led{optics::LedElectrical{},
+                             optics::LedOperatingPoint{0.45, 0.9}};
+  EXPECT_NEAR(100.0 * led.comm_power_relative_error(0.9), 0.45, 0.05);
+}
+
+TEST(Golden, Fig5IlluminanceAndUniformity) {
+  // Paper (simulation): 564 lux / 74%.
+  const auto tb = sim::make_simulation_testbed();
+  // 61 raster points per axis, as the Fig. 5 bench uses (the minimum-
+  // finding uniformity metric is resolution-sensitive).
+  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
+                                  tb.led,   0.8,           61,
+                                  kWhiteLedEfficacy};
+  const auto aoi = map.area_of_interest_stats(2.2);
+  EXPECT_NEAR(aoi.average_lux, 564.0, 30.0);
+  EXPECT_NEAR(aoi.uniformity, 0.74, 0.04);
+}
+
+TEST(Golden, Fig9FirstAssignments) {
+  // Paper: TX8 first for RX1, TX10 first for RX2 (1-based).
+  const auto tb = sim::make_simulation_testbed();
+  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  EXPECT_EQ(h.best_tx_for(0), 7u);
+  EXPECT_EQ(h.best_tx_for(1), 9u);
+}
+
+TEST(Golden, Fig11HeuristicLossNearTwoPercent) {
+  // Paper: kappa = 1.3 loses 1.8% on average. Check the Fig. 7 instance
+  // stays in single digits and a small instance sample averages low.
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(10, 0.25, tb.room, 0xF16'8);
+  alloc::OptimalSolverConfig ocfg;
+  ocfg.max_iterations = 250;
+  alloc::AssignmentOptions opts;
+  opts.allow_partial_tail = true;
+  std::vector<double> losses;
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    const auto opt = alloc::solve_optimal(h, 1.2, tb.budget, ocfg);
+    const auto heur =
+        alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+    auto sum = [&](const channel::Allocation& a) {
+      double s = 0.0;
+      for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
+      return s;
+    };
+    losses.push_back(100.0 *
+                     (1.0 - sum(heur.allocation) / sum(opt.allocation)));
+  }
+  EXPECT_LT(stats::mean(losses), 6.0);
+  EXPECT_GT(stats::mean(losses), -3.0);
+}
+
+TEST(Golden, Table4SyncOrderingAndMagnitudes) {
+  Rng rng{0x601D};
+  const sync::TimeSyncConfig ts;
+  const double none = sync::measure_sync_delay(sync::SyncMethod::kNone, ts,
+                                               100e3, 1000, 120, rng);
+  const double ptp = sync::measure_sync_delay(sync::SyncMethod::kNtpPtp,
+                                              ts, 100e3, 1000, 120, rng);
+  sync::NlosSyncConfig nc;
+  nc.leader_pose = geom::ceiling_pose(0.75, 0.25, 2.0);
+  nc.follower_pose = geom::ceiling_pose(1.25, 0.25, 2.0);
+  sync::NlosSynchronizer nlos{nc};
+  const auto errors = nlos.measure_errors(60, rng);
+  ASSERT_GE(errors.size(), 50u);
+  const double nlos_median = stats::median(errors);
+
+  // Paper: 10.040 / 4.565 / 0.575 us.
+  EXPECT_NEAR(none, 10.0e-6, 3.0e-6);
+  EXPECT_NEAR(ptp, 4.6e-6, 1.5e-6);
+  EXPECT_NEAR(nlos_median, 0.575e-6, 0.35e-6);
+  EXPECT_LT(nlos_median, ptp);
+  EXPECT_LT(ptp, none);
+}
+
+TEST(Golden, Fig21EfficiencyGain) {
+  // Paper: 2.3x power efficiency over D-MISO; our model lands >= 1.5x.
+  const auto tb = sim::make_experimental_testbed();
+  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  auto sum = [&](const channel::Allocation& a) {
+    double s = 0.0;
+    for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
+    return s;
+  };
+  const auto dmiso = alloc::dmiso_all_tx(h, 9, 0.9, tb.budget);
+  const double dmiso_tput = sum(dmiso.allocation);
+  alloc::AssignmentOptions opts;
+  double needed = dmiso.power_used_w;
+  for (double b = 0.2; b <= dmiso.power_used_w; b += 0.05) {
+    const auto dense = alloc::heuristic_allocate(h, 1.3, b, tb.budget, opts);
+    if (sum(dense.allocation) >= 0.94 * dmiso_tput) {
+      needed = b;
+      break;
+    }
+  }
+  EXPECT_GT(dmiso.power_used_w / needed, 1.5);
+}
+
+TEST(Golden, FullSwingTxPowerSelfConsistent) {
+  // Our r = 0.267 ohm -> 54.1 mW per full-swing TX (see the calibration
+  // note in EXPERIMENTS.md; the paper's text says 74.42 mW with the same
+  // formula). Pin our value so silent drift is caught.
+  const auto tb = sim::make_simulation_testbed();
+  EXPECT_NEAR(units::to_mW(alloc::full_swing_tx_power(0.9, tb.budget)),
+              54.1, 1.0);
+}
+
+}  // namespace
+}  // namespace densevlc

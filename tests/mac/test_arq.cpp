@@ -1,0 +1,137 @@
+// Tests for the stop-and-wait ARQ layer.
+#include "mac/arq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace densevlc::mac {
+namespace {
+
+TEST(Segment, RoundTrip) {
+  const Segment s{7, {1, 2, 3}};
+  const auto decoded = decode_segment(encode_segment(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(Segment, EmptyPayloadRejected) {
+  EXPECT_FALSE(decode_segment(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(ArqTx, IdleWhenEmpty) {
+  ArqTransmitter tx;
+  EXPECT_FALSE(tx.next_segment().has_value());
+  EXPECT_EQ(tx.backlog(), 0u);
+}
+
+TEST(ArqTx, HappyPathDelivers) {
+  ArqTransmitter tx;
+  tx.enqueue({10, 11});
+  tx.enqueue({12});
+  const auto first = tx.next_segment();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 0);
+  EXPECT_TRUE(tx.on_ack(first->seq));
+  const auto second = tx.next_segment();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 1);
+  EXPECT_EQ(second->data, (std::vector<std::uint8_t>{12}));
+  tx.on_ack(second->seq);
+  EXPECT_EQ(tx.delivered(), 2u);
+  EXPECT_EQ(tx.dropped(), 0u);
+}
+
+TEST(ArqTx, RetransmitsSameSegmentUntilAck) {
+  ArqTransmitter tx{4};
+  tx.enqueue({42});
+  const auto a = tx.next_segment();
+  tx.on_timeout();
+  const auto b = tx.next_segment();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->seq, b->seq);
+  EXPECT_EQ(a->data, b->data);
+  EXPECT_EQ(tx.transmissions(), 2u);
+}
+
+TEST(ArqTx, DropsAfterMaxAttempts) {
+  ArqTransmitter tx{3};
+  tx.enqueue({1});
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    ASSERT_TRUE(tx.next_segment().has_value());
+    tx.on_timeout();
+  }
+  EXPECT_EQ(tx.dropped(), 1u);
+  EXPECT_FALSE(tx.next_segment().has_value());
+}
+
+TEST(ArqTx, StaleAckIgnored) {
+  ArqTransmitter tx;
+  tx.enqueue({1});
+  const auto seg = tx.next_segment();
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_FALSE(tx.on_ack(static_cast<std::uint8_t>(seg->seq + 1)));
+  EXPECT_EQ(tx.delivered(), 0u);
+  EXPECT_TRUE(tx.on_ack(seg->seq));
+}
+
+TEST(ArqTx, SequenceNumbersWrap) {
+  ArqTransmitter tx;
+  for (int i = 0; i < 258; ++i) {
+    tx.enqueue({static_cast<std::uint8_t>(i)});
+    const auto seg = tx.next_segment();
+    ASSERT_TRUE(seg.has_value());
+    EXPECT_EQ(seg->seq, static_cast<std::uint8_t>(i));
+    tx.on_ack(seg->seq);
+  }
+}
+
+TEST(ArqRx, AcceptsNewRejectsDuplicate) {
+  ArqReceiver rx;
+  const Segment s{5, {9}};
+  const auto first = rx.on_segment(s);
+  EXPECT_TRUE(first.deliver_to_app);
+  EXPECT_EQ(first.ack_seq, 5);
+  const auto dup = rx.on_segment(s);
+  EXPECT_FALSE(dup.deliver_to_app);
+  EXPECT_EQ(dup.ack_seq, 5);  // duplicate still gets ACKed
+  EXPECT_EQ(rx.duplicates(), 1u);
+  EXPECT_EQ(rx.accepted(), 1u);
+}
+
+TEST(Arq, EndToEndOverLossyLink) {
+  // Simulate a 30%-loss downlink and a 20%-loss ACK path: with 6
+  // attempts the vast majority of segments must get through exactly
+  // once.
+  ArqTransmitter tx{6};
+  ArqReceiver rx;
+  Rng rng{77};
+  const int total = 200;
+  for (int i = 0; i < total; ++i) {
+    tx.enqueue({static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)});
+  }
+  int app_deliveries = 0;
+  while (const auto seg = tx.next_segment()) {
+    const bool down_ok = !rng.bernoulli(0.3);
+    if (!down_ok) {
+      tx.on_timeout();
+      continue;
+    }
+    const auto outcome = rx.on_segment(*seg);
+    if (outcome.deliver_to_app) ++app_deliveries;
+    const bool ack_ok = !rng.bernoulli(0.2);
+    if (ack_ok) {
+      tx.on_ack(outcome.ack_seq);
+    } else {
+      tx.on_timeout();  // ACK lost: transmitter retries a received frame
+    }
+  }
+  EXPECT_GT(app_deliveries, total * 95 / 100);
+  EXPECT_EQ(static_cast<int>(tx.delivered() + tx.dropped()), total);
+  // Duplicates happen exactly when ACKs are lost; the receiver must have
+  // suppressed all of them.
+  EXPECT_EQ(app_deliveries, static_cast<int>(rx.accepted()));
+}
+
+}  // namespace
+}  // namespace densevlc::mac

@@ -1,0 +1,107 @@
+// Tests for the channel-report codec.
+#include "mac/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace densevlc::mac {
+namespace {
+
+TEST(Report, QuantizationRoundTripWithinHalfLsb) {
+  for (double g : {0.0, 1e-9, 3.7e-7, 8.6e-7, 2e-6}) {
+    const double rt = dequantize_gain(quantize_gain(g));
+    EXPECT_NEAR(rt, std::min(g, kGainMax), kGainLsb / 2.0 + 1e-15);
+  }
+}
+
+TEST(Report, QuantizationClipsAboveRange) {
+  EXPECT_EQ(quantize_gain(1.0), 65535);
+  EXPECT_EQ(quantize_gain(-1e-9), 0);
+}
+
+TEST(Report, EncodeDecodeRoundTrip) {
+  ChannelReport report;
+  report.rx_id = 3;
+  report.epoch = 42;
+  Rng rng{1};
+  for (int i = 0; i < 36; ++i) {
+    report.gains.push_back(rng.uniform(0.0, 1e-6));
+  }
+  const auto decoded = decode_report(encode_report(report));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rx_id, 3);
+  EXPECT_EQ(decoded->epoch, 42);
+  ASSERT_EQ(decoded->gains.size(), 36u);
+  for (std::size_t j = 0; j < 36; ++j) {
+    EXPECT_NEAR(decoded->gains[j], report.gains[j], kGainLsb / 2.0 + 1e-15);
+  }
+}
+
+TEST(Report, PayloadIsMinimal) {
+  ChannelReport report;
+  report.gains.assign(36, 1e-7);
+  // 4-byte header + 2 bytes per TX: 76 bytes for the paper's grid.
+  EXPECT_EQ(encode_report(report).size(), 76u);
+}
+
+TEST(Report, DecodeRejectsTruncated) {
+  ChannelReport report;
+  report.gains.assign(10, 1e-7);
+  auto bytes = encode_report(report);
+  bytes.pop_back();
+  EXPECT_FALSE(decode_report(bytes).has_value());
+  EXPECT_FALSE(decode_report(std::vector<std::uint8_t>{1, 2}).has_value());
+}
+
+TEST(Report, FrameWrapsProtocolAndAddresses) {
+  ChannelReport report;
+  report.rx_id = 2;
+  report.gains.assign(4, 5e-7);
+  const auto frame = report_frame(report, 0xC0);
+  EXPECT_EQ(frame.dst, 0xC0);
+  EXPECT_EQ(frame.src, 2);
+  EXPECT_EQ(frame.protocol,
+            static_cast<std::uint16_t>(phy::Protocol::kChannelReport));
+  const auto decoded = decode_report(frame.payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rx_id, 2);
+}
+
+TEST(Report, MatrixAssemblyUsesLatestPerRx) {
+  ChannelReport old_r;
+  old_r.rx_id = 0;
+  old_r.gains = {1e-7, 2e-7};
+  ChannelReport new_r;
+  new_r.rx_id = 0;
+  new_r.gains = {3e-7, 4e-7};
+  ChannelReport other;
+  other.rx_id = 1;
+  other.gains = {5e-7, 6e-7};
+  const std::vector<ChannelReport> reports{old_r, other, new_r};
+  const auto h = matrix_from_reports(reports, 2, 2);
+  EXPECT_NEAR(h.gain(0, 0), 3e-7, kGainLsb);
+  EXPECT_NEAR(h.gain(1, 0), 4e-7, kGainLsb);
+  EXPECT_NEAR(h.gain(0, 1), 5e-7, kGainLsb);
+}
+
+TEST(Report, MatrixIgnoresMalformedReports) {
+  ChannelReport wrong_size;
+  wrong_size.rx_id = 0;
+  wrong_size.gains = {1e-7};  // expects 2 TXs
+  ChannelReport bad_rx;
+  bad_rx.rx_id = 9;
+  bad_rx.gains = {1e-7, 1e-7};
+  const std::vector<ChannelReport> reports{wrong_size, bad_rx};
+  const auto h = matrix_from_reports(reports, 2, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_DOUBLE_EQ(h.gain(j, k), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace densevlc::mac

@@ -1,0 +1,102 @@
+// Tests for the control-plane network models.
+#include "net/links.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace densevlc::net {
+namespace {
+
+TEST(SimLink, DeliversWithLatency) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{100e-6, 0.0, 0.0}, Rng{1}};
+  bool delivered = false;
+  SimTime at{};
+  link.send({1, 2, 3}, [&](const std::vector<std::uint8_t>& p) {
+    delivered = true;
+    at = des.now();
+    EXPECT_EQ(p, (std::vector<std::uint8_t>{1, 2, 3}));
+  });
+  des.run_until(SimTime::from_ms(10));
+  EXPECT_TRUE(delivered);
+  EXPECT_GE(at, SimTime::from_us(100));
+}
+
+TEST(SimLink, JitterIsNonNegativeAddition) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{50e-6, 20e-6, 0.0}, Rng{2}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(link.draw_latency(), 50e-6);
+  }
+}
+
+TEST(SimLink, LossDropsDeliveries) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{10e-6, 0.0, 0.5}, Rng{3}};
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    link.send({0}, [&](const auto&) { ++delivered; });
+  }
+  des.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(link.sent(), 1000u);
+  EXPECT_NEAR(static_cast<double>(link.lost()), 500.0, 60.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + link.lost(), 1000u);
+}
+
+TEST(SimLink, NoLossDeliversEverything) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{10e-6, 5e-6, 0.0}, Rng{4}};
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(link.send({0}, [&](const auto&) { ++delivered; }));
+  }
+  des.run_until(SimTime::from_sec(1));
+  EXPECT_EQ(delivered, 100);
+}
+
+TEST(Multicast, FansOutToAllSubscribers) {
+  sim::Simulator des;
+  EthernetMulticast eth{des, LinkConfig{100e-6, 10e-6, 0.0}, Rng{5}};
+  std::vector<int> hits(3, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    eth.subscribe([&hits, i](std::size_t id, const auto&) {
+      EXPECT_EQ(id, i);
+      ++hits[i];
+    });
+  }
+  EXPECT_EQ(eth.subscriber_count(), 3u);
+  eth.send({42});
+  des.run_until(SimTime::from_ms(10));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Multicast, IndependentLatenciesPerSubscriber) {
+  sim::Simulator des;
+  EthernetMulticast eth{des, LinkConfig{100e-6, 50e-6, 0.0}, Rng{6}};
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 2; ++i) {
+    eth.subscribe([&](std::size_t, const auto&) {
+      arrivals.push_back(des.now());
+    });
+  }
+  eth.send({1});
+  des.run_until(SimTime::from_ms(10));
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NE(arrivals[0], arrivals[1]);  // jitter decorrelates ports
+}
+
+TEST(Multicast, PayloadIntegrity) {
+  sim::Simulator des;
+  EthernetMulticast eth{des, LinkConfig{10e-6, 0.0, 0.0}, Rng{7}};
+  const std::vector<std::uint8_t> payload{9, 8, 7, 6};
+  std::vector<std::uint8_t> received;
+  eth.subscribe(
+      [&](std::size_t, const std::vector<std::uint8_t>& p) { received = p; });
+  eth.send(payload);
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(received, payload);
+}
+
+}  // namespace
+}  // namespace densevlc::net

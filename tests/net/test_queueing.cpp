@@ -1,0 +1,77 @@
+// Tests for the uplink queueing analysis.
+#include "net/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace densevlc::net {
+namespace {
+
+TEST(Fifo, EmptyQueueServesImmediately) {
+  FifoQueue q{1e-3, 8};
+  EXPECT_TRUE(q.arrive(0.0));
+  ASSERT_EQ(q.served(), 1u);
+  EXPECT_DOUBLE_EQ(q.sojourn_times()[0], 1e-3);
+}
+
+TEST(Fifo, BackToBackArrivalsQueueUp) {
+  FifoQueue q{1e-3, 8};
+  q.arrive(0.0);
+  q.arrive(0.0);
+  q.arrive(0.0);
+  ASSERT_EQ(q.served(), 3u);
+  EXPECT_DOUBLE_EQ(q.sojourn_times()[1], 2e-3);
+  EXPECT_DOUBLE_EQ(q.sojourn_times()[2], 3e-3);
+}
+
+TEST(Fifo, IdleGapsResetTheServer) {
+  FifoQueue q{1e-3, 8};
+  q.arrive(0.0);
+  q.arrive(10.0);  // long after the first departed
+  EXPECT_NEAR(q.sojourn_times()[1], 1e-3, 1e-12);
+}
+
+TEST(Fifo, CapacityDrops) {
+  FifoQueue q{1.0, 2};
+  EXPECT_TRUE(q.arrive(0.0));
+  EXPECT_TRUE(q.arrive(0.0));
+  EXPECT_FALSE(q.arrive(0.0));  // 2 ahead: full
+  EXPECT_EQ(q.dropped(), 1u);
+}
+
+TEST(Uplink, PaperLoadIsLight) {
+  // 4 RXs, ~45 ACKs/s each plus one report/s: the paper claims the WiFi
+  // uplink is not easily congested. Offered load must be a few percent
+  // and delays near one airtime.
+  const UplinkTraffic traffic{};
+  const auto report = analyze_uplink(traffic, 4, 60.0, 1);
+  EXPECT_LT(report.offered_load, 0.05);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_LT(report.mean_sojourn_s, 3.0 * traffic.ack_airtime_s);
+  EXPECT_GT(report.served, 10000u);  // ~4*46*60
+}
+
+TEST(Uplink, OverloadCongests) {
+  UplinkTraffic heavy{};
+  heavy.ack_rate_hz = 4000.0;  // absurd downlink frame rate
+  const auto report = analyze_uplink(heavy, 4, 10.0, 2);
+  EXPECT_GT(report.offered_load, 0.5);
+  EXPECT_GT(report.p99_sojourn_s, 5.0 * heavy.ack_airtime_s);
+}
+
+TEST(Uplink, LoadScalesWithRxCount) {
+  const UplinkTraffic traffic{};
+  const auto small = analyze_uplink(traffic, 2, 30.0, 3);
+  const auto large = analyze_uplink(traffic, 8, 30.0, 3);
+  EXPECT_NEAR(large.offered_load / small.offered_load, 4.0, 1.0);
+}
+
+TEST(Uplink, Deterministic) {
+  const UplinkTraffic traffic{};
+  const auto a = analyze_uplink(traffic, 4, 20.0, 42);
+  const auto b = analyze_uplink(traffic, 4, 20.0, 42);
+  EXPECT_DOUBLE_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.served, b.served);
+}
+
+}  // namespace
+}  // namespace densevlc::net

@@ -1,0 +1,147 @@
+// Tests for the DenseVLC frame format (paper Table 3).
+#include "phy/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+MacFrame make_frame(std::size_t payload_len, Rng& rng) {
+  MacFrame f;
+  f.dst = 3;
+  f.src = 0xC0;
+  f.protocol = static_cast<std::uint16_t>(Protocol::kData);
+  f.payload.resize(payload_len);
+  for (auto& b : f.payload) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return f;
+}
+
+TEST(Frame, SerializedSizeMatchesTable3) {
+  // Header 9 B + payload + ceil(x/200) * 16 B of Reed-Solomon.
+  EXPECT_EQ(serialized_frame_bytes(0), 9u);
+  EXPECT_EQ(serialized_frame_bytes(1), 9u + 1 + 16);
+  EXPECT_EQ(serialized_frame_bytes(200), 9u + 200 + 16);
+  EXPECT_EQ(serialized_frame_bytes(201), 9u + 201 + 32);
+  EXPECT_EQ(serialized_frame_bytes(1000), 9u + 1000 + 5 * 16);
+}
+
+TEST(Frame, RoundTripCleanChannel) {
+  Rng rng{1};
+  for (std::size_t len : {0u, 1u, 50u, 200u, 201u, 450u, 1500u}) {
+    const auto f = make_frame(len, rng);
+    const auto bytes = serialize_frame(f);
+    const auto parsed = parse_frame(bytes);
+    ASSERT_TRUE(parsed.has_value()) << "len " << len;
+    EXPECT_EQ(parsed->frame, f);
+    EXPECT_EQ(parsed->corrected_bytes, 0u);
+  }
+}
+
+TEST(Frame, PayloadTooLargeThrows) {
+  Rng rng{2};
+  auto f = make_frame(kMaxPayload + 1, rng);
+  EXPECT_THROW(serialize_frame(f), std::invalid_argument);
+}
+
+TEST(Frame, CorrectsPayloadErrors) {
+  Rng rng{3};
+  const auto f = make_frame(400, rng);  // 2 RS blocks
+  auto bytes = serialize_frame(f);
+  // Up to 8 byte errors per block: hit both blocks.
+  bytes[9 + 10] ^= 0xFF;
+  bytes[9 + 150] ^= 0x0F;
+  bytes[9 + 250] ^= 0xAA;
+  bytes[9 + 399] ^= 0x55;
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame, f);
+  EXPECT_EQ(parsed->corrected_bytes, 4u);
+}
+
+TEST(Frame, UncorrectableBlockFails) {
+  Rng rng{4};
+  const auto f = make_frame(100, rng);
+  auto bytes = serialize_frame(f);
+  for (std::size_t i = 0; i < 20; ++i) bytes[9 + i] ^= 0x3C;
+  EXPECT_FALSE(parse_frame(bytes).has_value());
+}
+
+TEST(Frame, BadSfdRejected) {
+  Rng rng{5};
+  auto bytes = serialize_frame(make_frame(10, rng));
+  bytes[0] ^= 0x01;
+  EXPECT_FALSE(parse_frame(bytes).has_value());
+}
+
+TEST(Frame, ImplausibleLengthRejected) {
+  Rng rng{6};
+  auto bytes = serialize_frame(make_frame(10, rng));
+  bytes[1] = 0xFF;  // length = 65303+
+  bytes[2] = 0xFF;
+  EXPECT_FALSE(parse_frame(bytes).has_value());
+}
+
+TEST(Frame, TruncatedBufferRejected) {
+  Rng rng{7};
+  const auto bytes = serialize_frame(make_frame(100, rng));
+  const std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+  EXPECT_FALSE(parse_frame(cut).has_value());
+  EXPECT_FALSE(parse_frame(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Frame, PatternsAreFixedAndDistinct) {
+  const auto pilot = pilot_pattern();
+  const auto pre = preamble_pattern();
+  EXPECT_EQ(pilot.size(), kPilotChips);
+  EXPECT_EQ(pre.size(), kPreambleChips);
+  bool differ = false;
+  for (std::size_t i = 0; i < pilot.size(); ++i) {
+    differ = differ || pilot[i] != pre[i];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Frame, ChipsIncludePreambleAndManchesterBody) {
+  Rng rng{8};
+  const auto f = make_frame(20, rng);
+  const auto chips = frame_to_chips(f);
+  const auto body_bytes = serialize_frame(f).size();
+  EXPECT_EQ(chips.size(), kPreambleChips + body_bytes * 8 * 2);
+}
+
+TEST(ControllerFrame, RoundTrip) {
+  Rng rng{9};
+  ControllerFrame cf;
+  cf.tx_mask = 0x0000000F00000301ULL;
+  cf.leading_tx = 7;
+  cf.frame = make_frame(64, rng);
+  const auto bytes = serialize_controller_frame(cf);
+  const auto parsed = parse_controller_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, cf);
+}
+
+TEST(ControllerFrame, SelectsByMask) {
+  ControllerFrame cf;
+  cf.tx_mask = (1ULL << 0) | (1ULL << 7) | (1ULL << 35);
+  EXPECT_TRUE(cf.selects(0));
+  EXPECT_TRUE(cf.selects(7));
+  EXPECT_TRUE(cf.selects(35));
+  EXPECT_FALSE(cf.selects(1));
+  EXPECT_FALSE(cf.selects(64));  // out of range
+}
+
+TEST(ControllerFrame, TruncatedRejected) {
+  EXPECT_FALSE(
+      parse_controller_frame(std::vector<std::uint8_t>(10, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace densevlc::phy

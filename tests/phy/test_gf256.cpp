@@ -1,0 +1,109 @@
+// Tests for GF(2^8) arithmetic.
+#include "phy/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace densevlc::phy::gf256 {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x99);
+  EXPECT_EQ(add(0xFF, 0xFF), 0x00);
+}
+
+TEST(Gf256, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(v, 1), v);
+    EXPECT_EQ(mul(1, v), v);
+    EXPECT_EQ(mul(v, 0), 0);
+    EXPECT_EQ(mul(0, v), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 13) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, KnownProduct) {
+  // 0x02 * 0x80 wraps through the primitive polynomial 0x11D: 0x100 ^
+  // 0x11D = 0x1D.
+  EXPECT_EQ(mul(0x02, 0x80), 0x1D);
+}
+
+TEST(Gf256, MulDivRoundTrip) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      const auto av = static_cast<std::uint8_t>(a);
+      const auto bv = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(av, bv), bv), av);
+    }
+  }
+}
+
+TEST(Gf256, InverseIsMultiplicativeInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(v, inverse(v)), 1) << "a = " << a;
+  }
+}
+
+TEST(Gf256, PowAlphaPeriod255) {
+  EXPECT_EQ(pow_alpha(0), 1);
+  EXPECT_EQ(pow_alpha(1), 2);
+  EXPECT_EQ(pow_alpha(255), 1);
+  EXPECT_EQ(pow_alpha(256), 2);
+  EXPECT_EQ(pow_alpha(-1), pow_alpha(254));
+}
+
+TEST(Gf256, AlphaGeneratesWholeField) {
+  std::vector<bool> seen(256, false);
+  for (int k = 0; k < 255; ++k) seen[pow_alpha(k)] = true;
+  int count = 0;
+  for (int v = 1; v < 256; ++v) count += seen[static_cast<std::size_t>(v)];
+  EXPECT_EQ(count, 255);  // every nonzero element is a power of alpha
+}
+
+TEST(Gf256, PolyEvalHorner) {
+  // p(x) = x^2 + 1 (coefficients descending): p(2) = 4 ^ 1 = 5 in GF.
+  const std::vector<std::uint8_t> p{1, 0, 1};
+  EXPECT_EQ(poly_eval(p, 2), add(mul(2, 2), 1));
+  EXPECT_EQ(poly_eval(p, 0), 1);
+}
+
+TEST(Gf256, PolyMulDegreesAdd) {
+  const std::vector<std::uint8_t> a{1, 2};     // x + 2
+  const std::vector<std::uint8_t> b{1, 0, 3};  // x^2 + 3
+  const auto c = poly_mul(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0], 1);  // x^3 coefficient
+}
+
+TEST(Gf256, PolyMulWithEmptyIsEmpty) {
+  const std::vector<std::uint8_t> a{1, 2};
+  EXPECT_TRUE(poly_mul(a, {}).empty());
+  EXPECT_TRUE(poly_mul({}, a).empty());
+}
+
+TEST(Gf256, DistributiveLaw) {
+  for (int a = 1; a < 256; a += 31) {
+    for (int b = 1; b < 256; b += 29) {
+      for (int c = 1; c < 256; c += 37) {
+        const auto av = static_cast<std::uint8_t>(a);
+        const auto bv = static_cast<std::uint8_t>(b);
+        const auto cv = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(av, add(bv, cv)), add(mul(av, bv), mul(av, cv)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace densevlc::phy::gf256

@@ -1,0 +1,107 @@
+// Tests for Manchester coding and bit/byte packing.
+#include "phy/manchester.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+TEST(Manchester, PaperConvention) {
+  // 0 encodes Il -> Ih (LOW then HIGH); 1 encodes Ih -> Il.
+  const std::vector<std::uint8_t> bits{0, 1};
+  const auto chips = manchester_encode(bits);
+  ASSERT_EQ(chips.size(), 4u);
+  EXPECT_EQ(chips[0], Chip::kLow);
+  EXPECT_EQ(chips[1], Chip::kHigh);
+  EXPECT_EQ(chips[2], Chip::kHigh);
+  EXPECT_EQ(chips[3], Chip::kLow);
+}
+
+TEST(Manchester, RoundTrip) {
+  Rng rng{42};
+  std::vector<std::uint8_t> bits(1000);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const auto chips = manchester_encode(bits);
+  const auto decoded = manchester_decode(chips);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(Manchester, DcBalanceExact) {
+  // Any bit stream yields exactly 50% HIGH chips — the property that
+  // keeps LED brightness constant.
+  Rng rng{43};
+  std::vector<std::uint8_t> bits(501);
+  for (auto& b : bits) b = rng.bernoulli(0.8) ? 1 : 0;  // biased bits!
+  const auto chips = manchester_encode(bits);
+  std::size_t high = 0;
+  for (Chip c : chips) high += c == Chip::kHigh ? 1 : 0;
+  EXPECT_EQ(high * 2, chips.size());
+}
+
+TEST(Manchester, StrictDecodeRejectsViolation) {
+  std::vector<Chip> chips{Chip::kLow, Chip::kLow};  // no transition
+  EXPECT_FALSE(manchester_decode(chips).has_value());
+  chips = {Chip::kHigh, Chip::kHigh};
+  EXPECT_FALSE(manchester_decode(chips).has_value());
+}
+
+TEST(Manchester, StrictDecodeRejectsOddLength) {
+  const std::vector<Chip> chips{Chip::kLow, Chip::kHigh, Chip::kLow};
+  EXPECT_FALSE(manchester_decode(chips).has_value());
+}
+
+TEST(Manchester, LenientDecodeCountsViolations) {
+  const std::vector<Chip> chips{Chip::kLow,  Chip::kHigh,   // valid 0
+                                Chip::kHigh, Chip::kHigh,   // violation
+                                Chip::kHigh, Chip::kLow};   // valid 1
+  const auto res = manchester_decode_lenient(chips);
+  ASSERT_EQ(res.bits.size(), 3u);
+  EXPECT_EQ(res.violations, 1u);
+  EXPECT_EQ(res.bits[0], 0);
+  EXPECT_EQ(res.bits[2], 1);
+}
+
+TEST(Manchester, LenientDecodeOddTailCounts) {
+  const std::vector<Chip> chips{Chip::kLow, Chip::kHigh, Chip::kLow};
+  const auto res = manchester_decode_lenient(chips);
+  EXPECT_EQ(res.bits.size(), 1u);
+  EXPECT_EQ(res.violations, 1u);
+}
+
+TEST(Packing, BytesToBitsMsbFirst) {
+  const std::vector<std::uint8_t> bytes{0xA5};
+  const auto bits = bytes_to_bits(bytes);
+  const std::vector<std::uint8_t> expected{1, 0, 1, 0, 0, 1, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Packing, BitsToBytesRoundTrip) {
+  Rng rng{44};
+  std::vector<std::uint8_t> bytes(256);
+  for (auto& b : bytes) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const auto packed = bits_to_bytes(bytes_to_bits(bytes));
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_EQ(*packed, bytes);
+}
+
+TEST(Packing, RaggedBitsRejected) {
+  const std::vector<std::uint8_t> bits(9, 0);
+  EXPECT_FALSE(bits_to_bytes(bits).has_value());
+}
+
+TEST(Packing, EmptyInputsAreEmpty) {
+  EXPECT_TRUE(bytes_to_bits({}).empty());
+  const auto packed = bits_to_bytes({});
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_TRUE(packed->empty());
+}
+
+}  // namespace
+}  // namespace densevlc::phy

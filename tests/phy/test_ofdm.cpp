@@ -1,0 +1,186 @@
+// Tests for the DCO-OFDM extension PHY.
+#include "phy/ofdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace densevlc::phy {
+namespace {
+
+OfdmConfig default_config() {
+  OfdmConfig cfg;
+  cfg.fft_size = 64;
+  cfg.cyclic_prefix = 8;
+  cfg.bits_per_symbol = 4;  // 16-QAM
+  cfg.swing_scale_a = 0.12;
+  return cfg;
+}
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(Qam, RoundTripAllSymbols) {
+  for (std::size_t bits : {2u, 4u, 6u}) {
+    const std::uint32_t count = 1u << bits;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      EXPECT_EQ(qam_demodulate(qam_modulate(s, bits), bits), s)
+          << bits << "-bit symbol " << s;
+    }
+  }
+}
+
+TEST(Qam, UnitAveragePower) {
+  for (std::size_t bits : {2u, 4u, 6u}) {
+    const std::uint32_t count = 1u << bits;
+    double power = 0.0;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      power += std::norm(qam_modulate(s, bits));
+    }
+    EXPECT_NEAR(power / count, 1.0, 1e-12) << bits << " bits";
+  }
+}
+
+TEST(Qam, GrayNeighborsDifferByOneBit) {
+  // Adjacent I-axis points must differ in exactly one bit (per axis).
+  const std::size_t bits = 4;
+  // Collect symbols sorted by I for fixed Q.
+  std::vector<std::pair<double, std::uint32_t>> by_i;
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const auto p = qam_modulate(s, bits);
+    if (std::abs(p.imag() - qam_modulate(0, bits).imag()) < 1e-12) {
+      by_i.emplace_back(p.real(), s);
+    }
+  }
+  std::sort(by_i.begin(), by_i.end());
+  for (std::size_t i = 1; i < by_i.size(); ++i) {
+    const std::uint32_t diff = by_i[i].second ^ by_i[i - 1].second;
+    EXPECT_EQ(__builtin_popcount(diff), 1);
+  }
+}
+
+TEST(OfdmModem, RejectsBadConfig) {
+  OfdmConfig bad = default_config();
+  bad.fft_size = 60;
+  EXPECT_THROW(OfdmModem{bad}, std::invalid_argument);
+  bad = default_config();
+  bad.bits_per_symbol = 3;
+  EXPECT_THROW(OfdmModem{bad}, std::invalid_argument);
+  bad = default_config();
+  bad.cyclic_prefix = 64;
+  EXPECT_THROW(OfdmModem{bad}, std::invalid_argument);
+}
+
+TEST(OfdmModem, WaveformStaysInLedRange) {
+  const OfdmModem modem{default_config()};
+  const auto bits = random_bits(1000, 1);
+  const auto wf = modem.modulate(bits);
+  for (double i : wf.samples) {
+    EXPECT_GE(i, 0.0);
+    EXPECT_LE(i, 0.9);
+  }
+}
+
+TEST(OfdmModem, AverageCurrentNearBias) {
+  // DCO-OFDM keeps mean intensity at the bias (illumination unchanged).
+  const OfdmModem modem{default_config()};
+  const auto bits = random_bits(4000, 2);
+  const auto wf = modem.modulate(bits);
+  double mean = 0.0;
+  for (double i : wf.samples) mean += i;
+  mean /= static_cast<double>(wf.samples.size());
+  EXPECT_NEAR(mean, 0.45, 0.01);
+}
+
+TEST(OfdmModem, CleanRoundTrip) {
+  for (std::size_t qam_bits : {2u, 4u, 6u}) {
+    OfdmConfig cfg = default_config();
+    cfg.bits_per_symbol = qam_bits;
+    const OfdmModem modem{cfg};
+    const auto bits = random_bits(500, 3 + qam_bits);
+    const auto wf = modem.modulate(bits);
+    const auto decoded = modem.demodulate(wf, bits.size());
+    ASSERT_TRUE(decoded.has_value()) << qam_bits;
+    EXPECT_EQ(*decoded, bits) << qam_bits << "-QAM";
+  }
+}
+
+TEST(OfdmModem, RoundTripThroughFlatChannel) {
+  // The pilot equalizer must absorb an arbitrary flat gain.
+  const OfdmModem modem{default_config()};
+  const auto bits = random_bits(600, 7);
+  auto wf = modem.modulate(bits);
+  for (double& s : wf.samples) s *= 3.7e-7;  // a typical channel gain
+  const auto decoded = modem.demodulate(wf, bits.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(OfdmModem, SurvivesModerateNoise) {
+  const OfdmModem modem{default_config()};
+  const auto bits = random_bits(800, 8);
+  auto wf = modem.modulate(bits);
+  Rng rng{9};
+  // AC swing RMS is 0.12; 25 dB SNR noise.
+  const double sigma = 0.12 / std::pow(10.0, 25.0 / 20.0);
+  for (double& s : wf.samples) s += rng.gaussian(0.0, sigma);
+  const auto decoded = modem.demodulate(wf, bits.size());
+  ASSERT_TRUE(decoded.has_value());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    errors += (*decoded)[i] != bits[i] ? 1 : 0;
+  }
+  EXPECT_LT(errors, bits.size() / 100);
+}
+
+TEST(OfdmModem, HeavyNoiseCausesErrors) {
+  OfdmConfig cfg = default_config();
+  cfg.bits_per_symbol = 6;  // fragile 64-QAM
+  const OfdmModem modem{cfg};
+  const auto bits = random_bits(900, 10);
+  auto wf = modem.modulate(bits);
+  Rng rng{11};
+  for (double& s : wf.samples) s += rng.gaussian(0.0, 0.06);
+  const auto decoded = modem.demodulate(wf, bits.size());
+  ASSERT_TRUE(decoded.has_value());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    errors += (*decoded)[i] != bits[i] ? 1 : 0;
+  }
+  EXPECT_GT(errors, 0u);
+}
+
+TEST(OfdmModem, TooShortWaveformRejected) {
+  const OfdmModem modem{default_config()};
+  dsp::Waveform wf;
+  wf.sample_rate_hz = 2e6;
+  wf.samples.assign(10, 0.45);
+  EXPECT_FALSE(modem.demodulate(wf, 100).has_value());
+}
+
+TEST(OfdmModem, BitRateScalesWithQamOrder) {
+  OfdmConfig cfg = default_config();
+  cfg.bits_per_symbol = 2;
+  const double r2 = OfdmModem{cfg}.bit_rate_bps();
+  cfg.bits_per_symbol = 6;
+  const double r6 = OfdmModem{cfg}.bit_rate_bps();
+  EXPECT_NEAR(r6 / r2, 3.0, 1e-12);
+  EXPECT_GT(r2, 0.0);
+}
+
+TEST(OfdmModem, SymbolsForBitsCeils) {
+  const OfdmModem modem{default_config()};  // 31 carriers * 4 bits = 124
+  EXPECT_EQ(modem.symbols_for_bits(1), 1u);
+  EXPECT_EQ(modem.symbols_for_bits(124), 1u);
+  EXPECT_EQ(modem.symbols_for_bits(125), 2u);
+}
+
+}  // namespace
+}  // namespace densevlc::phy

@@ -1,0 +1,125 @@
+// Tests for the discrete-event engine.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace densevlc::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator des;
+  std::vector<int> order;
+  des.schedule_at(SimTime::from_us(30), [&] { order.push_back(3); });
+  des.schedule_at(SimTime::from_us(10), [&] { order.push_back(1); });
+  des.schedule_at(SimTime::from_us(20), [&] { order.push_back(2); });
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesAreFifo) {
+  Simulator des;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_us(5);
+  des.schedule_at(t, [&] { order.push_back(1); });
+  des.schedule_at(t, [&] { order.push_back(2); });
+  des.schedule_at(t, [&] { order.push_back(3); });
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator des;
+  SimTime seen{};
+  des.schedule_at(SimTime::from_us(42), [&] { seen = des.now(); });
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(seen, SimTime::from_us(42));
+  EXPECT_EQ(des.now(), SimTime::from_ms(1));  // clamps to limit
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator des;
+  int ran = 0;
+  des.schedule_at(SimTime::from_us(10), [&] { ++ran; });
+  des.schedule_at(SimTime::from_us(200), [&] { ++ran; });
+  const auto executed = des.run_until(SimTime::from_us(100));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(des.pending(), 1u);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator des;
+  std::vector<std::int64_t> times;
+  des.schedule_at(SimTime::from_us(10), [&] {
+    des.schedule_in(SimTime::from_us(5),
+                    [&] { times.push_back(des.now().us()); });
+  });
+  des.run_until(SimTime::from_ms(1));
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 15);
+}
+
+TEST(Simulator, SchedulingInPastClampsToNow) {
+  Simulator des;
+  bool ran = false;
+  des.schedule_at(SimTime::from_us(50), [&] {
+    des.schedule_at(SimTime::from_us(1), [&] {
+      ran = true;
+      EXPECT_GE(des.now(), SimTime::from_us(50));
+    });
+  });
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator des;
+  bool ran = false;
+  const auto id = des.schedule_at(SimTime::from_us(10), [&] { ran = true; });
+  EXPECT_TRUE(des.cancel(id));
+  EXPECT_FALSE(des.cancel(id));  // second cancel is a no-op
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator des;
+  EXPECT_FALSE(des.cancel(9999));
+}
+
+TEST(Simulator, EventsCanChain) {
+  Simulator des;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) {
+      des.schedule_in(SimTime::from_us(10), tick);
+    }
+  };
+  des.schedule_at(SimTime{}, tick);
+  des.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunAllRespectsEventCap) {
+  Simulator des;
+  std::function<void()> forever = [&] {
+    des.schedule_in(SimTime::from_us(1), forever);
+  };
+  des.schedule_at(SimTime{}, forever);
+  const auto executed = des.run_all(100);
+  EXPECT_EQ(executed, 100u);
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator des;
+  const auto a = des.schedule_at(SimTime::from_us(10), [] {});
+  des.schedule_at(SimTime::from_us(20), [] {});
+  EXPECT_EQ(des.pending(), 2u);
+  des.cancel(a);
+  EXPECT_EQ(des.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace densevlc::sim

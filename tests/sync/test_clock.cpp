@@ -1,0 +1,76 @@
+// Tests for the local-clock error model.
+#include "sync/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace densevlc::sync {
+namespace {
+
+TEST(Clock, LocalTimeAppliesOffsetAndDrift) {
+  const ClockModel c{2e-6, 10.0, 0.0};  // +2 us offset, +10 ppm
+  EXPECT_NEAR(c.local_time(0.0), 2e-6, 1e-15);
+  EXPECT_NEAR(c.local_time(1.0), 1.0 + 2e-6 + 10e-6, 1e-12);
+}
+
+TEST(Clock, TrueTimeInvertsLocalTime) {
+  const ClockModel c{-3e-6, 25.0, 0.0};
+  for (double t : {0.0, 0.5, 10.0, 1000.0}) {
+    const double local = c.local_time(t);
+    EXPECT_NEAR(c.true_time_of_local(local), t, 1e-9);
+  }
+}
+
+TEST(Clock, FireTimeJitters) {
+  const ClockModel c{0.0, 0.0, 1e-6};
+  Rng rng{5};
+  std::vector<double> fires(2000);
+  for (double& f : fires) f = c.fire_time(1.0, rng);
+  EXPECT_NEAR(stats::mean(fires), 1.0, 1e-7);
+  EXPECT_NEAR(stats::stddev(fires), 1e-6, 2e-7);
+}
+
+TEST(Clock, DrawMatchesPopulation) {
+  ClockPopulation pop;
+  pop.offset_stddev_s = 5e-6;
+  pop.drift_ppm_stddev = 10.0;
+  Rng rng{6};
+  std::vector<double> offsets;
+  std::vector<double> drifts;
+  for (int i = 0; i < 3000; ++i) {
+    const auto c = ClockModel::draw(pop, rng);
+    offsets.push_back(c.offset());
+    drifts.push_back(c.drift_ppm());
+  }
+  EXPECT_NEAR(stats::stddev(offsets), 5e-6, 5e-7);
+  EXPECT_NEAR(stats::stddev(drifts), 10.0, 1.0);
+  EXPECT_NEAR(stats::mean(offsets), 0.0, 5e-7);
+}
+
+TEST(Clock, CorrectedShrinksOffsetKeepsDrift) {
+  ClockPopulation pop;
+  pop.offset_stddev_s = 100e-6;
+  Rng rng{7};
+  std::vector<double> corrected_offsets;
+  for (int i = 0; i < 2000; ++i) {
+    const auto raw = ClockModel::draw(pop, rng);
+    const auto fixed = raw.corrected(1e-6, rng);
+    corrected_offsets.push_back(fixed.offset());
+    EXPECT_DOUBLE_EQ(fixed.drift_ppm(), raw.drift_ppm());
+  }
+  EXPECT_NEAR(stats::stddev(corrected_offsets), 1e-6, 1e-7);
+}
+
+TEST(Clock, ZeroErrorClockIsIdentity) {
+  const ClockModel c{0.0, 0.0, 0.0};
+  Rng rng{8};
+  EXPECT_DOUBLE_EQ(c.local_time(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.fire_time(5.0, rng), 5.0);
+}
+
+}  // namespace
+}  // namespace densevlc::sync

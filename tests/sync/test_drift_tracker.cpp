@@ -1,0 +1,106 @@
+// Tests for the inter-pilot drift tracker.
+#include "sync/drift_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace densevlc::sync {
+namespace {
+
+/// Local clock reading for a given nominal time under (offset, drift).
+double local_of(double nominal, double offset, double drift_ppm) {
+  return offset + nominal * (1.0 + drift_ppm * 1e-6);
+}
+
+TEST(DriftTracker, NoObservationsIsIdentity) {
+  const DriftTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.predict_local(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.drift_ppm(), 0.0);
+}
+
+TEST(DriftTracker, SingleObservationGivesOffsetOnly) {
+  DriftTracker tracker;
+  tracker.observe(1.0, local_of(1.0, 2e-6, 30.0));
+  // Offset-only prediction ignores the drift it cannot know.
+  const double pred = tracker.predict_local(2.0);
+  EXPECT_NEAR(pred, local_of(1.0, 2e-6, 30.0) + 1.0, 1e-12);
+}
+
+TEST(DriftTracker, RecoversDriftExactlyFromCleanPilots) {
+  DriftTracker tracker;
+  const double offset = 5e-6;
+  const double drift = 42.0;
+  for (double t = 0.0; t <= 4.0; t += 1.0) {
+    tracker.observe(t, local_of(t, offset, drift));
+  }
+  EXPECT_NEAR(tracker.drift_ppm(), drift, 1e-6);
+  // Prediction 10 s ahead stays exact.
+  EXPECT_NEAR(tracker.prediction_error(14.0, drift, offset), 0.0, 1e-12);
+}
+
+TEST(DriftTracker, WithoutTrackingErrorGrowsWithInterval) {
+  // The point of the tracker: a phase-only follower drifts apart.
+  const double drift = 30.0;  // ppm
+  DriftTracker phase_only{2};
+  phase_only.observe(0.0, local_of(0.0, 0.0, drift));
+  // One observation -> offset-only prediction: at t seconds the error is
+  // drift * t.
+  for (double t : {0.1, 1.0, 10.0}) {
+    const double err =
+        std::fabs(phase_only.prediction_error(t, drift, 0.0));
+    EXPECT_NEAR(err, drift * 1e-6 * t, 1e-9) << "t " << t;
+  }
+}
+
+TEST(DriftTracker, NoisyPilotsStillEstimateWell) {
+  DriftTracker tracker{16};
+  Rng rng{7};
+  const double drift = -25.0;
+  const double offset = 1e-6;
+  const double pilot_noise = 0.5e-6;  // NLOS detection quantization
+  for (double t = 0.0; t <= 15.0; t += 1.0) {
+    tracker.observe(t, local_of(t, offset, drift) +
+                           rng.gaussian(0.0, pilot_noise));
+  }
+  EXPECT_NEAR(tracker.drift_ppm(), drift, 1.0);
+  // Prediction error 5 s past the last pilot is far below the untracked
+  // drift of 125 us... wait, 25 ppm * 5 s = 125 us; tracked, it should
+  // stay within a few microseconds.
+  EXPECT_LT(std::fabs(tracker.prediction_error(20.0, drift, offset)),
+            5e-6);
+}
+
+TEST(DriftTracker, WindowAgesOutOldRate) {
+  DriftTracker tracker{4};
+  // Old regime: +50 ppm; new regime (after warm-up): -10 ppm.
+  for (double t = 0.0; t < 4.0; t += 1.0) {
+    tracker.observe(t, local_of(t, 0.0, 50.0));
+  }
+  const double pivot_local = local_of(3.0, 0.0, 50.0);
+  for (double t = 4.0; t < 8.0; t += 1.0) {
+    tracker.observe(t, pivot_local + (t - 3.0) * (1.0 - 10.0 * 1e-6));
+  }
+  EXPECT_EQ(tracker.observations(), 4u);
+  EXPECT_NEAR(tracker.drift_ppm(), -10.0, 0.5);
+}
+
+TEST(DriftTracker, ExtendsResyncInterval) {
+  // Quantify the headline: with 0.5 us pilot accuracy and 30 ppm drift,
+  // phase-only sync must re-pilot every ~33 ms to stay under 1 us; the
+  // tracker (residual drift < 1 ppm) stretches that 30x+.
+  const double drift = 30.0;
+  DriftTracker tracker{8};
+  Rng rng{9};
+  for (double t = 0.0; t <= 7.0; t += 1.0) {
+    tracker.observe(t, local_of(t, 0.0, drift) +
+                           rng.gaussian(0.0, 0.3e-6));
+  }
+  const double residual_ppm = std::fabs(tracker.drift_ppm() - drift);
+  EXPECT_LT(residual_ppm, 1.0);
+}
+
+}  // namespace
+}  // namespace densevlc::sync

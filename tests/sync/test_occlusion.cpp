@@ -1,0 +1,96 @@
+// Tests for NLOS floor occluders (person on the reflection path) and the
+// tilted-receiver geometry helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "optics/nlos.hpp"
+#include "sim/scenario.hpp"
+#include "sync/nlos_sync.hpp"
+
+namespace densevlc {
+namespace {
+
+optics::LambertianEmitter paper_emitter() {
+  optics::LambertianEmitter e;
+  e.half_power_semi_angle_rad = units::deg_to_rad(15.0);
+  return e;
+}
+
+TEST(FloorOccluder, ReducesNlosGain) {
+  const auto e = paper_emitter();
+  const optics::Photodiode pd;
+  const auto tx = geom::ceiling_pose(1.25, 1.25, 2.8);
+  const auto rx = geom::ceiling_pose(1.75, 1.25, 2.8);
+  const optics::FloorSurface floor;
+  const double clear = optics::nlos_floor_gain(e, pd, tx, rx, floor);
+  // A person standing right under the leader blocks the bright spot.
+  const std::vector<optics::FloorOccluder> person{{1.25, 1.25, 0.3}};
+  const double occluded =
+      optics::nlos_floor_gain(e, pd, tx, rx, floor, person);
+  EXPECT_LT(occluded, clear);
+  EXPECT_GT(occluded, 0.0);  // but the bounce survives (paper's claim)
+}
+
+TEST(FloorOccluder, FarAwayOccluderIsHarmless) {
+  const auto e = paper_emitter();
+  const optics::Photodiode pd;
+  const auto tx = geom::ceiling_pose(1.25, 1.25, 2.8);
+  const auto rx = geom::ceiling_pose(1.75, 1.25, 2.8);
+  const optics::FloorSurface floor;
+  const double clear = optics::nlos_floor_gain(e, pd, tx, rx, floor);
+  const std::vector<optics::FloorOccluder> corner{{2.9, 2.9, 0.25}};
+  const double with_corner =
+      optics::nlos_floor_gain(e, pd, tx, rx, floor, corner);
+  EXPECT_NEAR(with_corner, clear, clear * 0.02);
+}
+
+TEST(FloorOccluder, SyncSurvivesWalkingPerson) {
+  // Paper Sec. 9: "even when a person is walking by, the pilot signals
+  // are still received". A person offset from the hot spot must leave
+  // detection working.
+  sync::NlosSyncConfig cfg;
+  cfg.occluders = {{1.0, 0.9, 0.3}};  // near, not on, the bright spot
+  sync::NlosSynchronizer sync{cfg};
+  Rng rng{4};
+  std::size_t detected = 0;
+  for (int t = 0; t < 10; ++t) {
+    detected += sync.simulate_once(rng).detected ? 1 : 0;
+  }
+  EXPECT_GE(detected, 8u);
+}
+
+TEST(TiltedPose, ZeroTiltIsFloorPose) {
+  const auto p = geom::tilted_pose(1.0, 2.0, 0.8, 0.0, 0.0);
+  EXPECT_NEAR(p.normal.z, 1.0, 1e-12);
+  EXPECT_NEAR(p.normal.x, 0.0, 1e-12);
+}
+
+TEST(TiltedPose, NormalIsUnitAndDirected) {
+  const double tilt = units::deg_to_rad(30.0);
+  const double az = units::deg_to_rad(90.0);
+  const auto p = geom::tilted_pose(0.5, 0.5, 0.0, tilt, az);
+  EXPECT_NEAR(p.normal.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(p.normal.y, std::sin(tilt), 1e-12);  // leaning toward +y
+  EXPECT_NEAR(p.normal.z, std::cos(tilt), 1e-12);
+}
+
+TEST(TiltedPose, TiltTowardTxRaisesGain) {
+  // Leaning the receiver toward an off-axis TX increases that link's
+  // gain and decreases the opposite one.
+  const auto tb = sim::make_experimental_testbed();
+  const double tilt = units::deg_to_rad(25.0);
+  // RX at the room center; TX6 (2.75, 0.25) lies toward +x/-y.
+  const auto flat = tb.channel_for_poses({geom::floor_pose(1.5, 1.5, 0.0)});
+  const auto toward =
+      tb.channel_for_poses({geom::tilted_pose(1.5, 1.5, 0.0, tilt, 0.0)});
+  // TX18 (1-based) is at (2.75, 1.25): roughly along +x from the center.
+  const std::size_t tx_east = 17;
+  const std::size_t tx_west = 12;  // TX13 at (0.25, 1.25)
+  EXPECT_GT(toward.gain(tx_east, 0), flat.gain(tx_east, 0));
+  EXPECT_LT(toward.gain(tx_west, 0), flat.gain(tx_west, 0));
+}
+
+}  // namespace
+}  // namespace densevlc
