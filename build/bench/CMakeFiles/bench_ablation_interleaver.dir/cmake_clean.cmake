@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interleaver.dir/ablation_interleaver.cpp.o"
+  "CMakeFiles/bench_ablation_interleaver.dir/ablation_interleaver.cpp.o.d"
+  "bench_ablation_interleaver"
+  "bench_ablation_interleaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interleaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

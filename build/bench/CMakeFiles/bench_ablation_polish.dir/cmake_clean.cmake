@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_polish.dir/ablation_polish.cpp.o"
+  "CMakeFiles/bench_ablation_polish.dir/ablation_polish.cpp.o.d"
+  "bench_ablation_polish"
+  "bench_ablation_polish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_kappa.dir/ext_adaptive_kappa.cpp.o"
+  "CMakeFiles/bench_ext_adaptive_kappa.dir/ext_adaptive_kappa.cpp.o.d"
+  "bench_ext_adaptive_kappa"
+  "bench_ext_adaptive_kappa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_kappa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

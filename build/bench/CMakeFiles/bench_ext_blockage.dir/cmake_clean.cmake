@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_blockage.dir/ext_blockage.cpp.o"
+  "CMakeFiles/bench_ext_blockage.dir/ext_blockage.cpp.o.d"
+  "bench_ext_blockage"
+  "bench_ext_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

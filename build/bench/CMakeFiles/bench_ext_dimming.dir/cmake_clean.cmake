@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dimming.dir/ext_dimming.cpp.o"
+  "CMakeFiles/bench_ext_dimming.dir/ext_dimming.cpp.o.d"
+  "bench_ext_dimming"
+  "bench_ext_dimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

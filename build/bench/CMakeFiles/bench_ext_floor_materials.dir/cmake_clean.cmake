@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_floor_materials.dir/ext_floor_materials.cpp.o"
+  "CMakeFiles/bench_ext_floor_materials.dir/ext_floor_materials.cpp.o.d"
+  "bench_ext_floor_materials"
+  "bench_ext_floor_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_floor_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

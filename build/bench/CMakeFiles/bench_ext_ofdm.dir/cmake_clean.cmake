@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ofdm.dir/ext_ofdm.cpp.o"
+  "CMakeFiles/bench_ext_ofdm.dir/ext_ofdm.cpp.o.d"
+  "bench_ext_ofdm"
+  "bench_ext_ofdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_orientation.dir/ext_orientation.cpp.o"
+  "CMakeFiles/bench_ext_orientation.dir/ext_orientation.cpp.o.d"
+  "bench_ext_orientation"
+  "bench_ext_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ptp.dir/ext_ptp.cpp.o"
+  "CMakeFiles/bench_ext_ptp.dir/ext_ptp.cpp.o.d"
+  "bench_ext_ptp"
+  "bench_ext_ptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

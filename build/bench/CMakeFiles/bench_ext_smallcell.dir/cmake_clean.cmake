@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_smallcell.dir/ext_smallcell.cpp.o"
+  "CMakeFiles/bench_ext_smallcell.dir/ext_smallcell.cpp.o.d"
+  "bench_ext_smallcell"
+  "bench_ext_smallcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_smallcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

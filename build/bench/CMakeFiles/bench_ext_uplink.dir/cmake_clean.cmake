@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_uplink.dir/ext_uplink.cpp.o"
+  "CMakeFiles/bench_ext_uplink.dir/ext_uplink.cpp.o.d"
+  "bench_ext_uplink"
+  "bench_ext_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_power_approx.dir/fig04_power_approx.cpp.o"
+  "CMakeFiles/bench_fig04_power_approx.dir/fig04_power_approx.cpp.o.d"
+  "bench_fig04_power_approx"
+  "bench_fig04_power_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_power_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

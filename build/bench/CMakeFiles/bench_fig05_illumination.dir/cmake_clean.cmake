@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_illumination.dir/fig05_illumination.cpp.o"
+  "CMakeFiles/bench_fig05_illumination.dir/fig05_illumination.cpp.o.d"
+  "bench_fig05_illumination"
+  "bench_fig05_illumination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_illumination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

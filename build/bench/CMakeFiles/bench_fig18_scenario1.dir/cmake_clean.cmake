@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_scenario1.dir/fig18_scenario1.cpp.o"
+  "CMakeFiles/bench_fig18_scenario1.dir/fig18_scenario1.cpp.o.d"
+  "CMakeFiles/bench_fig18_scenario1.dir/scenario_bench.cpp.o"
+  "CMakeFiles/bench_fig18_scenario1.dir/scenario_bench.cpp.o.d"
+  "bench_fig18_scenario1"
+  "bench_fig18_scenario1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_scenario1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

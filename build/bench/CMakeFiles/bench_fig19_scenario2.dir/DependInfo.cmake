@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig19_scenario2.cpp" "bench/CMakeFiles/bench_fig19_scenario2.dir/fig19_scenario2.cpp.o" "gcc" "bench/CMakeFiles/bench_fig19_scenario2.dir/fig19_scenario2.cpp.o.d"
+  "/root/repo/bench/scenario_bench.cpp" "bench/CMakeFiles/bench_fig19_scenario2.dir/scenario_bench.cpp.o" "gcc" "bench/CMakeFiles/bench_fig19_scenario2.dir/scenario_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/dv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dv_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/dv_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/dv_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/illum/CMakeFiles/dv_illum.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dv_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dv_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_scenario2.dir/fig19_scenario2.cpp.o"
+  "CMakeFiles/bench_fig19_scenario2.dir/fig19_scenario2.cpp.o.d"
+  "CMakeFiles/bench_fig19_scenario2.dir/scenario_bench.cpp.o"
+  "CMakeFiles/bench_fig19_scenario2.dir/scenario_bench.cpp.o.d"
+  "bench_fig19_scenario2"
+  "bench_fig19_scenario2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_scenario2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_scenario3.dir/fig20_scenario3.cpp.o"
+  "CMakeFiles/bench_fig20_scenario3.dir/fig20_scenario3.cpp.o.d"
+  "CMakeFiles/bench_fig20_scenario3.dir/scenario_bench.cpp.o"
+  "CMakeFiles/bench_fig20_scenario3.dir/scenario_bench.cpp.o.d"
+  "bench_fig20_scenario3"
+  "bench_fig20_scenario3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_scenario3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

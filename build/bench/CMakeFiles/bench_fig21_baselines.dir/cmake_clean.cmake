@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_baselines.dir/fig21_baselines.cpp.o"
+  "CMakeFiles/bench_fig21_baselines.dir/fig21_baselines.cpp.o.d"
+  "bench_fig21_baselines"
+  "bench_fig21_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_heuristic.dir/runtime_heuristic.cpp.o"
+  "CMakeFiles/bench_runtime_heuristic.dir/runtime_heuristic.cpp.o.d"
+  "bench_runtime_heuristic"
+  "bench_runtime_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sync_error.dir/table4_sync_error.cpp.o"
+  "CMakeFiles/bench_table4_sync_error.dir/table4_sync_error.cpp.o.d"
+  "bench_table4_sync_error"
+  "bench_table4_sync_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sync_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_iperf.dir/table5_iperf.cpp.o"
+  "CMakeFiles/bench_table5_iperf.dir/table5_iperf.cpp.o.d"
+  "bench_table5_iperf"
+  "bench_table5_iperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_iperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

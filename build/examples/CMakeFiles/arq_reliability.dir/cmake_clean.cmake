@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arq_reliability.dir/arq_reliability.cpp.o"
+  "CMakeFiles/arq_reliability.dir/arq_reliability.cpp.o.d"
+  "arq_reliability"
+  "arq_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arq_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_codec_tool.dir/frame_codec_tool.cpp.o"
+  "CMakeFiles/frame_codec_tool.dir/frame_codec_tool.cpp.o.d"
+  "frame_codec_tool"
+  "frame_codec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_codec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

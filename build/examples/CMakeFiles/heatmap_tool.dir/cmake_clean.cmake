@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatmap_tool.dir/heatmap_tool.cpp.o"
+  "CMakeFiles/heatmap_tool.dir/heatmap_tool.cpp.o.d"
+  "heatmap_tool"
+  "heatmap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatmap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

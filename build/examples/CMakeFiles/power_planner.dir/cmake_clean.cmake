@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_planner.dir/power_planner.cpp.o"
+  "CMakeFiles/power_planner.dir/power_planner.cpp.o.d"
+  "power_planner"
+  "power_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_demo.dir/sync_demo.cpp.o"
+  "CMakeFiles/sync_demo.dir/sync_demo.cpp.o.d"
+  "sync_demo"
+  "sync_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

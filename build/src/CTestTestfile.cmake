@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geom")
+subdirs("optics")
+subdirs("illum")
+subdirs("dsp")
+subdirs("phy")
+subdirs("channel")
+subdirs("sync")
+subdirs("sim")
+subdirs("net")
+subdirs("alloc")
+subdirs("mac")
+subdirs("core")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/adaptive_kappa.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/adaptive_kappa.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/adaptive_kappa.cpp.o.d"
+  "/root/repo/src/alloc/assignment.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/assignment.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/assignment.cpp.o.d"
+  "/root/repo/src/alloc/baselines.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/baselines.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/baselines.cpp.o.d"
+  "/root/repo/src/alloc/greedy.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/greedy.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/greedy.cpp.o.d"
+  "/root/repo/src/alloc/optimal.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/optimal.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/optimal.cpp.o.d"
+  "/root/repo/src/alloc/sjr.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/sjr.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/sjr.cpp.o.d"
+  "/root/repo/src/alloc/small_cell.cpp" "src/alloc/CMakeFiles/dv_alloc.dir/small_cell.cpp.o" "gcc" "src/alloc/CMakeFiles/dv_alloc.dir/small_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/dv_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dv_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

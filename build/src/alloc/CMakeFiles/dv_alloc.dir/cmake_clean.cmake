@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_alloc.dir/adaptive_kappa.cpp.o"
+  "CMakeFiles/dv_alloc.dir/adaptive_kappa.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/assignment.cpp.o"
+  "CMakeFiles/dv_alloc.dir/assignment.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/baselines.cpp.o"
+  "CMakeFiles/dv_alloc.dir/baselines.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/greedy.cpp.o"
+  "CMakeFiles/dv_alloc.dir/greedy.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/optimal.cpp.o"
+  "CMakeFiles/dv_alloc.dir/optimal.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/sjr.cpp.o"
+  "CMakeFiles/dv_alloc.dir/sjr.cpp.o.d"
+  "CMakeFiles/dv_alloc.dir/small_cell.cpp.o"
+  "CMakeFiles/dv_alloc.dir/small_cell.cpp.o.d"
+  "libdv_alloc.a"
+  "libdv_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_channel.dir/blockage.cpp.o"
+  "CMakeFiles/dv_channel.dir/blockage.cpp.o.d"
+  "CMakeFiles/dv_channel.dir/dynamics.cpp.o"
+  "CMakeFiles/dv_channel.dir/dynamics.cpp.o.d"
+  "CMakeFiles/dv_channel.dir/model.cpp.o"
+  "CMakeFiles/dv_channel.dir/model.cpp.o.d"
+  "libdv_channel.a"
+  "libdv_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

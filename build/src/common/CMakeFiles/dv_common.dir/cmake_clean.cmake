@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_common.dir/ini.cpp.o"
+  "CMakeFiles/dv_common.dir/ini.cpp.o.d"
+  "CMakeFiles/dv_common.dir/pgm.cpp.o"
+  "CMakeFiles/dv_common.dir/pgm.cpp.o.d"
+  "CMakeFiles/dv_common.dir/rng.cpp.o"
+  "CMakeFiles/dv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dv_common.dir/stats.cpp.o"
+  "CMakeFiles/dv_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dv_common.dir/table.cpp.o"
+  "CMakeFiles/dv_common.dir/table.cpp.o.d"
+  "libdv_common.a"
+  "libdv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_core.dir/beamspot.cpp.o"
+  "CMakeFiles/dv_core.dir/beamspot.cpp.o.d"
+  "CMakeFiles/dv_core.dir/controller.cpp.o"
+  "CMakeFiles/dv_core.dir/controller.cpp.o.d"
+  "CMakeFiles/dv_core.dir/coverage.cpp.o"
+  "CMakeFiles/dv_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/dv_core.dir/energy.cpp.o"
+  "CMakeFiles/dv_core.dir/energy.cpp.o.d"
+  "CMakeFiles/dv_core.dir/prober.cpp.o"
+  "CMakeFiles/dv_core.dir/prober.cpp.o.d"
+  "CMakeFiles/dv_core.dir/system.cpp.o"
+  "CMakeFiles/dv_core.dir/system.cpp.o.d"
+  "CMakeFiles/dv_core.dir/trace.cpp.o"
+  "CMakeFiles/dv_core.dir/trace.cpp.o.d"
+  "libdv_core.a"
+  "libdv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/adc.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/adc.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/adc.cpp.o.d"
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/butterworth.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/butterworth.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/butterworth.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/correlate.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/correlate.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/snr_estimator.cpp" "src/dsp/CMakeFiles/dv_dsp.dir/snr_estimator.cpp.o" "gcc" "src/dsp/CMakeFiles/dv_dsp.dir/snr_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

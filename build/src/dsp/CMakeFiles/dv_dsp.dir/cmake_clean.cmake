@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_dsp.dir/adc.cpp.o"
+  "CMakeFiles/dv_dsp.dir/adc.cpp.o.d"
+  "CMakeFiles/dv_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/dv_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/dv_dsp.dir/butterworth.cpp.o"
+  "CMakeFiles/dv_dsp.dir/butterworth.cpp.o.d"
+  "CMakeFiles/dv_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/dv_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/dv_dsp.dir/fft.cpp.o"
+  "CMakeFiles/dv_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/dv_dsp.dir/snr_estimator.cpp.o"
+  "CMakeFiles/dv_dsp.dir/snr_estimator.cpp.o.d"
+  "libdv_dsp.a"
+  "libdv_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

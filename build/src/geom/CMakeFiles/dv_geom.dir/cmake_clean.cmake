@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_geom.dir/grid.cpp.o"
+  "CMakeFiles/dv_geom.dir/grid.cpp.o.d"
+  "libdv_geom.a"
+  "libdv_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

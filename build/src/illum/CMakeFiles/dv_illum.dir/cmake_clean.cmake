@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_illum.dir/dimming.cpp.o"
+  "CMakeFiles/dv_illum.dir/dimming.cpp.o.d"
+  "CMakeFiles/dv_illum.dir/illuminance_map.cpp.o"
+  "CMakeFiles/dv_illum.dir/illuminance_map.cpp.o.d"
+  "libdv_illum.a"
+  "libdv_illum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_illum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_mac.dir/arq.cpp.o"
+  "CMakeFiles/dv_mac.dir/arq.cpp.o.d"
+  "CMakeFiles/dv_mac.dir/report.cpp.o"
+  "CMakeFiles/dv_mac.dir/report.cpp.o.d"
+  "libdv_mac.a"
+  "libdv_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

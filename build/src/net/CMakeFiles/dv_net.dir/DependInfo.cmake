@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/links.cpp" "src/net/CMakeFiles/dv_net.dir/links.cpp.o" "gcc" "src/net/CMakeFiles/dv_net.dir/links.cpp.o.d"
+  "/root/repo/src/net/queueing.cpp" "src/net/CMakeFiles/dv_net.dir/queueing.cpp.o" "gcc" "src/net/CMakeFiles/dv_net.dir/queueing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/dv_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dv_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_net.dir/links.cpp.o"
+  "CMakeFiles/dv_net.dir/links.cpp.o.d"
+  "CMakeFiles/dv_net.dir/queueing.cpp.o"
+  "CMakeFiles/dv_net.dir/queueing.cpp.o.d"
+  "libdv_net.a"
+  "libdv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/lambertian.cpp" "src/optics/CMakeFiles/dv_optics.dir/lambertian.cpp.o" "gcc" "src/optics/CMakeFiles/dv_optics.dir/lambertian.cpp.o.d"
+  "/root/repo/src/optics/led_model.cpp" "src/optics/CMakeFiles/dv_optics.dir/led_model.cpp.o" "gcc" "src/optics/CMakeFiles/dv_optics.dir/led_model.cpp.o.d"
+  "/root/repo/src/optics/nlos.cpp" "src/optics/CMakeFiles/dv_optics.dir/nlos.cpp.o" "gcc" "src/optics/CMakeFiles/dv_optics.dir/nlos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_optics.dir/lambertian.cpp.o"
+  "CMakeFiles/dv_optics.dir/lambertian.cpp.o.d"
+  "CMakeFiles/dv_optics.dir/led_model.cpp.o"
+  "CMakeFiles/dv_optics.dir/led_model.cpp.o.d"
+  "CMakeFiles/dv_optics.dir/nlos.cpp.o"
+  "CMakeFiles/dv_optics.dir/nlos.cpp.o.d"
+  "libdv_optics.a"
+  "libdv_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

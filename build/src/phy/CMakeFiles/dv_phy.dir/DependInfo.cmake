@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/dv_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/frame_codec.cpp" "src/phy/CMakeFiles/dv_phy.dir/frame_codec.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/frame_codec.cpp.o.d"
+  "/root/repo/src/phy/frontend.cpp" "src/phy/CMakeFiles/dv_phy.dir/frontend.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/frontend.cpp.o.d"
+  "/root/repo/src/phy/gf256.cpp" "src/phy/CMakeFiles/dv_phy.dir/gf256.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/gf256.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/dv_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/manchester.cpp" "src/phy/CMakeFiles/dv_phy.dir/manchester.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/manchester.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/dv_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/ook.cpp" "src/phy/CMakeFiles/dv_phy.dir/ook.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/ook.cpp.o.d"
+  "/root/repo/src/phy/reed_solomon.cpp" "src/phy/CMakeFiles/dv_phy.dir/reed_solomon.cpp.o" "gcc" "src/phy/CMakeFiles/dv_phy.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dv_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_phy.dir/frame.cpp.o"
+  "CMakeFiles/dv_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/frame_codec.cpp.o"
+  "CMakeFiles/dv_phy.dir/frame_codec.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/frontend.cpp.o"
+  "CMakeFiles/dv_phy.dir/frontend.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/gf256.cpp.o"
+  "CMakeFiles/dv_phy.dir/gf256.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/dv_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/manchester.cpp.o"
+  "CMakeFiles/dv_phy.dir/manchester.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/dv_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/ook.cpp.o"
+  "CMakeFiles/dv_phy.dir/ook.cpp.o.d"
+  "CMakeFiles/dv_phy.dir/reed_solomon.cpp.o"
+  "CMakeFiles/dv_phy.dir/reed_solomon.cpp.o.d"
+  "libdv_phy.a"
+  "libdv_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dv_sim.dir/mobility.cpp.o"
+  "CMakeFiles/dv_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/dv_sim.dir/scenario.cpp.o"
+  "CMakeFiles/dv_sim.dir/scenario.cpp.o.d"
+  "libdv_sim.a"
+  "libdv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/clock.cpp" "src/sync/CMakeFiles/dv_sync.dir/clock.cpp.o" "gcc" "src/sync/CMakeFiles/dv_sync.dir/clock.cpp.o.d"
+  "/root/repo/src/sync/drift_tracker.cpp" "src/sync/CMakeFiles/dv_sync.dir/drift_tracker.cpp.o" "gcc" "src/sync/CMakeFiles/dv_sync.dir/drift_tracker.cpp.o.d"
+  "/root/repo/src/sync/nlos_sync.cpp" "src/sync/CMakeFiles/dv_sync.dir/nlos_sync.cpp.o" "gcc" "src/sync/CMakeFiles/dv_sync.dir/nlos_sync.cpp.o.d"
+  "/root/repo/src/sync/ptp.cpp" "src/sync/CMakeFiles/dv_sync.dir/ptp.cpp.o" "gcc" "src/sync/CMakeFiles/dv_sync.dir/ptp.cpp.o.d"
+  "/root/repo/src/sync/timesync.cpp" "src/sync/CMakeFiles/dv_sync.dir/timesync.cpp.o" "gcc" "src/sync/CMakeFiles/dv_sync.dir/timesync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dv_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dv_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dv_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

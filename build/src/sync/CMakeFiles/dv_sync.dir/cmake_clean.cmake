@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_sync.dir/clock.cpp.o"
+  "CMakeFiles/dv_sync.dir/clock.cpp.o.d"
+  "CMakeFiles/dv_sync.dir/drift_tracker.cpp.o"
+  "CMakeFiles/dv_sync.dir/drift_tracker.cpp.o.d"
+  "CMakeFiles/dv_sync.dir/nlos_sync.cpp.o"
+  "CMakeFiles/dv_sync.dir/nlos_sync.cpp.o.d"
+  "CMakeFiles/dv_sync.dir/ptp.cpp.o"
+  "CMakeFiles/dv_sync.dir/ptp.cpp.o.d"
+  "CMakeFiles/dv_sync.dir/timesync.cpp.o"
+  "CMakeFiles/dv_sync.dir/timesync.cpp.o.d"
+  "libdv_sync.a"
+  "libdv_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

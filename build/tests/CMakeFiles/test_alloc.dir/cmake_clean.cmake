@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc.dir/alloc/test_adaptive_kappa.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_adaptive_kappa.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_assignment.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_assignment.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_baselines.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_baselines.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_greedy.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_greedy.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_optimal.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_optimal.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_polish.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_polish.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_sjr.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_sjr.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/test_small_cell.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/test_small_cell.cpp.o.d"
+  "test_alloc"
+  "test_alloc.pdb"
+  "test_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_arq_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_arq_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_beamspot.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_beamspot.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_coverage.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coverage.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_prober.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_prober.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

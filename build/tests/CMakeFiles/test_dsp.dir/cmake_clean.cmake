@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_adc.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_adc.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_butterworth.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_butterworth.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_correlate.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_correlate.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_snr_estimator.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_snr_estimator.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

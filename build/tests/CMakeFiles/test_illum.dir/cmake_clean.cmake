@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_illum.dir/illum/test_dimming.cpp.o"
+  "CMakeFiles/test_illum.dir/illum/test_dimming.cpp.o.d"
+  "CMakeFiles/test_illum.dir/illum/test_illuminance.cpp.o"
+  "CMakeFiles/test_illum.dir/illum/test_illuminance.cpp.o.d"
+  "test_illum"
+  "test_illum.pdb"
+  "test_illum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_illum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optics.dir/optics/test_lambertian.cpp.o"
+  "CMakeFiles/test_optics.dir/optics/test_lambertian.cpp.o.d"
+  "CMakeFiles/test_optics.dir/optics/test_led_model.cpp.o"
+  "CMakeFiles/test_optics.dir/optics/test_led_model.cpp.o.d"
+  "CMakeFiles/test_optics.dir/optics/test_nlos.cpp.o"
+  "CMakeFiles/test_optics.dir/optics/test_nlos.cpp.o.d"
+  "test_optics"
+  "test_optics.pdb"
+  "test_optics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

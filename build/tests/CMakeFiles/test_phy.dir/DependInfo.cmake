@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/test_frame.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_frame.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_frame.cpp.o.d"
+  "/root/repo/tests/phy/test_frame_codec.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_frame_codec.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_frame_codec.cpp.o.d"
+  "/root/repo/tests/phy/test_frontend.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_frontend.cpp.o.d"
+  "/root/repo/tests/phy/test_gf256.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_gf256.cpp.o.d"
+  "/root/repo/tests/phy/test_interleaver.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o.d"
+  "/root/repo/tests/phy/test_manchester.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_manchester.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_manchester.cpp.o.d"
+  "/root/repo/tests/phy/test_ofdm.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_ofdm.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_ofdm.cpp.o.d"
+  "/root/repo/tests/phy/test_ook.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_ook.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_ook.cpp.o.d"
+  "/root/repo/tests/phy/test_reed_solomon.cpp" "tests/CMakeFiles/test_phy.dir/phy/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/test_reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/dv_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/dv_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/dv_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/dv_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/dv_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/illum/CMakeFiles/dv_illum.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dv_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dv_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dv_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

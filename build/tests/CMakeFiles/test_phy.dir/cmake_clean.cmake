@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/test_frame.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_frame.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_frame_codec.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_frame_codec.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_frontend.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_frontend.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_gf256.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_gf256.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_interleaver.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_manchester.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_manchester.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_ofdm.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_ook.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_ook.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_reed_solomon.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_reed_solomon.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/test_clock.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_clock.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_drift_tracker.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_drift_tracker.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_nlos_sync.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_nlos_sync.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_occlusion.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_occlusion.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_ptp.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_ptp.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_timesync.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/test_timesync.cpp.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
