@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(config->get_int("grid.rows", 6)),
       static_cast<std::size_t>(config->get_int("grid.cols", 6)),
       config->get_double("grid.pitch", 0.5),
-      config->get_double("grid.mount_height", tb.room.height)};
+      config->get_double("grid.mount_height", tb.room.height_m)};
   const double bias = units::mA(config->get_double("led.bias_ma", 450.0));
   const double swing =
       units::mA(config->get_double("led.max_swing_ma", 900.0));

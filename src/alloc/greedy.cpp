@@ -1,6 +1,7 @@
 #include "alloc/greedy.hpp"
 
 #include "alloc/assignment.hpp"
+#include "common/contracts.hpp"
 
 namespace densevlc::alloc {
 
@@ -8,6 +9,8 @@ GreedyResult greedy_allocate(const channel::ChannelMatrix& h,
                              double power_budget_w,
                              const channel::LinkBudget& budget,
                              double max_swing_a) {
+  DVLC_EXPECT(power_budget_w >= 0.0, "power budget must be non-negative");
+  DVLC_EXPECT(max_swing_a > 0.0, "max swing must be positive");
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
   GreedyResult out;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "alloc/assignment.hpp"
+#include "common/contracts.hpp"
 
 namespace densevlc::alloc {
 namespace {
@@ -21,6 +22,8 @@ void utility_gradient(const channel::ChannelMatrix& h,
                       const channel::Allocation& alloc,
                       const channel::LinkBudget& budget,
                       std::vector<double>& grad_out) {
+  DVLC_EXPECT(alloc.num_tx() == h.num_tx() && alloc.num_rx() == h.num_rx(),
+              "allocation shape must match the channel matrix");
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
   grad_out.assign(n * m, 0.0);
@@ -88,6 +91,8 @@ void utility_gradient(const channel::ChannelMatrix& h,
 void project_feasible(channel::Allocation& alloc, double power_budget_w,
                       double max_swing_a,
                       const channel::LinkBudget& budget) {
+  DVLC_EXPECT(power_budget_w >= 0.0, "power budget must be non-negative");
+  DVLC_EXPECT(max_swing_a >= 0.0, "max swing must be non-negative");
   const std::size_t n = alloc.num_tx();
   const std::size_t m = alloc.num_rx();
   // Nonnegativity.
@@ -174,6 +179,8 @@ PolishResult polish_binary(const channel::ChannelMatrix& h,
                            double power_budget_w,
                            const channel::LinkBudget& budget,
                            double max_swing_a) {
+  DVLC_EXPECT(start.num_tx() == h.num_tx() && start.num_rx() == h.num_rx(),
+              "allocation shape must match the channel matrix");
   const std::size_t n = start.num_tx();
   const std::size_t m = start.num_rx();
   PolishResult out;

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
+
 namespace densevlc::alloc {
 
 std::vector<double> sjr_matrix(const channel::ChannelMatrix& h,
                                double kappa) {
+  DVLC_EXPECT(kappa >= 0.0, "SJR exponent kappa must be non-negative");
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
   std::vector<double> out(n * m, 0.0);
@@ -48,6 +51,7 @@ std::vector<RankedTx> rank_transmitters(const channel::ChannelMatrix& h,
     tx_used[best_tx] = true;
     ranking.push_back({best_tx, best_rx, best_score});
   }
+  DVLC_ASSERT(ranking.size() == n, "ranking must cover every TX exactly once");
   return ranking;
 }
 

@@ -40,7 +40,9 @@ SmallCellResult small_cell_allocate(
   }
 
   std::size_t occupied = 0;
-  for (const auto& rxs : cell_rxs) occupied += rxs.empty() ? 0 : 1;
+  for (const auto& rxs : cell_rxs) {
+    if (!rxs.empty()) ++occupied;
+  }
   if (occupied == 0) return out;
   const double per_cell_budget =
       power_budget_w / static_cast<double>(occupied);

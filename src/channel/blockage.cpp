@@ -45,7 +45,7 @@ bool segment_blocked(const geom::Vec3& a, const geom::Vec3& b,
   const double z1 = a.z + (b.z - a.z) * t1;
   const double z_lo = std::min(z0, z1);
   const double z_hi = std::max(z0, z1);
-  return z_lo <= blocker.height && z_hi >= 0.0;
+  return z_lo <= blocker.height_m && z_hi >= 0.0;
 }
 
 ChannelMatrix apply_blockage(const ChannelMatrix& h,

@@ -22,7 +22,7 @@ struct CylinderBlocker {
   double x = 0.0;        ///< center x [m]
   double y = 0.0;        ///< center y [m]
   double radius = 0.15;  ///< ~human torso
-  double height = 1.7;   ///< top of the cylinder [m]
+  double height_m = 1.7;  ///< top of the cylinder
 };
 
 /// True if the open segment a->b intersects the blocker volume.

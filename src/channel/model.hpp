@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "geom/vec3.hpp"
 #include "optics/lambertian.hpp"
 #include "optics/led_model.hpp"
@@ -41,12 +42,14 @@ class ChannelMatrix {
 
   /// Gain H_{tx, rx}.
   double gain(std::size_t tx, std::size_t rx) const {
+    DVLC_ASSERT(tx < num_tx_ && rx < num_rx_, "gain index out of range");
     return gains_[tx * num_rx_ + rx];
   }
 
   /// Mutable access (used by the experimental-measurement pipeline, which
   /// overwrites model gains with measured ones).
   void set_gain(std::size_t tx, std::size_t rx, double h) {
+    DVLC_ASSERT(tx < num_tx_ && rx < num_rx_, "set_gain index out of range");
     gains_[tx * num_rx_ + rx] = h;
   }
 
@@ -84,9 +87,12 @@ class Allocation {
   std::size_t num_rx() const { return num_rx_; }
 
   double swing(std::size_t tx, std::size_t rx) const {
+    DVLC_ASSERT(tx < num_tx_ && rx < num_rx_, "swing index out of range");
     return swing_[tx * num_rx_ + rx];
   }
   void set_swing(std::size_t tx, std::size_t rx, double isw) {
+    DVLC_ASSERT(tx < num_tx_ && rx < num_rx_, "set_swing index out of range");
+    DVLC_EXPECT(isw >= 0.0, "swing current must be non-negative");
     swing_[tx * num_rx_ + rx] = isw;
   }
 

@@ -1,0 +1,18 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace densevlc::detail {
+
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* msg, const char* file,
+                                     int line) noexcept {
+  std::fprintf(stderr,
+               "\n%s failed: %s\n  condition: %s\n  location:  %s:%d\n",
+               kind, msg, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace densevlc::detail

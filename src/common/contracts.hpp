@@ -1,0 +1,46 @@
+// Runtime contracts for the numeric kernels.
+//
+// The SINR/SJR math, the GF(256) field arithmetic and the event engine
+// all have preconditions that, when violated, produce silently-wrong
+// numbers rather than crashes. DVLC_ASSERT / DVLC_EXPECT turn those
+// violations into immediate, message-rich aborts:
+//
+//   DVLC_ASSERT(rx < num_rx(), "RX index out of range");   // internal invariant
+//   DVLC_EXPECT(kappa >= 0.0, "kappa must be non-negative"); // API precondition
+//
+// Both print the expression, the message, and file:line to stderr and
+// abort, so death tests and sanitizer runs pinpoint the violation.
+// Contracts are compiled out when DVLC_NO_CONTRACTS is defined (the
+// CMake option DENSEVLC_CONTRACTS=OFF, default for Release builds),
+// leaving zero overhead in production binaries.
+#pragma once
+
+namespace densevlc::detail {
+
+/// Prints a rich diagnostic and aborts. Never returns.
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* msg, const char* file,
+                                     int line) noexcept;
+
+}  // namespace densevlc::detail
+
+#if defined(DVLC_NO_CONTRACTS)
+
+#define DVLC_ASSERT(cond, msg) static_cast<void>(0)
+#define DVLC_EXPECT(cond, msg) static_cast<void>(0)
+
+#else
+
+/// Internal invariant: something the module itself guarantees.
+#define DVLC_ASSERT(cond, msg)                                        \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::densevlc::detail::contract_violation(                   \
+                "DVLC_ASSERT", #cond, (msg), __FILE__, __LINE__))
+
+/// API precondition: something the caller must guarantee.
+#define DVLC_EXPECT(cond, msg)                                        \
+  ((cond) ? static_cast<void>(0)                                      \
+          : ::densevlc::detail::contract_violation(                   \
+                "DVLC_EXPECT", #cond, (msg), __FILE__, __LINE__))
+
+#endif  // DVLC_NO_CONTRACTS

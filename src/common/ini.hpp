@@ -25,7 +25,7 @@ class IniConfig {
   static IniConfig parse(const std::string& text);
 
   /// Loads a file; nullopt when it cannot be read.
-  static std::optional<IniConfig> load(const std::string& path);
+  [[nodiscard]] static std::optional<IniConfig> load(const std::string& path);
 
   /// Raw text value of "section.key".
   std::optional<std::string> get(const std::string& key) const;

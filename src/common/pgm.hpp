@@ -22,11 +22,12 @@ struct ScalarField {
 
 /// Renders the field into binary PGM (P5) bytes, mapping [lo, hi] to
 /// [0, 255] with clipping. Pass lo >= hi to auto-range over the data.
-std::vector<std::uint8_t> to_pgm(const ScalarField& field, double lo = 0.0,
-                                 double hi = 0.0);
+[[nodiscard]] std::vector<std::uint8_t> to_pgm(const ScalarField& field,
+                                               double lo = 0.0,
+                                               double hi = 0.0);
 
 /// Writes the PGM to a file. Returns false on I/O failure.
-bool write_pgm(const ScalarField& field, const std::string& path,
-               double lo = 0.0, double hi = 0.0);
+[[nodiscard]] bool write_pgm(const ScalarField& field, const std::string& path,
+                             double lo = 0.0, double hi = 0.0);
 
 }  // namespace densevlc

@@ -38,7 +38,7 @@ DenseVlcSystem::DenseVlcSystem(
   // TX pair, and bootstrap per-frame offsets from the samples.
   if (cfg_.sync_mode == SyncMode::kNlosVlc) {
     sync::NlosSyncConfig nc;
-    const double h = cfg_.testbed.grid.mount_height;
+    const double h = cfg_.testbed.grid.mount_height_m;
     nc.leader_pose = geom::ceiling_pose(1.25, 1.25, h);
     nc.follower_pose = geom::ceiling_pose(1.75, 1.25, h);
     nc.emitter = cfg_.testbed.emitter;

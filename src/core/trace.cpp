@@ -3,12 +3,22 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/contracts.hpp"
+
 namespace densevlc::core {
 
 void TraceRecorder::record_epoch(double time_s,
                                  const std::vector<double>& throughput_bps,
                                  const std::vector<Beamspot>& beamspots,
                                  double power_used_w) {
+  DVLC_EXPECT(epochs_ == 0 || throughput_bps.size() == num_rx_,
+              "RX count changed between epochs");
+  DVLC_EXPECT(power_used_w >= 0.0, "power_used_w must be non-negative");
+  num_rx_ = throughput_bps.size();
+  for (const auto& spot : beamspots) {
+    DVLC_EXPECT(spot.rx < throughput_bps.size(),
+                "beamspot RX index out of range");
+  }
   for (std::size_t rx = 0; rx < throughput_bps.size(); ++rx) {
     TraceRow row;
     row.time_s = time_s;
@@ -45,6 +55,8 @@ bool TraceRecorder::save(const std::string& path) const {
 }
 
 double TraceRecorder::mean_throughput(std::size_t rx) const {
+  DVLC_EXPECT(epochs_ == 0 || rx < num_rx_,
+              "RX index out of range in mean_throughput");
   double sum = 0.0;
   std::size_t count = 0;
   for (const auto& r : rows_) {
@@ -57,6 +69,8 @@ double TraceRecorder::mean_throughput(std::size_t rx) const {
 }
 
 std::size_t TraceRecorder::leader_changes(std::size_t rx) const {
+  DVLC_EXPECT(epochs_ == 0 || rx < num_rx_,
+              "RX index out of range in leader_changes");
   std::size_t changes = 0;
   bool have_prev = false;
   std::size_t prev = 0;

@@ -45,18 +45,24 @@ class TraceRecorder {
   void write_csv(std::ostream& os) const;
 
   /// Convenience: writes to a file; false on I/O error.
-  bool save(const std::string& path) const;
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Number of receivers per epoch (fixed after the first record_epoch).
+  std::size_t num_rx() const { return num_rx_; }
 
   /// Per-RX mean throughput across all recorded epochs [bit/s].
+  /// Precondition: rx < num_rx() once any epoch has been recorded.
   double mean_throughput(std::size_t rx) const;
 
   /// Number of epochs in which the RX's leader changed from the
   /// previous epoch (a beamspot handover).
+  /// Precondition: rx < num_rx() once any epoch has been recorded.
   std::size_t leader_changes(std::size_t rx) const;
 
  private:
   std::vector<TraceRow> rows_;
   std::size_t epochs_ = 0;
+  std::size_t num_rx_ = 0;
 };
 
 }  // namespace densevlc::core

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
+
 namespace densevlc::dsp {
 
 std::optional<SnrEstimate> m2m4_snr(std::span<const double> samples) {
@@ -28,6 +30,8 @@ std::optional<SnrEstimate> m2m4_snr(std::span<const double> samples) {
   est.noise_power = noise;
   est.snr_linear = s / noise;
   est.snr_db = 10.0 * std::log10(est.snr_linear);
+  DVLC_ASSERT(est.signal_power > 0.0 && est.noise_power > 0.0,
+              "M2M4 estimate must yield positive signal and noise powers");
   return est;
 }
 

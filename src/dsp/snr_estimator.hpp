@@ -16,10 +16,12 @@
 
 namespace densevlc::dsp {
 
-/// SNR estimate decomposed into powers.
+/// SNR estimate decomposed into powers. The powers are in the squared
+/// unit of whatever samples were fed in (A^2 for photocurrent, V^2 for
+/// post-TIA voltage), so they carry no fixed unit suffix.
 struct SnrEstimate {
-  double signal_power = 0.0;
-  double noise_power = 0.0;
+  double signal_power = 0.0;  // dvlc-lint: allow(units)
+  double noise_power = 0.0;   // dvlc-lint: allow(units)
   double snr_linear = 0.0;
   double snr_db = 0.0;
 };

@@ -14,7 +14,7 @@ std::vector<Pose> make_ceiling_grid(const Room& room, const GridSpec& spec) {
     for (std::size_t c = 0; c < spec.cols; ++c) {
       poses.push_back(ceiling_pose(x0 + static_cast<double>(c) * spec.pitch,
                                    y0 + static_cast<double>(r) * spec.pitch,
-                                   spec.mount_height));
+                                   spec.mount_height_m));
     }
   }
   return poses;

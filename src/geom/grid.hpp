@@ -16,7 +16,7 @@ namespace densevlc::geom {
 struct Room {
   double width = 3.0;    ///< extent in x [m]
   double depth = 3.0;    ///< extent in y [m]
-  double height = 2.8;   ///< ceiling height [m]
+  double height_m = 2.8;  ///< ceiling height
 
   /// True if the (x, y) point lies inside the floor rectangle.
   constexpr bool contains_xy(double x, double y) const {
@@ -34,7 +34,7 @@ struct GridSpec {
   std::size_t rows = 6;      ///< grid rows (y direction)
   std::size_t cols = 6;      ///< grid columns (x direction)
   double pitch = 0.5;        ///< inter-luminaire spacing [m]
-  double mount_height = 2.8; ///< z of the luminaire plane [m]
+  double mount_height_m = 2.8;  ///< z of the luminaire plane
 
   /// Total number of luminaires.
   constexpr std::size_t count() const { return rows * cols; }

@@ -17,7 +17,7 @@ IlluminanceMap::IlluminanceMap(const geom::Room& room,
       emitter_{emitter},
       optical_power_w_{led.optical_power_illumination()},
       efficacy_{efficacy_lm_per_w},
-      plane_height_{plane_height_m},
+      plane_height_m_{plane_height_m},
       per_axis_{samples_per_axis} {
   lux_.resize(per_axis_ * per_axis_, 0.0);
   if (per_axis_ == 0) return;
@@ -38,7 +38,7 @@ double IlluminanceMap::at(std::size_t ix, std::size_t iy) const {
 }
 
 double IlluminanceMap::evaluate(double x, double y) const {
-  const geom::Pose point = geom::floor_pose(x, y, plane_height_);
+  const geom::Pose point = geom::floor_pose(x, y, plane_height_m_);
   double total = 0.0;
   for (const auto& lum : luminaires_) {
     total += optics::illuminance_lux(emitter_, lum, point, optical_power_w_,

@@ -46,7 +46,7 @@ class IlluminanceMap {
   std::size_t samples_per_axis() const { return per_axis_; }
 
   /// Work-plane height the map was computed at [m].
-  double plane_height() const { return plane_height_; }
+  double plane_height() const { return plane_height_m_; }
 
   /// Point-wise illuminance at an arbitrary (x, y) on the plane (direct
   /// evaluation, not interpolation).
@@ -72,7 +72,7 @@ class IlluminanceMap {
   optics::LambertianEmitter emitter_;
   double optical_power_w_ = 0.0;
   double efficacy_ = 0.0;
-  double plane_height_ = 0.0;
+  double plane_height_m_ = 0.0;
   std::size_t per_axis_ = 0;
   std::vector<double> lux_;  // row-major [iy * per_axis + ix]
 };

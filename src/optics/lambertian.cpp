@@ -2,11 +2,15 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/units.hpp"
 
 namespace densevlc::optics {
 
 double LambertianEmitter::order() const {
+  DVLC_EXPECT(half_power_semi_angle_rad > 0.0 &&
+                  half_power_semi_angle_rad < kPi / 2.0,
+              "half-power semi-angle must lie in (0, pi/2)");
   return -std::log(2.0) / std::log(std::cos(half_power_semi_angle_rad));
 }
 
@@ -38,15 +42,20 @@ LinkGeometry resolve_geometry(const geom::Pose& emitter,
 
 double los_gain(const LambertianEmitter& emitter, const Photodiode& pd,
                 const geom::Pose& tx_pose, const geom::Pose& rx_pose) {
+  DVLC_EXPECT(pd.collection_area_m2 >= 0.0,
+              "photodiode area must be non-negative");
   const LinkGeometry g =
       resolve_geometry(tx_pose, rx_pose, pd.field_of_view_rad);
   if (!g.in_field_of_view || g.distance_m <= 0.0) return 0.0;
   const double m = emitter.order();
   const double cos_phi = std::cos(g.irradiation_angle_rad);
   const double cos_psi = std::cos(g.incidence_angle_rad);
-  return (m + 1.0) * pd.collection_area_m2 /
-         (2.0 * kPi * g.distance_m * g.distance_m) * std::pow(cos_phi, m) *
-         pd.concentrator_gain(g.incidence_angle_rad) * cos_psi;
+  const double gain = (m + 1.0) * pd.collection_area_m2 /
+                      (2.0 * kPi * g.distance_m * g.distance_m) *
+                      std::pow(cos_phi, m) *
+                      pd.concentrator_gain(g.incidence_angle_rad) * cos_psi;
+  DVLC_ASSERT(gain >= 0.0, "LOS gain must be non-negative");
+  return gain;
 }
 
 double radiant_intensity_factor(const LambertianEmitter& emitter,
@@ -60,6 +69,9 @@ double radiant_intensity_factor(const LambertianEmitter& emitter,
 double illuminance_lux(const LambertianEmitter& emitter,
                        const geom::Pose& tx_pose, const geom::Pose& surface,
                        double optical_power_w, double efficacy_lm_per_w) {
+  DVLC_EXPECT(optical_power_w >= 0.0, "optical power must be non-negative");
+  DVLC_EXPECT(efficacy_lm_per_w >= 0.0,
+              "luminous efficacy must be non-negative");
   // Illuminance = luminous intensity toward the point, projected on the
   // surface and spread over d^2:
   //   E = efficacy * P_opt * (m+1)/(2 pi) cos^m(phi) * cos(psi) / d^2.

@@ -112,8 +112,9 @@ std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes) {
                                      static_cast<std::size_t>(length) - off);
     std::vector<std::uint8_t> codeword;
     codeword.reserve(len + kRsBlockParity);
-    codeword.insert(codeword.end(), bytes.begin() + 9 + off,
-                    bytes.begin() + 9 + off + static_cast<std::ptrdiff_t>(len));
+    const auto data_at = static_cast<std::ptrdiff_t>(9 + off);
+    codeword.insert(codeword.end(), bytes.begin() + data_at,
+                    bytes.begin() + data_at + static_cast<std::ptrdiff_t>(len));
     const std::size_t parity_at = 9 + length + b * kRsBlockParity;
     codeword.insert(codeword.end(), bytes.begin() + static_cast<std::ptrdiff_t>(parity_at),
                     bytes.begin() + static_cast<std::ptrdiff_t>(parity_at + kRsBlockParity));

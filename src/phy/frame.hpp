@@ -81,7 +81,7 @@ struct ParsedFrame {
 /// Parses bytes produced by serialize_frame (possibly corrupted). Returns
 /// nullopt when the SFD is wrong, the length field is implausible, or any
 /// RS block fails to decode.
-std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes);
 
 /// Full on-air chip sequence for a frame: preamble chips followed by the
 /// Manchester coding of the serialized bytes. (The pilot is prepended
@@ -105,7 +105,7 @@ struct ControllerFrame {
 
 /// Serializes / parses the Ethernet payload (mask + leading + frame bytes).
 std::vector<std::uint8_t> serialize_controller_frame(const ControllerFrame& cf);
-std::optional<ControllerFrame> parse_controller_frame(
+[[nodiscard]] std::optional<ControllerFrame> parse_controller_frame(
     std::span<const std::uint8_t> bytes);
 
 }  // namespace densevlc::phy

@@ -1,7 +1,8 @@
 #include "phy/gf256.hpp"
 
 #include <array>
-#include <cassert>
+
+#include "common/contracts.hpp"
 
 namespace densevlc::phy::gf256 {
 namespace {
@@ -42,14 +43,14 @@ std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
 }
 
 std::uint8_t div(std::uint8_t a, std::uint8_t b) {
-  assert(b != 0 && "GF(256) division by zero");
+  DVLC_EXPECT(b != 0, "GF(256) division by zero");
   if (a == 0) return 0;
   const auto& t = tables();
   return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
 }
 
 std::uint8_t inverse(std::uint8_t a) {
-  assert(a != 0 && "GF(256) inverse of zero");
+  DVLC_EXPECT(a != 0, "GF(256) inverse of zero");
   const auto& t = tables();
   return t.exp[static_cast<std::size_t>(255 - t.log[a])];
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "phy/gf256.hpp"
 
 namespace densevlc::phy {
@@ -23,6 +24,8 @@ ReedSolomon::ReedSolomon(std::size_t parity_symbols)
     const std::uint8_t factor[2] = {1, root};  // (x + alpha^i); char 2: -=+
     generator_ = gf::poly_mul(generator_, factor);
   }
+  DVLC_ASSERT(generator_.size() == n_parity_ + 1 && generator_.front() == 1,
+              "RS generator polynomial must be monic of degree 2t");
 }
 
 std::vector<std::uint8_t> ReedSolomon::encode(
@@ -47,6 +50,8 @@ std::vector<std::uint8_t> ReedSolomon::encode(
   }
   std::vector<std::uint8_t> codeword(message.begin(), message.end());
   codeword.insert(codeword.end(), remainder.begin(), remainder.end());
+  DVLC_ASSERT(codeword.size() == message.size() + n_parity_,
+              "systematic codeword must be message + parity");
   return codeword;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
+
 namespace densevlc::sim {
 
 std::uint64_t Simulator::schedule_at(SimTime when, Callback cb) {
+  DVLC_EXPECT(cb != nullptr, "scheduled callback must not be empty");
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
   queue_.push(Event{when, next_seq_++, id});
@@ -34,6 +37,8 @@ bool Simulator::cancel(std::uint64_t id) {
   if (find_callback(id) == nullptr) return false;
   erase_callback(id);
   ++cancelled_count_;  // its queue entry becomes a tombstone
+  DVLC_ASSERT(cancelled_count_ <= queue_.size(),
+              "more tombstones than queued events");
   return true;
 }
 

@@ -4,7 +4,7 @@ namespace densevlc::sync {
 
 ClockModel ClockModel::draw(const ClockPopulation& pop, Rng& rng) {
   return ClockModel{rng.gaussian(0.0, pop.offset_stddev_s),
-                    rng.gaussian(0.0, pop.drift_ppm_stddev),
+                    rng.gaussian(0.0, pop.drift_stddev_ppm),
                     pop.jitter_stddev_s};
 }
 

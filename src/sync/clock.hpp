@@ -14,7 +14,7 @@ namespace densevlc::sync {
 /// Distribution parameters for a population of clocks.
 struct ClockPopulation {
   double offset_stddev_s = 5e-6;  ///< residual offset sigma after sync
-  double drift_ppm_stddev = 10.0; ///< oscillator frequency error sigma
+  double drift_stddev_ppm = 10.0; ///< oscillator frequency error sigma
   double jitter_stddev_s = 0.2e-6;///< per-event scheduling jitter sigma
 };
 

@@ -10,8 +10,8 @@ namespace densevlc::sync {
 PairStart draw_pair_start(SyncMethod method, const TimeSyncConfig& cfg,
                           Rng& rng) {
   PairStart out;
-  out.drift_a_ppm = rng.gaussian(0.0, cfg.drift_ppm_stddev);
-  out.drift_b_ppm = rng.gaussian(0.0, cfg.drift_ppm_stddev);
+  out.drift_a_ppm = rng.gaussian(0.0, cfg.drift_stddev_ppm);
+  out.drift_b_ppm = rng.gaussian(0.0, cfg.drift_stddev_ppm);
   switch (method) {
     case SyncMethod::kNone: {
       // Fire on multicast arrival: exponential delivery tails dominate.

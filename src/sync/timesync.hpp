@@ -50,7 +50,7 @@ struct TimeSyncConfig {
   // the tighter absolute-timestamp trigger path instead.)
   double stack_start_spread_s = 150e-6;
   // Oscillator drift population (affects symbol spacing inside a frame).
-  double drift_ppm_stddev = 10.0;
+  double drift_stddev_ppm = 10.0;
 };
 
 /// Start-time error realization for a pair of TXs about to transmit the

@@ -31,7 +31,7 @@ TEST(Gradient, MatchesFiniteDifferences) {
   utility_gradient(f.h, a, f.tb.budget, grad);
 
   const double eps = 1e-6;
-  for (const auto [j, k] : {std::pair<std::size_t, std::size_t>{7, 0},
+  for (const auto& [j, k] : {std::pair<std::size_t, std::size_t>{7, 0},
                             {13, 0},
                             {9, 1},
                             {19, 2},
@@ -80,7 +80,9 @@ TEST(Projection, FeasiblePointUntouched) {
 TEST(Projection, ClampsNegatives) {
   Fixture f;
   channel::Allocation a{2, 2};
-  a.set_swing(0, 0, -0.5);
+  // Negative intermediates only arise through the optimizer's raw-data
+  // path; set_swing itself rejects them by contract.
+  a.data()[0] = -0.5;
   a.set_swing(1, 1, 0.3);
   project_feasible(a, 10.0, 0.9, f.tb.budget);
   EXPECT_DOUBLE_EQ(a.swing(0, 0), 0.0);

@@ -140,7 +140,9 @@ TEST_P(KappaSweep, StructuralInvariants) {
   for (std::size_t i = 0; i < ranking.size(); ++i) {
     EXPECT_FALSE(seen[ranking[i].tx]);
     seen[ranking[i].tx] = true;
-    if (i > 0) EXPECT_LE(ranking[i].sjr, ranking[i - 1].sjr + 1e-18);
+    if (i > 0) {
+      EXPECT_LE(ranking[i].sjr, ranking[i - 1].sjr + 1e-18);
+    }
   }
 }
 

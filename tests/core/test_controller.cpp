@@ -104,7 +104,9 @@ TEST(Controller, ExpectedThroughputPositiveForServedRxs) {
   const auto tput = ctl.expected_throughput(f.h);
   ASSERT_EQ(tput.size(), 4u);
   for (std::size_t rx = 0; rx < 4; ++rx) {
-    if (ctl.beamspot_for(rx)) EXPECT_GT(tput[rx], 0.0) << "RX " << rx;
+    if (ctl.beamspot_for(rx)) {
+      EXPECT_GT(tput[rx], 0.0) << "RX " << rx;
+    }
   }
 }
 

@@ -39,7 +39,9 @@ TEST(Prober, TinyGainBelowNoiseFloorRejected) {
   const auto res = f.prober.probe_link(1e-12, rng);
   // Either undetected or estimated as essentially zero; never a wild
   // overestimate.
-  if (res.detected) EXPECT_LT(res.gain_estimate, 1e-9);
+  if (res.detected) {
+    EXPECT_LT(res.gain_estimate, 1e-9);
+  }
 }
 
 TEST(Prober, EstimateScalesLinearlyWithGain) {

@@ -68,7 +68,9 @@ TEST(M2M4, PureNoiseRejectedOrVeryLow) {
   const auto est = m2m4_snr(v);
   // Gaussian noise has kurtosis 3: the discriminant 3 M2^2 - M4 hovers at
   // zero, so the estimate either fails or reports very low SNR.
-  if (est) EXPECT_LT(est->snr_db, 0.0);
+  if (est) {
+    EXPECT_LT(est->snr_db, 0.0);
+  }
 }
 
 TEST(SnrHelpers, DbFromPowers) {

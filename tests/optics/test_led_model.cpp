@@ -110,8 +110,7 @@ TEST(LedModel, ManchesterKeepsAverageOpticalPower) {
   // Average of high and low optical power must exceed bias power only by
   // the communication term; the average *current* is exactly Ib, which is
   // what keeps perceived brightness constant (brightness ~ current).
-  const auto led = paper_led();
-  const double isw = 0.9;
+  const double isw = paper_led().max_feasible_swing();
   const double avg_current = ((0.45 + isw / 2.0) + (0.45 - isw / 2.0)) / 2.0;
   EXPECT_DOUBLE_EQ(avg_current, 0.45);
 }

@@ -143,7 +143,9 @@ TEST(ReedSolomon, SmallerCodesHaveSmallerCapacity) {
   EXPECT_EQ(res->data, msg);
   cw[20] ^= 3;  // third error exceeds capacity
   res = rs4.decode(cw);
-  if (res) EXPECT_NE(res->data, msg);
+  if (res) {
+    EXPECT_NE(res->data, msg);
+  }
 }
 
 // Property sweep: round-trips for every payload length used by the frame

@@ -10,7 +10,7 @@ TEST(Scenario, SimulationTestbedMatchesTable1) {
   const auto tb = make_simulation_testbed();
   EXPECT_EQ(tb.grid.count(), 36u);
   EXPECT_DOUBLE_EQ(tb.grid.pitch, 0.5);
-  EXPECT_DOUBLE_EQ(tb.grid.mount_height, 2.8);
+  EXPECT_DOUBLE_EQ(tb.grid.mount_height_m, 2.8);
   EXPECT_DOUBLE_EQ(tb.rx_height_m, 0.8);
   EXPECT_NEAR(tb.emitter.half_power_semi_angle_rad, 0.2618, 1e-4);
   EXPECT_DOUBLE_EQ(tb.budget.bandwidth_hz, 1e6);
@@ -21,7 +21,7 @@ TEST(Scenario, SimulationTestbedMatchesTable1) {
 
 TEST(Scenario, ExperimentalTestbedAtTwoMeters) {
   const auto tb = make_experimental_testbed();
-  EXPECT_DOUBLE_EQ(tb.grid.mount_height, 2.0);
+  EXPECT_DOUBLE_EQ(tb.grid.mount_height_m, 2.0);
   EXPECT_DOUBLE_EQ(tb.rx_height_m, 0.0);
 }
 

@@ -37,7 +37,7 @@ TEST(Clock, FireTimeJitters) {
 TEST(Clock, DrawMatchesPopulation) {
   ClockPopulation pop;
   pop.offset_stddev_s = 5e-6;
-  pop.drift_ppm_stddev = 10.0;
+  pop.drift_stddev_ppm = 10.0;
   Rng rng{6};
   std::vector<double> offsets;
   std::vector<double> drifts;

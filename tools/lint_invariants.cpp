@@ -1,0 +1,221 @@
+// Repo-specific invariant linter.
+//
+// clang-tidy catches generic C++ bugs; this tool enforces the conventions
+// that keep DenseVLC's *physics* honest and that no off-the-shelf check
+// knows about:
+//
+//   units      public numeric fields (and constants) in headers whose name
+//              describes a physical quantity must carry a unit suffix
+//              (`time_s`, `power_w`, `throughput_bps`, ... as in
+//              core/trace.hpp) so lux never silently mixes with watts.
+//   nodiscard  bool- or optional-returning save/load/parse/write APIs in
+//              headers must be [[nodiscard]] — a dropped error return is a
+//              silent data loss.
+//   banned     `rand()` (use common/rng.hpp: seeded, reproducible) and
+//              argless `assert(false)`/`assert(0)` (use DVLC_ASSERT with a
+//              message) are forbidden.
+//
+// A finding can be waived with `// dvlc-lint: allow(<rule>)` on the same
+// line or the line above. Exit status: 0 clean, 1 findings, 2 usage error.
+//
+// Usage: lint_invariants <dir-or-file> [more...]
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const std::string& file, std::size_t line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file, line, rule, message});
+}
+
+bool has_waiver(const std::vector<std::string>& lines, std::size_t idx,
+                const std::string& rule) {
+  const std::string needle = "dvlc-lint: allow(" + rule + ")";
+  if (lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && lines[idx - 1].find(needle) != std::string::npos;
+}
+
+// --- rule: banned ----------------------------------------------------------
+
+const std::regex kRandCall{R"((^|[^\w.:])rand\s*\()"};
+const std::regex kBareAssertFalse{R"(\bassert\s*\(\s*(false|0)\s*\))"};
+
+void check_banned(const std::string& file,
+                  const std::vector<std::string>& lines) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (has_waiver(lines, i, "banned")) continue;
+    if (std::regex_search(l, kRandCall)) {
+      report(file, i + 1, "banned",
+             "rand() is not reproducible; use common/rng.hpp");
+    }
+    if (std::regex_search(l, kBareAssertFalse)) {
+      report(file, i + 1, "banned",
+             "argless assert(false); use DVLC_ASSERT(cond, \"message\")");
+    }
+  }
+}
+
+// --- rule: units -----------------------------------------------------------
+
+// Quantity stems that demand a unit suffix when they name a numeric field.
+const char* const kQuantityStems[] = {
+    "time",     "delay",      "duration",   "interval", "period",
+    "power",    "energy",     "illuminance", "luminous", "throughput",
+    "bitrate",  "datarate",   "bandwidth",  "frequency", "freq",
+    "distance", "length",     "height",     "width_",    "area",
+    "angle",    "swing",      "current",    "voltage",   "noise",
+    "latency",  "timeout",    "offset",     "drift",     "resistance",
+};
+
+// Accepted unit suffixes (extend as new quantities appear).
+const char* const kUnitSuffixes[] = {
+    "_s",    "_ms",  "_us",   "_ns",   "_hz",   "_khz", "_mhz", "_ghz",
+    "_bps",  "_kbps", "_mbps", "_w",    "_mw",   "_lux", "_lm",  "_m",
+    "_m2",   "_mm",  "_mm2",  "_cm",   "_rad",  "_deg", "_db",  "_dbm",
+    "_a",    "_ma",  "_a2",   "_v",    "_j",    "_ohm", "_pct", "_ppm",
+    "_per_w", "_per_hz", "_per_s", "_per_m",
+};
+
+bool ends_with_unit(std::string name) {
+  // Private members carry a trailing underscore (`power_used_w_`).
+  if (!name.empty() && name.back() == '_') name.pop_back();
+  for (const char* suffix : kUnitSuffixes) {
+    const std::size_t n = std::string(suffix).size();
+    if (name.size() >= n && name.compare(name.size() - n, n, suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool names_quantity(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const char* stem : kQuantityStems) {
+    if (lower.find(stem) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Matches `double name = ...;`, `float name;`, `static constexpr double kX = ..`
+const std::regex kNumericField{
+    R"(^\s*(?:static\s+)?(?:inline\s+)?(?:constexpr\s+)?(?:double|float)\s+(\w+)\s*(?:=|\{|;))"};
+
+void check_units(const std::string& file,
+                 const std::vector<std::string>& lines) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kNumericField)) continue;
+    if (has_waiver(lines, i, "units")) continue;
+    const std::string name = m[1].str();
+    if (names_quantity(name) && !ends_with_unit(name)) {
+      report(file, i + 1, "units",
+             "numeric field '" + name +
+                 "' names a physical quantity but has no unit suffix "
+                 "(_s, _w, _bps, _lux, ...)");
+    }
+  }
+}
+
+// --- rule: nodiscard -------------------------------------------------------
+
+// Error-returning API shapes: bool/optional return + a name that implies an
+// operation whose failure must be observed.
+const std::regex kErrorApi{
+    R"(^\s*(?:static\s+)?(?:bool|std::optional<[\w:<>, ]+>)\s+((?:save|load|write|read|parse|try)_?\w*)\s*\()"};
+
+void check_nodiscard(const std::string& file,
+                     const std::vector<std::string>& lines) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, kErrorApi)) continue;
+    if (has_waiver(lines, i, "nodiscard")) continue;
+    const bool marked =
+        lines[i].find("[[nodiscard]]") != std::string::npos ||
+        (i > 0 && lines[i - 1].find("[[nodiscard]]") != std::string::npos);
+    if (!marked) {
+      report(file, i + 1, "nodiscard",
+             "error-returning API '" + m[1].str() +
+                 "' must be [[nodiscard]]");
+    }
+  }
+}
+
+// --- driver ----------------------------------------------------------------
+
+void lint_file(const fs::path& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "lint_invariants: cannot read %s\n",
+                 path.string().c_str());
+    return;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  const std::string file = path.string();
+  const bool is_header = path.extension() == ".hpp";
+  check_banned(file, lines);
+  if (is_header) {
+    check_units(file, lines);
+    check_nodiscard(file, lines);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: lint_invariants <dir-or-file> [more...]\n");
+    return 2;
+  }
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root{argv[i]};
+    if (fs::is_regular_file(root)) {
+      lint_file(root);
+      ++files;
+      continue;
+    }
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "lint_invariants: no such path: %s\n", argv[i]);
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      lint_file(entry.path());
+      ++files;
+    }
+  }
+
+  for (const auto& f : g_findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("lint_invariants: %zu file(s), %zu finding(s)\n", files,
+              g_findings.size());
+  return g_findings.empty() ? 0 : 1;
+}
