@@ -1,0 +1,227 @@
+// Parallel-engine microbenchmark: the perf trajectory's first datapoint.
+//
+// Sweeps the global thread count over {1, 2, 4, 8, hardware} and times
+// the hot parallel workloads on the paper's 36-TX/4-RX evaluation setup:
+//
+//   channel_greedy   from_geometry + greedy allocation per random
+//                    instance (the headline: candidate evaluations/sec)
+//   channel_matrix   gain-matrix construction alone
+//   illuminance_map  61x61 lux raster of the simulation testbed
+//   optimal          multi-start projected-gradient solver on Fig. 7
+//
+// Every workload's outputs are fingerprinted and compared across thread
+// counts; any drift prints MISMATCH (which the ctest smoke wrapper
+// treats as failure) — the deterministic-reduction contract, enforced.
+// Results go to stdout as tables and to BENCH_parallel.json (path
+// overridable via argv) for CI artifacts.
+//
+// Usage: micro_runtime [--quick] [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "alloc/greedy.hpp"
+#include "alloc/optimal.hpp"
+#include "bench_json.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "common/thread_pool.hpp"
+#include "illum/illuminance_map.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace densevlc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One timed execution of a workload at the current thread count.
+struct RunOutcome {
+  double wall_time_s = 0.0;
+  double work_items = 0.0;           ///< workload-specific unit count
+  std::vector<double> fingerprint;   ///< exact outputs for bit-compare
+};
+
+struct Workload {
+  std::string name;
+  std::string items_unit;
+  std::function<RunOutcome()> run;
+};
+
+void append_allocation(std::vector<double>& fp,
+                       const channel::Allocation& alloc) {
+  fp.insert(fp.end(), alloc.data().begin(), alloc.data().end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances =
+      sim::random_instances(quick ? 3 : 16, 0.25, tb.room, 0xF16'8);
+  const auto fig7 = sim::fig7_rx_positions();
+
+  std::vector<Workload> workloads;
+
+  workloads.push_back({"channel_greedy", "utility_evals", [&] {
+    RunOutcome o;
+    const auto t0 = Clock::now();
+    for (const auto& rx_xy : instances) {
+      const auto h = tb.channel_for(rx_xy);
+      const auto res = alloc::greedy_allocate(h, 1.2, tb.budget);
+      o.work_items += static_cast<double>(res.evaluations);
+      append_allocation(o.fingerprint, res.allocation);
+      o.fingerprint.push_back(res.utility);
+    }
+    o.wall_time_s = seconds_since(t0);
+    return o;
+  }});
+
+  workloads.push_back({"channel_matrix", "matrices", [&] {
+    RunOutcome o;
+    const std::size_t reps = quick ? 20 : 200;
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (const auto& rx_xy : instances) {
+        const auto h = tb.channel_for(rx_xy);
+        o.work_items += 1.0;
+        if (r == 0) {
+          for (std::size_t j = 0; j < h.num_tx(); ++j) {
+            for (std::size_t k = 0; k < h.num_rx(); ++k) {
+              o.fingerprint.push_back(h.gain(j, k));
+            }
+          }
+        }
+      }
+    }
+    o.wall_time_s = seconds_since(t0);
+    return o;
+  }});
+
+  workloads.push_back({"illuminance_map", "rasters", [&] {
+    RunOutcome o;
+    const std::size_t reps = quick ? 1 : 4;
+    const std::size_t per_axis = 61;
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
+                                      tb.led,   0.8,           per_axis,
+                                      kWhiteLedEfficacy};
+      o.work_items += 1.0;
+      if (r == 0) {
+        for (std::size_t iy = 0; iy < per_axis; ++iy) {
+          for (std::size_t ix = 0; ix < per_axis; ++ix) {
+            o.fingerprint.push_back(map.at(ix, iy));
+          }
+        }
+      }
+    }
+    o.wall_time_s = seconds_since(t0);
+    return o;
+  }});
+
+  workloads.push_back({"optimal", "gradient_iters", [&] {
+    RunOutcome o;
+    const auto h = tb.channel_for(fig7);
+    alloc::OptimalSolverConfig cfg;
+    cfg.max_iterations = quick ? 40 : 120;
+    const auto t0 = Clock::now();
+    const auto res = alloc::solve_optimal(h, 1.2, tb.budget, cfg);
+    o.wall_time_s = seconds_since(t0);
+    o.work_items = static_cast<double>(res.iterations);
+    append_allocation(o.fingerprint, res.allocation);
+    o.fingerprint.push_back(res.utility);
+    return o;
+  }});
+
+  // Thread-count sweep: 1, 2, 4, 8 plus whatever the hardware offers.
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  if (std::find(thread_counts.begin(), thread_counts.end(),
+                hardware_threads()) == thread_counts.end()) {
+    thread_counts.push_back(hardware_threads());
+  }
+
+  std::cout << "micro_runtime - parallel engine benchmark (36 TX x 4 RX"
+            << (quick ? ", quick mode" : "") << ")\n"
+            << "hardware threads: " << hardware_threads() << "\n\n";
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", "micro_runtime");
+  doc.set("quick", quick);
+  doc.set("hardware_threads", hardware_threads());
+  doc.set("num_tx", std::size_t{36});
+  doc.set("num_rx", std::size_t{4});
+  bench::Json workload_array = bench::Json::array();
+
+  bool all_identical = true;
+  for (const auto& w : workloads) {
+    TablePrinter table{{"threads", "wall [s]", "speedup", w.items_unit + "/s"}};
+    bench::Json results = bench::Json::array();
+    double base_time_s = 0.0;
+    std::vector<double> base_fingerprint;
+    bool identical = true;
+    for (std::size_t threads : thread_counts) {
+      set_global_threads(threads);
+      const RunOutcome o = w.run();
+      if (threads == thread_counts.front()) {
+        base_time_s = o.wall_time_s;
+        base_fingerprint = o.fingerprint;
+      } else if (o.fingerprint != base_fingerprint) {
+        identical = false;
+      }
+      const double speedup =
+          o.wall_time_s > 0.0 ? base_time_s / o.wall_time_s : 0.0;
+      const double rate =
+          o.wall_time_s > 0.0 ? o.work_items / o.wall_time_s : 0.0;
+      table.add_numeric_row(
+          {static_cast<double>(threads), o.wall_time_s, speedup, rate}, 3);
+      bench::Json entry = bench::Json::object();
+      entry.set("threads", threads);
+      entry.set("wall_time_s", o.wall_time_s);
+      entry.set("speedup_vs_1thread", speedup);
+      entry.set(w.items_unit + "_per_s", rate);
+      results.push(std::move(entry));
+    }
+    std::cout << w.name << ":\n";
+    table.print(std::cout);
+    std::cout << "  outputs across thread counts: "
+              << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+    all_identical = all_identical && identical;
+
+    bench::Json wj = bench::Json::object();
+    wj.set("name", w.name);
+    wj.set("bit_identical", identical);
+    wj.set("results", std::move(results));
+    workload_array.push(std::move(wj));
+  }
+  set_global_threads(0);  // restore the default
+
+  doc.set("bit_identical", all_identical);
+  doc.set("workloads", std::move(workload_array));
+  if (!bench::write_json_file(out_path, doc)) {
+    std::cerr << "failed to write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << (all_identical
+                    ? "determinism: all workloads bit-identical"
+                    : "determinism MISMATCH: see per-workload tables")
+            << "\nwrote " << out_path << '\n';
+  return all_identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "alloc/assignment.hpp"
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 
 namespace densevlc::alloc {
 namespace {
@@ -286,12 +287,20 @@ OptimalResult solve_optimal(const channel::ChannelMatrix& h,
     starts.push_back(std::move(random));
   }
 
+  // The starts were built serially above (so the RNG stream is untouched
+  // by threading); each projected-gradient run is deterministic given its
+  // start, and runs are independent — parallelize across them, then pick
+  // the winner with the same ordered scan as the serial path (first
+  // strictly-better run wins, so ties resolve to the lower start index).
+  std::vector<OptimalResult> results(starts.size());
+  parallel_for(0, starts.size(), [&](std::size_t s) {
+    results[s] = run_from(h, std::move(starts[s]), power_budget_w, budget, cfg);
+  });
+
   OptimalResult best;
   best.utility = -1e300;
   std::size_t total_iters = 0;
-  for (auto& start : starts) {
-    OptimalResult candidate =
-        run_from(h, std::move(start), power_budget_w, budget, cfg);
+  for (auto& candidate : results) {
     total_iters += candidate.iterations;
     if (candidate.utility > best.utility) best = std::move(candidate);
   }

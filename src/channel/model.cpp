@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace densevlc::channel {
 
 ChannelMatrix::ChannelMatrix(std::size_t num_tx, std::size_t num_rx,
@@ -17,13 +19,15 @@ ChannelMatrix ChannelMatrix::from_geometry(
     const std::vector<geom::Pose>& tx_poses,
     const std::vector<geom::Pose>& rx_poses,
     const optics::LambertianEmitter& emitter, const optics::Photodiode& pd) {
-  std::vector<double> gains;
-  gains.reserve(tx_poses.size() * rx_poses.size());
-  for (const auto& tx : tx_poses) {
-    for (const auto& rx : rx_poses) {
-      gains.push_back(optics::los_gain(emitter, pd, tx, rx));
+  // Parallel over TX rows; each row writes a disjoint slice, so the
+  // result is identical to the serial double loop at any thread count.
+  const std::size_t m = rx_poses.size();
+  std::vector<double> gains(tx_poses.size() * m, 0.0);
+  parallel_for(0, tx_poses.size(), [&](std::size_t j) {
+    for (std::size_t k = 0; k < m; ++k) {
+      gains[j * m + k] = optics::los_gain(emitter, pd, tx_poses[j], rx_poses[k]);
     }
-  }
+  });
   return ChannelMatrix{tx_poses.size(), rx_poses.size(), std::move(gains)};
 }
 

@@ -63,4 +63,15 @@ Rng Rng::fork() {
   return Rng{a ^ (b * 0x9E3779B97F4A7C15ULL)};
 }
 
+std::uint64_t Rng::derive_stream_seed(std::uint64_t seed,
+                                      std::uint64_t stream_id) {
+  // SplitMix64 finalizer over seed advanced by (stream_id + 1) strides of
+  // the golden-ratio increment; the +1 keeps stream 0 distinct from the
+  // parent seed itself.
+  std::uint64_t z = seed + (stream_id + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace densevlc

@@ -22,7 +22,19 @@ namespace densevlc {
 class Rng {
  public:
   /// Constructs with an explicit seed. Equal seeds yield equal streams.
-  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+  explicit Rng(std::uint64_t seed) : seed_{seed}, engine_{seed} {}
+
+  /// Constructs sub-stream `stream_id` of `seed`: shorthand for
+  /// Rng{derive_stream_seed(seed, stream_id)}.
+  Rng(std::uint64_t seed, std::uint64_t stream_id)
+      : Rng{derive_stream_seed(seed, stream_id)} {}
+
+  /// Mixes (seed, stream_id) into the seed of an independent sub-stream
+  /// (SplitMix64 finalizer). Pure function: parallel workers can derive
+  /// their streams without touching shared state, and stream i of a given
+  /// seed is the same no matter which thread asks, in what order.
+  static std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                          std::uint64_t stream_id);
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -46,7 +58,19 @@ class Rng {
 
   /// Returns a fresh child RNG whose seed is derived from this stream.
   /// Used to give independent substreams to simulator components.
+  /// Stateful: consumes two draws, so consecutive forks differ.
   Rng fork();
+
+  /// Returns child stream `stream_id` WITHOUT consuming any state: the
+  /// result depends only on this Rng's construction seed. This is the
+  /// splitting primitive for deterministic parallelism — give item i the
+  /// stream split(i) and the draws are reproducible at any thread count.
+  Rng split(std::uint64_t stream_id) const {
+    return Rng{derive_stream_seed(seed_, stream_id)};
+  }
+
+  /// The seed this stream was constructed with.
+  std::uint64_t seed() const { return seed_; }
 
   /// Fisher-Yates shuffle of a vector, using this stream.
   template <typename T>
@@ -63,6 +87,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_ = 0;
   std::mt19937_64 engine_;
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dsp/correlate.hpp"
 
 namespace densevlc::core {
@@ -133,13 +134,20 @@ ProbeResult ChannelProber::probe_link(double h, Rng& rng) const {
 
 channel::ChannelMatrix ChannelProber::probe_matrix(
     const channel::ChannelMatrix& truth, Rng& rng) const {
+  // One fork anchors the whole sweep to the caller's stream position;
+  // each link then gets its own split() sub-stream so the noise draws are
+  // a function of (sweep, link index) alone — not of the order (or
+  // thread) in which links are probed. Bit-identical at any thread count.
+  const Rng sweep = rng.fork();
+  const std::size_t m = truth.num_rx();
   channel::ChannelMatrix measured = truth;
-  for (std::size_t j = 0; j < truth.num_tx(); ++j) {
-    for (std::size_t k = 0; k < truth.num_rx(); ++k) {
-      measured.set_gain(j, k,
-                        probe_link(truth.gain(j, k), rng).gain_estimate);
-    }
-  }
+  parallel_for(0, truth.num_tx() * m, [&](std::size_t idx) {
+    const std::size_t j = idx / m;
+    const std::size_t k = idx % m;
+    Rng link_rng = sweep.split(idx);
+    measured.set_gain(j, k,
+                      probe_link(truth.gain(j, k), link_rng).gain_estimate);
+  });
   return measured;
 }
 

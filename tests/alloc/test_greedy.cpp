@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/assignment.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
 namespace densevlc::alloc {
@@ -90,6 +91,32 @@ TEST(Greedy, CountsEvaluations) {
   const auto res = greedy_allocate(f.h, 0.2, f.tb.budget);
   // At least one full scan of 36 x 4 candidates.
   EXPECT_GE(res.evaluations, 100u);
+}
+
+TEST(ParallelDeterminismGreedy, BitIdenticalAcrossThreadCounts) {
+  // The candidate evaluations run on the global pool; the allocation,
+  // utility and evaluation count must not depend on its size.
+  Fixture f;
+  const auto instances = sim::random_instances(4, 0.25, f.tb.room, 0x6EE);
+  for (const auto& rx_xy : instances) {
+    const auto h = f.tb.channel_for(rx_xy);
+    GreedyResult reference;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, hardware_threads()}) {
+      set_global_threads(threads);
+      const auto res = greedy_allocate(h, 0.9, f.tb.budget);
+      if (threads == 1) {
+        reference = res;
+        continue;
+      }
+      EXPECT_EQ(res.allocation.data(), reference.allocation.data())
+          << threads << " threads";
+      EXPECT_EQ(res.utility, reference.utility);
+      EXPECT_EQ(res.evaluations, reference.evaluations);
+      EXPECT_EQ(res.txs_assigned, reference.txs_assigned);
+    }
+  }
+  set_global_threads(0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "alloc/assignment.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
 namespace densevlc::alloc {
@@ -156,6 +157,32 @@ TEST(Solver, DeterministicGivenSeed) {
   const auto b = solve_optimal(f.h, 0.8, f.tb.budget, f.cfg);
   EXPECT_DOUBLE_EQ(a.utility, b.utility);
   EXPECT_EQ(a.allocation.data(), b.allocation.data());
+}
+
+TEST(ParallelDeterminismOptimal, BitIdenticalAcrossThreadCounts) {
+  // The multi-start runs execute on the global pool; the winning
+  // allocation and iteration totals must not depend on its size.
+  Fixture f;
+  f.cfg.max_iterations = 60;
+  const auto instances = sim::random_instances(2, 0.25, f.tb.room, 0x0B7);
+  for (const auto& rx_xy : instances) {
+    const auto h = f.tb.channel_for(rx_xy);
+    OptimalResult reference;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, hardware_threads()}) {
+      set_global_threads(threads);
+      const auto res = solve_optimal(h, 0.8, f.tb.budget, f.cfg);
+      if (threads == 1) {
+        reference = res;
+        continue;
+      }
+      EXPECT_EQ(res.allocation.data(), reference.allocation.data())
+          << threads << " threads";
+      EXPECT_EQ(res.utility, reference.utility);
+      EXPECT_EQ(res.iterations, reference.iterations);
+    }
+  }
+  set_global_threads(0);
 }
 
 }  // namespace

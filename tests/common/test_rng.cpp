@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace densevlc {
 namespace {
@@ -105,6 +106,71 @@ TEST(Rng, ForkProducesIndependentStream) {
                         std::fabs(child.uniform() - parent.uniform()));
   }
   EXPECT_GT(max_diff, 0.01);
+}
+
+TEST(Rng, SplitIsPureFunctionOfSeedAndStream) {
+  Rng a{77};
+  // Advancing the parent must not move its split streams: split() keys
+  // off the construction seed, not the engine state.
+  for (int i = 0; i < 50; ++i) (void)a.uniform();
+  Rng fresh{77};
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    Rng from_advanced = a.split(stream);
+    Rng from_fresh = fresh.split(stream);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_DOUBLE_EQ(from_advanced.uniform(), from_fresh.uniform());
+    }
+  }
+}
+
+TEST(Rng, SplitStreamsAreDistinct) {
+  Rng parent{123};
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.uniform() == s1.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+  // And stream 0 is not the parent stream replayed.
+  Rng parent_copy{123};
+  Rng s0_copy = parent_copy.split(0);
+  equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0_copy.uniform() == parent_copy.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SeedStreamConstructorMatchesSplit) {
+  Rng parent{0xABCD};
+  Rng via_split = parent.split(9);
+  Rng via_ctor{0xABCD, 9};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(via_split.uniform(), via_ctor.uniform());
+  }
+}
+
+TEST(Rng, SplitStreamsReproduceAcrossThreadCounts) {
+  // The parallel-use pattern: item i draws from split(i). The drawn
+  // values are a function of (seed, i) alone, so any scheduling of items
+  // over threads yields the same per-item sequences.
+  const Rng base{0x5EED};
+  std::vector<double> serial(64);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    Rng stream = base.split(i);
+    serial[i] = stream.gaussian() + stream.uniform();
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    set_global_threads(threads);
+    std::vector<double> parallel(serial.size());
+    parallel_for(0, parallel.size(), [&](std::size_t i) {
+      Rng stream = base.split(i);
+      parallel[i] = stream.gaussian() + stream.uniform();
+    });
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+  set_global_threads(0);
 }
 
 TEST(Rng, ShuffleIsPermutation) {

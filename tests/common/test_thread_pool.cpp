@@ -1,0 +1,222 @@
+// Tests for the fixed-size thread pool and its deterministic helpers.
+//
+// The contract under test: parallel_for / parallel_reduce results are a
+// pure function of the input range — never of the thread count — because
+// chunk boundaries depend only on the range length and partials combine
+// in chunk order. The suite checks the pool mechanics, then the contract
+// on the real workloads that use it (gain matrices, illuminance rasters,
+// prober sweeps).
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "channel/model.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/prober.hpp"
+#include "illum/illuminance_map.hpp"
+#include "sim/scenario.hpp"
+
+namespace densevlc {
+namespace {
+
+/// Thread counts every determinism assertion sweeps, per the issue:
+/// {1, 2, 4, hardware_concurrency} (deduplicated by the loops being
+/// idempotent when counts repeat).
+std::vector<std::size_t> sweep_thread_counts() {
+  return {1, 2, 4, hardware_threads()};
+}
+
+/// Restores the default global pool after each test.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  ~ThreadPoolTest() override { set_global_threads(0); }
+};
+
+TEST_F(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    ThreadPool pool{threads};
+    std::vector<std::atomic<int>> hits(97);
+    pool.run_chunks(hits.size(),
+                    [&](std::size_t c) { hits[c].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ThreadPoolTest, ZeroChunksIsNoop) {
+  ThreadPool pool{4};
+  pool.run_chunks(0, [](std::size_t) { FAIL() << "chunk ran"; });
+}
+
+TEST_F(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool{4};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<int> count{0};
+    pool.run_chunks(8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+TEST_F(ThreadPoolTest, ChunkExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.run_chunks(16,
+                               [](std::size_t c) {
+                                 if (c == 7) {
+                                   throw std::runtime_error{"chunk 7"};
+                                 }
+                               }),
+               std::runtime_error);
+  // The pool must still be serviceable afterwards.
+  std::atomic<int> count{0};
+  pool.run_chunks(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST_F(ThreadPoolTest, ChunkBoundsPartitionTheRange) {
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    const std::size_t chunks = detail::chunk_count(n);
+    std::size_t expected_lo = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [lo, hi] = detail::chunk_bounds(n, chunks, c);
+      EXPECT_EQ(lo, expected_lo);
+      EXPECT_GT(hi, lo);
+      expected_lo = hi;
+    }
+    EXPECT_EQ(expected_lo, n);
+  }
+}
+
+TEST_F(ThreadPoolTest, ParallelForCoversRangeDisjointly) {
+  for (std::size_t threads : sweep_thread_counts()) {
+    set_global_threads(threads);
+    std::vector<int> hits(1003, 0);
+    parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(hits.size()));
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsInline) {
+  set_global_threads(4);
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    // Reentrant use from inside a chunk must not deadlock.
+    parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ThreadPoolTest, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // A floating-point sum whose result depends on association order:
+  // magnitudes spread over 12 decades, so any re-grouping would move the
+  // low bits around.
+  Rng rng{0xC0FFEE};
+  std::vector<double> values(5000);
+  for (double& v : values) v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-6.0, 6.0));
+
+  std::vector<double> sums;
+  for (std::size_t threads : sweep_thread_counts()) {
+    set_global_threads(threads);
+    sums.push_back(parallel_reduce(
+        0, values.size(), 0.0, [&](std::size_t i) { return values[i]; },
+        [](double a, double b) { return a + b; }));
+  }
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[0], sums[i]) << "thread count index " << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, ReduceCombinesPartialsInChunkOrder) {
+  // A non-commutative combine (string concatenation) exposes any
+  // out-of-order merging immediately.
+  std::string expected;
+  for (int i = 0; i < 300; ++i) expected += std::to_string(i) + ",";
+  for (std::size_t threads : sweep_thread_counts()) {
+    set_global_threads(threads);
+    const std::string joined = parallel_reduce(
+        0, 300, std::string{},
+        [](std::size_t i) { return std::to_string(i) + ","; },
+        [](std::string a, const std::string& b) {
+          a += b;
+          return a;
+        });
+    EXPECT_EQ(joined, expected) << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism of the real parallel workloads across thread counts.
+
+TEST_F(ThreadPoolTest, ChannelMatrixBitIdenticalAcrossThreadCounts) {
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(3, 0.25, tb.room, 0xDE7);
+  for (const auto& rx_xy : instances) {
+    std::vector<std::vector<double>> gains;
+    for (std::size_t threads : sweep_thread_counts()) {
+      set_global_threads(threads);
+      const auto h = tb.channel_for(rx_xy);
+      std::vector<double> flat;
+      for (std::size_t j = 0; j < h.num_tx(); ++j) {
+        for (std::size_t k = 0; k < h.num_rx(); ++k) {
+          flat.push_back(h.gain(j, k));
+        }
+      }
+      gains.push_back(std::move(flat));
+    }
+    for (std::size_t i = 1; i < gains.size(); ++i) {
+      EXPECT_EQ(gains[0], gains[i]);
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, IlluminanceMapBitIdenticalAcrossThreadCounts) {
+  const auto tb = sim::make_simulation_testbed();
+  std::vector<std::vector<double>> rasters;
+  for (std::size_t threads : sweep_thread_counts()) {
+    set_global_threads(threads);
+    const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
+                                    tb.led,   0.8,           41,
+                                    kWhiteLedEfficacy};
+    std::vector<double> flat;
+    for (std::size_t iy = 0; iy < 41; ++iy) {
+      for (std::size_t ix = 0; ix < 41; ++ix) flat.push_back(map.at(ix, iy));
+    }
+    rasters.push_back(std::move(flat));
+  }
+  for (std::size_t i = 1; i < rasters.size(); ++i) {
+    EXPECT_EQ(rasters[0], rasters[i]);
+  }
+}
+
+TEST_F(ThreadPoolTest, ProbeMatrixBitIdenticalAcrossThreadCounts) {
+  const auto tb = sim::make_simulation_testbed();
+  const auto truth = tb.channel_for(sim::fig7_rx_positions());
+  core::ChannelProber prober{tb.led, phy::OokParams{}, phy::FrontEndConfig{},
+                             0.9};
+  std::vector<std::vector<double>> sweeps;
+  for (std::size_t threads : sweep_thread_counts()) {
+    set_global_threads(threads);
+    Rng rng{0xBEE5};  // same stream position for every sweep
+    const auto measured = prober.probe_matrix(truth, rng);
+    std::vector<double> flat;
+    for (std::size_t j = 0; j < measured.num_tx(); ++j) {
+      for (std::size_t k = 0; k < measured.num_rx(); ++k) {
+        flat.push_back(measured.gain(j, k));
+      }
+    }
+    sweeps.push_back(std::move(flat));
+  }
+  for (std::size_t i = 1; i < sweeps.size(); ++i) {
+    EXPECT_EQ(sweeps[0], sweeps[i]);
+  }
+}
+
+}  // namespace
+}  // namespace densevlc

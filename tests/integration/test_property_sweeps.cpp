@@ -9,6 +9,7 @@
 #include "alloc/greedy.hpp"
 #include "alloc/optimal.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "phy/ofdm.hpp"
 #include "phy/ook.hpp"
 #include "sim/scenario.hpp"
@@ -73,6 +74,94 @@ TEST_P(InstanceSweep, GreedyFeasible) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, InstanceSweep,
                          ::testing::Range<std::size_t>(0, 12));
+
+// ---------------------------------------------------------------------
+// Allocator invariants under randomized geometries, serial and parallel.
+// Parameterized over the global thread count: every invariant must hold
+// identically with the pool at 1 thread and at several.
+
+class AllocatorInvariantSweep
+    : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_global_threads(GetParam()); }
+  void TearDown() override { set_global_threads(0); }
+  sim::Testbed tb = sim::make_simulation_testbed();
+};
+
+TEST_P(AllocatorInvariantSweep, SwingAndPowerWithinBounds) {
+  constexpr double kMaxSwingA = 0.9;
+  const auto instances = sim::random_instances(5, 0.4, tb.room, 0xA110C);
+  alloc::OptimalSolverConfig cfg;
+  cfg.max_iterations = 60;
+  alloc::AssignmentOptions opts;
+  opts.allow_partial_tail = true;
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    for (double budget_w : {0.4, 1.0}) {
+      const channel::Allocation allocations[] = {
+          alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts)
+              .allocation,
+          alloc::greedy_allocate(h, budget_w, tb.budget).allocation,
+          alloc::solve_optimal(h, budget_w, tb.budget, cfg).allocation,
+      };
+      for (const auto& a : allocations) {
+        // Total swing power within the budget (constraint 7).
+        EXPECT_LE(channel::total_comm_power(a, tb.budget), budget_w + 1e-9);
+        // Per-LED swing within [0, Isw,max] (constraint 6).
+        for (std::size_t j = 0; j < a.num_tx(); ++j) {
+          double row = 0.0;
+          for (std::size_t k = 0; k < a.num_rx(); ++k) {
+            EXPECT_GE(a.swing(j, k), 0.0);
+            row += a.swing(j, k);
+          }
+          EXPECT_LE(row, kMaxSwingA + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AllocatorInvariantSweep, GreedyUtilityMonotoneInBudget) {
+  // Greedy's grant sequence for a smaller budget is a prefix of the
+  // sequence for a larger one, and every grant improves the objective —
+  // utility must be exactly non-decreasing in the budget.
+  const auto instances = sim::random_instances(4, 0.4, tb.room, 0xB06E7);
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    double prev = -1e300;
+    for (double budget_w : {0.2, 0.5, 0.9, 1.4}) {
+      const auto res = alloc::greedy_allocate(h, budget_w, tb.budget);
+      EXPECT_GE(res.utility, prev);
+      prev = res.utility;
+    }
+  }
+}
+
+TEST_P(AllocatorInvariantSweep, HeuristicSinrImprovesWithBudget) {
+  // SINR monotonicity under the ranked-grant heuristic: a larger budget
+  // grants a superset of TXs, so system throughput (B log2(1+SINR)
+  // summed) must not fall. Small dips can occur when a marginal grant
+  // adds more interference than signal; allow 5% slack for those.
+  const auto instances = sim::random_instances(4, 0.4, tb.room, 0x51A2);
+  alloc::AssignmentOptions opts;
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    double prev_bps = 0.0;
+    for (double budget_w : {0.3, 0.6, 1.0, 1.5}) {
+      const auto res =
+          alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts);
+      double sum_bps = 0.0;
+      for (double t : channel::throughput_bps(h, res.allocation, tb.budget)) {
+        sum_bps += t;
+      }
+      EXPECT_GE(sum_bps, 0.95 * prev_bps) << "budget " << budget_w;
+      prev_bps = sum_bps;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, AllocatorInvariantSweep,
+                         ::testing::Values(1, 4));
 
 // ---------------------------------------------------------------------
 // OOK frame round trips across chip rates and oversampling ratios.

@@ -75,6 +75,96 @@ TEST(Golden, Fig11HeuristicLossNearTwoPercent) {
   EXPECT_GT(stats::mean(losses), -3.0);
 }
 
+TEST(Golden, Fig8ThroughputVsPowerBudgetPinned) {
+  // Paper Fig. 8: optimal-allocation throughput versus the communication
+  // power budget. Pin this repo's measured curve on a fixed 8-instance
+  // sample (seed 0xF168, the Fig. 6 protocol): absolute system throughput
+  // at three budgets with ±5% tolerances, the proportional-fairness
+  // per-RX balance, the paper's RX3/RX4 > RX1/RX2 ordering at high
+  // budget, and the efficiency knee beyond ~1.2 W.
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(8, 0.25, tb.room, 0xF16'8);
+  alloc::OptimalSolverConfig cfg;
+  cfg.max_iterations = 150;
+
+  struct Point {
+    double budget_w;
+    double expected_mbps;
+    double tol_mbps;  // ~5% of the pinned value
+  };
+  const Point curve[] = {
+      {0.5, 6.57, 0.33}, {1.2, 9.92, 0.50}, {2.0, 10.30, 0.52}};
+
+  std::vector<double> mean_sys;
+  std::vector<std::vector<double>> rx_at_high(4);
+  for (const auto& pt : curve) {
+    std::vector<double> sys;
+    for (const auto& rx_xy : instances) {
+      const auto h = tb.channel_for(rx_xy);
+      const auto res = alloc::solve_optimal(h, pt.budget_w, tb.budget, cfg);
+      const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
+      double total = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        total += tput[k];
+        if (pt.budget_w == 2.0) rx_at_high[k].push_back(tput[k] / 1e6);
+      }
+      sys.push_back(total / 1e6);
+    }
+    mean_sys.push_back(stats::mean(sys));
+    EXPECT_NEAR(mean_sys.back(), pt.expected_mbps, pt.tol_mbps)
+        << "budget " << pt.budget_w << " W";
+  }
+
+  // Throughput grows with the budget...
+  EXPECT_GT(mean_sys[1], mean_sys[0]);
+  EXPECT_GT(mean_sys[2], mean_sys[1]);
+  // ...but the marginal Mbit/s per watt collapses past the ~1.2 W knee.
+  const double slope_low = (mean_sys[1] - mean_sys[0]) / (1.2 - 0.5);
+  const double slope_high = (mean_sys[2] - mean_sys[1]) / (2.0 - 1.2);
+  EXPECT_LT(slope_high, 0.25 * slope_low);
+
+  // Proportional fairness: every RX gets a comparable share, and the
+  // wall-adjacent RX3/RX4 out-earn the central RX1/RX2 at high budget.
+  const double rx_means[] = {
+      stats::mean(rx_at_high[0]), stats::mean(rx_at_high[1]),
+      stats::mean(rx_at_high[2]), stats::mean(rx_at_high[3])};
+  for (double m : rx_means) {
+    EXPECT_GT(m, 0.15 * mean_sys[2]);
+    EXPECT_LT(m, 0.40 * mean_sys[2]);
+  }
+  EXPECT_GT(rx_means[2], rx_means[0]);
+  EXPECT_GT(rx_means[3], rx_means[1]);
+}
+
+TEST(Golden, Fig11HeuristicGapPinned) {
+  // Paper Sec. 5 / Fig. 11: the kappa = 1.3 heuristic loses ~1.8% of
+  // system throughput versus the optimum. With this repo's solver config
+  // the measured mean gap on the 10-instance sample is -0.29% (the
+  // iteration-capped optimum occasionally trails the heuristic); pin it
+  // with a ±2-point tolerance so the gap magnitude stays in the paper's
+  // single-digit regime and silent solver drift is caught.
+  const auto tb = sim::make_simulation_testbed();
+  const auto instances = sim::random_instances(10, 0.25, tb.room, 0xF16'8);
+  alloc::OptimalSolverConfig ocfg;
+  ocfg.max_iterations = 250;
+  alloc::AssignmentOptions opts;
+  opts.allow_partial_tail = true;
+  std::vector<double> losses;
+  for (const auto& rx_xy : instances) {
+    const auto h = tb.channel_for(rx_xy);
+    const auto opt = alloc::solve_optimal(h, 1.2, tb.budget, ocfg);
+    const auto heur = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+    auto sum = [&](const channel::Allocation& a) {
+      double s = 0.0;
+      for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
+      return s;
+    };
+    losses.push_back(100.0 *
+                     (1.0 - sum(heur.allocation) / sum(opt.allocation)));
+  }
+  EXPECT_NEAR(stats::mean(losses), -0.29, 2.0);
+}
+
 TEST(Golden, Table4SyncOrderingAndMagnitudes) {
   Rng rng{0x601D};
   const sync::TimeSyncConfig ts;
