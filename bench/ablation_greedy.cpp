@@ -45,15 +45,15 @@ int main() {
     std::vector<double> greedy_us;
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto opt = alloc::solve_optimal(h, budget, tb.budget, ocfg);
+      const auto opt = alloc::solve_optimal(h, Watts{budget}, tb.budget, ocfg);
       const double opt_tput = sum_tput(h, opt.allocation);
       if (opt_tput <= 0.0) continue;
 
       const auto t0 = std::chrono::steady_clock::now();
       const auto sjr =
-          alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+          alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
       const auto t1 = std::chrono::steady_clock::now();
-      const auto greedy = alloc::greedy_allocate(h, budget, tb.budget);
+      const auto greedy = alloc::greedy_allocate(h, Watts{budget}, tb.budget);
       const auto t2 = std::chrono::steady_clock::now();
 
       sjr_loss.push_back(

@@ -32,9 +32,9 @@ int main() {
     std::vector<double> fracs;
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto opt = alloc::solve_optimal(h, Watts{budget}, tb.budget, cfg);
       const auto polished =
-          alloc::polish_binary(h, opt.allocation, budget, tb.budget, 0.9);
+          alloc::polish_binary(h, opt.allocation, Watts{budget}, tb.budget, Amperes{0.9});
       auto sum = [&](const channel::Allocation& a) {
         double s = 0.0;
         for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;

@@ -46,14 +46,14 @@ int main() {
     std::vector<double> evals;
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto opt = alloc::solve_optimal(h, budget, tb.budget, ocfg);
+      const auto opt = alloc::solve_optimal(h, Watts{budget}, tb.budget, ocfg);
 
       const auto uniform =
-          alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+          alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
       alloc::AdaptiveKappaConfig acfg;
       acfg.max_rounds = 5;
       const auto personal =
-          alloc::personalize_kappa(h, budget, tb.budget, opts, acfg);
+          alloc::personalize_kappa(h, Watts{budget}, tb.budget, opts, acfg);
 
       uniform_gap.push_back(
           std::max(0.0, opt.utility - utility(h, uniform.allocation)));

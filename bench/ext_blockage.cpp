@@ -28,7 +28,7 @@ struct Outcome {
 
 Outcome evaluate(const sim::Testbed& tb, const channel::ChannelMatrix& h) {
   alloc::AssignmentOptions opts;
-  const auto res = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+  const auto res = alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
   const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
   Outcome out;
   for (double t : tput) {

@@ -67,7 +67,7 @@ int main() {
         const auto h = tb.channel_for(rx_xy);
         alloc::AssignmentOptions opts;
         const auto res =
-            alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts);
+            alloc::heuristic_allocate(h, 1.3, Watts{budget_w}, tb.budget, opts);
         const auto tput =
             channel::throughput_bps(h, res.allocation, tb.budget);
         double total = 0.0;

@@ -40,13 +40,13 @@ int main() {
     const optics::LedModel led{tb.led.electrical(),
                                {plan.bias_a, plan.max_swing_a}};
     const auto budget =
-        channel::LinkBudget::from_led(led, 0.4, 7.02e-23, 1e6);
+        channel::LinkBudget::from_led(led, AmperesPerWatt{0.4}, AmpsSquaredPerHertz{7.02e-23}, Hertz{1e6});
     const auto h = tb.channel_for(rx_xy);
 
     alloc::AssignmentOptions opts;
     opts.max_swing_a = plan.max_swing_a;
     const auto res =
-        alloc::heuristic_allocate(h, 1.3, comm_budget_w, budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{comm_budget_w}, budget, opts);
     double tput = 0.0;
     for (double t : channel::throughput_bps(h, res.allocation, budget)) {
       tput += t;

@@ -32,8 +32,8 @@ int main() {
     return meter;
   };
 
-  const auto siso = alloc::siso_nearest_tx(h, 0.9, tb.budget);
-  const auto dmiso = alloc::dmiso_all_tx(h, 9, 0.9, tb.budget);
+  const auto siso = alloc::siso_nearest_tx(h, Amperes{0.9}, tb.budget);
+  const auto dmiso = alloc::dmiso_all_tx(h, 9, Amperes{0.9}, tb.budget);
   alloc::AssignmentOptions opts;
   // DenseVLC sized to match D-MISO's throughput (the Fig. 21 operating
   // point).
@@ -44,7 +44,7 @@ int main() {
       dmiso_tput += t;
     }
     for (double b = 0.1; b <= dmiso.power_used_w; b += 0.05) {
-      const auto d = alloc::heuristic_allocate(h, 1.3, b, tb.budget, opts);
+      const auto d = alloc::heuristic_allocate(h, 1.3, Watts{b}, tb.budget, opts);
       double tput = 0.0;
       for (double t : channel::throughput_bps(h, d.allocation, tb.budget)) {
         tput += t;
@@ -56,7 +56,7 @@ int main() {
     }
   }
   const auto dense =
-      alloc::heuristic_allocate(h, 1.3, match_budget, tb.budget, opts);
+      alloc::heuristic_allocate(h, 1.3, Watts{match_budget}, tb.budget, opts);
 
   TablePrinter table{{"policy", "comm power [W]", "tput [Mbit/s]",
                       "energy/bit [nJ]", "comm overhead vs lighting"}};

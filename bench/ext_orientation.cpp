@@ -39,7 +39,7 @@ int main() {
     }
     const auto h = tb.channel_for_poses(poses);
     alloc::AssignmentOptions opts;
-    const auto res = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+    const auto res = alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
     const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
 
     double total = 0.0;

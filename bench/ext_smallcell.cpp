@@ -38,9 +38,9 @@ int main() {
 
     alloc::AssignmentOptions opts;
     const auto dense =
-        alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
     const auto cellular = alloc::small_cell_allocate(
-        h, cells, tb.tx_poses(), rx, budget, 0.9, tb.budget);
+        h, cells, tb.tx_poses(), rx, Watts{budget}, Amperes{0.9}, tb.budget);
 
     const double t_free =
         channel::throughput_bps(h, dense.allocation, tb.budget)[0] / 1e6;

@@ -15,21 +15,21 @@ int main() {
 
   std::cout << "Fig. 4 - Taylor approximation error on LED power vs swing\n";
   std::cout << "LED: CREE XT-E fit, Ib = 450 mA, r = "
-            << fmt(led.dynamic_resistance(), 4) << " ohm\n\n";
+            << fmt(led.dynamic_resistance().value(), 4) << " ohm\n\n";
 
   TablePrinter table{{"Isw [mA]", "P_C exact [mW]", "P_C approx [mW]",
                       "relative error [%]"}};
   for (double isw_ma = 0.0; isw_ma <= 1000.0; isw_ma += 50.0) {
     const double isw = units::mA(isw_ma);
-    table.add_numeric_row({isw_ma, units::to_mW(led.comm_power_exact(isw)),
-                           units::to_mW(led.comm_power_approx(isw)),
-                           100.0 * led.comm_power_relative_error(isw)},
+    table.add_numeric_row({isw_ma, units::to_mW(led.comm_power_exact(Amperes{isw})),
+                           units::to_mW(led.comm_power_approx(Amperes{isw})),
+                           100.0 * led.comm_power_relative_error(Amperes{isw})},
                           3);
   }
   table.print(std::cout);
   table.print_csv(std::cout, "fig04");
 
-  const double err_900 = 100.0 * led.comm_power_relative_error(0.9);
+  const double err_900 = 100.0 * led.comm_power_relative_error(Amperes{0.9});
   std::cout << "\nPaper: error at Isw = 900 mA is 0.45%.  Measured: "
             << fmt(err_900, 3) << "%  ("
             << (err_900 < 1.5 ? "shape reproduced" : "MISMATCH") << ")\n";

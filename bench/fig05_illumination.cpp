@@ -15,7 +15,7 @@ int main() {
 
   const auto tb = sim::make_simulation_testbed();
   const illum::IlluminanceMap map{
-      tb.room, tb.tx_poses(), tb.emitter, tb.led, 0.8, 61,
+      tb.room, tb.tx_poses(), tb.emitter, tb.led, Meters{0.8}, 61,
       kWhiteLedEfficacy};
 
   std::cout << "Fig. 5 - Illuminance distribution (0.8 m work plane)\n\n";
@@ -27,13 +27,15 @@ int main() {
     std::vector<std::string> row;
     row.push_back(fmt(iy * 0.375, 3));
     for (int ix = 0; ix <= 8; ++ix) {
-      row.push_back(fmt(map.evaluate(ix * 0.375, iy * 0.375), 0));
+      row.push_back(
+          fmt(map.evaluate(Meters{ix * 0.375}, Meters{iy * 0.375}).value(),
+              0));
     }
     grid.add_row(row);
   }
   grid.print(std::cout);
 
-  const auto stats = map.area_of_interest_stats(2.2);
+  const auto stats = map.area_of_interest_stats(Meters{2.2});
   TablePrinter summary{{"metric", "paper", "measured"}};
   summary.add_row({"average illuminance [lux]", "564",
                    fmt(stats.average_lux, 0)});

@@ -38,7 +38,7 @@ int main() {
     std::vector<std::vector<double>> per_rx(4);
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto res = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto res = alloc::solve_optimal(h, Watts{budget}, tb.budget, cfg);
       const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
       double total = 0.0;
       for (std::size_t k = 0; k < 4; ++k) {

@@ -35,9 +35,10 @@ int main() {
                                           std::vector<double>(budgets.size()));
   std::vector<channel::Allocation> allocations;
   for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
-    const auto res = alloc::solve_optimal(h, budgets[bi], tb.budget, cfg);
+    const auto res =
+        alloc::solve_optimal(h, Watts{budgets[bi]}, tb.budget, cfg);
     for (std::size_t j = 0; j < 36; ++j) {
-      swings[j][bi] = res.allocation.tx_total_swing(j);
+      swings[j][bi] = res.allocation.tx_total_swing(j).value();
     }
     allocations.push_back(res.allocation);
   }

@@ -29,7 +29,7 @@ int main() {
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);
     for (double budget = 0.1; budget <= 2.51; budget += 0.2) {
-      const auto res = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto res = alloc::solve_optimal(h, Watts{budget}, tb.budget, cfg);
       for (std::size_t t = 0; t < txs.size(); ++t) {
         samples[t].push_back(res.allocation.swing(txs[t], 1));
       }

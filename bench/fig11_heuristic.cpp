@@ -45,11 +45,11 @@ int main() {
                         "k=1.5"}};
     for (double budget = 0.2; budget <= 3.01; budget += 0.2) {
       std::vector<double> row{budget};
-      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto opt = alloc::solve_optimal(h, Watts{budget}, tb.budget, cfg);
       row.push_back(sum_tput(h, opt.allocation, tb.budget) / 1e6);
       for (double kappa : kappas) {
         const auto res =
-            alloc::heuristic_allocate(h, kappa, budget, tb.budget, opts);
+            alloc::heuristic_allocate(h, kappa, Watts{budget}, tb.budget, opts);
         row.push_back(sum_tput(h, res.allocation, tb.budget) / 1e6);
       }
       table.add_numeric_row(row, 3);
@@ -67,12 +67,12 @@ int main() {
     std::vector<double> loss_acc(kappas.size(), 0.0);
     std::size_t points = 0;
     for (double budget = 0.3; budget <= 2.51; budget += 0.4) {
-      const auto opt = alloc::solve_optimal(h, budget, tb.budget, cfg);
+      const auto opt = alloc::solve_optimal(h, Watts{budget}, tb.budget, cfg);
       const double opt_tput = sum_tput(h, opt.allocation, tb.budget);
       if (opt_tput <= 0.0) continue;
       ++points;
       for (std::size_t ki = 0; ki < kappas.size(); ++ki) {
-        const auto res = alloc::heuristic_allocate(h, kappas[ki], budget,
+        const auto res = alloc::heuristic_allocate(h, kappas[ki], Watts{budget},
                                                    tb.budget, opts);
         loss_acc[ki] +=
             100.0 * (1.0 - sum_tput(h, res.allocation, tb.budget) / opt_tput);

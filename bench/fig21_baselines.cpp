@@ -29,8 +29,8 @@ int main() {
     return s;
   };
 
-  const auto siso = alloc::siso_nearest_tx(h, 0.9, tb.budget);
-  const auto dmiso = alloc::dmiso_all_tx(h, 9, 0.9, tb.budget);
+  const auto siso = alloc::siso_nearest_tx(h, Amperes{0.9}, tb.budget);
+  const auto dmiso = alloc::dmiso_all_tx(h, 9, Amperes{0.9}, tb.budget);
   const double siso_tput = sum_tput(siso.allocation);
   const double dmiso_tput = sum_tput(dmiso.allocation);
   const double norm = std::max(siso_tput, dmiso_tput);
@@ -44,7 +44,7 @@ int main() {
   double dense_tput_at_match = 0.0;
   for (double budget = 0.05; budget <= 2.01; budget += 0.05) {
     const auto dense =
-        alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
     const double tput = sum_tput(dense.allocation);
     if (dense_match_power == 0.0 && tput >= 0.94 * dmiso_tput) {
       dense_match_power = dense.power_used_w;

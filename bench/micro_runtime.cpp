@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     const auto t0 = Clock::now();
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto res = alloc::greedy_allocate(h, 1.2, tb.budget);
+      const auto res = alloc::greedy_allocate(h, Watts{1.2}, tb.budget);
       o.work_items += static_cast<double>(res.evaluations);
       append_allocation(o.fingerprint, res.allocation);
       o.fingerprint.push_back(res.utility);
@@ -121,14 +121,15 @@ int main(int argc, char** argv) {
     const std::size_t per_axis = 61;
     const auto t0 = Clock::now();
     for (std::size_t r = 0; r < reps; ++r) {
-      const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                      tb.led,   0.8,           per_axis,
+      const illum::IlluminanceMap map{tb.room,     tb.tx_poses(),
+                                      tb.emitter,  tb.led,
+                                      Meters{0.8}, per_axis,
                                       kWhiteLedEfficacy};
       o.work_items += 1.0;
       if (r == 0) {
         for (std::size_t iy = 0; iy < per_axis; ++iy) {
           for (std::size_t ix = 0; ix < per_axis; ++ix) {
-            o.fingerprint.push_back(map.at(ix, iy));
+            o.fingerprint.push_back(map.at(ix, iy).value());
           }
         }
       }
@@ -143,7 +144,7 @@ int main(int argc, char** argv) {
     alloc::OptimalSolverConfig cfg;
     cfg.max_iterations = quick ? 40 : 120;
     const auto t0 = Clock::now();
-    const auto res = alloc::solve_optimal(h, 1.2, tb.budget, cfg);
+    const auto res = alloc::solve_optimal(h, Watts{1.2}, tb.budget, cfg);
     o.wall_time_s = seconds_since(t0);
     o.work_items = static_cast<double>(res.iterations);
     append_allocation(o.fingerprint, res.allocation);

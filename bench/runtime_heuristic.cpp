@@ -31,7 +31,7 @@ void BM_OptimalSolver(benchmark::State& state) {
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(alloc::solve_optimal(h, 1.2, tb.budget, cfg));
+    benchmark::DoNotOptimize(alloc::solve_optimal(h, Watts{1.2}, tb.budget, cfg));
   }
 }
 BENCHMARK(BM_OptimalSolver)->Arg(100)->Arg(250)->Arg(400);
@@ -50,7 +50,7 @@ void BM_HeuristicEndToEnd(benchmark::State& state) {
   alloc::AssignmentOptions opts;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts));
+        alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts));
   }
 }
 BENCHMARK(BM_HeuristicEndToEnd);
@@ -59,7 +59,7 @@ void BM_SinrEvaluation(benchmark::State& state) {
   const auto& tb = testbed();
   const auto& h = fig7_channel();
   alloc::AssignmentOptions opts;
-  const auto res = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+  const auto res = alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
   for (auto _ : state) {
     benchmark::DoNotOptimize(channel::sinr(h, res.allocation, tb.budget));
   }

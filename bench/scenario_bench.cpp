@@ -24,7 +24,7 @@ int run_scenario_bench(const std::string& figure,
   Rng rng{0xF16'18};
   const auto measured = prober.probe_matrix(truth, rng);
 
-  const double per_tx = alloc::full_swing_tx_power(0.9, tb.budget);
+  const double per_tx = alloc::full_swing_tx_power(Amperes{0.9}, tb.budget).value();
   const std::size_t n = measured.num_tx();
   const std::size_t m = measured.num_rx();
 
@@ -48,7 +48,7 @@ int run_scenario_bench(const std::string& figure,
     alloc::AssignmentOptions opts;
     for (std::size_t steps = 1; steps <= n; ++steps) {
       const double budget = per_tx * static_cast<double>(steps) + 1e-12;
-      const auto res = alloc::assign_by_ranking(ranking, n, m, budget,
+      const auto res = alloc::assign_by_ranking(ranking, n, m, Watts{budget},
                                                 tb.budget, opts);
       if (res.txs_assigned < steps) break;  // ranked list exhausted
       const auto tput =

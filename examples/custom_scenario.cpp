@@ -102,8 +102,8 @@ int main(int argc, char** argv) {
   tb.emitter.half_power_semi_angle_rad =
       units::deg_to_rad(config->get_double("led.half_angle_deg", 15.0));
   tb.budget = channel::LinkBudget::from_led(
-      tb.led, 0.4, 7.02e-23,
-      units::MHz(config->get_double("system.bandwidth_mhz", 1.0)));
+      tb.led, AmperesPerWatt{0.4}, AmpsSquaredPerHertz{7.02e-23},
+      Hertz{units::MHz(config->get_double("system.bandwidth_mhz", 1.0))});
 
   std::vector<geom::Vec3> rx_xy;
   const long count = config->get_int("rx.count", 0);
@@ -126,11 +126,11 @@ int main(int argc, char** argv) {
             << " W\n\n";
 
   // Illumination report.
-  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                  tb.led,   0.8,           41,
+  const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
+                                  tb.led,      Meters{0.8},   41,
                                   kWhiteLedEfficacy};
   const auto aoi = map.area_of_interest_stats(
-      std::min(tb.room.width, tb.room.depth) - 0.8);
+      Meters{std::min(tb.room.width, tb.room.depth) - 0.8});
   std::cout << "Illumination: " << fmt(aoi.average_lux, 0)
             << " lux avg, uniformity " << fmt(aoi.uniformity, 2) << " — ISO "
             << (aoi.average_lux >= 500.0 && aoi.uniformity >= 0.70
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
   const auto h = tb.channel_for(rx_xy);
   alloc::AssignmentOptions opts;
   opts.max_swing_a = swing;
-  const auto res = alloc::heuristic_allocate(h, kappa, budget_w, tb.budget,
+  const auto res = alloc::heuristic_allocate(h, kappa, Watts{budget_w}, tb.budget,
                                              opts);
   const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
 

@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
 
   // Illuminance field.
   const std::size_t n = 61;
-  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                  tb.led,   0.8,           n,
+  const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
+                                  tb.led,      Meters{0.8},   n,
                                   kWhiteLedEfficacy};
   ScalarField lux;
   lux.width = n;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   lux.values.resize(n * n);
   for (std::size_t iy = 0; iy < n; ++iy) {
     for (std::size_t ix = 0; ix < n; ++ix) {
-      lux.values[(n - 1 - iy) * n + ix] = map.at(ix, iy);
+      lux.values[(n - 1 - iy) * n + ix] = map.at(ix, iy).value();
     }
   }
   const std::string lux_path = dir + "/illuminance.pgm";
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
   std::cout << "DenseVLC heatmap export\n=======================\n\n";
   TablePrinter table{{"map", "file", "min", "mean", "max"}};
-  const auto aoi = map.area_of_interest_stats(2.2);
+  const auto aoi = map.area_of_interest_stats(Meters{2.2});
   table.add_row({"illuminance [lux]", lux_ok ? lux_path : "WRITE FAILED",
                  fmt(aoi.min_lux, 0), fmt(aoi.average_lux, 0),
                  fmt(aoi.max_lux, 0)});

@@ -50,8 +50,8 @@ int main() {
   core::TraceRecorder trace;
   for (double t = 0.0; t <= 20.0; t += 2.0) {
     const auto epoch = system.run_epoch_analytic(t);
-    trace.record_epoch(t, epoch.throughput_bps, epoch.beamspots,
-                       epoch.power_used_w);
+    trace.record_epoch(Seconds{t}, epoch.throughput_bps, epoch.beamspots,
+                       Watts{epoch.power_used_w});
     const auto pos = system.true_channel(t);  // for leader lookup below
     std::string leader = "-";
     for (const auto& spot : epoch.beamspots) {

@@ -38,13 +38,13 @@ int main(int argc, char** argv) {
 
   // Illumination check first — communication must not be planned on a
   // grid that fails its primary job.
-  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                  tb.led,   0.8,           41,
+  const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
+                                  tb.led,      Meters{0.8},   41,
                                   kWhiteLedEfficacy};
-  const auto illum_stats = map.area_of_interest_stats(side - 0.8);
+  const auto illum_stats = map.area_of_interest_stats(Meters{side - 0.8});
   std::cout << "Illumination: " << fmt(illum_stats.average_lux, 0)
             << " lux average, uniformity " << fmt(illum_stats.uniformity, 2)
-            << (map.satisfies(illum::IsoRequirement{}, side - 0.8)
+            << (map.satisfies(illum::IsoRequirement{}, Meters{side - 0.8})
                     ? "  [ISO 8995-1 PASS]\n\n"
                     : "  [ISO 8995-1 FAIL - increase bias or density]\n\n");
 
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   const auto h = tb.channel_for(rx_xy);
 
   alloc::AssignmentOptions opts;
-  const double per_tx = alloc::full_swing_tx_power(0.9, tb.budget);
+  const double per_tx = alloc::full_swing_tx_power(Amperes{0.9}, tb.budget).value();
 
   TablePrinter table{{"budget [W]", "TXs", "system tput [Mbit/s]",
                       "efficiency [Mbit/s/W]"}};
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   double knee_budget = 0.0;
   double prev_tput = 0.0;
   for (double budget = per_tx; budget <= 3.0; budget += per_tx) {
-    const auto res = alloc::heuristic_allocate(h, 1.3, budget, tb.budget,
+    const auto res = alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget,
                                                opts);
     double tput = 0.0;
     for (double t : channel::throughput_bps(h, res.allocation, tb.budget)) {

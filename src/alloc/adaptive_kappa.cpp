@@ -46,7 +46,7 @@ std::vector<RankedTx> rank_transmitters_per_tx(
 }
 
 AdaptiveKappaResult personalize_kappa(const channel::ChannelMatrix& h,
-                                      double power_budget_w,
+                                      Watts power_budget,
                                       const channel::LinkBudget& budget,
                                       const AssignmentOptions& opts,
                                       const AdaptiveKappaConfig& cfg) {
@@ -57,7 +57,7 @@ AdaptiveKappaResult personalize_kappa(const channel::ChannelMatrix& h,
   auto evaluate = [&](const std::vector<double>& kappas) {
     const auto ranking = rank_transmitters_per_tx(h, kappas);
     const auto res = assign_by_ranking(ranking, n, h.num_rx(),
-                                       power_budget_w, budget, opts);
+                                       power_budget, budget, opts);
     ++out.evaluations;
     return std::pair{channel::sum_log_utility(h, res.allocation, budget),
                      res.allocation};

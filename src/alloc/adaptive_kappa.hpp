@@ -48,7 +48,7 @@ struct AdaptiveKappaResult {
 
 /// Runs the search for the given channel and power budget.
 AdaptiveKappaResult personalize_kappa(const channel::ChannelMatrix& h,
-                                      double power_budget_w,
+                                      Watts power_budget,
                                       const channel::LinkBudget& budget,
                                       const AssignmentOptions& opts,
                                       const AdaptiveKappaConfig& cfg = {});

@@ -4,21 +4,22 @@
 
 namespace densevlc::alloc {
 
-double full_swing_tx_power(double max_swing_a,
-                           const channel::LinkBudget& budget) {
-  return channel::tx_comm_power(max_swing_a, budget);
+Watts full_swing_tx_power(Amperes max_swing,
+                          const channel::LinkBudget& budget) {
+  return channel::tx_comm_power(max_swing, budget);
 }
 
 AssignmentResult assign_by_ranking(const std::vector<RankedTx>& ranking,
                                    std::size_t num_tx, std::size_t num_rx,
-                                   double power_budget_w,
+                                   Watts power_budget,
                                    const channel::LinkBudget& budget,
                                    const AssignmentOptions& opts) {
   AssignmentResult out;
   out.allocation = channel::Allocation{num_tx, num_rx};
-  const double per_tx = full_swing_tx_power(opts.max_swing_a, budget);
+  const Watts per_tx =
+      full_swing_tx_power(Amperes{opts.max_swing_a}, budget);
 
-  double remaining = power_budget_w;
+  Watts remaining = power_budget;
   for (const RankedTx& entry : ranking) {
     if (entry.sjr <= 0.0) break;  // TX reaches no RX; so will the rest
     if (remaining >= per_tx) {
@@ -27,30 +28,32 @@ AssignmentResult assign_by_ranking(const std::vector<RankedTx>& ranking,
       ++out.txs_assigned;
       continue;
     }
-    if (opts.allow_partial_tail && remaining > 0.0) {
-      // r * (Isw/2)^2 = remaining  =>  Isw = 2 sqrt(remaining / r).
-      const double partial =
-          2.0 * std::sqrt(remaining / budget.dynamic_resistance_ohm);
-      if (partial > 0.0) {
+    if (opts.allow_partial_tail && remaining > Watts{0.0}) {
+      // r * (Isw/2)^2 = remaining  =>  Isw = 2 sqrt(remaining / r) — the
+      // W / ohm = A^2 quotient sqrt()s back to amperes in the type system.
+      const Amperes partial =
+          2.0 * densevlc::sqrt(remaining / budget.dynamic_resistance());
+      if (partial > Amperes{0.0}) {
         out.allocation.set_swing(entry.tx, entry.rx,
-                                 std::min(partial, opts.max_swing_a));
+                                 std::min(partial.value(),
+                                          opts.max_swing_a));
         remaining -= channel::tx_comm_power(
-            out.allocation.swing(entry.tx, entry.rx), budget);
+            Amperes{out.allocation.swing(entry.tx, entry.rx)}, budget);
         ++out.txs_assigned;
       }
     }
     break;
   }
-  out.power_used_w = power_budget_w - remaining;
+  out.power_used_w = (power_budget - remaining).value();
   return out;
 }
 
 AssignmentResult heuristic_allocate(const channel::ChannelMatrix& h,
-                                    double kappa, double power_budget_w,
+                                    double kappa, Watts power_budget,
                                     const channel::LinkBudget& budget,
                                     const AssignmentOptions& opts) {
   const auto ranking = rank_transmitters(h, kappa);
-  return assign_by_ranking(ranking, h.num_tx(), h.num_rx(), power_budget_w,
+  return assign_by_ranking(ranking, h.num_tx(), h.num_rx(), power_budget,
                            budget, opts);
 }
 

@@ -30,22 +30,22 @@ struct AssignmentResult {
   std::size_t txs_assigned = 0;  ///< TXs with nonzero swing
 };
 
-/// Grants power down `ranking` until `power_budget_w` is exhausted.
+/// Grants power down `ranking` until `power_budget` is exhausted.
 AssignmentResult assign_by_ranking(const std::vector<RankedTx>& ranking,
                                    std::size_t num_tx, std::size_t num_rx,
-                                   double power_budget_w,
+                                   Watts power_budget,
                                    const channel::LinkBudget& budget,
                                    const AssignmentOptions& opts);
 
 /// The full heuristic pipeline of Sec. 5: rank with kappa, then assign.
 AssignmentResult heuristic_allocate(const channel::ChannelMatrix& h,
-                                    double kappa, double power_budget_w,
+                                    double kappa, Watts power_budget,
                                     const channel::LinkBudget& budget,
                                     const AssignmentOptions& opts);
 
-/// Electrical power cost of one full-swing TX [W]:
+/// Electrical power cost of one full-swing TX:
 /// P_C,tx,max = r * (Isw,max / 2)^2  (74.42 mW with Table 1 values).
-double full_swing_tx_power(double max_swing_a,
-                           const channel::LinkBudget& budget);
+Watts full_swing_tx_power(Amperes max_swing,
+                          const channel::LinkBudget& budget);
 
 }  // namespace densevlc::alloc

@@ -47,20 +47,20 @@ channel::Allocation match_by_gain(const channel::ChannelMatrix& h,
 }  // namespace
 
 BaselineResult siso_nearest_tx(const channel::ChannelMatrix& h,
-                               double max_swing_a,
+                               Amperes max_swing,
                                const channel::LinkBudget& budget) {
   BaselineResult out;
-  out.allocation = match_by_gain(h, 1, max_swing_a);
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.allocation = match_by_gain(h, 1, max_swing.value());
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   return out;
 }
 
 BaselineResult dmiso_all_tx(const channel::ChannelMatrix& h,
-                            std::size_t group_size, double max_swing_a,
+                            std::size_t group_size, Amperes max_swing,
                             const channel::LinkBudget& budget) {
   BaselineResult out;
-  out.allocation = match_by_gain(h, group_size, max_swing_a);
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.allocation = match_by_gain(h, group_size, max_swing.value());
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   return out;
 }
 

@@ -25,7 +25,7 @@ struct BaselineResult {
 /// RXs serves only the one with the higher gain; the loser falls back to
 /// its next-best unassigned TX.
 BaselineResult siso_nearest_tx(const channel::ChannelMatrix& h,
-                               double max_swing_a,
+                               Amperes max_swing,
                                const channel::LinkBudget& budget);
 
 /// D-MISO: each RX is served by its `group_size` strongest TXs (ties on
@@ -33,7 +33,7 @@ BaselineResult siso_nearest_tx(const channel::ChannelMatrix& h,
 /// RX). With group_size = 9 this reproduces the paper's "9 surrounding
 /// TXs" configuration.
 BaselineResult dmiso_all_tx(const channel::ChannelMatrix& h,
-                            std::size_t group_size, double max_swing_a,
+                            std::size_t group_size, Amperes max_swing,
                             const channel::LinkBudget& budget);
 
 }  // namespace densevlc::alloc

@@ -10,18 +10,20 @@
 namespace densevlc::alloc {
 
 GreedyResult greedy_allocate(const channel::ChannelMatrix& h,
-                             double power_budget_w,
+                             Watts power_budget,
                              const channel::LinkBudget& budget,
-                             double max_swing_a) {
-  DVLC_EXPECT(power_budget_w >= 0.0, "power budget must be non-negative");
-  DVLC_EXPECT(max_swing_a > 0.0, "max swing must be positive");
+                             Amperes max_swing) {
+  DVLC_EXPECT(power_budget >= Watts{0.0},
+              "power budget must be non-negative");
+  DVLC_EXPECT(max_swing > Amperes{0.0}, "max swing must be positive");
+  const double max_swing_a = max_swing.value();
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
   GreedyResult out;
   out.allocation = channel::Allocation{n, m};
 
-  const double per_tx = full_swing_tx_power(max_swing_a, budget);
-  double remaining = power_budget_w;
+  const double per_tx = full_swing_tx_power(max_swing, budget).value();
+  double remaining = power_budget.value();
   std::vector<bool> used(n, false);
   double current_utility =
       channel::sum_log_utility(h, out.allocation, budget);
@@ -67,7 +69,7 @@ GreedyResult greedy_allocate(const channel::ChannelMatrix& h,
   }
 
   out.utility = current_utility;
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   return out;
 }
 

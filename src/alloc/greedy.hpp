@@ -28,8 +28,8 @@ struct GreedyResult {
 /// Grants full-swing TXs one at a time by best marginal utility until
 /// the budget is exhausted or no grant improves the objective.
 GreedyResult greedy_allocate(const channel::ChannelMatrix& h,
-                             double power_budget_w,
+                             Watts power_budget,
                              const channel::LinkBudget& budget,
-                             double max_swing_a = 0.9);
+                             Amperes max_swing = Amperes{0.9});
 
 }  // namespace densevlc::alloc

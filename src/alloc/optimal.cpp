@@ -89,18 +89,21 @@ void utility_gradient(const channel::ChannelMatrix& h,
   }
 }
 
-void project_feasible(channel::Allocation& alloc, double power_budget_w,
-                      double max_swing_a,
+void project_feasible(channel::Allocation& alloc, Watts power_budget,
+                      Amperes max_swing,
                       const channel::LinkBudget& budget) {
-  DVLC_EXPECT(power_budget_w >= 0.0, "power budget must be non-negative");
-  DVLC_EXPECT(max_swing_a >= 0.0, "max swing must be non-negative");
+  DVLC_EXPECT(power_budget >= Watts{0.0},
+              "power budget must be non-negative");
+  DVLC_EXPECT(max_swing >= Amperes{0.0}, "max swing must be non-negative");
+  const double power_budget_w = power_budget.value();
+  const double max_swing_a = max_swing.value();
   const std::size_t n = alloc.num_tx();
   const std::size_t m = alloc.num_rx();
   // Nonnegativity.
   for (double& v : alloc.data()) v = std::max(0.0, v);
   // Per-TX row cap.
   for (std::size_t j = 0; j < n; ++j) {
-    const double total = alloc.tx_total_swing(j);
+    const double total = alloc.tx_total_swing(j).value();
     if (total > max_swing_a && total > 0.0) {
       const double f = max_swing_a / total;
       for (std::size_t k = 0; k < m; ++k) {
@@ -110,7 +113,7 @@ void project_feasible(channel::Allocation& alloc, double power_budget_w,
   }
   // Total power cap: power is quadratic in a global scale, so scale by
   // sqrt(budget / power).
-  const double power = channel::total_comm_power(alloc, budget);
+  const double power = channel::total_comm_power(alloc, budget).value();
   if (power > power_budget_w && power > 0.0) {
     const double f = std::sqrt(power_budget_w / power);
     for (double& v : alloc.data()) v *= f;
@@ -121,12 +124,12 @@ namespace {
 
 /// One projected-gradient run from a feasible starting point.
 OptimalResult run_from(const channel::ChannelMatrix& h,
-                       channel::Allocation start, double power_budget_w,
+                       channel::Allocation start, Watts power_budget,
                        const channel::LinkBudget& budget,
                        const OptimalSolverConfig& cfg) {
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
-  project_feasible(start, power_budget_w, cfg.max_swing_a, budget);
+  project_feasible(start, power_budget, Amperes{cfg.max_swing_a}, budget);
 
   channel::Allocation current = start;
   double current_utility = utility_of(h, current, budget);
@@ -151,7 +154,7 @@ OptimalResult run_from(const channel::ChannelMatrix& h,
       for (std::size_t idx = 0; idx < n * m; ++idx) {
         data[idx] += step * grad[idx] / norm;
       }
-      project_feasible(trial, power_budget_w, cfg.max_swing_a, budget);
+      project_feasible(trial, power_budget, Amperes{cfg.max_swing_a}, budget);
       const double trial_utility = utility_of(h, trial, budget);
       if (trial_utility > current_utility + 1e-12) {
         current = std::move(trial);
@@ -168,7 +171,7 @@ OptimalResult run_from(const channel::ChannelMatrix& h,
   OptimalResult out;
   out.allocation = std::move(current);
   out.utility = current_utility;
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   out.iterations = iters;
   return out;
 }
@@ -177,9 +180,11 @@ OptimalResult run_from(const channel::ChannelMatrix& h,
 
 PolishResult polish_binary(const channel::ChannelMatrix& h,
                            const channel::Allocation& start,
-                           double power_budget_w,
+                           Watts power_budget,
                            const channel::LinkBudget& budget,
-                           double max_swing_a) {
+                           Amperes max_swing) {
+  const double power_budget_w = power_budget.value();
+  const double max_swing_a = max_swing.value();
   DVLC_EXPECT(start.num_tx() == h.num_tx() && start.num_rx() == h.num_rx(),
               "allocation shape must match the channel matrix");
   const std::size_t n = start.num_tx();
@@ -190,7 +195,7 @@ PolishResult polish_binary(const channel::ChannelMatrix& h,
   // Visit TXs with fractional total swing, weakest first.
   std::vector<std::pair<double, std::size_t>> fractional;
   for (std::size_t j = 0; j < n; ++j) {
-    const double total = out.allocation.tx_total_swing(j);
+    const double total = out.allocation.tx_total_swing(j).value();
     if (total > 1e-9 && total < max_swing_a - 1e-9) {
       fractional.emplace_back(total, j);
     }
@@ -218,7 +223,8 @@ PolishResult polish_binary(const channel::ChannelMatrix& h,
     channel::Allocation up = out.allocation;
     for (std::size_t k = 0; k < m; ++k) up.set_swing(j, k, 0.0);
     up.set_swing(j, dominant, max_swing_a);
-    if (channel::total_comm_power(up, budget) <= power_budget_w + 1e-12) {
+    if (channel::total_comm_power(up, budget).value() <=
+        power_budget_w + 1e-12) {
       u_up = utility_of(h, up, budget);
     }
 
@@ -234,12 +240,12 @@ PolishResult polish_binary(const channel::ChannelMatrix& h,
   }
 
   out.utility = utility;
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   return out;
 }
 
 OptimalResult solve_optimal(const channel::ChannelMatrix& h,
-                            double power_budget_w,
+                            Watts power_budget,
                             const channel::LinkBudget& budget,
                             const OptimalSolverConfig& cfg) {
   const std::size_t n = h.num_tx();
@@ -254,7 +260,7 @@ OptimalResult solve_optimal(const channel::ChannelMatrix& h,
     opts.max_swing_a = cfg.max_swing_a;
     opts.allow_partial_tail = true;
     starts.push_back(
-        heuristic_allocate(h, kappa, power_budget_w, budget, opts)
+        heuristic_allocate(h, kappa, power_budget, budget, opts)
             .allocation);
   }
 
@@ -294,7 +300,7 @@ OptimalResult solve_optimal(const channel::ChannelMatrix& h,
   // strictly-better run wins, so ties resolve to the lower start index).
   std::vector<OptimalResult> results(starts.size());
   parallel_for(0, starts.size(), [&](std::size_t s) {
-    results[s] = run_from(h, std::move(starts[s]), power_budget_w, budget, cfg);
+    results[s] = run_from(h, std::move(starts[s]), power_budget, budget, cfg);
   });
 
   OptimalResult best;

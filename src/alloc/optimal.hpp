@@ -41,9 +41,9 @@ struct OptimalResult {
   std::size_t iterations = 0; ///< gradient steps across all starts
 };
 
-/// Solves Eq. (5)-(7) for the given channel and power budget [W].
+/// Solves Eq. (5)-(7) for the given channel and power budget.
 OptimalResult solve_optimal(const channel::ChannelMatrix& h,
-                            double power_budget_w,
+                            Watts power_budget,
                             const channel::LinkBudget& budget,
                             const OptimalSolverConfig& cfg = {});
 
@@ -56,8 +56,8 @@ void utility_gradient(const channel::ChannelMatrix& h,
 
 /// Projects `alloc` onto the feasible set in place (nonnegativity, per-TX
 /// row cap, total power cap). Exposed for tests.
-void project_feasible(channel::Allocation& alloc, double power_budget_w,
-                      double max_swing_a, const channel::LinkBudget& budget);
+void project_feasible(channel::Allocation& alloc, Watts power_budget,
+                      Amperes max_swing, const channel::LinkBudget& budget);
 
 /// Result of a binary-rounding polish pass.
 struct PolishResult {
@@ -77,8 +77,8 @@ struct PolishResult {
 /// full-swing), as the practical DenseVLC hardware requires.
 PolishResult polish_binary(const channel::ChannelMatrix& h,
                            const channel::Allocation& start,
-                           double power_budget_w,
+                           Watts power_budget,
                            const channel::LinkBudget& budget,
-                           double max_swing_a = 0.9);
+                           Amperes max_swing = Amperes{0.9});
 
 }  // namespace densevlc::alloc

@@ -19,8 +19,9 @@ std::size_t CellPartition::cell_of(double x, double y) const {
 SmallCellResult small_cell_allocate(
     const channel::ChannelMatrix& h, const CellPartition& cells,
     const std::vector<geom::Pose>& tx_poses,
-    const std::vector<geom::Vec3>& rx_positions, double power_budget_w,
-    double max_swing_a, const channel::LinkBudget& budget) {
+    const std::vector<geom::Vec3>& rx_positions, Watts power_budget,
+    Amperes max_swing, const channel::LinkBudget& budget) {
+  const double max_swing_a = max_swing.value();
   const std::size_t n = h.num_tx();
   const std::size_t m = h.num_rx();
   SmallCellResult out;
@@ -45,8 +46,8 @@ SmallCellResult small_cell_allocate(
   }
   if (occupied == 0) return out;
   const double per_cell_budget =
-      power_budget_w / static_cast<double>(occupied);
-  const double per_tx = full_swing_tx_power(max_swing_a, budget);
+      power_budget.value() / static_cast<double>(occupied);
+  const double per_tx = full_swing_tx_power(max_swing, budget).value();
 
   // Within each occupied cell, grant its TXs to its RXs best-gain first.
   for (std::size_t c = 0; c < cells.cell_count(); ++c) {
@@ -79,7 +80,7 @@ SmallCellResult small_cell_allocate(
     }
   }
 
-  out.power_used_w = channel::total_comm_power(out.allocation, budget);
+  out.power_used_w = channel::total_comm_power(out.allocation, budget).value();
   return out;
 }
 

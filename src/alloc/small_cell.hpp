@@ -44,7 +44,7 @@ struct SmallCellResult {
 SmallCellResult small_cell_allocate(
     const channel::ChannelMatrix& h, const CellPartition& cells,
     const std::vector<geom::Pose>& tx_poses,
-    const std::vector<geom::Vec3>& rx_positions, double power_budget_w,
-    double max_swing_a, const channel::LinkBudget& budget);
+    const std::vector<geom::Vec3>& rx_positions, Watts power_budget,
+    Amperes max_swing, const channel::LinkBudget& budget);
 
 }  // namespace densevlc::alloc

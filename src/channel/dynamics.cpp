@@ -14,7 +14,8 @@ GaussMarkovFading::GaussMarkovFading(std::size_t num_tx, std::size_t num_rx,
   }
 }
 
-void GaussMarkovFading::step(double dt_s) {
+void GaussMarkovFading::step(Seconds dt) {
+  const double dt_s = dt.value();
   if (dt_s <= 0.0) return;
   const double a = std::exp(-dt_s / cfg_.correlation_time_s);
   const double innovation = std::sqrt(1.0 - a * a) * cfg_.sigma;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "channel/model.hpp"
+#include "common/quantity.hpp"
 #include "common/rng.hpp"
 
 namespace densevlc::channel {
@@ -35,8 +36,8 @@ class GaussMarkovFading {
   GaussMarkovFading(std::size_t num_tx, std::size_t num_rx,
                     const FadingConfig& cfg, Rng rng);
 
-  /// Advances all link factors by `dt_s` seconds.
-  void step(double dt_s);
+  /// Advances all link factors by `dt` seconds.
+  void step(Seconds dt);
 
   /// Current factor of link (tx, rx) (>= 0, mean 1).
   double factor(std::size_t tx, std::size_t rx) const {

@@ -44,21 +44,22 @@ std::size_t ChannelMatrix::best_tx_for(std::size_t rx) const {
 }
 
 LinkBudget LinkBudget::from_led(const optics::LedModel& led,
-                                double responsivity, double noise_psd,
-                                double bandwidth) {
+                                AmperesPerWatt responsivity,
+                                AmpsSquaredPerHertz noise_psd,
+                                Hertz bandwidth) {
   LinkBudget b;
-  b.responsivity_a_per_w = responsivity;
+  b.responsivity_a_per_w = responsivity.value();
   b.wall_plug_efficiency = led.electrical().wall_plug_efficiency;
-  b.dynamic_resistance_ohm = led.dynamic_resistance();
-  b.noise_psd_a2_per_hz = noise_psd;
-  b.bandwidth_hz = bandwidth;
+  b.dynamic_resistance_ohm = led.dynamic_resistance().value();
+  b.noise_psd_a2_per_hz = noise_psd.value();
+  b.bandwidth_hz = bandwidth.value();
   return b;
 }
 
-double Allocation::tx_total_swing(std::size_t tx) const {
+Amperes Allocation::tx_total_swing(std::size_t tx) const {
   double total = 0.0;
   for (std::size_t rx = 0; rx < num_rx_; ++rx) total += swing(tx, rx);
-  return total;
+  return Amperes{total};
 }
 
 std::vector<double> sinr(const ChannelMatrix& h, const Allocation& alloc,
@@ -121,13 +122,13 @@ double sum_log_utility(const ChannelMatrix& h, const Allocation& alloc,
   return utility;
 }
 
-double tx_comm_power(double total_swing_a, const LinkBudget& budget) {
-  const double half = total_swing_a / 2.0;
-  return budget.dynamic_resistance_ohm * half * half;
+Watts tx_comm_power(Amperes total_swing, const LinkBudget& budget) {
+  const Amperes half = total_swing / 2.0;
+  return half * half * budget.dynamic_resistance();
 }
 
-double total_comm_power(const Allocation& alloc, const LinkBudget& budget) {
-  double total = 0.0;
+Watts total_comm_power(const Allocation& alloc, const LinkBudget& budget) {
+  Watts total{0.0};
   for (std::size_t j = 0; j < alloc.num_tx(); ++j) {
     total += tx_comm_power(alloc.tx_total_swing(j), budget);
   }

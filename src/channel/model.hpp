@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/quantity.hpp"
 #include "geom/vec3.hpp"
 #include "optics/lambertian.hpp"
 #include "optics/led_model.hpp"
@@ -71,12 +72,24 @@ struct LinkBudget {
   double bandwidth_hz = 1e6;              ///< B
 
   /// Builds the budget from an LED model (derives r and eta).
-  static LinkBudget from_led(const optics::LedModel& led, double responsivity,
-                             double noise_psd, double bandwidth);
+  static LinkBudget from_led(const optics::LedModel& led,
+                             AmperesPerWatt responsivity,
+                             AmpsSquaredPerHertz noise_psd, Hertz bandwidth);
+
+  /// Typed views of the scalar fields (the aggregate keeps raw doubles so
+  /// designated-initializer call sites stay terse).
+  Ohms dynamic_resistance() const { return Ohms{dynamic_resistance_ohm}; }
+  Hertz bandwidth() const { return Hertz{bandwidth_hz}; }
+  AmpsSquaredPerHertz noise_psd() const {
+    return AmpsSquaredPerHertz{noise_psd_a2_per_hz};
+  }
 };
 
 /// A swing-current allocation: entry (j, k) is TX j's swing dedicated to
-/// RX k [A]. Row-major storage.
+/// RX k [A]. Row-major storage. The matrix itself is raw-double bulk
+/// storage (the optimizer's vectorized updates run on data()); typed
+/// quantities re-enter at the per-TX aggregate (tx_total_swing) and the
+/// power functions below.
 class Allocation {
  public:
   Allocation() = default;
@@ -98,7 +111,7 @@ class Allocation {
 
   /// Total swing emitted by TX j (sum over RXs) — the quantity bounded by
   /// Isw,max in constraint (6) and entering the power in Eq. (7).
-  double tx_total_swing(std::size_t tx) const;
+  Amperes tx_total_swing(std::size_t tx) const;
 
   /// Raw storage (for the optimizer's vectorized updates).
   std::vector<double>& data() { return swing_; }
@@ -125,10 +138,12 @@ std::vector<double> throughput_bps(const ChannelMatrix& h,
 double sum_log_utility(const ChannelMatrix& h, const Allocation& alloc,
                        const LinkBudget& budget);
 
-/// Total extra electrical power spent on communication (Eq. 7) [W].
-double total_comm_power(const Allocation& alloc, const LinkBudget& budget);
+/// Total extra electrical power spent on communication (Eq. 7).
+Watts total_comm_power(const Allocation& alloc, const LinkBudget& budget);
 
-/// Communication power drawn by a single TX at total swing `isw` [W].
-double tx_comm_power(double total_swing_a, const LinkBudget& budget);
+/// Communication power drawn by a single TX at total swing `total_swing`:
+/// r * (Isw/2)^2, the A^2 * ohm = W product of Eq. (7), dimension-checked
+/// at compile time.
+Watts tx_comm_power(Amperes total_swing, const LinkBudget& budget);
 
 }  // namespace densevlc::channel

@@ -6,6 +6,8 @@
 // stored in amperes; helper literals below make call sites readable.
 #pragma once
 
+#include "common/quantity.hpp"
+
 namespace densevlc {
 
 /// Mathematical constant pi (double precision).
@@ -31,7 +33,7 @@ inline constexpr double kLuminousEfficacyPeak = 683.0;
 
 /// Typical luminous efficacy of radiation for a cool-white phosphor LED
 /// [lm/W of optical power]. CREE XT-E class emitters land near this value.
-inline constexpr double kWhiteLedEfficacy = 300.0;
+inline constexpr LumensPerWatt kWhiteLedEfficacy{300.0};
 
 namespace units {
 
@@ -67,6 +69,21 @@ constexpr double us(double microseconds) { return microseconds * 1e-6; }
 
 /// Converts seconds to microseconds (for display).
 constexpr double to_us(double seconds) { return seconds * 1e6; }
+
+// Typed overloads: the display-side converters accept the Quantity alias
+// directly so call sites never unwrap just to format a number.
+
+/// Converts a typed current to milliamperes (for display).
+constexpr double to_mA(Amperes amps) { return amps.value() * 1e3; }
+
+/// Converts a typed power to milliwatts (for display).
+constexpr double to_mW(Watts watts) { return watts.value() * 1e3; }
+
+/// Converts a typed duration to microseconds (for display).
+constexpr double to_us(Seconds seconds) { return seconds.value() * 1e6; }
+
+/// Converts a typed throughput to Mbit/s (for display).
+constexpr double to_Mbps(BitsPerSecond bps) { return bps.value() * 1e-6; }
 
 }  // namespace units
 }  // namespace densevlc

@@ -62,11 +62,15 @@ TransmissionOutcome JointTransmission::transmit(
                         const std::vector<phy::Chip>& stream) {
     if (server.gain <= 0.0) return;
     const auto start = static_cast<std::ptrdiff_t>(
-        base_start + std::llround(server.start_offset_s * tx_rate));
+        base_start +
+        static_cast<double>(std::llround(server.start_offset_s * tx_rate)));
     const double half = server.swing_a / 2.0;
-    const double p_bias = eta * led_.power_at_current(bias);
-    const double p_high = eta * led_.power_at_current(bias + half);
-    const double p_low = eta * led_.power_at_current(bias - half);
+    const double p_bias =
+        eta * led_.power_at_current(Amperes{bias}).value();
+    const double p_high =
+        eta * led_.power_at_current(Amperes{bias + half}).value();
+    const double p_low =
+        eta * led_.power_at_current(Amperes{bias - half}).value();
     const auto frame_samples = static_cast<std::ptrdiff_t>(
         stream.size() * ook_.samples_per_chip);
 

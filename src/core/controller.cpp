@@ -18,14 +18,15 @@ std::size_t Controller::update_channel(
     acfg.initial_kappa = cfg_.kappa;
     acfg.max_rounds = 4;
     const auto personal = alloc::personalize_kappa(
-        measured, cfg_.power_budget_w, cfg_.link_budget, opts, acfg);
+        measured, Watts{cfg_.power_budget_w}, cfg_.link_budget, opts, acfg);
     ranking = alloc::rank_transmitters_per_tx(measured, personal.kappas);
   } else {
     ranking = alloc::rank_transmitters(measured, cfg_.kappa);
   }
   const auto result =
       alloc::assign_by_ranking(ranking, measured.num_tx(), measured.num_rx(),
-                               cfg_.power_budget_w, cfg_.link_budget, opts);
+                               Watts{cfg_.power_budget_w}, cfg_.link_budget,
+                               opts);
   alloc_ = result.allocation;
   power_used_w_ = result.power_used_w;
 

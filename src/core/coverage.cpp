@@ -47,7 +47,7 @@ CoverageResult compute_coverage(const sim::Testbed& testbed,
         if (dead < h.num_tx()) h.set_gain(dead, 0, 0.0);
       }
       const auto res = alloc::heuristic_allocate(
-          h, cfg.kappa, cfg.power_budget_w, testbed.budget, opts);
+          h, cfg.kappa, Watts{cfg.power_budget_w}, testbed.budget, opts);
       const double mbps =
           channel::throughput_bps(h, res.allocation, testbed.budget)[0] /
           1e6;

@@ -5,13 +5,15 @@ namespace densevlc::core {
 void EnergyMeter::accumulate(const channel::Allocation& alloc, double dt_s,
                              const channel::LinkBudget& budget) {
   if (dt_s <= 0.0) return;
+  const Seconds dt{dt_s};
+  // W * s = J, derived by the quantity algebra.
   illumination_j_ +=
-      led_.illumination_power() * static_cast<double>(num_tx_) * dt_s;
-  double comm_w = 0.0;
+      (led_.illumination_power() * static_cast<double>(num_tx_) * dt).value();
+  Watts comm{0.0};
   for (std::size_t j = 0; j < alloc.num_tx(); ++j) {
-    comm_w += channel::tx_comm_power(alloc.tx_total_swing(j), budget);
+    comm += channel::tx_comm_power(alloc.tx_total_swing(j), budget);
   }
-  communication_j_ += comm_w * dt_s;
+  communication_j_ += (comm * dt).value();
 }
 
 }  // namespace densevlc::core

@@ -44,8 +44,9 @@ ChannelProber::ChannelProber(const optics::LedModel& led,
   const double ib = led_.operating_point().bias_current_a;
   const double optical_amplitude =
       led_.electrical().wall_plug_efficiency *
-      (led_.power_at_current(ib + swing_a_ / 2.0) -
-       led_.power_at_current(ib - swing_a_ / 2.0)) /
+      (led_.power_at_current(Amperes{ib + swing_a_ / 2.0}) -
+       led_.power_at_current(Amperes{ib - swing_a_ / 2.0}))
+          .value() /
       2.0;
   volts_per_gain_ = frontend_.responsivity_a_per_w * frontend_.tia_gain_ohm *
                     frontend_.ac_gain * optical_amplitude;
@@ -76,7 +77,7 @@ ProbeResult ChannelProber::probe_link(double h, Rng& rng) const {
   dsp::Waveform optical = current;
   const double eta = led_.electrical().wall_plug_efficiency;
   for (double& s : optical.samples) {
-    s = h * eta * led_.power_at_current(s);
+    s = h * eta * led_.power_at_current(Amperes{s}).value();
   }
 
   phy::ReceiverFrontEnd fe{frontend_, rng.fork()};

@@ -7,13 +7,13 @@
 
 namespace densevlc::core {
 
-void TraceRecorder::record_epoch(double time_s,
+void TraceRecorder::record_epoch(Seconds time,
                                  const std::vector<double>& throughput_bps,
                                  const std::vector<Beamspot>& beamspots,
-                                 double power_used_w) {
+                                 Watts power_used) {
   DVLC_EXPECT(epochs_ == 0 || throughput_bps.size() == num_rx_,
               "RX count changed between epochs");
-  DVLC_EXPECT(power_used_w >= 0.0, "power_used_w must be non-negative");
+  DVLC_EXPECT(power_used >= Watts{0.0}, "power_used must be non-negative");
   num_rx_ = throughput_bps.size();
   for (const auto& spot : beamspots) {
     DVLC_EXPECT(spot.rx < throughput_bps.size(),
@@ -21,10 +21,10 @@ void TraceRecorder::record_epoch(double time_s,
   }
   for (std::size_t rx = 0; rx < throughput_bps.size(); ++rx) {
     TraceRow row;
-    row.time_s = time_s;
+    row.time_s = time.value();
     row.rx = rx;
     row.throughput_bps = throughput_bps[rx];
-    row.power_used_w = power_used_w;
+    row.power_used_w = power_used.value();
     for (const auto& spot : beamspots) {
       if (spot.rx == rx) {
         row.served = true;
@@ -54,7 +54,7 @@ bool TraceRecorder::save(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-double TraceRecorder::mean_throughput(std::size_t rx) const {
+BitsPerSecond TraceRecorder::mean_throughput(std::size_t rx) const {
   DVLC_EXPECT(epochs_ == 0 || rx < num_rx_,
               "RX index out of range in mean_throughput");
   double sum = 0.0;
@@ -65,7 +65,7 @@ double TraceRecorder::mean_throughput(std::size_t rx) const {
       ++count;
     }
   }
-  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return BitsPerSecond{count > 0 ? sum / static_cast<double>(count) : 0.0};
 }
 
 std::size_t TraceRecorder::leader_changes(std::size_t rx) const {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "core/controller.hpp"
 
 namespace densevlc::core {
@@ -30,10 +31,12 @@ struct TraceRow {
 class TraceRecorder {
  public:
   /// Records one epoch: per-RX throughputs plus the beamspot layout.
-  void record_epoch(double time_s,
+  /// The throughput vector is raw bulk storage in bit/s (the controller
+  /// hands it over verbatim); the scalar epoch facts are typed.
+  void record_epoch(Seconds time,
                     const std::vector<double>& throughput_bps,
                     const std::vector<Beamspot>& beamspots,
-                    double power_used_w);
+                    Watts power_used);
 
   /// All rows so far, epoch-major then RX-major.
   const std::vector<TraceRow>& rows() const { return rows_; }
@@ -50,9 +53,9 @@ class TraceRecorder {
   /// Number of receivers per epoch (fixed after the first record_epoch).
   std::size_t num_rx() const { return num_rx_; }
 
-  /// Per-RX mean throughput across all recorded epochs [bit/s].
+  /// Per-RX mean throughput across all recorded epochs.
   /// Precondition: rx < num_rx() once any epoch has been recorded.
-  double mean_throughput(std::size_t rx) const;
+  BitsPerSecond mean_throughput(std::size_t rx) const;
 
   /// Number of epochs in which the RX's leader changed from the
   /// previous epoch (a beamspot handover).

@@ -15,18 +15,22 @@ LuminairePlan plan_luminaires(const geom::Room& room,
   if (design.leds_per_tx == 0) return plan;
 
   // Each of the M LEDs carries 1/M of the luminous load.
-  const double per_led_target =
-      design.target_lux / static_cast<double>(design.leds_per_tx);
-  const double i_max = 1.5;  // beyond the CREE XT-E absolute maximum
-  plan.bias_a = size_bias_for_average_lux(
-      room, luminaires, emitter, elec, design.plane_height_m,
-      design.aoi_side_m, per_led_target, design.efficacy_lm_per_w, i_max);
+  const Lux per_led_target{design.target_lux /
+                           static_cast<double>(design.leds_per_tx)};
+  const Amperes i_max{1.5};  // beyond the CREE XT-E absolute maximum
+  plan.bias_a =
+      size_bias_for_average_lux(room, luminaires, emitter, elec,
+                                Meters{design.plane_height_m},
+                                Meters{design.aoi_side_m}, per_led_target,
+                                LumensPerWatt{design.efficacy_lm_per_w}, i_max)
+          .value();
   plan.max_swing_a = std::min(design.hw_max_swing_a, 2.0 * plan.bias_a);
 
   const optics::LedModel led{elec,
                              {plan.bias_a, design.hw_max_swing_a}};
   plan.illumination_power_w =
-      led.illumination_power() * static_cast<double>(design.leds_per_tx);
+      led.illumination_power().value() *
+      static_cast<double>(design.leds_per_tx);
 
   // Verify on a fresh map (one LED's field scaled by M via the target
   // split: total lux = M * per-LED lux).
@@ -34,11 +38,11 @@ LuminairePlan plan_luminaires(const geom::Room& room,
                            luminaires,
                            emitter,
                            led,
-                           design.plane_height_m,
+                           Meters{design.plane_height_m},
                            31,
-                           design.efficacy_lm_per_w};
+                           LumensPerWatt{design.efficacy_lm_per_w}};
   plan.achieved_lux =
-      map.area_of_interest_stats(design.aoi_side_m).average_lux *
+      map.area_of_interest_stats(Meters{design.aoi_side_m}).average_lux *
       static_cast<double>(design.leds_per_tx);
   plan.target_met = plan.achieved_lux >= design.target_lux * 0.98;
   return plan;

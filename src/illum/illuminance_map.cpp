@@ -11,15 +11,15 @@ IlluminanceMap::IlluminanceMap(const geom::Room& room,
                                const std::vector<geom::Pose>& luminaires,
                                const optics::LambertianEmitter& emitter,
                                const optics::LedModel& led,
-                               double plane_height_m,
+                               Meters plane_height,
                                std::size_t samples_per_axis,
-                               double efficacy_lm_per_w)
+                               LumensPerWatt efficacy)
     : room_{room},
       luminaires_{luminaires},
       emitter_{emitter},
-      optical_power_w_{led.optical_power_illumination()},
-      efficacy_{efficacy_lm_per_w},
-      plane_height_m_{plane_height_m},
+      optical_power_w_{led.optical_power_illumination().value()},
+      efficacy_{efficacy.value()},
+      plane_height_m_{plane_height.value()},
       per_axis_{samples_per_axis} {
   lux_.resize(per_axis_ * per_axis_, 0.0);
   if (per_axis_ == 0) return;
@@ -31,33 +31,37 @@ IlluminanceMap::IlluminanceMap(const geom::Room& room,
   // so the map is bit-identical to the serial raster at any thread count.
   parallel_for(0, per_axis_, [&](std::size_t iy) {
     for (std::size_t ix = 0; ix < per_axis_; ++ix) {
-      lux_[iy * per_axis_ + ix] = evaluate(static_cast<double>(ix) * dx,
-                                           static_cast<double>(iy) * dy);
+      lux_[iy * per_axis_ + ix] =
+          evaluate(Meters{static_cast<double>(ix) * dx},
+                   Meters{static_cast<double>(iy) * dy})
+              .value();
     }
   });
 }
 
-double IlluminanceMap::at(std::size_t ix, std::size_t iy) const {
-  return lux_[iy * per_axis_ + ix];
+Lux IlluminanceMap::at(std::size_t ix, std::size_t iy) const {
+  return Lux{lux_[iy * per_axis_ + ix]};
 }
 
-double IlluminanceMap::evaluate(double x, double y) const {
-  const geom::Pose point = geom::floor_pose(x, y, plane_height_m_);
-  double total = 0.0;
+Lux IlluminanceMap::evaluate(Meters x, Meters y) const {
+  const geom::Pose point =
+      geom::floor_pose(x.value(), y.value(), plane_height_m_);
+  Lux total{0.0};
   for (const auto& lum : luminaires_) {
-    total += optics::illuminance_lux(emitter_, lum, point, optical_power_w_,
-                                     efficacy_);
+    total += optics::illuminance_lux(emitter_, lum, point,
+                                     Watts{optical_power_w_},
+                                     LumensPerWatt{efficacy_});
   }
   return total;
 }
 
 IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
-    double side_m) const {
+    Meters side) const {
   AreaStats s;
   if (per_axis_ == 0) return s;
   const double cx = room_.width / 2.0;
   const double cy = room_.depth / 2.0;
-  const double half = side_m / 2.0;
+  const double half = side.value() / 2.0;
   const double dx =
       per_axis_ > 1 ? room_.width / static_cast<double>(per_axis_ - 1) : 0.0;
   const double dy =
@@ -71,7 +75,7 @@ IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
     for (std::size_t ix = 0; ix < per_axis_; ++ix) {
       const double x = static_cast<double>(ix) * dx;
       if (x < cx - half || x > cx + half) continue;
-      const double v = at(ix, iy);
+      const double v = at(ix, iy).value();
       if (s.samples == 0) {
         lo = hi = v;
       } else {
@@ -91,37 +95,37 @@ IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
 }
 
 bool IlluminanceMap::satisfies(const IsoRequirement& req,
-                               double side_m) const {
-  const AreaStats s = area_of_interest_stats(side_m);
+                               Meters side) const {
+  const AreaStats s = area_of_interest_stats(side);
   return s.average_lux >= req.min_average_lux &&
          s.uniformity >= req.min_uniformity;
 }
 
-double size_bias_for_average_lux(const geom::Room& room,
-                                 const std::vector<geom::Pose>& luminaires,
-                                 const optics::LambertianEmitter& emitter,
-                                 const optics::LedElectrical& elec,
-                                 double plane_height_m, double aoi_side_m,
-                                 double target_lux, double efficacy_lm_per_w,
-                                 double i_max_a) {
+Amperes size_bias_for_average_lux(const geom::Room& room,
+                                  const std::vector<geom::Pose>& luminaires,
+                                  const optics::LambertianEmitter& emitter,
+                                  const optics::LedElectrical& elec,
+                                  Meters plane_height, Meters aoi_side,
+                                  Lux target, LumensPerWatt efficacy,
+                                  Amperes i_max) {
   auto average_at = [&](double bias) {
     optics::LedModel led{elec, {bias, 2.0 * bias}};
-    const IlluminanceMap map{room,          luminaires, emitter, led,
-                             plane_height_m, 31,         efficacy_lm_per_w};
-    return map.area_of_interest_stats(aoi_side_m).average_lux;
+    const IlluminanceMap map{room,         luminaires, emitter, led,
+                             plane_height, 31,         efficacy};
+    return map.area_of_interest_stats(aoi_side).average_lux;
   };
   double lo = 1e-4;
-  double hi = i_max_a;
-  if (average_at(hi) < target_lux) return hi;
+  double hi = i_max.value();
+  if (average_at(hi) < target.value()) return Amperes{hi};
   for (int iter = 0; iter < 60; ++iter) {
     const double mid = (lo + hi) / 2.0;
-    if (average_at(mid) < target_lux) {
+    if (average_at(mid) < target.value()) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  return hi;
+  return Amperes{hi};
 }
 
 }  // namespace densevlc::illum

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "geom/grid.hpp"
 #include "geom/vec3.hpp"
 #include "optics/lambertian.hpp"
@@ -36,21 +37,21 @@ class IlluminanceMap {
   IlluminanceMap(const geom::Room& room,
                  const std::vector<geom::Pose>& luminaires,
                  const optics::LambertianEmitter& emitter,
-                 const optics::LedModel& led, double plane_height_m,
-                 std::size_t samples_per_axis, double efficacy_lm_per_w);
+                 const optics::LedModel& led, Meters plane_height,
+                 std::size_t samples_per_axis, LumensPerWatt efficacy);
 
-  /// Illuminance at raster point (ix, iy) [lux].
-  double at(std::size_t ix, std::size_t iy) const;
+  /// Illuminance at raster point (ix, iy).
+  Lux at(std::size_t ix, std::size_t iy) const;
 
   /// Raster resolution per axis.
   std::size_t samples_per_axis() const { return per_axis_; }
 
-  /// Work-plane height the map was computed at [m].
-  double plane_height() const { return plane_height_m_; }
+  /// Work-plane height the map was computed at.
+  Meters plane_height() const { return Meters{plane_height_m_}; }
 
   /// Point-wise illuminance at an arbitrary (x, y) on the plane (direct
   /// evaluation, not interpolation).
-  double evaluate(double x, double y) const;
+  Lux evaluate(Meters x, Meters y) const;
 
   /// Statistics over a centered square area of interest of the given side
   /// length (the paper uses 2.2 m to exclude the boundary).
@@ -61,10 +62,10 @@ class IlluminanceMap {
     double uniformity = 0.0;  ///< min / average
     std::size_t samples = 0;
   };
-  AreaStats area_of_interest_stats(double side_m) const;
+  AreaStats area_of_interest_stats(Meters side) const;
 
   /// True if the area-of-interest statistics satisfy `req`.
-  bool satisfies(const IsoRequirement& req, double side_m) const;
+  bool satisfies(const IsoRequirement& req, Meters side) const;
 
  private:
   geom::Room room_;
@@ -78,14 +79,14 @@ class IlluminanceMap {
 };
 
 /// Finds the bias current that makes the map's area-of-interest average
-/// reach `target_lux`, by bisection on Ib in (0, i_max]. Returns the bias
-/// in amperes (clamped to i_max when even the maximum falls short).
-double size_bias_for_average_lux(const geom::Room& room,
-                                 const std::vector<geom::Pose>& luminaires,
-                                 const optics::LambertianEmitter& emitter,
-                                 const optics::LedElectrical& elec,
-                                 double plane_height_m, double aoi_side_m,
-                                 double target_lux, double efficacy_lm_per_w,
-                                 double i_max_a = 1.5);
+/// reach `target`, by bisection on Ib in (0, i_max]. Returns the bias
+/// (clamped to i_max when even the maximum falls short).
+Amperes size_bias_for_average_lux(const geom::Room& room,
+                                  const std::vector<geom::Pose>& luminaires,
+                                  const optics::LambertianEmitter& emitter,
+                                  const optics::LedElectrical& elec,
+                                  Meters plane_height, Meters aoi_side,
+                                  Lux target, LumensPerWatt efficacy,
+                                  Amperes i_max = Amperes{1.5});
 
 }  // namespace densevlc::illum

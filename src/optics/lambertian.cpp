@@ -66,22 +66,23 @@ double radiant_intensity_factor(const LambertianEmitter& emitter,
   return (m + 1.0) / (2.0 * kPi) * std::pow(cos_phi, m);
 }
 
-double illuminance_lux(const LambertianEmitter& emitter,
-                       const geom::Pose& tx_pose, const geom::Pose& surface,
-                       double optical_power_w, double efficacy_lm_per_w) {
-  DVLC_EXPECT(optical_power_w >= 0.0, "optical power must be non-negative");
-  DVLC_EXPECT(efficacy_lm_per_w >= 0.0,
+Lux illuminance_lux(const LambertianEmitter& emitter,
+                    const geom::Pose& tx_pose, const geom::Pose& surface,
+                    Watts optical_power, LumensPerWatt efficacy) {
+  DVLC_EXPECT(optical_power >= Watts{0.0},
+              "optical power must be non-negative");
+  DVLC_EXPECT(efficacy >= LumensPerWatt{0.0},
               "luminous efficacy must be non-negative");
   // Illuminance = luminous intensity toward the point, projected on the
   // surface and spread over d^2:
   //   E = efficacy * P_opt * (m+1)/(2 pi) cos^m(phi) * cos(psi) / d^2.
   const LinkGeometry g = resolve_geometry(tx_pose, surface, kPi / 2.0);
-  if (g.distance_m <= 0.0 || !g.in_field_of_view) return 0.0;
-  const double intensity =
+  if (g.distance_m <= 0.0 || !g.in_field_of_view) return Lux{0.0};
+  const Lumens intensity =
       radiant_intensity_factor(emitter, g.irradiation_angle_rad) *
-      optical_power_w * efficacy_lm_per_w;
-  return intensity * std::cos(g.incidence_angle_rad) /
-         (g.distance_m * g.distance_m);
+      optical_power * efficacy;
+  const SquareMeters spread{g.distance_m * g.distance_m};
+  return intensity * std::cos(g.incidence_angle_rad) / spread;
 }
 
 }  // namespace densevlc::optics

@@ -10,6 +10,7 @@
 // g(psi) the optical concentrator gain.
 #pragma once
 
+#include "common/quantity.hpp"
 #include "geom/vec3.hpp"
 
 namespace densevlc::optics {
@@ -61,11 +62,12 @@ double los_gain(const LambertianEmitter& emitter, const Photodiode& pd,
 double radiant_intensity_factor(const LambertianEmitter& emitter,
                                 double phi_rad);
 
-/// Illuminance [lux] produced at a surface point by an emitter radiating
-/// `optical_power_w` of white light with luminous efficacy
-/// `efficacy_lm_per_w`. The surface normal is the receiver pose normal.
-double illuminance_lux(const LambertianEmitter& emitter,
-                       const geom::Pose& tx_pose, const geom::Pose& surface,
-                       double optical_power_w, double efficacy_lm_per_w);
+/// Illuminance produced at a surface point by an emitter radiating
+/// `optical_power` of white light with luminous efficacy `efficacy`.
+/// The surface normal is the receiver pose normal. W * (lm/W) / m^2 = lx
+/// is derived by the quantity algebra.
+Lux illuminance_lux(const LambertianEmitter& emitter,
+                    const geom::Pose& tx_pose, const geom::Pose& surface,
+                    Watts optical_power, LumensPerWatt efficacy);
 
 }  // namespace densevlc::optics

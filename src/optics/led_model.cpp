@@ -5,64 +5,68 @@
 
 namespace densevlc::optics {
 
-double LedModel::power_at_current(double current_a) const {
-  if (current_a <= 0.0) return 0.0;
+Watts LedModel::power_at_current(Amperes current) const {
+  const double current_a = current.value();
+  if (current_a <= 0.0) return Watts{0.0};
   const double junction = elec_.ideality_factor * elec_.thermal_voltage_v *
                           std::log(current_a / elec_.saturation_current_a +
                                    1.0) *
                           current_a;
   const double resistive =
       elec_.series_resistance_ohm * current_a * current_a;
-  return junction + resistive;
+  return Watts{junction + resistive};
 }
 
-double LedModel::forward_voltage(double current_a) const {
-  if (current_a <= 0.0) return 0.0;
-  return elec_.ideality_factor * elec_.thermal_voltage_v *
-             std::log(current_a / elec_.saturation_current_a + 1.0) +
-         elec_.series_resistance_ohm * current_a;
+Volts LedModel::forward_voltage(Amperes current) const {
+  const double current_a = current.value();
+  if (current_a <= 0.0) return Volts{0.0};
+  return Volts{elec_.ideality_factor * elec_.thermal_voltage_v *
+                   std::log(current_a / elec_.saturation_current_a + 1.0) +
+               elec_.series_resistance_ohm * current_a};
 }
 
-double LedModel::dynamic_resistance() const {
-  return elec_.ideality_factor * elec_.thermal_voltage_v /
-             (2.0 * op_.bias_current_a) +
-         elec_.series_resistance_ohm;
+Ohms LedModel::dynamic_resistance() const {
+  // V / A = ohm and the junction slope k*Vt/(2*Ib) is exactly that shape.
+  const Volts junction_scale{elec_.ideality_factor * elec_.thermal_voltage_v};
+  const Amperes twice_bias{2.0 * op_.bias_current_a};
+  return junction_scale / twice_bias + Ohms{elec_.series_resistance_ohm};
 }
 
-double LedModel::comm_power_approx(double swing_a) const {
-  const double half = swing_a / 2.0;
-  return dynamic_resistance() * half * half;
+Watts LedModel::comm_power_approx(Amperes swing) const {
+  // Eq. 10: P_C = r * (Isw/2)^2 — A^2 * ohm = W, checked at compile time.
+  const Amperes half = swing / 2.0;
+  return half * half * dynamic_resistance();
 }
 
-double LedModel::comm_power_exact(double swing_a) const {
-  const double high = op_.bias_current_a + swing_a / 2.0;
-  const double low = op_.bias_current_a - swing_a / 2.0;
+Watts LedModel::comm_power_exact(Amperes swing) const {
+  const Amperes high = bias_current() + swing / 2.0;
+  const Amperes low = bias_current() - swing / 2.0;
   return (power_at_current(high) + power_at_current(low)) / 2.0 -
-         power_at_current(op_.bias_current_a);
+         power_at_current(bias_current());
 }
 
-double LedModel::comm_power_relative_error(double swing_a) const {
-  const double base = power_at_current(op_.bias_current_a);
-  const double exact = base + comm_power_exact(swing_a);
-  if (exact <= 0.0) return 0.0;
-  const double approx = base + comm_power_approx(swing_a);
-  return std::fabs(approx - exact) / exact;
+double LedModel::comm_power_relative_error(Amperes swing) const {
+  const Watts base = power_at_current(bias_current());
+  const Watts exact = base + comm_power_exact(swing);
+  if (exact <= Watts{0.0}) return 0.0;
+  const Watts approx = base + comm_power_approx(swing);
+  return abs(approx - exact) / exact;
 }
 
-double LedModel::illumination_power() const {
-  return power_at_current(op_.bias_current_a);
+Watts LedModel::illumination_power() const {
+  return power_at_current(bias_current());
 }
 
-double LedModel::optical_power_illumination() const {
+Watts LedModel::optical_power_illumination() const {
   return elec_.wall_plug_efficiency * illumination_power();
 }
 
-double LedModel::optical_signal_power(double swing_a) const {
-  return elec_.wall_plug_efficiency * comm_power_approx(swing_a);
+Watts LedModel::optical_signal_power(Amperes swing) const {
+  return elec_.wall_plug_efficiency * comm_power_approx(swing);
 }
 
-double LedModel::max_feasible_swing() const {
-  return std::min(op_.max_swing_current_a, 2.0 * op_.bias_current_a);
+Amperes LedModel::max_feasible_swing() const {
+  return Amperes{std::min(op_.max_swing_current_a, 2.0 * op_.bias_current_a)};
 }
 
 }  // namespace densevlc::optics

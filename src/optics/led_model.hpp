@@ -15,6 +15,8 @@
 // entire power-budget optimization; Fig. 4 quantifies the Taylor error.
 #pragma once
 
+#include "common/quantity.hpp"
+
 namespace densevlc::optics {
 
 /// Datasheet-level electrical parameters of one LED (defaults: CREE XT-E
@@ -44,51 +46,55 @@ class LedModel {
   const LedElectrical& electrical() const { return elec_; }
   const LedOperatingPoint& operating_point() const { return op_; }
 
-  /// Exact electrical power draw at forward current I [W] (Eq. 8).
+  /// Exact electrical power draw at forward current I (Eq. 8).
   /// Currents <= 0 draw nothing (the diode blocks).
-  double power_at_current(double current_a) const;
+  Watts power_at_current(Amperes current) const;
 
-  /// Forward voltage at current I [V]: V = k*Vt*ln(I/Is + 1) + Rs*I.
-  double forward_voltage(double current_a) const;
+  /// Forward voltage at current I: V = k*Vt*ln(I/Is + 1) + Rs*I.
+  Volts forward_voltage(Amperes current) const;
 
-  /// Dynamic resistance r = k*Vt/(2*Ib) + Rs at the configured bias [ohm].
-  double dynamic_resistance() const;
+  /// Dynamic resistance r = k*Vt/(2*Ib) + Rs at the configured bias.
+  Ohms dynamic_resistance() const;
 
   /// Taylor-approximated average extra power for communication at swing
-  /// Isw [W] (Eq. 10): P_C = r * (Isw/2)^2.
-  double comm_power_approx(double swing_a) const;
+  /// Isw (Eq. 10): P_C = r * (Isw/2)^2 — the A^2 * ohm = W identity the
+  /// type system now checks at compile time.
+  Watts comm_power_approx(Amperes swing) const;
 
-  /// Exact average extra power for communication at swing Isw [W]:
+  /// Exact average extra power for communication at swing Isw:
   /// the Manchester-coded waveform spends half the time at Ib + Isw/2 and
   /// half at Ib - Isw/2, so
   ///   P_C = (P_led(Ih) + P_led(Il)) / 2 - P_led(Ib).
-  double comm_power_exact(double swing_a) const;
+  Watts comm_power_exact(Amperes swing) const;
 
   /// Relative Taylor-approximation error on the LED's average power
   /// consumption while communicating (the quantity Fig. 4 plots, as a
   /// fraction not percent):
   ///   |(P_I + P_C,approx) - (P_I + P_C,exact)| / (P_I + P_C,exact).
   /// The paper reports 0.45% at Isw = 900 mA. Returns 0 at zero swing.
-  double comm_power_relative_error(double swing_a) const;
+  double comm_power_relative_error(Amperes swing) const;
 
-  /// Power draw in pure illumination mode [W]: P_led(Ib).
-  double illumination_power() const;
+  /// Power draw in pure illumination mode: P_led(Ib).
+  Watts illumination_power() const;
 
-  /// Emitted optical power in illumination mode [W]:
+  /// Emitted optical power in illumination mode:
   /// eta * P_led(Ib). The average optical power is the same in
   /// illumination+communication mode (Manchester symmetry), which is what
   /// keeps brightness constant across mode switches.
-  double optical_power_illumination() const;
+  Watts optical_power_illumination() const;
 
   /// Optical *signal* power corresponding to electrical communication
   /// power at swing Isw: eta * r * (Isw/2)^2. This is the quantity whose
   /// product with the channel gain H enters the SINR numerator (Eq. 12).
-  double optical_signal_power(double swing_a) const;
+  Watts optical_signal_power(Amperes swing) const;
 
   /// Largest swing that keeps both rails in the diode's conducting,
   /// quasi-linear region: min(Isw,max, 2*Ib) — the low rail Ib - Isw/2
   /// must stay >= 0.
-  double max_feasible_swing() const;
+  Amperes max_feasible_swing() const;
+
+  /// Typed view of the configured bias current Ib.
+  Amperes bias_current() const { return Amperes{op_.bias_current_a}; }
 
  private:
   LedElectrical elec_{};

@@ -21,8 +21,9 @@ ReceiverFrontEnd::ReceiverFrontEnd(const FrontEndConfig& cfg, Rng rng)
       cfg_.butterworth_order, cfg_.butterworth_corner_hz, fs)};
 }
 
-double ReceiverFrontEnd::noise_current_sigma(double sample_rate_hz) const {
-  return std::sqrt(cfg_.noise_psd_a2_per_hz * sample_rate_hz / 2.0);
+Amperes ReceiverFrontEnd::noise_current_sigma(Hertz sample_rate) const {
+  const AmpsSquaredPerHertz n0{cfg_.noise_psd_a2_per_hz};
+  return densevlc::sqrt(n0 * sample_rate / 2.0);
 }
 
 dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
@@ -35,7 +36,7 @@ dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
       static_cast<std::size_t>(optical.duration() * fs);
   out.samples.reserve(n_out);
 
-  const double noise_sigma = noise_current_sigma(fs);
+  const double noise_sigma = noise_current_sigma(Hertz{fs}).value();
   for (std::size_t i = 0; i < n_out; ++i) {
     const double t = static_cast<double>(i) / fs;
     auto idx = static_cast<std::size_t>(t * optical.sample_rate_hz);

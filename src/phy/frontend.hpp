@@ -11,6 +11,7 @@
 // bandwidth fs/2 gives a per-sample current variance of N0 * fs / 2.
 #pragma once
 
+#include "common/quantity.hpp"
 #include "common/rng.hpp"
 #include "dsp/adc.hpp"
 #include "dsp/biquad.hpp"
@@ -50,8 +51,9 @@ class ReceiverFrontEnd {
   void reset();
 
   /// Per-sample standard deviation of the photocurrent noise at the given
-  /// processing rate [A].
-  double noise_current_sigma(double sample_rate_hz) const;
+  /// processing rate: sqrt(N0 * fs / 2), where sqrt(A^2/Hz * Hz) = A is
+  /// derived by the quantity algebra.
+  Amperes noise_current_sigma(Hertz sample_rate) const;
 
  private:
   FrontEndConfig cfg_;

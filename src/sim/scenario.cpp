@@ -43,7 +43,9 @@ Testbed make_testbed(double mount_height, double rx_height) {
   tb.pd = optics::Photodiode{};  // Table 1 defaults
   tb.led = optics::LedModel{optics::LedElectrical{},
                             optics::LedOperatingPoint{0.45, 0.9}};
-  tb.budget = channel::LinkBudget::from_led(tb.led, 0.4, 7.02e-23, 1e6);
+  tb.budget = channel::LinkBudget::from_led(tb.led, AmperesPerWatt{0.4},
+                                            AmpsSquaredPerHertz{7.02e-23},
+                                            Hertz{units::MHz(1.0)});
   return tb;
 }
 

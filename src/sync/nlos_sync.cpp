@@ -85,7 +85,7 @@ dsp::Waveform NlosSynchronizer::pilot_waveform(double lead_in_chips,
   // electro-optical transfer is locally linear; use the exact LED curve.
   for (double& s : wf.samples) {
     s = cfg_.led.electrical().wall_plug_efficiency *
-        cfg_.led.power_at_current(s);
+        cfg_.led.power_at_current(Amperes{s}).value();
   }
   return wf;
 }

@@ -46,7 +46,7 @@ TEST(AdaptiveKappa, NeverWorseThanUniformBaseline) {
   AdaptiveKappaConfig cfg;
   cfg.max_rounds = 4;
   const auto res =
-      personalize_kappa(f.h, 0.8, f.tb.budget, f.opts, cfg);
+      personalize_kappa(f.h, Watts{0.8}, f.tb.budget, f.opts, cfg);
   EXPECT_GE(res.utility, res.baseline_utility - 1e-12);
   EXPECT_GT(res.evaluations, 1u);
 }
@@ -55,7 +55,7 @@ TEST(AdaptiveKappa, KappasStayInBox) {
   Fixture f;
   AdaptiveKappaConfig cfg;
   cfg.max_rounds = 3;
-  const auto res = personalize_kappa(f.h, 1.0, f.tb.budget, f.opts, cfg);
+  const auto res = personalize_kappa(f.h, Watts{1.0}, f.tb.budget, f.opts, cfg);
   ASSERT_EQ(res.kappas.size(), 36u);
   for (double k : res.kappas) {
     EXPECT_GE(k, cfg.kappa_min);
@@ -68,8 +68,8 @@ TEST(AdaptiveKappa, AllocationRespectsBudget) {
   AdaptiveKappaConfig cfg;
   cfg.max_rounds = 3;
   const double budget = 0.6;
-  const auto res = personalize_kappa(f.h, budget, f.tb.budget, f.opts, cfg);
-  EXPECT_LE(channel::total_comm_power(res.allocation, f.tb.budget),
+  const auto res = personalize_kappa(f.h, Watts{budget}, f.tb.budget, f.opts, cfg);
+  EXPECT_LE(channel::total_comm_power(res.allocation, f.tb.budget).value(),
             budget + 1e-9);
 }
 
@@ -77,8 +77,8 @@ TEST(AdaptiveKappa, Deterministic) {
   Fixture f;
   AdaptiveKappaConfig cfg;
   cfg.max_rounds = 2;
-  const auto a = personalize_kappa(f.h, 0.8, f.tb.budget, f.opts, cfg);
-  const auto b = personalize_kappa(f.h, 0.8, f.tb.budget, f.opts, cfg);
+  const auto a = personalize_kappa(f.h, Watts{0.8}, f.tb.budget, f.opts, cfg);
+  const auto b = personalize_kappa(f.h, Watts{0.8}, f.tb.budget, f.opts, cfg);
   EXPECT_EQ(a.kappas, b.kappas);
   EXPECT_DOUBLE_EQ(a.utility, b.utility);
 }
@@ -90,7 +90,7 @@ TEST(AdaptiveKappa, ImprovesOnBadStartingPoint) {
   AdaptiveKappaConfig cfg;
   cfg.initial_kappa = 1.0;
   cfg.max_rounds = 6;
-  const auto res = personalize_kappa(f.h, 0.8, f.tb.budget, f.opts, cfg);
+  const auto res = personalize_kappa(f.h, Watts{0.8}, f.tb.budget, f.opts, cfg);
   EXPECT_GT(res.utility, res.baseline_utility + 1e-6);
 }
 

@@ -21,7 +21,7 @@ TEST(Assignment, FullSwingTxPowerValue) {
   // r * (0.45)^2 with our CREE XT-E fit (r = 0.267 ohm) = 54.1 mW. The
   // paper quotes 74.42 mW from the same formula; see EXPERIMENTS.md for
   // the calibration note. Assert our self-consistent value.
-  const double p = full_swing_tx_power(0.9, tb.budget);
+  const double p = full_swing_tx_power(Amperes{0.9}, tb.budget).value();
   EXPECT_NEAR(p, tb.budget.dynamic_resistance_ohm * 0.2025, 1e-12);
   EXPECT_GT(p, 0.04);
   EXPECT_LT(p, 0.08);
@@ -29,17 +29,17 @@ TEST(Assignment, FullSwingTxPowerValue) {
 
 TEST(Assignment, ZeroBudgetAssignsNothing) {
   Fixture f;
-  const auto res = heuristic_allocate(f.h, 1.3, 0.0, f.tb.budget, f.opts);
+  const auto res = heuristic_allocate(f.h, 1.3, Watts{0.0}, f.tb.budget, f.opts);
   EXPECT_EQ(res.txs_assigned, 0u);
   EXPECT_DOUBLE_EQ(res.power_used_w, 0.0);
 }
 
 TEST(Assignment, BudgetControlsTxCount) {
   Fixture f;
-  const double per_tx = full_swing_tx_power(0.9, f.tb.budget);
+  const double per_tx = full_swing_tx_power(Amperes{0.9}, f.tb.budget).value();
   for (std::size_t n : {1u, 4u, 10u, 20u}) {
     const auto res = heuristic_allocate(
-        f.h, 1.3, per_tx * static_cast<double>(n) + 1e-9, f.tb.budget,
+        f.h, 1.3, Watts{per_tx * static_cast<double>(n) + 1e-9}, f.tb.budget,
         f.opts);
     EXPECT_EQ(res.txs_assigned, n);
   }
@@ -48,20 +48,20 @@ TEST(Assignment, BudgetControlsTxCount) {
 TEST(Assignment, PowerNeverExceedsBudget) {
   Fixture f;
   for (double budget : {0.05, 0.3, 0.7, 1.2, 2.0, 3.0}) {
-    const auto res = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, f.opts);
-    EXPECT_LE(channel::total_comm_power(res.allocation, f.tb.budget),
+    const auto res = heuristic_allocate(f.h, 1.3, Watts{budget}, f.tb.budget, f.opts);
+    EXPECT_LE(channel::total_comm_power(res.allocation, f.tb.budget).value(),
               budget + 1e-9);
     EXPECT_NEAR(res.power_used_w,
-                channel::total_comm_power(res.allocation, f.tb.budget),
+                channel::total_comm_power(res.allocation, f.tb.budget).value(),
                 1e-12);
   }
 }
 
 TEST(Assignment, BinarySwingsOnly) {
   Fixture f;
-  const auto res = heuristic_allocate(f.h, 1.3, 1.2, f.tb.budget, f.opts);
+  const auto res = heuristic_allocate(f.h, 1.3, Watts{1.2}, f.tb.budget, f.opts);
   for (std::size_t j = 0; j < 36; ++j) {
-    const double total = res.allocation.tx_total_swing(j);
+    const double total = res.allocation.tx_total_swing(j).value();
     EXPECT_TRUE(total == 0.0 || std::fabs(total - 0.9) < 1e-12)
         << "TX " << j << " has partial swing " << total;
   }
@@ -70,9 +70,9 @@ TEST(Assignment, BinarySwingsOnly) {
 TEST(Assignment, PartialTailExhaustsBudget) {
   Fixture f;
   f.opts.allow_partial_tail = true;
-  const double per_tx = full_swing_tx_power(0.9, f.tb.budget);
+  const double per_tx = full_swing_tx_power(Amperes{0.9}, f.tb.budget).value();
   const double budget = 2.5 * per_tx;  // 2 full + half a TX
-  const auto res = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, f.opts);
+  const auto res = heuristic_allocate(f.h, 1.3, Watts{budget}, f.tb.budget, f.opts);
   EXPECT_EQ(res.txs_assigned, 3u);
   EXPECT_NEAR(res.power_used_w, budget, 1e-9);
 }
@@ -80,7 +80,7 @@ TEST(Assignment, PartialTailExhaustsBudget) {
 TEST(Assignment, EachAssignedTxServesItsRankedRx) {
   Fixture f;
   const auto ranking = rank_transmitters(f.h, 1.3);
-  const auto res = assign_by_ranking(ranking, 36, 4, 0.5, f.tb.budget,
+  const auto res = assign_by_ranking(ranking, 36, 4, Watts{0.5}, f.tb.budget,
                                      f.opts);
   std::size_t checked = 0;
   for (const auto& entry : ranking) {
@@ -102,9 +102,9 @@ TEST(Assignment, PrefixProperty) {
   // (Insight 1: sequential assignment down the ranking).
   Fixture f;
   const auto small =
-      heuristic_allocate(f.h, 1.3, 0.3, f.tb.budget, f.opts).allocation;
+      heuristic_allocate(f.h, 1.3, Watts{0.3}, f.tb.budget, f.opts).allocation;
   const auto large =
-      heuristic_allocate(f.h, 1.3, 1.0, f.tb.budget, f.opts).allocation;
+      heuristic_allocate(f.h, 1.3, Watts{1.0}, f.tb.budget, f.opts).allocation;
   for (std::size_t j = 0; j < 36; ++j) {
     for (std::size_t k = 0; k < 4; ++k) {
       if (small.swing(j, k) > 0.0) {
@@ -119,7 +119,7 @@ TEST(Assignment, UnreachableTxsNeverAssigned) {
   channel::ChannelMatrix h{2, 1, {1e-6, 0.0}};
   const auto tb = sim::make_simulation_testbed();
   AssignmentOptions opts;
-  const auto res = heuristic_allocate(h, 1.3, 100.0, tb.budget, opts);
+  const auto res = heuristic_allocate(h, 1.3, Watts{100.0}, tb.budget, opts);
   EXPECT_EQ(res.txs_assigned, 1u);
   EXPECT_DOUBLE_EQ(res.allocation.swing(1, 0), 0.0);
 }
@@ -128,7 +128,7 @@ TEST(Assignment, ThroughputGrowsWithBudgetUntilSaturation) {
   Fixture f;
   double prev = -1.0;
   for (double budget : {0.1, 0.3, 0.6, 0.9}) {
-    const auto res = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, f.opts);
+    const auto res = heuristic_allocate(f.h, 1.3, Watts{budget}, f.tb.budget, f.opts);
     const auto tput =
         channel::throughput_bps(f.h, res.allocation, f.tb.budget);
     double sum = 0.0;

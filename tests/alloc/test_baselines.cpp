@@ -16,10 +16,10 @@ struct Fixture {
 
 TEST(Siso, AssignsExactlyOneTxPerRx) {
   Fixture f;
-  const auto res = siso_nearest_tx(f.h, 0.9, f.tb.budget);
+  const auto res = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
   std::size_t assigned = 0;
   for (std::size_t j = 0; j < 36; ++j) {
-    const double total = res.allocation.tx_total_swing(j);
+    const double total = res.allocation.tx_total_swing(j).value();
     if (total > 0.0) {
       ++assigned;
       EXPECT_DOUBLE_EQ(total, 0.9);
@@ -37,14 +37,14 @@ TEST(Siso, AssignsExactlyOneTxPerRx) {
 
 TEST(Siso, PowerIsFourFullSwings) {
   Fixture f;
-  const auto res = siso_nearest_tx(f.h, 0.9, f.tb.budget);
+  const auto res = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
   EXPECT_NEAR(res.power_used_w,
-              4.0 * full_swing_tx_power(0.9, f.tb.budget), 1e-12);
+              4.0 * full_swing_tx_power(Amperes{0.9}, f.tb.budget).value(), 1e-12);
 }
 
 TEST(Siso, ServesStrongestAvailableTx) {
   Fixture f;
-  const auto res = siso_nearest_tx(f.h, 0.9, f.tb.budget);
+  const auto res = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
   // RX0's best TX (idx 7 for the Fig. 7 layout) is not contested by the
   // other RXs, so it must be the one assigned.
   EXPECT_GT(res.allocation.swing(f.h.best_tx_for(0), 0), 0.0);
@@ -54,14 +54,14 @@ TEST(Siso, ContestedTxGoesToStrongerRx) {
   // Two RXs whose best TX is the same: gains 10 vs 8 for TX0.
   channel::ChannelMatrix h{2, 2, {10e-7, 8e-7, 1e-7, 2e-7}};
   const auto tb = sim::make_experimental_testbed();
-  const auto res = siso_nearest_tx(h, 0.9, tb.budget);
+  const auto res = siso_nearest_tx(h, Amperes{0.9}, tb.budget);
   EXPECT_GT(res.allocation.swing(0, 0), 0.0);  // TX0 -> RX0 (10 > 8)
   EXPECT_GT(res.allocation.swing(1, 1), 0.0);  // RX1 falls back to TX1
 }
 
 TEST(Dmiso, NineTxsPerRx) {
   Fixture f;
-  const auto res = dmiso_all_tx(f.h, 9, 0.9, f.tb.budget);
+  const auto res = dmiso_all_tx(f.h, 9, Amperes{0.9}, f.tb.budget);
   for (std::size_t k = 0; k < 4; ++k) {
     std::size_t servers = 0;
     for (std::size_t j = 0; j < 36; ++j) {
@@ -70,13 +70,13 @@ TEST(Dmiso, NineTxsPerRx) {
     EXPECT_EQ(servers, 9u) << "RX " << k;
   }
   EXPECT_NEAR(res.power_used_w,
-              36.0 * full_swing_tx_power(0.9, f.tb.budget), 1e-9);
+              36.0 * full_swing_tx_power(Amperes{0.9}, f.tb.budget).value(), 1e-9);
 }
 
 TEST(Dmiso, UsesMorePowerThanSiso) {
   Fixture f;
-  const auto siso = siso_nearest_tx(f.h, 0.9, f.tb.budget);
-  const auto dmiso = dmiso_all_tx(f.h, 9, 0.9, f.tb.budget);
+  const auto siso = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
+  const auto dmiso = dmiso_all_tx(f.h, 9, Amperes{0.9}, f.tb.budget);
   EXPECT_GT(dmiso.power_used_w, siso.power_used_w * 5.0);
 }
 
@@ -84,8 +84,8 @@ TEST(Dmiso, MoreThroughputThanSiso) {
   // The paper's premise: D-MISO beats SISO in raw throughput (by burning
   // far more power).
   Fixture f;
-  const auto siso = siso_nearest_tx(f.h, 0.9, f.tb.budget);
-  const auto dmiso = dmiso_all_tx(f.h, 9, 0.9, f.tb.budget);
+  const auto siso = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
+  const auto dmiso = dmiso_all_tx(f.h, 9, Amperes{0.9}, f.tb.budget);
   auto sum = [&](const channel::Allocation& a) {
     double s = 0.0;
     for (double t : channel::throughput_bps(f.h, a, f.tb.budget)) s += t;
@@ -96,7 +96,7 @@ TEST(Dmiso, MoreThroughputThanSiso) {
 
 TEST(Dmiso, EachTxServesOneRxOnly) {
   Fixture f;
-  const auto res = dmiso_all_tx(f.h, 9, 0.9, f.tb.budget);
+  const auto res = dmiso_all_tx(f.h, 9, Amperes{0.9}, f.tb.budget);
   for (std::size_t j = 0; j < 36; ++j) {
     std::size_t serves = 0;
     for (std::size_t k = 0; k < 4; ++k) {
@@ -110,10 +110,10 @@ TEST(Baselines, DenseVlcMatchesSisoEfficiencyAtSisoPower) {
   // Fig. 21: at SISO's operating power, DenseVLC achieves at least SISO's
   // throughput (it can always reproduce the SISO assignment).
   Fixture f;
-  const auto siso = siso_nearest_tx(f.h, 0.9, f.tb.budget);
+  const auto siso = siso_nearest_tx(f.h, Amperes{0.9}, f.tb.budget);
   AssignmentOptions opts;
-  const auto dense = heuristic_allocate(f.h, 1.3, siso.power_used_w + 1e-9,
-                                        f.tb.budget, opts);
+  const auto dense = heuristic_allocate(
+      f.h, 1.3, Watts{siso.power_used_w + 1e-9}, f.tb.budget, opts);
   auto sum = [&](const channel::Allocation& a) {
     double s = 0.0;
     for (double t : channel::throughput_bps(f.h, a, f.tb.budget)) s += t;

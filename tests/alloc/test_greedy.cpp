@@ -18,25 +18,25 @@ struct Fixture {
 TEST(Greedy, RespectsBudget) {
   Fixture f;
   for (double budget : {0.1, 0.5, 1.2}) {
-    const auto res = greedy_allocate(f.h, budget, f.tb.budget);
+    const auto res = greedy_allocate(f.h, Watts{budget}, f.tb.budget);
     EXPECT_LE(res.power_used_w, budget + 1e-9);
     EXPECT_NEAR(res.power_used_w,
-                channel::total_comm_power(res.allocation, f.tb.budget),
+                channel::total_comm_power(res.allocation, f.tb.budget).value(),
                 1e-12);
   }
 }
 
 TEST(Greedy, ZeroBudgetAssignsNothing) {
   Fixture f;
-  const auto res = greedy_allocate(f.h, 0.0, f.tb.budget);
+  const auto res = greedy_allocate(f.h, Watts{0.0}, f.tb.budget);
   EXPECT_EQ(res.txs_assigned, 0u);
 }
 
 TEST(Greedy, AllAssignmentsFullSwing) {
   Fixture f;
-  const auto res = greedy_allocate(f.h, 0.8, f.tb.budget);
+  const auto res = greedy_allocate(f.h, Watts{0.8}, f.tb.budget);
   for (std::size_t j = 0; j < 36; ++j) {
-    const double total = res.allocation.tx_total_swing(j);
+    const double total = res.allocation.tx_total_swing(j).value();
     EXPECT_TRUE(total == 0.0 || std::abs(total - 0.9) < 1e-12);
   }
 }
@@ -44,8 +44,8 @@ TEST(Greedy, AllAssignmentsFullSwing) {
 TEST(Greedy, FirstGrantIsBestSingleTx) {
   // With budget for one TX, greedy must find the single best grant.
   Fixture f;
-  const double per_tx = full_swing_tx_power(0.9, f.tb.budget);
-  const auto res = greedy_allocate(f.h, per_tx + 1e-9, f.tb.budget);
+  const double per_tx = full_swing_tx_power(Amperes{0.9}, f.tb.budget).value();
+  const auto res = greedy_allocate(f.h, Watts{per_tx + 1e-9}, f.tb.budget);
   ASSERT_EQ(res.txs_assigned, 1u);
   const double greedy_utility = res.utility;
   // Exhaustive check.
@@ -66,8 +66,8 @@ TEST(Greedy, UtilityAtLeastSjrHeuristic) {
   Fixture f;
   AssignmentOptions opts;
   for (double budget : {0.3, 0.8, 1.2}) {
-    const auto greedy = greedy_allocate(f.h, budget, f.tb.budget);
-    const auto sjr = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, opts);
+    const auto greedy = greedy_allocate(f.h, Watts{budget}, f.tb.budget);
+    const auto sjr = heuristic_allocate(f.h, 1.3, Watts{budget}, f.tb.budget, opts);
     EXPECT_GE(greedy.utility,
               channel::sum_log_utility(f.h, sjr.allocation, f.tb.budget) -
                   0.05)
@@ -78,7 +78,7 @@ TEST(Greedy, UtilityAtLeastSjrHeuristic) {
 TEST(Greedy, StopsWhenNoGrantHelps) {
   // A huge budget must not force harmful grants: greedy stops early.
   Fixture f;
-  const auto res = greedy_allocate(f.h, 100.0, f.tb.budget);
+  const auto res = greedy_allocate(f.h, Watts{100.0}, f.tb.budget);
   EXPECT_LT(res.txs_assigned, 36u);
   // The utility of the result must not improve by removing any TX
   // (local maximality in the downward direction is not guaranteed, but
@@ -88,7 +88,7 @@ TEST(Greedy, StopsWhenNoGrantHelps) {
 
 TEST(Greedy, CountsEvaluations) {
   Fixture f;
-  const auto res = greedy_allocate(f.h, 0.2, f.tb.budget);
+  const auto res = greedy_allocate(f.h, Watts{0.2}, f.tb.budget);
   // At least one full scan of 36 x 4 candidates.
   EXPECT_GE(res.evaluations, 100u);
 }
@@ -104,7 +104,7 @@ TEST(ParallelDeterminismGreedy, BitIdenticalAcrossThreadCounts) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{2},
                                 std::size_t{4}, hardware_threads()}) {
       set_global_threads(threads);
-      const auto res = greedy_allocate(h, 0.9, f.tb.budget);
+      const auto res = greedy_allocate(h, Watts{0.9}, f.tb.budget);
       if (threads == 1) {
         reference = res;
         continue;

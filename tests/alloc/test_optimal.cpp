@@ -61,12 +61,12 @@ TEST(Projection, EnforcesAllConstraints) {
   Fixture f;
   channel::Allocation a{36, 4};
   for (auto& v : a.data()) v = 0.5;  // wildly infeasible
-  project_feasible(a, 1.0, 0.9, f.tb.budget);
+  project_feasible(a, Watts{1.0}, Amperes{0.9}, f.tb.budget);
   for (std::size_t j = 0; j < 36; ++j) {
-    EXPECT_LE(a.tx_total_swing(j), 0.9 + 1e-9);
+    EXPECT_LE(a.tx_total_swing(j).value(), 0.9 + 1e-9);
     for (std::size_t k = 0; k < 4; ++k) EXPECT_GE(a.swing(j, k), 0.0);
   }
-  EXPECT_LE(channel::total_comm_power(a, f.tb.budget), 1.0 + 1e-9);
+  EXPECT_LE(channel::total_comm_power(a, f.tb.budget).value(), 1.0 + 1e-9);
 }
 
 TEST(Projection, FeasiblePointUntouched) {
@@ -74,7 +74,7 @@ TEST(Projection, FeasiblePointUntouched) {
   channel::Allocation a{36, 4};
   a.set_swing(7, 0, 0.9);
   const auto before = a.data();
-  project_feasible(a, 1.0, 0.9, f.tb.budget);
+  project_feasible(a, Watts{1.0}, Amperes{0.9}, f.tb.budget);
   EXPECT_EQ(a.data(), before);
 }
 
@@ -85,7 +85,7 @@ TEST(Projection, ClampsNegatives) {
   // path; set_swing itself rejects them by contract.
   a.data()[0] = -0.5;
   a.set_swing(1, 1, 0.3);
-  project_feasible(a, 10.0, 0.9, f.tb.budget);
+  project_feasible(a, Watts{10.0}, Amperes{0.9}, f.tb.budget);
   EXPECT_DOUBLE_EQ(a.swing(0, 0), 0.0);
   EXPECT_DOUBLE_EQ(a.swing(1, 1), 0.3);
 }
@@ -93,10 +93,10 @@ TEST(Projection, ClampsNegatives) {
 TEST(Solver, SolutionIsFeasible) {
   Fixture f;
   f.cfg.max_iterations = 150;
-  const auto res = solve_optimal(f.h, 1.2, f.tb.budget, f.cfg);
+  const auto res = solve_optimal(f.h, Watts{1.2}, f.tb.budget, f.cfg);
   EXPECT_LE(res.power_used_w, 1.2 + 1e-6);
   for (std::size_t j = 0; j < 36; ++j) {
-    EXPECT_LE(res.allocation.tx_total_swing(j), 0.9 + 1e-9);
+    EXPECT_LE(res.allocation.tx_total_swing(j).value(), 0.9 + 1e-9);
   }
 }
 
@@ -104,10 +104,10 @@ TEST(Solver, NeverWorseThanHeuristic) {
   Fixture f;
   f.cfg.max_iterations = 150;
   for (double budget : {0.3, 0.8, 1.5}) {
-    const auto opt = solve_optimal(f.h, budget, f.tb.budget, f.cfg);
+    const auto opt = solve_optimal(f.h, Watts{budget}, f.tb.budget, f.cfg);
     AssignmentOptions opts;
     opts.allow_partial_tail = true;
-    const auto heur = heuristic_allocate(f.h, 1.3, budget, f.tb.budget, opts);
+    const auto heur = heuristic_allocate(f.h, 1.3, Watts{budget}, f.tb.budget, opts);
     const double heur_utility =
         channel::sum_log_utility(f.h, heur.allocation, f.tb.budget);
     EXPECT_GE(opt.utility, heur_utility - 1e-9) << "budget " << budget;
@@ -119,9 +119,9 @@ TEST(Solver, HeuristicLossIsSmall) {
   // throughput versus the optimum. Check the loss stays single-digit
   // percent on the Fig. 7 instance at the paper's mid budget.
   Fixture f;
-  const auto opt = solve_optimal(f.h, 1.2, f.tb.budget, f.cfg);
+  const auto opt = solve_optimal(f.h, Watts{1.2}, f.tb.budget, f.cfg);
   AssignmentOptions opts;
-  const auto heur = heuristic_allocate(f.h, 1.3, 1.2, f.tb.budget, opts);
+  const auto heur = heuristic_allocate(f.h, 1.3, Watts{1.2}, f.tb.budget, opts);
   auto sum_tput = [&](const channel::Allocation& a) {
     double sum = 0.0;
     for (double t : channel::throughput_bps(f.h, a, f.tb.budget)) sum += t;
@@ -137,7 +137,7 @@ TEST(Solver, UtilityGrowsWithBudget) {
   f.cfg.max_iterations = 120;
   double prev = -1e300;
   for (double budget : {0.2, 0.6, 1.2}) {
-    const auto res = solve_optimal(f.h, budget, f.tb.budget, f.cfg);
+    const auto res = solve_optimal(f.h, Watts{budget}, f.tb.budget, f.cfg);
     EXPECT_GE(res.utility, prev - 1e-9);
     prev = res.utility;
   }
@@ -146,15 +146,15 @@ TEST(Solver, UtilityGrowsWithBudget) {
 TEST(Solver, ZeroBudgetGivesZeroPower) {
   Fixture f;
   f.cfg.max_iterations = 30;
-  const auto res = solve_optimal(f.h, 0.0, f.tb.budget, f.cfg);
+  const auto res = solve_optimal(f.h, Watts{0.0}, f.tb.budget, f.cfg);
   EXPECT_NEAR(res.power_used_w, 0.0, 1e-12);
 }
 
 TEST(Solver, DeterministicGivenSeed) {
   Fixture f;
   f.cfg.max_iterations = 60;
-  const auto a = solve_optimal(f.h, 0.8, f.tb.budget, f.cfg);
-  const auto b = solve_optimal(f.h, 0.8, f.tb.budget, f.cfg);
+  const auto a = solve_optimal(f.h, Watts{0.8}, f.tb.budget, f.cfg);
+  const auto b = solve_optimal(f.h, Watts{0.8}, f.tb.budget, f.cfg);
   EXPECT_DOUBLE_EQ(a.utility, b.utility);
   EXPECT_EQ(a.allocation.data(), b.allocation.data());
 }
@@ -171,7 +171,7 @@ TEST(ParallelDeterminismOptimal, BitIdenticalAcrossThreadCounts) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{2},
                                 std::size_t{4}, hardware_threads()}) {
       set_global_threads(threads);
-      const auto res = solve_optimal(h, 0.8, f.tb.budget, f.cfg);
+      const auto res = solve_optimal(h, Watts{0.8}, f.tb.budget, f.cfg);
       if (threads == 1) {
         reference = res;
         continue;

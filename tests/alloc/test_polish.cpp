@@ -17,7 +17,7 @@ struct Fixture {
 
 bool is_binary(const channel::Allocation& a, double full) {
   for (std::size_t j = 0; j < a.num_tx(); ++j) {
-    const double total = a.tx_total_swing(j);
+    const double total = a.tx_total_swing(j).value();
     if (total > 1e-9 && std::fabs(total - full) > 1e-9) return false;
   }
   return true;
@@ -27,9 +27,9 @@ TEST(Polish, OutputIsBinary) {
   Fixture f;
   OptimalSolverConfig cfg;
   cfg.max_iterations = 150;
-  const auto opt = solve_optimal(f.h, 0.8, f.tb.budget, cfg);
+  const auto opt = solve_optimal(f.h, Watts{0.8}, f.tb.budget, cfg);
   const auto polished =
-      polish_binary(f.h, opt.allocation, 0.8, f.tb.budget, 0.9);
+      polish_binary(f.h, opt.allocation, Watts{0.8}, f.tb.budget, Amperes{0.9});
   EXPECT_TRUE(is_binary(polished.allocation, 0.9));
 }
 
@@ -38,9 +38,9 @@ TEST(Polish, StaysWithinBudget) {
   OptimalSolverConfig cfg;
   cfg.max_iterations = 150;
   for (double budget : {0.3, 0.8, 1.5}) {
-    const auto opt = solve_optimal(f.h, budget, f.tb.budget, cfg);
+    const auto opt = solve_optimal(f.h, Watts{budget}, f.tb.budget, cfg);
     const auto polished =
-        polish_binary(f.h, opt.allocation, budget, f.tb.budget, 0.9);
+        polish_binary(f.h, opt.allocation, Watts{budget}, f.tb.budget, Amperes{0.9});
     EXPECT_LE(polished.power_used_w, budget + 1e-9);
   }
 }
@@ -50,9 +50,9 @@ TEST(Polish, SmallUtilityCost) {
   Fixture f;
   OptimalSolverConfig cfg;
   cfg.max_iterations = 250;
-  const auto opt = solve_optimal(f.h, 1.0, f.tb.budget, cfg);
+  const auto opt = solve_optimal(f.h, Watts{1.0}, f.tb.budget, cfg);
   const auto polished =
-      polish_binary(f.h, opt.allocation, 1.0, f.tb.budget, 0.9);
+      polish_binary(f.h, opt.allocation, Watts{1.0}, f.tb.budget, Amperes{0.9});
   // Utility is a sum of logs; allow a small absolute drop.
   EXPECT_GT(polished.utility, opt.utility - 0.5);
 }
@@ -62,7 +62,7 @@ TEST(Polish, BinaryInputUnchanged) {
   channel::Allocation binary{36, 4};
   binary.set_swing(7, 0, 0.9);
   binary.set_swing(9, 1, 0.9);
-  const auto polished = polish_binary(f.h, binary, 1.0, f.tb.budget, 0.9);
+  const auto polished = polish_binary(f.h, binary, Watts{1.0}, f.tb.budget, Amperes{0.9});
   EXPECT_EQ(polished.allocation.data(), binary.data());
   EXPECT_EQ(polished.rounded_up, 0u);
   EXPECT_EQ(polished.rounded_down, 0u);
@@ -74,7 +74,7 @@ TEST(Polish, CountsRoundingDecisions) {
   fractional.set_swing(7, 0, 0.5);   // strong channel: likely promoted
   fractional.set_swing(14, 2, 0.01); // negligible: likely demoted
   const auto polished =
-      polish_binary(f.h, fractional, 1.0, f.tb.budget, 0.9);
+      polish_binary(f.h, fractional, Watts{1.0}, f.tb.budget, Amperes{0.9});
   EXPECT_EQ(polished.rounded_up + polished.rounded_down, 2u);
   EXPECT_TRUE(is_binary(polished.allocation, 0.9));
 }
@@ -86,12 +86,13 @@ TEST(Polish, RespectsTightBudget) {
   fractional.set_swing(7, 0, 0.5);
   fractional.set_swing(9, 1, 0.5);
   fractional.set_swing(19, 2, 0.5);
-  const double one_tx = full_swing_tx_power(0.9, f.tb.budget);
+  const double one_tx = full_swing_tx_power(Amperes{0.9}, f.tb.budget).value();
   const auto polished =
-      polish_binary(f.h, fractional, one_tx + 1e-9, f.tb.budget, 0.9);
+      polish_binary(f.h, fractional, Watts{one_tx + 1e-9}, f.tb.budget,
+                    Amperes{0.9});
   std::size_t full = 0;
   for (std::size_t j = 0; j < 36; ++j) {
-    if (polished.allocation.tx_total_swing(j) > 0.0) ++full;
+    if (polished.allocation.tx_total_swing(j) > Amperes{0.0}) ++full;
   }
   EXPECT_LE(full, 1u);
   EXPECT_LE(polished.power_used_w, one_tx + 1e-6);

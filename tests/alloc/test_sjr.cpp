@@ -167,7 +167,8 @@ TEST(ParallelDeterminismSjr, RankingAndAllocationStableAcrossThreadCounts) {
       const auto h = tb.channel_for(rx_xy);
       const auto ranking = rank_transmitters(h, 1.3);
       AssignmentOptions opts;
-      const auto res = heuristic_allocate(h, 1.3, 0.9, tb.budget, opts);
+      const auto res =
+          heuristic_allocate(h, 1.3, Watts{0.9}, tb.budget, opts);
       if (threads == 1) {
         ref_ranking = ranking;
         ref_alloc = res.allocation.data();

@@ -30,7 +30,7 @@ TEST(CellPartition, MapsQuadrants) {
 TEST(SmallCell, ServesEachRxFromOwnCellOnly) {
   Fixture f;
   const auto res = small_cell_allocate(f.h, f.cells, f.tb.tx_poses(),
-                                       f.rx_xy, 1.2, 0.9, f.tb.budget);
+                                       f.rx_xy, Watts{1.2}, Amperes{0.9}, f.tb.budget);
   const auto tx_poses = f.tb.tx_poses();
   for (std::size_t j = 0; j < f.h.num_tx(); ++j) {
     for (std::size_t k = 0; k < f.h.num_rx(); ++k) {
@@ -48,11 +48,11 @@ TEST(SmallCell, BudgetSplitAcrossOccupiedCells) {
   Fixture f;
   const double budget = 0.5;
   const auto res = small_cell_allocate(f.h, f.cells, f.tb.tx_poses(),
-                                       f.rx_xy, budget, 0.9, f.tb.budget);
+                                       f.rx_xy, Watts{budget}, Amperes{0.9}, f.tb.budget);
   EXPECT_LE(res.power_used_w, budget + 1e-9);
   // Scenario 1 has one RX per quadrant: all four cells occupied, so each
   // gets 0.125 W = 2 full-swing TXs.
-  const double per_tx = full_swing_tx_power(0.9, f.tb.budget);
+  const double per_tx = full_swing_tx_power(Amperes{0.9}, f.tb.budget).value();
   const auto expected_per_cell =
       static_cast<std::size_t>(budget / 4.0 / per_tx);
   for (std::size_t k = 0; k < 4; ++k) {
@@ -68,7 +68,7 @@ TEST(SmallCell, EmptyRoomAllocatesNothing) {
   Fixture f;
   const auto h_empty = f.tb.channel_for({});
   const auto res = small_cell_allocate(h_empty, f.cells, f.tb.tx_poses(),
-                                       {}, 1.2, 0.9, f.tb.budget);
+                                       {}, Watts{1.2}, Amperes{0.9}, f.tb.budget);
   EXPECT_DOUBLE_EQ(res.power_used_w, 0.0);
 }
 
@@ -82,9 +82,9 @@ TEST(SmallCell, CellFreeBeatsSmallCellAtBoundary) {
   const double budget = 0.3;
 
   const auto cellular = small_cell_allocate(
-      h, f.cells, f.tb.tx_poses(), boundary_rx, budget, 0.9, f.tb.budget);
+      h, f.cells, f.tb.tx_poses(), boundary_rx, Watts{budget}, Amperes{0.9}, f.tb.budget);
   AssignmentOptions opts;
-  const auto dense = heuristic_allocate(h, 1.3, budget, f.tb.budget, opts);
+  const auto dense = heuristic_allocate(h, 1.3, Watts{budget}, f.tb.budget, opts);
 
   auto tput = [&](const channel::Allocation& a) {
     return channel::throughput_bps(h, a, f.tb.budget)[0];

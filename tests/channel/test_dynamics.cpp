@@ -17,7 +17,7 @@ TEST(Fading, StationaryMeanAndSigma) {
   GaussMarkovFading fading{6, 6, cfg, Rng{1}};
   std::vector<double> samples;
   for (int step = 0; step < 4000; ++step) {
-    fading.step(0.1);
+    fading.step(Seconds{0.1});
     samples.push_back(fading.factor(2, 3));
   }
   EXPECT_NEAR(stats::mean(samples), 1.0, 0.02);
@@ -29,7 +29,7 @@ TEST(Fading, FactorsNonNegative) {
   cfg.sigma = 0.8;  // violent fading: clamping must engage
   GaussMarkovFading fading{4, 4, cfg, Rng{2}};
   for (int step = 0; step < 500; ++step) {
-    fading.step(0.05);
+    fading.step(Seconds{0.05});
     for (std::size_t j = 0; j < 4; ++j) {
       for (std::size_t k = 0; k < 4; ++k) {
         EXPECT_GE(fading.factor(j, k), 0.0);
@@ -50,7 +50,7 @@ TEST(Fading, TemporalCorrelationDecays) {
     std::vector<double> b;
     double prev = fading.factor(0, 0);
     for (int i = 0; i < 6000; ++i) {
-      fading.step(dt);
+      fading.step(Seconds{dt});
       const double cur = fading.factor(0, 0);
       a.push_back(prev - 1.0);
       b.push_back(cur - 1.0);
@@ -73,8 +73,8 @@ TEST(Fading, TemporalCorrelationDecays) {
 TEST(Fading, ZeroDtIsNoOp) {
   GaussMarkovFading fading{2, 2, FadingConfig{}, Rng{4}};
   const double before = fading.factor(1, 1);
-  fading.step(0.0);
-  fading.step(-1.0);
+  fading.step(Seconds{0.0});
+  fading.step(Seconds{-1.0});
   EXPECT_DOUBLE_EQ(fading.factor(1, 1), before);
 }
 
@@ -98,7 +98,7 @@ TEST(Fading, LinksFadeIndependently) {
   std::vector<double> a;
   std::vector<double> b;
   for (int i = 0; i < 5000; ++i) {
-    fading.step(0.5);
+    fading.step(Seconds{0.5});
     a.push_back(fading.factor(0, 0) - 1.0);
     b.push_back(fading.factor(1, 0) - 1.0);
   }

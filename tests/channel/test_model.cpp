@@ -47,13 +47,13 @@ TEST(Allocation, RowTotals) {
   Allocation a{2, 2};
   a.set_swing(0, 0, 0.4);
   a.set_swing(0, 1, 0.3);
-  EXPECT_DOUBLE_EQ(a.tx_total_swing(0), 0.7);
-  EXPECT_DOUBLE_EQ(a.tx_total_swing(1), 0.0);
+  EXPECT_DOUBLE_EQ(a.tx_total_swing(0).value(), 0.7);
+  EXPECT_DOUBLE_EQ(a.tx_total_swing(1).value(), 0.0);
 }
 
 TEST(Power, QuadraticInTotalSwing) {
   const auto b = paper_budget();
-  EXPECT_NEAR(tx_comm_power(0.9, b),
+  EXPECT_NEAR(tx_comm_power(900.0_mA, b).value(),
               b.dynamic_resistance_ohm * 0.45 * 0.45, 1e-15);
   // Splitting a TX's swing across RXs costs the same as one big swing.
   Allocation split{1, 2};
@@ -61,8 +61,8 @@ TEST(Power, QuadraticInTotalSwing) {
   split.set_swing(0, 1, 0.4);
   Allocation merged{1, 1};
   merged.set_swing(0, 0, 0.9);
-  EXPECT_NEAR(total_comm_power(split, b), total_comm_power(merged, b),
-              1e-15);
+  EXPECT_NEAR(total_comm_power(split, b).value(),
+              total_comm_power(merged, b).value(), 1e-15);
 }
 
 TEST(Sinr, ZeroAllocationIsZero) {
@@ -140,8 +140,10 @@ TEST(Utility, FiniteWhenOneRxIsDark) {
 TEST(LinkBudget, FromLedDerivesScalars) {
   const optics::LedModel led{optics::LedElectrical{},
                              optics::LedOperatingPoint{0.45, 0.9}};
-  const auto b = LinkBudget::from_led(led, 0.4, 7.02e-23, 1e6);
-  EXPECT_DOUBLE_EQ(b.dynamic_resistance_ohm, led.dynamic_resistance());
+  const auto b = LinkBudget::from_led(led, AmperesPerWatt{0.4},
+                                      AmpsSquaredPerHertz{7.02e-23},
+                                      Hertz{1e6});
+  EXPECT_DOUBLE_EQ(b.dynamic_resistance_ohm, led.dynamic_resistance().value());
   EXPECT_DOUBLE_EQ(b.wall_plug_efficiency, 0.4);
   EXPECT_DOUBLE_EQ(b.responsivity_a_per_w, 0.4);
 }

@@ -27,22 +27,22 @@ using ContractsDeathTest = ::testing::Test;
 
 TEST(ContractsDeathTest, TraceRecorderRejectsOutOfRangeRxInMeanThroughput) {
   core::TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6, 2e6}, {}, 0.1);
+  trace.record_epoch(Seconds{0.0}, {1e6, 2e6}, {}, Watts{0.1});
   EXPECT_DEATH(static_cast<void>(trace.mean_throughput(9)),
                "RX index out of range in mean_throughput");
 }
 
 TEST(ContractsDeathTest, TraceRecorderRejectsOutOfRangeRxInLeaderChanges) {
   core::TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6}, {}, 0.1);
+  trace.record_epoch(Seconds{0.0}, {1e6}, {}, Watts{0.1});
   EXPECT_DEATH(static_cast<void>(trace.leader_changes(3)),
                "RX index out of range in leader_changes");
 }
 
 TEST(ContractsDeathTest, TraceRecorderRejectsRxCountChange) {
   core::TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6, 2e6}, {}, 0.1);
-  EXPECT_DEATH(trace.record_epoch(1.0, {1e6}, {}, 0.1),
+  trace.record_epoch(Seconds{0.0}, {1e6, 2e6}, {}, Watts{0.1});
+  EXPECT_DEATH(trace.record_epoch(Seconds{1.0}, {1e6}, {}, Watts{0.1}),
                "RX count changed between epochs");
 }
 
@@ -50,7 +50,7 @@ TEST(ContractsDeathTest, TraceRecorderRejectsOutOfRangeBeamspotRx) {
   core::TraceRecorder trace;
   core::Beamspot spot;
   spot.rx = 5;  // only 2 RXs in this epoch
-  EXPECT_DEATH(trace.record_epoch(0.0, {1e6, 2e6}, {spot}, 0.1),
+  EXPECT_DEATH(trace.record_epoch(Seconds{0.0}, {1e6, 2e6}, {spot}, Watts{0.1}),
                "beamspot RX index out of range");
 }
 

@@ -181,12 +181,14 @@ TEST_F(ThreadPoolTest, IlluminanceMapBitIdenticalAcrossThreadCounts) {
   std::vector<std::vector<double>> rasters;
   for (std::size_t threads : sweep_thread_counts()) {
     set_global_threads(threads);
-    const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                    tb.led,   0.8,           41,
+    const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
+                                    tb.led,      Meters{0.8},   41,
                                     kWhiteLedEfficacy};
     std::vector<double> flat;
     for (std::size_t iy = 0; iy < 41; ++iy) {
-      for (std::size_t ix = 0; ix < 41; ++ix) flat.push_back(map.at(ix, iy));
+      for (std::size_t ix = 0; ix < 41; ++ix) {
+        flat.push_back(map.at(ix, iy).value());
+      }
     }
     rasters.push_back(std::move(flat));
   }

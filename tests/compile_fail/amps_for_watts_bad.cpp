@@ -1,0 +1,14 @@
+// Must NOT compile: A * ohm is volts, not watts. Eq. 10's communication
+// power is r * (Isw/2)^2 — dropping one current factor used to be a silent
+// numeric bug; now the derived dimension refuses to convert.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Watts misuse() {
+  const Amperes half_swing{0.45};
+  const Ohms r{0.2188};
+  return half_swing * r;  // V, not W
+}
+
+}  // namespace densevlc

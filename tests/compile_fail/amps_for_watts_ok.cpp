@@ -1,0 +1,12 @@
+// Corrected twin of amps_for_watts_bad.cpp: A^2 * ohm derives watts.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Watts correct() {
+  const Amperes half_swing{0.45};
+  const Ohms r{0.2188};
+  return half_swing * half_swing * r;  // Eq. 10: P_C = r * (Isw/2)^2
+}
+
+}  // namespace densevlc

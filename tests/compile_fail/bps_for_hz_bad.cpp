@@ -1,0 +1,13 @@
+// Must NOT compile: throughput (bit/s) is not bandwidth (Hz). The data
+// axis keeps them distinct even though both are "per second".
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Amperes noise_sigma(Hertz bandwidth) {
+  return Amperes{1e-9} * (bandwidth * Seconds{1.0});
+}
+
+Amperes misuse() { return noise_sigma(BitsPerSecond{2e6}); }
+
+}  // namespace densevlc

@@ -1,0 +1,20 @@
+// Corrected twin of bps_for_hz_bad.cpp: the front-end takes bandwidth in
+// hertz; bit/s / Hz is spectral efficiency in bits, a separate quantity.
+#include <type_traits>
+
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Amperes noise_sigma(Hertz bandwidth) {
+  return Amperes{1e-9} * (bandwidth * Seconds{1.0});
+}
+
+Amperes correct() { return noise_sigma(Hertz{2e6}); }
+
+// bit/s over Hz derives bits per channel use — still typed, never double.
+static_assert(
+    std::is_same_v<decltype(BitsPerSecond{} / Hertz{}), Bits>,
+    "spectral efficiency carries the data axis");
+
+}  // namespace densevlc

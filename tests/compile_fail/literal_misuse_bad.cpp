@@ -1,0 +1,16 @@
+// Must NOT compile: a unit literal carries its dimension — 450.0_mA is a
+// current and cannot initialize a power, and a bare double cannot
+// implicitly become a Seconds.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+using namespace literals;
+
+Watts misuse() {
+  Seconds dwell = 0.05;      // bare double: construction is explicit
+  (void)dwell;
+  return Watts{} + 450.0_mA; // mA literal is Amperes, not Watts
+}
+
+}  // namespace densevlc

@@ -1,0 +1,17 @@
+// Corrected twin of literal_misuse_bad.cpp: each literal feeds its own
+// dimension.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+using namespace literals;
+
+Watts correct() {
+  Seconds dwell = 0.05_s;
+  (void)dwell;
+  Amperes bias = 450.0_mA;
+  (void)bias;
+  return Watts{} + 2.0_W;
+}
+
+}  // namespace densevlc

@@ -1,0 +1,12 @@
+// Must NOT compile: illuminance (lux) passed where a power budget (watts)
+// is expected — the exact transposition the Quantity layer exists to stop
+// (paper Sec. 3 mixes both in the joint illumination/communication budget).
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Watts clamp_budget(Watts requested) { return requested; }
+
+Watts misuse() { return clamp_budget(Lux{300.0}); }
+
+}  // namespace densevlc

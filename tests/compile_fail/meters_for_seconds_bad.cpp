@@ -1,0 +1,12 @@
+// Must NOT compile: a distance is not a duration. GaussMarkovFading::step
+// takes Seconds; handing it the receiver height used to be a plausible
+// argument transposition.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+Seconds advance(Seconds dt) { return dt; }
+
+Seconds misuse() { return advance(Meters{0.8}); }
+
+}  // namespace densevlc

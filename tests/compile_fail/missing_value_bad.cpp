@@ -1,0 +1,14 @@
+// Must NOT compile: a Quantity does not implicitly decay to double. The
+// .value() escape hatch is explicit so every exit from the typed world is
+// grep-able (and lintable).
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+double misuse() {
+  const Watts p{2.0};
+  double raw = p;  // needs p.value()
+  return raw;
+}
+
+}  // namespace densevlc

@@ -1,0 +1,12 @@
+// Corrected twin of missing_value_bad.cpp: explicit .value() unwrap.
+#include "common/quantity.hpp"
+
+namespace densevlc {
+
+double correct() {
+  const Watts p{2.0};
+  double raw = p.value();
+  return raw;
+}
+
+}  // namespace densevlc

@@ -18,7 +18,7 @@ TEST(Energy, IlluminationAccruesForAllTxs) {
   const channel::Allocation idle{36, 4};
   f.meter.accumulate(idle, 10.0, f.tb.budget);
   EXPECT_NEAR(f.meter.illumination_energy_j(),
-              f.tb.led.illumination_power() * 36.0 * 10.0, 1e-9);
+              f.tb.led.illumination_power().value() * 36.0 * 10.0, 1e-9);
   EXPECT_DOUBLE_EQ(f.meter.communication_energy_j(), 0.0);
   EXPECT_DOUBLE_EQ(f.meter.communication_overhead(), 0.0);
 }
@@ -29,7 +29,8 @@ TEST(Energy, CommunicationMatchesEq10) {
   alloc.set_swing(7, 0, 0.9);
   alloc.set_swing(9, 1, 0.9);
   f.meter.accumulate(alloc, 5.0, f.tb.budget);
-  const double per_tx = channel::tx_comm_power(0.9, f.tb.budget);
+  const double per_tx =
+      channel::tx_comm_power(Amperes{0.9}, f.tb.budget).value();
   EXPECT_NEAR(f.meter.communication_energy_j(), 2.0 * per_tx * 5.0, 1e-12);
 }
 
@@ -53,7 +54,7 @@ TEST(Energy, EnergyPerBit) {
   EXPECT_DOUBLE_EQ(f.meter.energy_per_bit(), 0.0);  // nothing delivered
   f.meter.deliver_bits(1'000'000);
   const double expected =
-      channel::tx_comm_power(0.9, f.tb.budget) * 2.0 / 1e6;
+      channel::tx_comm_power(Amperes{0.9}, f.tb.budget).value() * 2.0 / 1e6;
   EXPECT_NEAR(f.meter.energy_per_bit(), expected, 1e-15);
 }
 

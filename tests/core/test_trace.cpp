@@ -19,7 +19,7 @@ std::vector<Beamspot> spots_with_leader(std::size_t rx, std::size_t leader) {
 
 TEST(Trace, RecordsPerRxRows) {
   TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6, 2e6}, spots_with_leader(0, 7), 0.5);
+  trace.record_epoch(Seconds{0.0}, {1e6, 2e6}, spots_with_leader(0, 7), Watts{0.5});
   ASSERT_EQ(trace.rows().size(), 2u);
   EXPECT_EQ(trace.epochs(), 1u);
   EXPECT_TRUE(trace.rows()[0].served);
@@ -30,10 +30,10 @@ TEST(Trace, RecordsPerRxRows) {
 
 TEST(Trace, MeanThroughputPerRx) {
   TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6, 4e6}, {}, 0.0);
-  trace.record_epoch(1.0, {3e6, 0.0}, {}, 0.0);
-  EXPECT_DOUBLE_EQ(trace.mean_throughput(0), 2e6);
-  EXPECT_DOUBLE_EQ(trace.mean_throughput(1), 2e6);
+  trace.record_epoch(Seconds{0.0}, {1e6, 4e6}, {}, Watts{0.0});
+  trace.record_epoch(Seconds{1.0}, {3e6, 0.0}, {}, Watts{0.0});
+  EXPECT_DOUBLE_EQ(trace.mean_throughput(0).value(), 2e6);
+  EXPECT_DOUBLE_EQ(trace.mean_throughput(1).value(), 2e6);
   EXPECT_EQ(trace.num_rx(), 2u);
   // Out-of-range RX indices now violate the DVLC_EXPECT contract; see
   // tests/common/test_contracts.cpp for the death test.
@@ -41,18 +41,18 @@ TEST(Trace, MeanThroughputPerRx) {
 
 TEST(Trace, CountsLeaderHandovers) {
   TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6}, spots_with_leader(0, 7), 0.1);
-  trace.record_epoch(1.0, {1e6}, spots_with_leader(0, 7), 0.1);
-  trace.record_epoch(2.0, {1e6}, spots_with_leader(0, 9), 0.1);
-  trace.record_epoch(3.0, {1e6}, spots_with_leader(0, 13), 0.1);
+  trace.record_epoch(Seconds{0.0}, {1e6}, spots_with_leader(0, 7), Watts{0.1});
+  trace.record_epoch(Seconds{1.0}, {1e6}, spots_with_leader(0, 7), Watts{0.1});
+  trace.record_epoch(Seconds{2.0}, {1e6}, spots_with_leader(0, 9), Watts{0.1});
+  trace.record_epoch(Seconds{3.0}, {1e6}, spots_with_leader(0, 13), Watts{0.1});
   EXPECT_EQ(trace.leader_changes(0), 2u);
 }
 
 TEST(Trace, UnservedGapsDontCountAsHandover) {
   TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6}, spots_with_leader(0, 7), 0.1);
-  trace.record_epoch(1.0, {0.0}, {}, 0.1);  // outage epoch
-  trace.record_epoch(2.0, {1e6}, spots_with_leader(0, 9), 0.1);
+  trace.record_epoch(Seconds{0.0}, {1e6}, spots_with_leader(0, 7), Watts{0.1});
+  trace.record_epoch(Seconds{1.0}, {0.0}, {}, Watts{0.1});  // outage epoch
+  trace.record_epoch(Seconds{2.0}, {1e6}, spots_with_leader(0, 9), Watts{0.1});
   // 7 -> (gap) -> 9: the change spans an unserved epoch; by the
   // definition (consecutive served epochs) it does not count.
   EXPECT_EQ(trace.leader_changes(0), 0u);
@@ -60,7 +60,7 @@ TEST(Trace, UnservedGapsDontCountAsHandover) {
 
 TEST(Trace, CsvShape) {
   TraceRecorder trace;
-  trace.record_epoch(0.5, {1e6}, spots_with_leader(0, 3), 0.25);
+  trace.record_epoch(Seconds{0.5}, {1e6}, spots_with_leader(0, 3), Watts{0.25});
   std::ostringstream oss;
   trace.write_csv(oss);
   const std::string csv = oss.str();
@@ -70,7 +70,7 @@ TEST(Trace, CsvShape) {
 
 TEST(Trace, UnservedLeaderRendersMinusOne) {
   TraceRecorder trace;
-  trace.record_epoch(1.0, {0.0}, {}, 0.0);
+  trace.record_epoch(Seconds{1.0}, {0.0}, {}, Watts{0.0});
   std::ostringstream oss;
   trace.write_csv(oss);
   EXPECT_NE(oss.str().find(",-1,"), std::string::npos);
@@ -78,7 +78,7 @@ TEST(Trace, UnservedLeaderRendersMinusOne) {
 
 TEST(Trace, SavesToFile) {
   TraceRecorder trace;
-  trace.record_epoch(0.0, {1e6}, {}, 0.0);
+  trace.record_epoch(Seconds{0.0}, {1e6}, {}, Watts{0.0});
   const std::string path = "/tmp/densevlc_trace_test.csv";
   EXPECT_TRUE(trace.save(path));
   std::remove(path.c_str());

@@ -11,87 +11,93 @@ namespace {
 
 struct Fixture {
   sim::Testbed tb = sim::make_simulation_testbed();
-  IlluminanceMap map{tb.room,   tb.tx_poses(), tb.emitter, tb.led,
-                     0.8,       41,            kWhiteLedEfficacy};
+  IlluminanceMap map{tb.room,    tb.tx_poses(), tb.emitter, tb.led,
+                     Meters{0.8}, 41,           kWhiteLedEfficacy};
 };
 
 TEST(Illuminance, PaperGridMeetsIsoInAreaOfInterest) {
   Fixture f;
-  const auto stats = f.map.area_of_interest_stats(2.2);
+  const auto stats = f.map.area_of_interest_stats(Meters{2.2});
   // Paper: 564 lux average, 74% uniformity. Allow model tolerance.
   EXPECT_GT(stats.average_lux, 500.0);
   EXPECT_LT(stats.average_lux, 700.0);
   EXPECT_GT(stats.uniformity, 0.70);
-  EXPECT_TRUE(f.map.satisfies(IsoRequirement{}, 2.2));
+  EXPECT_TRUE(f.map.satisfies(IsoRequirement{}, Meters{2.2}));
 }
 
 TEST(Illuminance, FullRoomIsLessUniformThanCore) {
   Fixture f;
-  const auto core = f.map.area_of_interest_stats(2.2);
-  const auto full = f.map.area_of_interest_stats(3.0);
+  const auto core = f.map.area_of_interest_stats(Meters{2.2});
+  const auto full = f.map.area_of_interest_stats(Meters{3.0});
   EXPECT_LT(full.uniformity, core.uniformity);
   EXPECT_LT(full.min_lux, core.min_lux);
 }
 
 TEST(Illuminance, CenterBrighterThanCorner) {
   Fixture f;
-  EXPECT_GT(f.map.evaluate(1.5, 1.5), f.map.evaluate(0.05, 0.05));
+  EXPECT_GT(f.map.evaluate(Meters{1.5}, Meters{1.5}),
+            f.map.evaluate(Meters{0.05}, Meters{0.05}));
 }
 
 TEST(Illuminance, SymmetricUnderGridSymmetry) {
   Fixture f;
   // The centered 6x6 grid is symmetric about the room center.
-  EXPECT_NEAR(f.map.evaluate(1.0, 1.2), f.map.evaluate(2.0, 1.8), 1e-6);
-  EXPECT_NEAR(f.map.evaluate(0.7, 1.5), f.map.evaluate(2.3, 1.5), 1e-6);
+  EXPECT_NEAR(f.map.evaluate(Meters{1.0}, Meters{1.2}).value(),
+              f.map.evaluate(Meters{2.0}, Meters{1.8}).value(), 1e-6);
+  EXPECT_NEAR(f.map.evaluate(Meters{0.7}, Meters{1.5}).value(),
+              f.map.evaluate(Meters{2.3}, Meters{1.5}).value(), 1e-6);
 }
 
 TEST(Illuminance, MapGridMatchesDirectEvaluation) {
   Fixture f;
   // Raster point (ix=20, iy=20) of a 41-point grid is the room center.
-  EXPECT_NEAR(f.map.at(20, 20), f.map.evaluate(1.5, 1.5), 1e-9);
+  EXPECT_NEAR(f.map.at(20, 20).value(),
+              f.map.evaluate(Meters{1.5}, Meters{1.5}).value(), 1e-9);
 }
 
 TEST(Illuminance, ScalesWithBiasDrive) {
   const auto tb = sim::make_simulation_testbed();
   const optics::LedModel dim{tb.led.electrical(),
                              optics::LedOperatingPoint{0.2, 0.4}};
-  const IlluminanceMap dim_map{tb.room, tb.tx_poses(), tb.emitter, dim,
-                               0.8,     21,            kWhiteLedEfficacy};
-  const IlluminanceMap bright_map{tb.room,   tb.tx_poses(), tb.emitter,
-                                  tb.led,    0.8,           21,
+  const IlluminanceMap dim_map{tb.room,     tb.tx_poses(), tb.emitter, dim,
+                               Meters{0.8}, 21,           kWhiteLedEfficacy};
+  const IlluminanceMap bright_map{tb.room,     tb.tx_poses(), tb.emitter,
+                                  tb.led,      Meters{0.8},   21,
                                   kWhiteLedEfficacy};
-  EXPECT_LT(dim_map.area_of_interest_stats(2.2).average_lux,
-            bright_map.area_of_interest_stats(2.2).average_lux);
+  EXPECT_LT(dim_map.area_of_interest_stats(Meters{2.2}).average_lux,
+            bright_map.area_of_interest_stats(Meters{2.2}).average_lux);
 }
 
 TEST(Illuminance, EmptyAoiReturnsZeroSamples) {
   Fixture f;
-  const auto stats = f.map.area_of_interest_stats(0.0);
+  const auto stats = f.map.area_of_interest_stats(Meters{0.0});
   // A zero-size AoI can still catch the single center raster point.
   EXPECT_LE(stats.samples, 1u);
 }
 
 TEST(Illuminance, BiasSizingHitsTarget) {
   const auto tb = sim::make_simulation_testbed();
-  const double bias = size_bias_for_average_lux(
-      tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), 0.8, 2.2,
-      500.0, kWhiteLedEfficacy);
-  EXPECT_GT(bias, 0.0);
-  EXPECT_LT(bias, 1.5);
+  const Amperes bias = size_bias_for_average_lux(
+      tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), Meters{0.8},
+      Meters{2.2}, Lux{500.0}, kWhiteLedEfficacy);
+  EXPECT_GT(bias, Amperes{0.0});
+  EXPECT_LT(bias, Amperes{1.5});
   // Verify the sized bias actually reaches the target.
-  const optics::LedModel sized{tb.led.electrical(),
-                               optics::LedOperatingPoint{bias, 2 * bias}};
-  const IlluminanceMap map{tb.room, tb.tx_poses(), tb.emitter, sized,
-                           0.8,     31,            kWhiteLedEfficacy};
-  EXPECT_NEAR(map.area_of_interest_stats(2.2).average_lux, 500.0, 10.0);
+  const optics::LedModel sized{
+      tb.led.electrical(),
+      optics::LedOperatingPoint{bias.value(), 2.0 * bias.value()}};
+  const IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter, sized,
+                           Meters{0.8}, 31,            kWhiteLedEfficacy};
+  EXPECT_NEAR(map.area_of_interest_stats(Meters{2.2}).average_lux, 500.0,
+              10.0);
 }
 
 TEST(Illuminance, BiasSizingClampsAtMax) {
   const auto tb = sim::make_simulation_testbed();
-  const double bias = size_bias_for_average_lux(
-      tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), 0.8, 2.2,
-      1e9, kWhiteLedEfficacy, 1.0);
-  EXPECT_DOUBLE_EQ(bias, 1.0);
+  const Amperes bias = size_bias_for_average_lux(
+      tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), Meters{0.8},
+      Meters{2.2}, Lux{1e9}, kWhiteLedEfficacy, Amperes{1.0});
+  EXPECT_DOUBLE_EQ(bias.value(), 1.0);
 }
 
 TEST(Illuminance, CommunicationDoesNotChangeBrightness) {

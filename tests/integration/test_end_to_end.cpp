@@ -46,9 +46,9 @@ TEST(EndToEnd, MeasuredChannelDrivesSameBeamspotsAsTruth) {
 
   alloc::AssignmentOptions opts;
   const auto from_truth =
-      alloc::heuristic_allocate(truth, 1.3, 0.3, tb.budget, opts);
+      alloc::heuristic_allocate(truth, 1.3, Watts{0.3}, tb.budget, opts);
   const auto from_measurement =
-      alloc::heuristic_allocate(measured, 1.3, 0.3, tb.budget, opts);
+      alloc::heuristic_allocate(measured, 1.3, Watts{0.3}, tb.budget, opts);
   // The few strongest assignments agree between truth and measurement.
   std::size_t agreements = 0;
   std::size_t assigned = 0;
@@ -76,15 +76,15 @@ TEST(EndToEnd, Fig21CrossoverExists) {
     return s;
   };
 
-  const auto siso = alloc::siso_nearest_tx(h, 0.9, tb.budget);
-  const auto dmiso = alloc::dmiso_all_tx(h, 9, 0.9, tb.budget);
+  const auto siso = alloc::siso_nearest_tx(h, Amperes{0.9}, tb.budget);
+  const auto dmiso = alloc::dmiso_all_tx(h, 9, Amperes{0.9}, tb.budget);
   const double siso_tput = sum_tput(siso.allocation);
   const double dmiso_tput = sum_tput(dmiso.allocation);
 
   alloc::AssignmentOptions opts;
   // At SISO's power, DenseVLC is at least comparable.
   const auto dense_at_siso = alloc::heuristic_allocate(
-      h, 1.3, siso.power_used_w + 1e-9, tb.budget, opts);
+      h, 1.3, Watts{siso.power_used_w + 1e-9}, tb.budget, opts);
   EXPECT_GE(sum_tput(dense_at_siso.allocation), siso_tput * 0.9);
 
   // DenseVLC reaches >= 94% of D-MISO's throughput with significantly
@@ -92,7 +92,7 @@ TEST(EndToEnd, Fig21CrossoverExists) {
   double needed_power = dmiso.power_used_w;
   for (double budget = 0.1; budget <= dmiso.power_used_w; budget += 0.05) {
     const auto dense =
-        alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
     if (sum_tput(dense.allocation) >= 0.94 * dmiso_tput) {
       needed_power = budget;
       break;
@@ -108,11 +108,11 @@ TEST(EndToEnd, OptimalConfirmsBinarySwingInsight) {
   const auto h = tb.channel_for(sim::fig7_rx_positions());
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 200;
-  const auto res = alloc::solve_optimal(h, 0.8, tb.budget, cfg);
+  const auto res = alloc::solve_optimal(h, Watts{0.8}, tb.budget, cfg);
   std::size_t active = 0;
   std::size_t extreme = 0;
   for (std::size_t j = 0; j < 36; ++j) {
-    const double total = res.allocation.tx_total_swing(j);
+    const double total = res.allocation.tx_total_swing(j).value();
     if (total < 0.02) continue;
     ++active;
     if (total > 0.75 * 0.9) ++extreme;
@@ -155,7 +155,7 @@ TEST(EndToEnd, HeuristicKappaSweepMatchesFig11Shape) {
   alloc::AssignmentOptions opts;
   auto sum_tput = [&](double kappa) {
     const auto res =
-        alloc::heuristic_allocate(h, kappa, 1.2, tb.budget, opts);
+        alloc::heuristic_allocate(h, kappa, Watts{1.2}, tb.budget, opts);
     double s = 0.0;
     for (double t : channel::throughput_bps(h, res.allocation, tb.budget)) {
       s += t;

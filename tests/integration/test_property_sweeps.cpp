@@ -35,12 +35,12 @@ TEST_P(InstanceSweep, HeuristicFeasibleAndFair) {
   alloc::AssignmentOptions opts;
   for (double budget : {0.3, 1.2}) {
     const auto res =
-        alloc::heuristic_allocate(h, 1.3, budget, tb.budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{budget}, tb.budget, opts);
     // Feasibility.
-    EXPECT_LE(channel::total_comm_power(res.allocation, tb.budget),
+    EXPECT_LE(channel::total_comm_power(res.allocation, tb.budget).value(),
               budget + 1e-9);
     for (std::size_t j = 0; j < 36; ++j) {
-      EXPECT_LE(res.allocation.tx_total_swing(j), 0.9 + 1e-12);
+      EXPECT_LE(res.allocation.tx_total_swing(j).value(), 0.9 + 1e-12);
     }
     // Proportional fairness keeps every RX served at the full budget.
     if (budget >= 1.2) {
@@ -59,15 +59,15 @@ TEST_P(InstanceSweep, OptimalDominatesHeuristicUtility) {
   cfg.max_iterations = 120;
   alloc::AssignmentOptions opts;
   opts.allow_partial_tail = true;
-  const auto opt = alloc::solve_optimal(h, 0.8, tb.budget, cfg);
-  const auto heur = alloc::heuristic_allocate(h, 1.3, 0.8, tb.budget, opts);
+  const auto opt = alloc::solve_optimal(h, Watts{0.8}, tb.budget, cfg);
+  const auto heur = alloc::heuristic_allocate(h, 1.3, Watts{0.8}, tb.budget, opts);
   EXPECT_GE(opt.utility,
             channel::sum_log_utility(h, heur.allocation, tb.budget) - 1e-9);
 }
 
 TEST_P(InstanceSweep, GreedyFeasible) {
   const auto h = channel_for_instance();
-  const auto res = alloc::greedy_allocate(h, 0.6, tb.budget);
+  const auto res = alloc::greedy_allocate(h, Watts{0.6}, tb.budget);
   EXPECT_LE(res.power_used_w, 0.6 + 1e-9);
   EXPECT_GT(res.utility, 0.0);
 }
@@ -99,14 +99,15 @@ TEST_P(AllocatorInvariantSweep, SwingAndPowerWithinBounds) {
     const auto h = tb.channel_for(rx_xy);
     for (double budget_w : {0.4, 1.0}) {
       const channel::Allocation allocations[] = {
-          alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts)
+          alloc::heuristic_allocate(h, 1.3, Watts{budget_w}, tb.budget, opts)
               .allocation,
-          alloc::greedy_allocate(h, budget_w, tb.budget).allocation,
-          alloc::solve_optimal(h, budget_w, tb.budget, cfg).allocation,
+          alloc::greedy_allocate(h, Watts{budget_w}, tb.budget).allocation,
+          alloc::solve_optimal(h, Watts{budget_w}, tb.budget, cfg).allocation,
       };
       for (const auto& a : allocations) {
         // Total swing power within the budget (constraint 7).
-        EXPECT_LE(channel::total_comm_power(a, tb.budget), budget_w + 1e-9);
+        EXPECT_LE(channel::total_comm_power(a, tb.budget).value(),
+                  budget_w + 1e-9);
         // Per-LED swing within [0, Isw,max] (constraint 6).
         for (std::size_t j = 0; j < a.num_tx(); ++j) {
           double row = 0.0;
@@ -130,7 +131,7 @@ TEST_P(AllocatorInvariantSweep, GreedyUtilityMonotoneInBudget) {
     const auto h = tb.channel_for(rx_xy);
     double prev = -1e300;
     for (double budget_w : {0.2, 0.5, 0.9, 1.4}) {
-      const auto res = alloc::greedy_allocate(h, budget_w, tb.budget);
+      const auto res = alloc::greedy_allocate(h, Watts{budget_w}, tb.budget);
       EXPECT_GE(res.utility, prev);
       prev = res.utility;
     }
@@ -149,7 +150,7 @@ TEST_P(AllocatorInvariantSweep, HeuristicSinrImprovesWithBudget) {
     double prev_bps = 0.0;
     for (double budget_w : {0.3, 0.6, 1.0, 1.5}) {
       const auto res =
-          alloc::heuristic_allocate(h, 1.3, budget_w, tb.budget, opts);
+          alloc::heuristic_allocate(h, 1.3, Watts{budget_w}, tb.budget, opts);
       double sum_bps = 0.0;
       for (double t : channel::throughput_bps(h, res.allocation, tb.budget)) {
         sum_bps += t;
@@ -238,12 +239,14 @@ TEST_P(PolishSweep, BinaryAndFeasibleEverywhere) {
   const auto h = tb.channel_for(sim::fig7_rx_positions());
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 100;
-  const auto opt = alloc::solve_optimal(h, GetParam(), tb.budget, cfg);
+  const auto opt =
+      alloc::solve_optimal(h, Watts{GetParam()}, tb.budget, cfg);
   const auto polished =
-      alloc::polish_binary(h, opt.allocation, GetParam(), tb.budget, 0.9);
+      alloc::polish_binary(h, opt.allocation, Watts{GetParam()}, tb.budget,
+                           Amperes{0.9});
   EXPECT_LE(polished.power_used_w, GetParam() + 1e-9);
   for (std::size_t j = 0; j < 36; ++j) {
-    const double total = polished.allocation.tx_total_swing(j);
+    const double total = polished.allocation.tx_total_swing(j).value();
     EXPECT_TRUE(total < 1e-9 || std::fabs(total - 0.9) < 1e-9);
   }
 }

@@ -24,7 +24,7 @@ TEST(Golden, Fig4TaylorErrorAt900mA) {
   // Paper: 0.45%. Ours: 0.445%.
   const optics::LedModel led{optics::LedElectrical{},
                              optics::LedOperatingPoint{0.45, 0.9}};
-  EXPECT_NEAR(100.0 * led.comm_power_relative_error(0.9), 0.45, 0.05);
+  EXPECT_NEAR(100.0 * led.comm_power_relative_error(Amperes{0.9}), 0.45, 0.05);
 }
 
 TEST(Golden, Fig5IlluminanceAndUniformity) {
@@ -32,10 +32,10 @@ TEST(Golden, Fig5IlluminanceAndUniformity) {
   const auto tb = sim::make_simulation_testbed();
   // 61 raster points per axis, as the Fig. 5 bench uses (the minimum-
   // finding uniformity metric is resolution-sensitive).
-  const illum::IlluminanceMap map{tb.room,  tb.tx_poses(), tb.emitter,
-                                  tb.led,   0.8,           61,
+  const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
+                                  tb.led,      Meters{0.8},   61,
                                   kWhiteLedEfficacy};
-  const auto aoi = map.area_of_interest_stats(2.2);
+  const auto aoi = map.area_of_interest_stats(Meters{2.2});
   EXPECT_NEAR(aoi.average_lux, 564.0, 30.0);
   EXPECT_NEAR(aoi.uniformity, 0.74, 0.04);
 }
@@ -60,9 +60,9 @@ TEST(Golden, Fig11HeuristicLossNearTwoPercent) {
   std::vector<double> losses;
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);
-    const auto opt = alloc::solve_optimal(h, 1.2, tb.budget, ocfg);
+    const auto opt = alloc::solve_optimal(h, Watts{1.2}, tb.budget, ocfg);
     const auto heur =
-        alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+        alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
     auto sum = [&](const channel::Allocation& a) {
       double s = 0.0;
       for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
@@ -101,7 +101,8 @@ TEST(Golden, Fig8ThroughputVsPowerBudgetPinned) {
     std::vector<double> sys;
     for (const auto& rx_xy : instances) {
       const auto h = tb.channel_for(rx_xy);
-      const auto res = alloc::solve_optimal(h, pt.budget_w, tb.budget, cfg);
+      const auto res =
+          alloc::solve_optimal(h, Watts{pt.budget_w}, tb.budget, cfg);
       const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
       double total = 0.0;
       for (std::size_t k = 0; k < 4; ++k) {
@@ -152,8 +153,8 @@ TEST(Golden, Fig11HeuristicGapPinned) {
   std::vector<double> losses;
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);
-    const auto opt = alloc::solve_optimal(h, 1.2, tb.budget, ocfg);
-    const auto heur = alloc::heuristic_allocate(h, 1.3, 1.2, tb.budget, opts);
+    const auto opt = alloc::solve_optimal(h, Watts{1.2}, tb.budget, ocfg);
+    const auto heur = alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
     auto sum = [&](const channel::Allocation& a) {
       double s = 0.0;
       for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
@@ -197,12 +198,12 @@ TEST(Golden, Fig21EfficiencyGain) {
     for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
     return s;
   };
-  const auto dmiso = alloc::dmiso_all_tx(h, 9, 0.9, tb.budget);
+  const auto dmiso = alloc::dmiso_all_tx(h, 9, Amperes{0.9}, tb.budget);
   const double dmiso_tput = sum(dmiso.allocation);
   alloc::AssignmentOptions opts;
   double needed = dmiso.power_used_w;
   for (double b = 0.2; b <= dmiso.power_used_w; b += 0.05) {
-    const auto dense = alloc::heuristic_allocate(h, 1.3, b, tb.budget, opts);
+    const auto dense = alloc::heuristic_allocate(h, 1.3, Watts{b}, tb.budget, opts);
     if (sum(dense.allocation) >= 0.94 * dmiso_tput) {
       needed = b;
       break;
@@ -216,7 +217,7 @@ TEST(Golden, FullSwingTxPowerSelfConsistent) {
   // note in EXPERIMENTS.md; the paper's text says 74.42 mW with the same
   // formula). Pin our value so silent drift is caught.
   const auto tb = sim::make_simulation_testbed();
-  EXPECT_NEAR(units::to_mW(alloc::full_swing_tx_power(0.9, tb.budget)),
+  EXPECT_NEAR(units::to_mW(alloc::full_swing_tx_power(Amperes{0.9}, tb.budget)),
               54.1, 1.0);
 }
 

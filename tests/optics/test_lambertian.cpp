@@ -133,12 +133,12 @@ TEST(Geometry, ResolveAnglesOfKnownTriangle) {
 TEST(Illuminance, InverseSquareAndCosine) {
   const auto e = paper_emitter();
   const geom::Pose tx = geom::ceiling_pose(0.0, 0.0, 2.0);
-  const double e1 =
-      illuminance_lux(e, tx, geom::floor_pose(0.0, 0.0, 0.0), 1.0, 300.0);
-  const double e2 =
-      illuminance_lux(e, tx, geom::floor_pose(0.0, 0.0, 1.0), 1.0, 300.0);
+  const Lux e1 = illuminance_lux(e, tx, geom::floor_pose(0.0, 0.0, 0.0),
+                                 1.0_W, LumensPerWatt{300.0});
+  const Lux e2 = illuminance_lux(e, tx, geom::floor_pose(0.0, 0.0, 1.0),
+                                 1.0_W, LumensPerWatt{300.0});
   EXPECT_NEAR(e2 / e1, 4.0, 1e-9);  // half the distance, 4x the lux
-  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e1, Lux{0.0});
 }
 
 // Property sweep: LOS gain is monotonically non-increasing in distance

@@ -13,32 +13,34 @@ LedModel paper_led() {
 }
 
 TEST(LedModel, NoCurrentNoPower) {
-  EXPECT_DOUBLE_EQ(paper_led().power_at_current(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(paper_led().power_at_current(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(paper_led().power_at_current(Amperes{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(paper_led().power_at_current(Amperes{-0.1}).value(), 0.0);
 }
 
 TEST(LedModel, PowerIncreasesWithCurrent) {
   const auto led = paper_led();
-  double prev = 0.0;
+  Watts prev{0.0};
   for (double i = 0.05; i <= 1.0; i += 0.05) {
-    const double p = led.power_at_current(i);
-    EXPECT_GT(p, prev);
+    const Watts p = led.power_at_current(Amperes{i});
+    EXPECT_GT(p.value(), prev.value());
     prev = p;
   }
 }
 
 TEST(LedModel, ForwardVoltageIsPlausibleForXte) {
   // CREE XT-E runs near 3 V at 450 mA.
-  const double v = paper_led().forward_voltage(0.45);
-  EXPECT_GT(v, 2.5);
-  EXPECT_LT(v, 3.5);
+  const Volts v = paper_led().forward_voltage(450.0_mA);
+  EXPECT_GT(v.value(), 2.5);
+  EXPECT_LT(v.value(), 3.5);
 }
 
 TEST(LedModel, PowerEqualsCurrentTimesVoltage) {
   const auto led = paper_led();
   for (double i : {0.1, 0.45, 0.9}) {
-    EXPECT_NEAR(led.power_at_current(i), i * led.forward_voltage(i),
-                1e-12);
+    const Amperes current{i};
+    // A * V = W by the quantity algebra.
+    EXPECT_NEAR(led.power_at_current(current).value(),
+                (current * led.forward_voltage(current)).value(), 1e-12);
   }
 }
 
@@ -46,25 +48,25 @@ TEST(LedModel, DynamicResistanceClosedForm) {
   const auto led = paper_led();
   const double expected =
       2.68 * 0.025852 / (2.0 * 0.45) + 0.19;
-  EXPECT_NEAR(led.dynamic_resistance(), expected, 1e-12);
+  EXPECT_NEAR(led.dynamic_resistance().value(), expected, 1e-12);
 }
 
 TEST(LedModel, CommPowerZeroAtZeroSwing) {
-  EXPECT_DOUBLE_EQ(paper_led().comm_power_approx(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(paper_led().comm_power_exact(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(paper_led().comm_power_approx(Amperes{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(paper_led().comm_power_exact(Amperes{0.0}).value(), 0.0);
 }
 
 TEST(LedModel, CommPowerQuadraticInSwing) {
   const auto led = paper_led();
-  const double p1 = led.comm_power_approx(0.3);
-  const double p2 = led.comm_power_approx(0.6);
+  const Watts p1 = led.comm_power_approx(300.0_mA);
+  const Watts p2 = led.comm_power_approx(600.0_mA);
   EXPECT_NEAR(p2 / p1, 4.0, 1e-12);
 }
 
 TEST(LedModel, TaylorErrorSmallAtFullSwing) {
   // Fig. 4: the relative error at Isw = 900 mA stays below ~1.5% and the
   // paper quotes 0.45%. Our Shockley fit lands in the same regime.
-  const double err = paper_led().comm_power_relative_error(0.9);
+  const double err = paper_led().comm_power_relative_error(900.0_mA);
   EXPECT_GT(err, 0.0);
   EXPECT_LT(err, 0.015);
 }
@@ -73,7 +75,7 @@ TEST(LedModel, TaylorErrorGrowsWithSwing) {
   const auto led = paper_led();
   double prev = 0.0;
   for (double isw : {0.2, 0.4, 0.6, 0.8}) {
-    const double err = led.comm_power_relative_error(isw);
+    const double err = led.comm_power_relative_error(Amperes{isw});
     EXPECT_GE(err, prev);
     prev = err;
   }
@@ -83,36 +85,38 @@ TEST(LedModel, IlluminationPowerMatchesPaperScale) {
   // The paper measures 2.51 W electrical in illumination mode (LED plus
   // driver). The bare-diode Shockley model should land within a factor of
   // ~2 below that (driver losses excluded).
-  const double p = paper_led().illumination_power();
-  EXPECT_GT(p, 1.0);
-  EXPECT_LT(p, 2.51);
+  const Watts p = paper_led().illumination_power();
+  EXPECT_GT(p, 1.0_W);
+  EXPECT_LT(p, Watts{2.51});
 }
 
 TEST(LedModel, OpticalPowerScalesWithEfficiency) {
   LedElectrical elec;
   elec.wall_plug_efficiency = 0.4;
   const LedModel led{elec, LedOperatingPoint{0.45, 0.9}};
-  EXPECT_NEAR(led.optical_power_illumination(),
-              0.4 * led.illumination_power(), 1e-12);
-  EXPECT_NEAR(led.optical_signal_power(0.9),
-              0.4 * led.comm_power_approx(0.9), 1e-15);
+  EXPECT_NEAR(led.optical_power_illumination().value(),
+              0.4 * led.illumination_power().value(), 1e-12);
+  EXPECT_NEAR(led.optical_signal_power(900.0_mA).value(),
+              0.4 * led.comm_power_approx(900.0_mA).value(), 1e-15);
 }
 
 TEST(LedModel, MaxFeasibleSwingRespectsBothBounds) {
   // Low bias: the 2*Ib bound binds.
   const LedModel low{LedElectrical{}, LedOperatingPoint{0.3, 0.9}};
-  EXPECT_DOUBLE_EQ(low.max_feasible_swing(), 0.6);
+  EXPECT_DOUBLE_EQ(low.max_feasible_swing().value(), 0.6);
   // Paper bias: Isw,max binds exactly (0.9 = 2 * 0.45).
-  EXPECT_DOUBLE_EQ(paper_led().max_feasible_swing(), 0.9);
+  EXPECT_DOUBLE_EQ(paper_led().max_feasible_swing().value(), 0.9);
 }
 
 TEST(LedModel, ManchesterKeepsAverageOpticalPower) {
   // Average of high and low optical power must exceed bias power only by
   // the communication term; the average *current* is exactly Ib, which is
   // what keeps perceived brightness constant (brightness ~ current).
-  const double isw = paper_led().max_feasible_swing();
-  const double avg_current = ((0.45 + isw / 2.0) + (0.45 - isw / 2.0)) / 2.0;
-  EXPECT_DOUBLE_EQ(avg_current, 0.45);
+  const Amperes isw = paper_led().max_feasible_swing();
+  const Amperes bias{0.45};
+  const Amperes avg_current =
+      ((bias + isw / 2.0) + (bias - isw / 2.0)) / 2.0;
+  EXPECT_DOUBLE_EQ(avg_current.value(), 0.45);
 }
 
 // Property sweep over bias currents: the Taylor expansion must stay within
@@ -121,10 +125,10 @@ class BiasSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(BiasSweep, TaylorApproxTightAcrossBias) {
   const LedModel led{LedElectrical{}, LedOperatingPoint{GetParam(), 0.9}};
-  const double max_swing = led.max_feasible_swing();
+  const Amperes max_swing = led.max_feasible_swing();
   for (double f = 0.1; f <= 1.0; f += 0.1) {
     EXPECT_LT(led.comm_power_relative_error(f * max_swing), 0.02)
-        << "bias " << GetParam() << " swing " << f * max_swing;
+        << "bias " << GetParam() << " swing " << (f * max_swing).value();
   }
 }
 

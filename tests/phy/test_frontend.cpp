@@ -76,7 +76,8 @@ TEST(FrontEnd, NoiseSigmaFormula) {
   FrontEndConfig cfg;
   cfg.noise_psd_a2_per_hz = 8e-24;
   ReceiverFrontEnd fe{cfg, Rng{4}};
-  EXPECT_NEAR(fe.noise_current_sigma(1e6), std::sqrt(8e-24 * 5e5), 1e-18);
+  EXPECT_NEAR(fe.noise_current_sigma(Hertz{1e6}).value(),
+              std::sqrt(8e-24 * 5e5), 1e-18);
 }
 
 TEST(FrontEnd, NoiseAppearsAtOutput) {

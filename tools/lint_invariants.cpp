@@ -4,32 +4,189 @@
 // that keep DenseVLC's *physics* honest and that no off-the-shelf check
 // knows about:
 //
-//   units      public numeric fields (and constants) in headers whose name
-//              describes a physical quantity must carry a unit suffix
-//              (`time_s`, `power_w`, `throughput_bps`, ... as in
-//              core/trace.hpp) so lux never silently mixes with watts.
-//   nodiscard  bool- or optional-returning save/load/parse/write APIs in
-//              headers must be [[nodiscard]] — a dropped error return is a
-//              silent data loss.
-//   banned     `rand()` (use common/rng.hpp: seeded, reproducible) and
-//              argless `assert(false)`/`assert(0)` (use DVLC_ASSERT with a
-//              message) are forbidden.
+//   units         public numeric fields (and constants) in headers whose
+//                 name describes a physical quantity must carry a unit
+//                 suffix (`time_s`, `power_w`, `throughput_bps`, ... as in
+//                 core/trace.hpp) so lux never silently mixes with watts.
+//   nodiscard     bool- or optional-returning save/load/parse/write APIs in
+//                 headers must be [[nodiscard]] — a dropped error return is
+//                 a silent data loss.
+//   banned        `rand()` (use common/rng.hpp: seeded, reproducible) and
+//                 argless `assert(false)`/`assert(0)` (use DVLC_ASSERT with
+//                 a message) are forbidden.
+//   raw-double    in physics-core headers (optics/, channel/, illum/,
+//                 alloc/, phy/frontend.hpp, core/trace.hpp), function
+//                 parameters and return values that carry a unit suffix
+//                 must use the typed quantity aliases from
+//                 common/quantity.hpp (Watts, Amperes, ...), not bare
+//                 double. Struct fields and bulk vector storage stay raw
+//                 by design; intentional raw-double boundaries carry a
+//                 waiver.
+//   naked-literal in physics-core sources, `double x_w = 0.45;` style
+//                 magic constants with unit-suffixed names must use the
+//                 unit literals (`450.0_mA`) or units:: helpers instead of
+//                 a naked number, so the unit is visible at the use site.
+//
+// The scanner is a small C++ tokenizer, not a per-line regex pass: string
+// literals, character literals, and block comments can no longer produce
+// false findings or false waivers.
 //
 // A finding can be waived with `// dvlc-lint: allow(<rule>)` on the same
 // line or the line above. Exit status: 0 clean, 1 findings, 2 usage error.
 //
 // Usage: lint_invariants <dir-or-file> [more...]
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 namespace {
 
 namespace fs = std::filesystem;
+
+// --- tokenizer -------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,   // string or char literal (contents opaque)
+  kPunct,
+  kComment,  // line or block comment, text without delimiters
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line where the token starts
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Tokenizes C++ source. Comments are kept (waivers live there); string
+/// and char literal contents are swallowed so nothing inside them can
+/// match a rule. Numbers follow the pp-number shape, which keeps UDLs
+/// like `36.0_mA` one token.
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.push_back({TokenKind::kComment, src.substr(i + 2, j - i - 2), line});
+      i = j;
+      continue;
+    }
+    // Block comment (may span lines).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.push_back(
+          {TokenKind::kComment, src.substr(i + 2, j - i - 2), start_line});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.push_back({TokenKind::kString, "", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      out.push_back({TokenKind::kString, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // pp-number: digits, idents, dots, and sign after e/E/p/P.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokenKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.push_back({TokenKind::kIdentifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; keep the few multi-char tokens the rules care about.
+    if (i + 1 < n) {
+      const std::string two = src.substr(i, 2);
+      if (two == "::" || two == "[[" || two == "]]" || two == "->") {
+        out.push_back({TokenKind::kPunct, two, line});
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --- findings & waivers ----------------------------------------------------
 
 struct Finding {
   std::string file;
@@ -40,40 +197,41 @@ struct Finding {
 
 std::vector<Finding> g_findings;
 
+/// Waiver lines per rule, collected from comment tokens only — a string
+/// literal mentioning dvlc-lint no longer waives anything.
+using WaiverMap = std::map<std::string, std::set<std::size_t>>;
+
+WaiverMap collect_waivers(const std::vector<Token>& tokens) {
+  WaiverMap waivers;
+  const std::string tag = "dvlc-lint: allow(";
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    std::size_t pos = 0;
+    while ((pos = t.text.find(tag, pos)) != std::string::npos) {
+      const std::size_t open = pos + tag.size();
+      const std::size_t close = t.text.find(')', open);
+      if (close == std::string::npos) break;
+      waivers[t.text.substr(open, close - open)].insert(t.line);
+      pos = close;
+    }
+  }
+  return waivers;
+}
+
+bool waived(const WaiverMap& waivers, const std::string& rule,
+            std::size_t line) {
+  const auto it = waivers.find(rule);
+  if (it == waivers.end()) return false;
+  // A waiver covers its own line and the line below it.
+  return it->second.count(line) > 0 || (line > 0 && it->second.count(line - 1) > 0);
+}
+
 void report(const std::string& file, std::size_t line, const std::string& rule,
             const std::string& message) {
   g_findings.push_back({file, line, rule, message});
 }
 
-bool has_waiver(const std::vector<std::string>& lines, std::size_t idx,
-                const std::string& rule) {
-  const std::string needle = "dvlc-lint: allow(" + rule + ")";
-  if (lines[idx].find(needle) != std::string::npos) return true;
-  return idx > 0 && lines[idx - 1].find(needle) != std::string::npos;
-}
-
-// --- rule: banned ----------------------------------------------------------
-
-const std::regex kRandCall{R"((^|[^\w.:])rand\s*\()"};
-const std::regex kBareAssertFalse{R"(\bassert\s*\(\s*(false|0)\s*\))"};
-
-void check_banned(const std::string& file,
-                  const std::vector<std::string>& lines) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& l = lines[i];
-    if (has_waiver(lines, i, "banned")) continue;
-    if (std::regex_search(l, kRandCall)) {
-      report(file, i + 1, "banned",
-             "rand() is not reproducible; use common/rng.hpp");
-    }
-    if (std::regex_search(l, kBareAssertFalse)) {
-      report(file, i + 1, "banned",
-             "argless assert(false); use DVLC_ASSERT(cond, \"message\")");
-    }
-  }
-}
-
-// --- rule: units -----------------------------------------------------------
+// --- shared helpers --------------------------------------------------------
 
 // Quantity stems that demand a unit suffix when they name a numeric field.
 const char* const kQuantityStems[] = {
@@ -94,43 +252,149 @@ const char* const kUnitSuffixes[] = {
     "_per_w", "_per_hz", "_per_s", "_per_m",
 };
 
+// Suffixes naming dimensionless ratios/angles: these stay plain double even
+// at typed physics boundaries (angles and dB have no Quantity alias).
+const char* const kDimensionlessSuffixes[] = {
+    "_rad", "_deg", "_db", "_dbm", "_pct", "_ppm",
+};
+
+bool ends_with(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 bool ends_with_unit(std::string name) {
   // Private members carry a trailing underscore (`power_used_w_`).
   if (!name.empty() && name.back() == '_') name.pop_back();
-  for (const char* suffix : kUnitSuffixes) {
-    const std::size_t n = std::string(suffix).size();
-    if (name.size() >= n && name.compare(name.size() - n, n, suffix) == 0) {
-      return true;
-    }
+  return std::any_of(std::begin(kUnitSuffixes), std::end(kUnitSuffixes),
+                     [&](const char* s) { return ends_with(name, s); });
+}
+
+/// True when the name carries a unit suffix naming a *dimensional*
+/// quantity — the ones common/quantity.hpp has a typed alias for.
+bool has_dimensional_suffix(std::string name) {
+  if (!name.empty() && name.back() == '_') name.pop_back();
+  if (std::any_of(std::begin(kDimensionlessSuffixes),
+                  std::end(kDimensionlessSuffixes),
+                  [&](const char* s) { return ends_with(name, s); })) {
+    return false;
   }
-  return false;
+  return ends_with_unit(name);
 }
 
 bool names_quantity(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
   for (char c : name) {
-    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
-  for (const char* stem : kQuantityStems) {
-    if (lower.find(stem) != std::string::npos) return true;
-  }
-  return false;
+  return std::any_of(std::begin(kQuantityStems), std::end(kQuantityStems),
+                     [&](const char* s) {
+                       return lower.find(s) != std::string::npos;
+                     });
 }
 
-// Matches `double name = ...;`, `float name;`, `static constexpr double kX = ..`
-const std::regex kNumericField{
-    R"(^\s*(?:static\s+)?(?:inline\s+)?(?:constexpr\s+)?(?:double|float)\s+(\w+)\s*(?:=|\{|;))"};
+bool is_code(const Token& t) { return t.kind != TokenKind::kComment; }
 
-void check_units(const std::string& file,
-                 const std::vector<std::string>& lines) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(lines[i], m, kNumericField)) continue;
-    if (has_waiver(lines, i, "units")) continue;
-    const std::string name = m[1].str();
-    if (names_quantity(name) && !ends_with_unit(name)) {
-      report(file, i + 1, "units",
+/// Index of the previous non-comment token, or npos.
+std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (is_code(toks[i])) return i;
+  }
+  return std::string::npos;
+}
+
+/// Index of the next non-comment token, or npos.
+std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
+  for (++i; i < toks.size(); ++i) {
+    if (is_code(toks[i])) return i;
+  }
+  return std::string::npos;
+}
+
+bool token_is(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return i != std::string::npos && toks[i].text == text;
+}
+
+/// True when toks[i] begins a declaration: preceded by nothing, a
+/// statement/body boundary, an access specifier colon, or a specifier
+/// keyword that itself begins one.
+bool at_decl_start(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t p = prev_code(toks, i);
+  if (p == std::string::npos) return true;
+  const Token& t = toks[p];
+  if (t.kind == TokenKind::kPunct &&
+      (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":")) {
+    return true;
+  }
+  if (t.kind == TokenKind::kIdentifier &&
+      (t.text == "static" || t.text == "inline" || t.text == "constexpr" ||
+       t.text == "mutable" || t.text == "virtual" || t.text == "explicit")) {
+    return at_decl_start(toks, p);
+  }
+  return t.kind == TokenKind::kPunct && t.text == "]]";  // after an attribute
+}
+
+// --- rule: banned ----------------------------------------------------------
+
+void check_banned(const std::string& file, const std::vector<Token>& toks,
+                  const WaiverMap& waivers) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "rand") {
+      const std::size_t p = prev_code(toks, i);
+      const bool qualified =
+          p != std::string::npos &&
+          (toks[p].text == "::" || toks[p].text == "." || toks[p].text == "->");
+      if (!qualified && token_is(toks, next_code(toks, i), "(") &&
+          !waived(waivers, "banned", t.line)) {
+        report(file, t.line, "banned",
+               "rand() is not reproducible; use common/rng.hpp");
+      }
+    }
+    if (t.text == "assert") {
+      const std::size_t open = next_code(toks, i);
+      if (!token_is(toks, open, "(")) continue;
+      const std::size_t arg = next_code(toks, open);
+      if (arg == std::string::npos) continue;
+      const bool bare = toks[arg].text == "false" || toks[arg].text == "0";
+      if (bare && token_is(toks, next_code(toks, arg), ")") &&
+          !waived(waivers, "banned", t.line)) {
+        report(file, t.line, "banned",
+               "argless assert(false); use DVLC_ASSERT(cond, \"message\")");
+      }
+    }
+  }
+}
+
+// --- rule: units -----------------------------------------------------------
+
+void check_units(const std::string& file, const std::vector<Token>& toks,
+                 const WaiverMap& waivers) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "double" && t.text != "float")) {
+      continue;
+    }
+    if (!at_decl_start(toks, i)) continue;
+    const std::size_t name_idx = next_code(toks, i);
+    if (name_idx == std::string::npos ||
+        toks[name_idx].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::size_t after = next_code(toks, name_idx);
+    if (after == std::string::npos) continue;
+    const std::string& punct = toks[after].text;
+    if (punct != "=" && punct != "{" && punct != ";") continue;  // not a field
+    const std::string& name = toks[name_idx].text;
+    if (names_quantity(name) && !ends_with_unit(name) &&
+        !waived(waivers, "units", toks[name_idx].line)) {
+      report(file, toks[name_idx].line, "units",
              "numeric field '" + name +
                  "' names a physical quantity but has no unit suffix "
                  "(_s, _w, _bps, _lux, ...)");
@@ -140,25 +404,159 @@ void check_units(const std::string& file,
 
 // --- rule: nodiscard -------------------------------------------------------
 
-// Error-returning API shapes: bool/optional return + a name that implies an
-// operation whose failure must be observed.
-const std::regex kErrorApi{
-    R"(^\s*(?:static\s+)?(?:bool|std::optional<[\w:<>, ]+>)\s+((?:save|load|write|read|parse|try)_?\w*)\s*\()"};
+bool is_error_api_name(const std::string& name) {
+  static const char* const kPrefixes[] = {"save", "load", "write",
+                                          "read", "parse", "try"};
+  return std::any_of(std::begin(kPrefixes), std::end(kPrefixes),
+                     [&](const char* p) {
+                       return name.rfind(p, 0) == 0;
+                     });
+}
 
-void check_nodiscard(const std::string& file,
-                     const std::vector<std::string>& lines) {
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(lines[i], m, kErrorApi)) continue;
-    if (has_waiver(lines, i, "nodiscard")) continue;
-    const bool marked =
-        lines[i].find("[[nodiscard]]") != std::string::npos ||
-        (i > 0 && lines[i - 1].find("[[nodiscard]]") != std::string::npos);
-    if (!marked) {
-      report(file, i + 1, "nodiscard",
-             "error-returning API '" + m[1].str() +
+void check_nodiscard(const std::string& file, const std::vector<Token>& toks,
+                     const WaiverMap& waivers) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    std::size_t name_idx = std::string::npos;
+    if (t.text == "bool" && at_decl_start(toks, i)) {
+      name_idx = next_code(toks, i);
+    } else if (t.text == "std" && at_decl_start(toks, i)) {
+      // std :: optional < ... > name (
+      std::size_t j = next_code(toks, i);
+      if (!token_is(toks, j, "::")) continue;
+      j = next_code(toks, j);
+      if (j == std::string::npos || toks[j].text != "optional") continue;
+      j = next_code(toks, j);
+      if (!token_is(toks, j, "<")) continue;
+      int depth = 1;
+      while (depth > 0) {
+        j = next_code(toks, j);
+        if (j == std::string::npos) break;
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") --depth;
+      }
+      if (j == std::string::npos) continue;
+      name_idx = next_code(toks, j);
+    } else {
+      continue;
+    }
+    if (name_idx == std::string::npos ||
+        toks[name_idx].kind != TokenKind::kIdentifier ||
+        !is_error_api_name(toks[name_idx].text) ||
+        !token_is(toks, next_code(toks, name_idx), "(")) {
+      continue;
+    }
+    // Look for [[nodiscard]] in the handful of tokens before the type.
+    bool marked = false;
+    std::size_t back = i;
+    for (int k = 0; k < 6 && back > 0; ++k) {
+      back = prev_code(toks, back);
+      if (back == std::string::npos) break;
+      if (toks[back].text == "nodiscard") {
+        marked = true;
+        break;
+      }
+      if (toks[back].text == ";" || toks[back].text == "}") break;
+    }
+    if (!marked && !waived(waivers, "nodiscard", toks[name_idx].line)) {
+      report(file, toks[name_idx].line, "nodiscard",
+             "error-returning API '" + toks[name_idx].text +
                  "' must be [[nodiscard]]");
     }
+  }
+}
+
+// --- rule: raw-double ------------------------------------------------------
+
+/// True for files whose public surface must use typed quantities.
+bool in_physics_core(const fs::path& path) {
+  const std::string p = path.generic_string();
+  for (const char* dir : {"/optics/", "/channel/", "/illum/", "/alloc/"}) {
+    if (p.find(dir) != std::string::npos) return true;
+  }
+  return ends_with(p, "phy/frontend.hpp") || ends_with(p, "core/trace.hpp");
+}
+
+void check_raw_double(const std::string& file, const std::vector<Token>& toks,
+                      const WaiverMap& waivers) {
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      if (t.text == ")") paren_depth = std::max(0, paren_depth - 1);
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier || t.text != "double") continue;
+    const std::size_t name_idx = next_code(toks, i);
+    if (name_idx == std::string::npos ||
+        toks[name_idx].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::string& name = toks[name_idx].text;
+    if (!has_dimensional_suffix(name)) continue;
+    if (paren_depth > 0) {
+      // A unit-suffixed double parameter: must be a Quantity alias.
+      if (!waived(waivers, "raw-double", toks[name_idx].line)) {
+        report(file, toks[name_idx].line, "raw-double",
+               "parameter '" + name +
+                   "' passes a physical quantity as bare double; use the "
+                   "typed alias from common/quantity.hpp (Watts, Amperes, "
+                   "Meters, ...)");
+      }
+      continue;
+    }
+    // A unit-suffixed function returning double: `double power_w(...)`.
+    if (at_decl_start(toks, i) &&
+        token_is(toks, next_code(toks, name_idx), "(") &&
+        !waived(waivers, "raw-double", toks[name_idx].line)) {
+      report(file, toks[name_idx].line, "raw-double",
+             "function '" + name +
+                 "' returns a physical quantity as bare double; return the "
+                 "typed alias from common/quantity.hpp instead");
+    }
+  }
+}
+
+// --- rule: naked-literal ---------------------------------------------------
+
+bool literal_is_zero(const std::string& text) {
+  std::istringstream in{text};
+  double v = 0.0;
+  in >> v;
+  return v == 0.0;
+}
+
+void check_naked_literal(const std::string& file,
+                         const std::vector<Token>& toks,
+                         const WaiverMap& waivers) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || t.text != "double") continue;
+    if (!at_decl_start(toks, i)) continue;
+    const std::size_t name_idx = next_code(toks, i);
+    if (name_idx == std::string::npos ||
+        toks[name_idx].kind != TokenKind::kIdentifier ||
+        !has_dimensional_suffix(toks[name_idx].text)) {
+      continue;
+    }
+    const std::size_t eq = next_code(toks, name_idx);
+    if (!token_is(toks, eq, "=")) continue;
+    const std::size_t lit = next_code(toks, eq);
+    if (lit == std::string::npos || toks[lit].kind != TokenKind::kNumber) {
+      continue;
+    }
+    if (!token_is(toks, next_code(toks, lit), ";")) continue;
+    const std::string& num = toks[lit].text;
+    // Unit literals (`450.0_mA`) carry the unit in the token; zero needs
+    // no unit.
+    if (num.find('_') != std::string::npos || literal_is_zero(num)) continue;
+    if (waived(waivers, "naked-literal", toks[lit].line)) continue;
+    report(file, toks[lit].line, "naked-literal",
+           "unit-suffixed constant '" + toks[name_idx].text +
+               "' is initialized from a naked literal; use a unit literal "
+               "(450.0_mA) or a units:: helper so the unit is visible");
   }
 }
 
@@ -171,15 +569,20 @@ void lint_file(const fs::path& path) {
                  path.string().c_str());
     return;
   }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<Token> tokens = tokenize(buf.str());
+  const WaiverMap waivers = collect_waivers(tokens);
 
   const std::string file = path.string();
   const bool is_header = path.extension() == ".hpp";
-  check_banned(file, lines);
+  check_banned(file, tokens, waivers);
   if (is_header) {
-    check_units(file, lines);
-    check_nodiscard(file, lines);
+    check_units(file, tokens, waivers);
+    check_nodiscard(file, tokens, waivers);
+    if (in_physics_core(path)) check_raw_double(file, tokens, waivers);
+  } else if (in_physics_core(path)) {
+    check_naked_literal(file, tokens, waivers);
   }
 }
 
@@ -211,9 +614,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::sort(g_findings.begin(), g_findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  // GCC-style `path:line:` prefix: editors and CI annotate these.
   for (const auto& f : g_findings) {
-    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+    std::printf("%s:%zu: error: [%s] %s\n", f.file.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str());
   }
   std::printf("lint_invariants: %zu file(s), %zu finding(s)\n", files,
               g_findings.size());
