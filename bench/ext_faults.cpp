@@ -1,0 +1,215 @@
+// Extension: chaos soak — throughput degradation vs. LED fault rate.
+//
+// The paper's controller assumes the hardware keeps working; this bench
+// injects the failures its own Sec. 8 experiments hint at and measures
+// how the degradation layer responds. For each LED fail fraction a
+// fresh system runs a multi-epoch analytic soak under a chaos schedule
+// (seeded burnouts mid-run, then a one-epoch report-loss burst plus
+// sync-pilot loss): per epoch we record the sum throughput right before
+// the decision (the held allocation evaluated against the faulted
+// channel — the dip) and right after it (the re-formed beamspots — the
+// recovery).
+//
+// Soak verdicts, enforced by the ctest chaos wrapper:
+//   - with 10% of LEDs failed, the first decision after the failure
+//     must retain >= 60% of the pre-fault sum throughput
+//     (RETENTION-BELOW-TARGET otherwise);
+//   - identical seeds + schedules must produce bit-identical epoch
+//     traces at every thread count (MISMATCH otherwise).
+//
+// Usage: ext_faults [--quick] [output.json]
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/system.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace densevlc;
+
+struct SoakResult {
+  std::vector<double> pre_decision_mbps;   ///< per epoch, held allocation
+  std::vector<double> post_decision_mbps;  ///< per epoch, fresh decision
+  std::vector<double> fingerprint;         ///< exact per-RX bits
+  std::uint64_t watchdog_holds = 0;
+  std::size_t dead_txs = 0;
+};
+
+SoakResult run_soak(double fail_fraction, std::size_t epochs,
+                    double t_fail_s) {
+  core::SystemConfig cfg;
+  cfg.testbed = sim::make_experimental_testbed();
+  cfg.power_budget_w = 1.2;
+  cfg.faults = sim::chaos_schedule(36, fail_fraction, t_fail_s,
+                                   cfg.mac.epoch_period_s, 0xFA17);
+  auto system =
+      core::DenseVlcSystem::with_static_rxs(cfg, sim::fig7_rx_positions());
+
+  SoakResult out;
+  out.dead_txs = cfg.faults.dead_tx_count(t_fail_s + 1.0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const double t = static_cast<double>(e) * cfg.mac.epoch_period_s;
+    // The held allocation against the channel as it is *now*: this is
+    // what users experience between the fault and the next decision.
+    const auto held =
+        system.controller().expected_throughput(system.faulted_channel(t));
+    double held_sum = 0.0;
+    for (double x : held) held_sum += x;
+    out.pre_decision_mbps.push_back(held_sum / 1e6);
+
+    const auto epoch = system.run_epoch_analytic(t);
+    double post_sum = 0.0;
+    for (double x : epoch.throughput_bps) {
+      post_sum += x;
+      out.fingerprint.push_back(x);
+    }
+    out.post_decision_mbps.push_back(post_sum / 1e6);
+  }
+  out.watchdog_holds = system.controller().watchdog_holds();
+  return out;
+}
+
+double mean_of(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = lo; i < hi && i < v.size(); ++i) {
+    sum += v[i];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const std::size_t epochs = quick ? 10 : 30;
+  const std::size_t fail_epoch = quick ? 4 : 10;
+  // Failure strikes mid-epoch: the dip is visible before the controller
+  // gets its next decision.
+  const double t_fail_s = (static_cast<double>(fail_epoch) - 0.5) * 1.0;
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.0, 0.1}
+            : std::vector<double>{0.0, 0.1, 0.2, 0.3};
+
+  std::vector<std::size_t> thread_counts{1, 2};
+  if (std::find(thread_counts.begin(), thread_counts.end(),
+                hardware_threads()) == thread_counts.end()) {
+    thread_counts.push_back(hardware_threads());
+  }
+
+  std::cout << "Extension - chaos soak: throughput vs LED fault rate "
+               "(36 TX, Fig. 7 RXs, 1.2 W"
+            << (quick ? ", quick mode" : "") << ")\n\n";
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", "ext_faults");
+  doc.set("quick", quick);
+  doc.set("epochs", epochs);
+  doc.set("fail_epoch", fail_epoch);
+  bench::Json sweep = bench::Json::array();
+
+  TablePrinter table{{"fail fraction", "dead TXs", "pre-fault [Mbit/s]",
+                      "dip [Mbit/s]", "first re-decide", "retained",
+                      "watchdog holds"}};
+  bool all_identical = true;
+  bool retention_ok = true;
+  for (double fraction : fractions) {
+    SoakResult base;
+    bool identical = true;
+    for (std::size_t threads : thread_counts) {
+      set_global_threads(threads);
+      SoakResult r = run_soak(fraction, epochs, t_fail_s);
+      if (threads == thread_counts.front()) {
+        base = std::move(r);
+      } else if (r.fingerprint != base.fingerprint) {
+        identical = false;
+      }
+    }
+    all_identical = all_identical && identical;
+
+    const double pre_fault =
+        mean_of(base.post_decision_mbps, 0, fail_epoch);
+    // The dip: held allocation vs. faulted channel, just before the
+    // first decision that can react.
+    const double dip = base.pre_decision_mbps[fail_epoch];
+    const double first_redecide = base.post_decision_mbps[fail_epoch];
+    const double steady =
+        mean_of(base.post_decision_mbps, fail_epoch + 4, epochs);
+    const double retained =
+        pre_fault > 0.0 ? steady / pre_fault : 1.0;
+    const double redecide_retained =
+        pre_fault > 0.0 ? first_redecide / pre_fault : 1.0;
+    if (fraction > 0.0 && fraction <= 0.1 &&
+        (redecide_retained < 0.6 || retained < 0.6)) {
+      retention_ok = false;
+    }
+
+    table.add_row({fmt(fraction, 2), fmt(static_cast<double>(base.dead_txs), 0),
+                   fmt(pre_fault, 2), fmt(dip, 2), fmt(first_redecide, 2),
+                   fmt(retained, 3),
+                   fmt(static_cast<double>(base.watchdog_holds), 0)});
+
+    bench::Json entry = bench::Json::object();
+    entry.set("fail_fraction", fraction);
+    entry.set("dead_txs", base.dead_txs);
+    entry.set("pre_fault_mbps", pre_fault);
+    entry.set("dip_mbps", dip);
+    entry.set("first_redecide_mbps", first_redecide);
+    entry.set("steady_mbps", steady);
+    entry.set("retained", retained);
+    entry.set("watchdog_holds", base.watchdog_holds);
+    entry.set("bit_identical", identical);
+    bench::Json epochs_json = bench::Json::array();
+    for (std::size_t e = 0; e < epochs; ++e) {
+      bench::Json row = bench::Json::object();
+      row.set("epoch", e);
+      row.set("held_mbps", base.pre_decision_mbps[e]);
+      row.set("decided_mbps", base.post_decision_mbps[e]);
+      epochs_json.push(std::move(row));
+    }
+    entry.set("per_epoch", std::move(epochs_json));
+    sweep.push(std::move(entry));
+  }
+  set_global_threads(0);  // restore the default
+
+  table.print(std::cout);
+  table.print_csv(std::cout, "ext_faults");
+
+  std::cout << "\ndeterminism: "
+            << (all_identical ? "epoch traces bit-identical at all thread "
+                                "counts"
+                              : "MISMATCH across thread counts")
+            << "\nresilience: "
+            << (retention_ok
+                    ? "10% LED failure retains >= 60% of pre-fault sum "
+                      "throughput within one epoch"
+                    : "RETENTION-BELOW-TARGET at 10% LED failure")
+            << '\n';
+
+  doc.set("bit_identical", all_identical);
+  doc.set("retention_ok", retention_ok);
+  doc.set("sweep", std::move(sweep));
+  if (!bench::write_json_file(out_path, doc)) {
+    std::cerr << "failed to write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << out_path << '\n';
+  return all_identical && retention_ok ? 0 : 1;
+}

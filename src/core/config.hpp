@@ -6,6 +6,8 @@
 
 #include <cstddef>
 
+#include "core/controller.hpp"
+#include "fault/fault.hpp"
 #include "net/links.hpp"
 #include "optics/nlos.hpp"
 #include "phy/frontend.hpp"
@@ -45,6 +47,8 @@ struct SystemConfig {
   double power_budget_w = 1.2;          ///< P_C,tot for communication
   double max_swing_a = 0.9;             ///< Isw,max
   std::uint64_t seed = 0xD5EED;         ///< master randomness seed
+  DegradationConfig degradation{};      ///< controller fallback behaviour
+  fault::FaultSchedule faults{};        ///< injected component failures
 };
 
 }  // namespace densevlc::core

@@ -3,11 +3,142 @@
 #include <algorithm>
 
 #include "alloc/adaptive_kappa.hpp"
+#include "common/contracts.hpp"
 
 namespace densevlc::core {
 
 std::size_t Controller::update_channel(
     const channel::ChannelMatrix& measured) {
+  EpochInput input;
+  input.measured = measured;
+  return update_epoch(input);
+}
+
+bool Controller::age_reports(const std::vector<bool>& fresh,
+                             std::size_t num_rx) {
+  if (health_.size() < num_rx) {
+    health_.resize(num_rx);
+    for (auto& h : health_) {
+      h.backoff_epochs = std::max<std::size_t>(
+          1, cfg_.degradation.backoff_initial_epochs);
+    }
+  }
+  bool any_fresh = false;
+  for (std::size_t rx = 0; rx < num_rx; ++rx) {
+    auto& h = health_[rx];
+    const bool is_fresh = fresh.empty() || fresh[rx];
+    if (is_fresh) {
+      h.state = RxLinkState::kFresh;
+      h.silent_epochs = 0;
+      h.backoff_epochs = std::max<std::size_t>(
+          1, cfg_.degradation.backoff_initial_epochs);
+      h.epochs_until_reprobe = 0;
+      any_fresh = true;
+      continue;
+    }
+    ++h.silent_epochs;
+    if (h.silent_epochs <= cfg_.degradation.hold_epochs) {
+      h.state = RxLinkState::kStale;
+      continue;
+    }
+    if (h.state != RxLinkState::kExpired) {
+      // Entering expiry: retry immediately, then back off exponentially.
+      h.state = RxLinkState::kExpired;
+      ++h.reprobes;
+      h.epochs_until_reprobe = h.backoff_epochs;
+    } else if (h.epochs_until_reprobe == 0) {
+      ++h.reprobes;
+      h.backoff_epochs = std::min(2 * h.backoff_epochs,
+                                  cfg_.degradation.backoff_max_epochs);
+      h.epochs_until_reprobe = h.backoff_epochs;
+    } else {
+      --h.epochs_until_reprobe;
+    }
+  }
+  return any_fresh;
+}
+
+void Controller::prune_dead_txs(const std::vector<bool>& dead_tx) {
+  if (dead_tx.empty()) return;
+  const auto is_dead = [&](std::size_t tx) {
+    return tx < dead_tx.size() && dead_tx[tx];
+  };
+  std::vector<Beamspot> surviving;
+  for (auto& spot : beamspots_) {
+    const std::size_t old_leader = spot.leader;
+    bool leader_died = false;
+    std::vector<std::size_t> alive;
+    for (std::size_t tx : spot.txs) {
+      if (is_dead(tx)) {
+        if (tx < alloc_.num_tx()) alloc_.set_swing(tx, spot.rx, 0.0);
+        leader_died = leader_died || tx == old_leader;
+      } else {
+        alive.push_back(tx);
+      }
+    }
+    if (alive.empty()) continue;  // beamspot dissolved
+    spot.txs = std::move(alive);
+    if (leader_died) {
+      // Re-elect: the survivor with the best channel to the served RX,
+      // judged by the measurements the held decision was based on.
+      spot.leader = spot.txs.front();
+      if (last_view_.num_tx() > 0) {
+        for (std::size_t tx : spot.txs) {
+          if (last_view_.gain(tx, spot.rx) >
+              last_view_.gain(spot.leader, spot.rx)) {
+            spot.leader = tx;
+          }
+        }
+      }
+      ++leader_reelections_;
+    }
+    surviving.push_back(std::move(spot));
+  }
+  beamspots_ = std::move(surviving);
+  power_used_w_ =
+      channel::total_comm_power(alloc_, cfg_.link_budget).value();
+}
+
+std::size_t Controller::update_epoch(const EpochInput& input) {
+  const std::size_t num_rx = input.measured.num_rx();
+  const std::size_t num_tx = input.measured.num_tx();
+  DVLC_EXPECT(input.fresh.empty() || input.fresh.size() == num_rx,
+              "fresh flags must match the RX count");
+  DVLC_EXPECT(input.dead_tx.empty() || input.dead_tx.size() == num_tx,
+              "dead-TX flags must match the TX count");
+
+  const bool any_fresh = age_reports(input.fresh, num_rx);
+
+  // Watchdog: when the decision deadline was missed, or the uplink went
+  // completely silent, re-deciding on garbage only thrashes the TXs —
+  // hold the last-good allocation (minus any TXs that died since).
+  const bool hold =
+      cfg_.degradation.enabled && have_decision_ &&
+      (input.overrun || (!any_fresh && !input.fresh.empty()));
+  if (hold) {
+    ++watchdog_holds_;
+    prune_dead_txs(input.dead_tx);
+    std::size_t assigned = 0;
+    for (const auto& spot : beamspots_) assigned += spot.txs.size();
+    return assigned;
+  }
+
+  // Working view: dead TXs and expired RXs are erased before the SJR
+  // ranking, so power re-forms around the surviving hardware.
+  channel::ChannelMatrix view = input.measured;
+  if (!input.dead_tx.empty()) {
+    for (std::size_t tx = 0; tx < num_tx; ++tx) {
+      if (!input.dead_tx[tx]) continue;
+      for (std::size_t rx = 0; rx < num_rx; ++rx) view.set_gain(tx, rx, 0.0);
+    }
+  }
+  if (cfg_.degradation.enabled) {
+    for (std::size_t rx = 0; rx < num_rx && rx < health_.size(); ++rx) {
+      if (health_[rx].state != RxLinkState::kExpired) continue;
+      for (std::size_t tx = 0; tx < num_tx; ++tx) view.set_gain(tx, rx, 0.0);
+    }
+  }
+
   alloc::AssignmentOptions opts;
   opts.max_swing_a = cfg_.max_swing_a;
   opts.allow_partial_tail = false;  // Insight 2: binary swing in practice
@@ -18,13 +149,13 @@ std::size_t Controller::update_channel(
     acfg.initial_kappa = cfg_.kappa;
     acfg.max_rounds = 4;
     const auto personal = alloc::personalize_kappa(
-        measured, Watts{cfg_.power_budget_w}, cfg_.link_budget, opts, acfg);
-    ranking = alloc::rank_transmitters_per_tx(measured, personal.kappas);
+        view, Watts{cfg_.power_budget_w}, cfg_.link_budget, opts, acfg);
+    ranking = alloc::rank_transmitters_per_tx(view, personal.kappas);
   } else {
-    ranking = alloc::rank_transmitters(measured, cfg_.kappa);
+    ranking = alloc::rank_transmitters(view, cfg_.kappa);
   }
   const auto result =
-      alloc::assign_by_ranking(ranking, measured.num_tx(), measured.num_rx(),
+      alloc::assign_by_ranking(ranking, view.num_tx(), view.num_rx(),
                                Watts{cfg_.power_budget_w}, cfg_.link_budget,
                                opts);
   alloc_ = result.allocation;
@@ -33,7 +164,7 @@ std::size_t Controller::update_channel(
   // Group assigned TXs into beamspots, preserving rank order so the
   // first-listed TX is the best channel — it becomes the leader.
   beamspots_.clear();
-  for (std::size_t rx = 0; rx < measured.num_rx(); ++rx) {
+  for (std::size_t rx = 0; rx < view.num_rx(); ++rx) {
     Beamspot spot;
     spot.rx = rx;
     for (const auto& entry : ranking) {
@@ -46,14 +177,21 @@ std::size_t Controller::update_channel(
       // served RX: its pilot reaches the co-serving neighbours strongest.
       spot.leader = spot.txs.front();
       for (std::size_t tx : spot.txs) {
-        if (measured.gain(tx, rx) > measured.gain(spot.leader, rx)) {
+        if (view.gain(tx, rx) > view.gain(spot.leader, rx)) {
           spot.leader = tx;
         }
       }
       beamspots_.push_back(std::move(spot));
     }
   }
+  last_view_ = std::move(view);
+  have_decision_ = true;
   return result.txs_assigned;
+}
+
+const RxHealth& Controller::rx_health(std::size_t rx) const {
+  static const RxHealth kDefault{};
+  return rx < health_.size() ? health_[rx] : kDefault;
 }
 
 std::optional<Beamspot> Controller::beamspot_for(std::size_t rx) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "mac/arq.hpp"
 #include "mac/report.hpp"
 #include "sync/nlos_sync.hpp"
@@ -17,6 +18,7 @@ ControllerConfig controller_config(const SystemConfig& cfg) {
   cc.power_budget_w = cfg.power_budget_w;
   cc.max_swing_a = cfg.max_swing_a;
   cc.link_budget = cfg.testbed.budget;
+  cc.degradation = cfg.degradation;
   return cc;
 }
 
@@ -81,6 +83,19 @@ channel::ChannelMatrix DenseVlcSystem::true_channel(double t_s) const {
   return cfg_.testbed.channel_for(positions);
 }
 
+channel::ChannelMatrix DenseVlcSystem::faulted_channel(double t_s) const {
+  auto h = true_channel(t_s);
+  if (cfg_.faults.empty()) return h;
+  for (std::size_t j = 0; j < h.num_tx(); ++j) {
+    const double scale = cfg_.faults.tx_output_scale(j, t_s);
+    if (scale == 1.0) continue;
+    for (std::size_t k = 0; k < h.num_rx(); ++k) {
+      h.set_gain(j, k, h.gain(j, k) * scale);
+    }
+  }
+  return h;
+}
+
 std::size_t DenseVlcSystem::bbb_of(std::size_t tx_id) const {
   const std::size_t cols = cfg_.testbed.grid.cols;
   const std::size_t row = tx_id / cols;
@@ -89,7 +104,8 @@ std::size_t DenseVlcSystem::bbb_of(std::size_t tx_id) const {
 }
 
 std::vector<double> DenseVlcSystem::draw_tx_offsets(const Beamspot& spot,
-                                                    Rng& rng) const {
+                                                    Rng& rng,
+                                                    double t_s) const {
   // Offsets are shared per BBB: four TXs hang off one PRU.
   std::vector<double> offsets(spot.txs.size(), 0.0);
   std::vector<std::size_t> bbbs(spot.txs.size());
@@ -123,6 +139,16 @@ std::vector<double> DenseVlcSystem::draw_tx_offsets(const Beamspot& spot,
       case SyncMode::kNlosVlc:
         if (bbb == leader_bbb) {
           drawn = 0.0;  // the leader defines the timeline
+        } else if (cfg_.faults.sync_pilot_lost(t_s)) {
+          // The follower never saw the pilot: it free-runs on multicast
+          // arrival, i.e. the unsynchronized spread of SyncMode::kNone.
+          double u;
+          do {
+            u = rng.uniform();
+          } while (u <= 0.0);
+          drawn = -cfg_.timesync.delivery_jitter_mean_s * std::log(u) +
+                  rng.uniform(0.0, cfg_.timesync.stack_start_spread_s) +
+                  rng.gaussian(0.0, cfg_.timesync.event_jitter_sigma_s);
         } else {
           const auto idx = static_cast<std::size_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(nlos_errors_.size()) - 1));
@@ -141,12 +167,17 @@ std::vector<double> DenseVlcSystem::draw_tx_offsets(const Beamspot& spot,
 }
 
 void DenseVlcSystem::measure_and_decide(double t_s, Rng& rng) {
-  const auto truth = true_channel(t_s);
+  const auto truth = faulted_channel(t_s);
   const auto measured = prober_.probe_matrix(truth, rng);
 
   // Each RX serializes a quantized channel report and sends it over the
   // lossy WiFi uplink; the controller decodes what arrives. A lost
   // report leaves the controller with the previous epoch's column.
+  // Injected faults add to the random loss: a dropped-out RX never
+  // transmits, and a report-loss burst swallows the whole uplink. The
+  // random loss draw always happens first so a fault-free schedule
+  // reproduces the pre-fault byte streams exactly.
+  std::vector<bool> fresh(num_rx(), false);
   for (std::size_t k = 0; k < num_rx(); ++k) {
     mac::ChannelReport report;
     report.rx_id = static_cast<std::uint16_t>(k);
@@ -158,22 +189,36 @@ void DenseVlcSystem::measure_and_decide(double t_s, Rng& rng) {
     const auto wire = mac::encode_report(report);
 
     if (rng.bernoulli(cfg_.wifi.loss_probability)) continue;  // lost
+    if (cfg_.faults.rx_down(k, t_s)) continue;
+    if (cfg_.faults.reports_blocked(t_s)) continue;
     const auto decoded = mac::decode_report(wire);
     if (!decoded || decoded->gains.size() != num_tx()) continue;
     for (std::size_t j = 0; j < num_tx(); ++j) {
       last_reports_[k][j] = decoded->gains[j];
     }
+    fresh[k] = true;
   }
   ++epoch_counter_;
 
-  channel::ChannelMatrix assembled{
+  EpochInput input;
+  input.measured = channel::ChannelMatrix{
       num_tx(), num_rx(), std::vector<double>(num_tx() * num_rx(), 0.0)};
   for (std::size_t j = 0; j < num_tx(); ++j) {
     for (std::size_t k = 0; k < num_rx(); ++k) {
-      assembled.set_gain(j, k, last_reports_[k][j]);
+      input.measured.set_gain(j, k, last_reports_[k][j]);
     }
   }
-  controller_.update_channel(assembled);
+  input.fresh = std::move(fresh);
+  // Dead drivers announce themselves over the Ethernet control plane
+  // (BBB heartbeats), so the controller can exclude them immediately.
+  if (!cfg_.faults.empty()) {
+    input.dead_tx.assign(num_tx(), false);
+    for (std::size_t j = 0; j < num_tx(); ++j) {
+      input.dead_tx[j] = cfg_.faults.tx_dead(j, t_s);
+    }
+    input.overrun = cfg_.faults.epoch_overrun(t_s);
+  }
+  controller_.update_epoch(input);
 }
 
 EpochReport DenseVlcSystem::run_epoch_analytic(double t_s) {
@@ -222,7 +267,8 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
   };
 
   auto run_slot = [&](const SlotCommand& slot) {
-    const auto truth = true_channel(des.now().seconds());
+    const double now_s = des.now().seconds();
+    const auto truth = faulted_channel(now_s);
     // Pre-draw every beamspot's servers/offsets toward its own RX.
     struct Prepared {
       std::size_t rx;
@@ -239,7 +285,7 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
       p.rx = cf.frame.dst;
       p.frame = cf.frame;
       p.tx_ids = spot->txs;
-      p.offsets = draw_tx_offsets(*spot, data_rng);
+      p.offsets = draw_tx_offsets(*spot, data_rng, now_s);
       for (std::size_t i = 0; i < spot->txs.size(); ++i) {
         ServingTx s;
         s.tx_id = spot->txs[i];
@@ -272,16 +318,18 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
       ++report.rx[p.rx].frames_sent;
       const auto outcome =
           data_path_.transmit(p.servers, p.frame, data_rng, interferers);
-      if (outcome.delivered) {
+      if (outcome.delivered && !cfg_.faults.rx_down(p.rx, now_s)) {
         ++report.rx[p.rx].frames_delivered;
         report.rx[p.rx].payload_bits_delivered +=
             p.frame.payload.size() * 8;
-        // MAC acknowledgement over WiFi.
+        // MAC acknowledgement over WiFi. A lost ACK only dents the
+        // counter (wifi.stats() keeps the tally); stop-and-wait
+        // recovery lives in run_arq().
         const std::size_t rx_id = p.rx;
-        wifi.send({static_cast<std::uint8_t>(rx_id)},
-                  [&report, rx_id](const std::vector<std::uint8_t>&) {
-                    ++report.rx[rx_id].acks_received;
-                  });
+        (void)wifi.send({static_cast<std::uint8_t>(rx_id)},
+                        [&report, rx_id](const std::vector<std::uint8_t>&) {
+                          ++report.rx[rx_id].acks_received;
+                        });
       }
     }
   };
@@ -406,7 +454,7 @@ DenseVlcSystem::ArqReport DenseVlcSystem::run_arq(
           phy::Protocol::kData);
       entry.frame.payload = mac::encode_segment(*segment);
       entry.spot = spot;
-      entry.offsets = draw_tx_offsets(spot, rng);
+      entry.offsets = draw_tx_offsets(spot, rng, t);
       slot.push_back(std::move(entry));
     }
     if (slot.empty()) {
@@ -419,7 +467,7 @@ DenseVlcSystem::ArqReport DenseVlcSystem::run_arq(
       continue;
     }
 
-    const auto truth = true_channel(t);
+    const auto truth = faulted_channel(t);
     for (const auto& entry : slot) {
       std::vector<ServingTx> servers;
       for (std::size_t i = 0; i < entry.spot.txs.size(); ++i) {
@@ -447,7 +495,7 @@ DenseVlcSystem::ArqReport DenseVlcSystem::run_arq(
       const auto outcome =
           data_path_.transmit(servers, entry.frame, rng, interferers);
       bool acked = false;
-      if (outcome.delivered) {
+      if (outcome.delivered && !cfg_.faults.rx_down(entry.rx, t)) {
         const auto decoded = mac::decode_segment(entry.frame.payload);
         const auto rx_outcome = receivers[entry.rx].on_segment(*decoded);
         if (!rx_outcome.deliver_to_app) {
@@ -458,7 +506,13 @@ DenseVlcSystem::ArqReport DenseVlcSystem::run_arq(
           acked = senders[entry.rx].on_ack(rx_outcome.ack_seq);
         }
       }
-      if (!acked) senders[entry.rx].on_timeout();
+      if (!acked) {
+        // A give-up is the transmitter's typed notice that the retry
+        // budget is gone; the controller tallies delivery failures here.
+        if (senders[entry.rx].on_timeout()) {
+          ++report.rx[entry.rx].give_ups;
+        }
+      }
     }
     t += slot_s;
   }
@@ -466,6 +520,8 @@ DenseVlcSystem::ArqReport DenseVlcSystem::run_arq(
   for (std::size_t k = 0; k < num_rx(); ++k) {
     report.rx[k].segments_delivered = senders[k].delivered();
     report.rx[k].segments_dropped = senders[k].dropped();
+    DVLC_ASSERT(report.rx[k].give_ups == report.rx[k].segments_dropped,
+                "every dropped segment must surface one give-up notice");
   }
   return report;
 }

@@ -92,6 +92,12 @@ class DenseVlcSystem {
   /// True LOS channel matrix at simulated time `t_s` (geometry + optics).
   channel::ChannelMatrix true_channel(double t_s) const;
 
+  /// true_channel with the fault schedule applied: burnt-out LEDs
+  /// radiate nothing, saturated or flickering drivers scale their rows.
+  /// This is the physical channel the probes and data frames actually
+  /// traverse while faults are active.
+  channel::ChannelMatrix faulted_channel(double t_s) const;
+
   /// Runs the full MAC with the waveform data path for `duration_s`
   /// simulated seconds, `payload_bytes` per data frame.
   RunReport run(double duration_s, std::size_t payload_bytes);
@@ -103,6 +109,7 @@ class DenseVlcSystem {
     std::uint64_t segments_dropped = 0;    ///< retry budget exhausted
     std::uint64_t transmissions = 0;       ///< incl. retransmissions
     std::uint64_t duplicates = 0;          ///< suppressed at the RX
+    std::uint64_t give_ups = 0;            ///< typed ARQ give-up notices
   };
   struct ArqReport {
     std::vector<ArqStats> rx;
@@ -131,8 +138,11 @@ class DenseVlcSystem {
   EpochReport run_epoch_analytic(double t_s);
 
   /// Draws the per-TX start-time offsets for a beamspot transmission
-  /// under the configured sync mode [s].
-  std::vector<double> draw_tx_offsets(const Beamspot& spot, Rng& rng) const;
+  /// under the configured sync mode [s]. While a sync-pilot-loss fault
+  /// is active at `t_s`, NLOS-synced followers miss the leader's pilot
+  /// and fall back to the unsynchronized start-time spread.
+  std::vector<double> draw_tx_offsets(const Beamspot& spot, Rng& rng,
+                                      double t_s = 0.0) const;
 
   /// BBB hosting TX `id`: the grid is managed in 2x2 blocks of four TXs
   /// per BeagleBone (Sec. 7.1), so TX2 and TX8 share a board.

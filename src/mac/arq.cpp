@@ -38,13 +38,17 @@ std::optional<Segment> ArqTransmitter::next_segment() {
   return outstanding_;
 }
 
-void ArqTransmitter::on_timeout() {
-  if (!outstanding_) return;
+std::optional<ArqGiveUp> ArqTransmitter::on_timeout() {
+  if (!outstanding_) return std::nullopt;
   if (attempts_ >= max_attempts_) {
+    ArqGiveUp give_up{outstanding_->seq, attempts_,
+                      std::move(outstanding_->data)};
     outstanding_.reset();
     ++dropped_;
+    return give_up;
   }
   // Otherwise keep the segment outstanding; next_segment() resends it.
+  return std::nullopt;
 }
 
 bool ArqTransmitter::on_ack(std::uint8_t seq) {

@@ -33,6 +33,14 @@ std::vector<std::uint8_t> encode_segment(const Segment& segment);
 std::optional<Segment> decode_segment(
     std::span<const std::uint8_t> payload);
 
+/// Typed notification that a segment exhausted its retry budget. The
+/// dropped payload rides along so the caller can log or re-route it.
+struct ArqGiveUp {
+  std::uint8_t seq = 0;
+  std::size_t attempts = 0;
+  std::vector<std::uint8_t> data;
+};
+
 /// Controller-side ARQ state for one receiver.
 class ArqTransmitter {
  public:
@@ -49,8 +57,10 @@ class ArqTransmitter {
   std::optional<Segment> next_segment();
 
   /// Call when the slot's transmission completed without an ACK arriving
-  /// in time. After max_attempts the segment is dropped (counted).
-  void on_timeout();
+  /// in time. After max_attempts the segment is dropped (counted) and
+  /// the give-up is returned so the controller can account the delivery
+  /// failure; nullopt while retries remain.
+  std::optional<ArqGiveUp> on_timeout();
 
   /// Call when an ACK for sequence `seq` arrives. Out-of-date ACKs are
   /// ignored. Returns true if it acknowledged the outstanding segment.

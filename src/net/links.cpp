@@ -1,5 +1,6 @@
 #include "net/links.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace densevlc::net {
@@ -13,15 +14,21 @@ double SimLink::draw_latency() {
 }
 
 bool SimLink::send(std::vector<std::uint8_t> payload, Handler handler) {
-  ++sent_;
+  ++stats_.sent;
   if (rng_.bernoulli(cfg_.loss_probability)) {
-    ++lost_;
+    ++stats_.lost;
     return false;
   }
   const double latency = draw_latency();
   sim_->schedule_in(SimTime::from_seconds(latency),
-                    [payload = std::move(payload),
-                     handler = std::move(handler)] { handler(payload); });
+                    [this, latency, payload = std::move(payload),
+                     handler = std::move(handler)] {
+                      ++stats_.delivered;
+                      stats_.total_latency_s += latency;
+                      stats_.max_latency_s =
+                          std::max(stats_.max_latency_s, latency);
+                      handler(payload);
+                    });
   return true;
 }
 
@@ -38,9 +45,15 @@ void EthernetMulticast::send(const std::vector<std::uint8_t>& payload) {
     } while (u <= 0.0);
     const double latency = cfg_.base_latency_s - cfg_.jitter_mean_s *
                                                      std::log(u);
-    sim_->schedule_in(
-        SimTime::from_seconds(latency),
-        [this, id, payload] { handlers_[id](id, payload); });
+    ++stats_.sent;
+    sim_->schedule_in(SimTime::from_seconds(latency),
+                      [this, id, latency, payload] {
+                        ++stats_.delivered;
+                        stats_.total_latency_s += latency;
+                        stats_.max_latency_s =
+                            std::max(stats_.max_latency_s, latency);
+                        handlers_[id](id, payload);
+                      });
   }
 }
 

@@ -24,6 +24,24 @@ struct LinkConfig {
   double loss_probability = 0.0;    ///< independent per-delivery loss
 };
 
+/// Per-link delivery counters, kept by every SimLink so tests and the
+/// chaos bench can assert loss and latency behaviour instead of
+/// ignoring send()'s verdict.
+struct LinkStats {
+  std::uint64_t sent = 0;       ///< send() calls
+  std::uint64_t lost = 0;       ///< loss draws that ate the packet
+  std::uint64_t delivered = 0;  ///< handler invocations so far
+  double total_latency_s = 0.0; ///< summed over delivered packets
+  double max_latency_s = 0.0;
+
+  /// Packets scheduled but not yet delivered by the simulator.
+  std::uint64_t in_flight() const { return sent - lost - delivered; }
+  double mean_latency_s() const {
+    return delivered > 0 ? total_latency_s / static_cast<double>(delivered)
+                         : 0.0;
+  }
+};
+
 /// Point-to-point link: delivers byte payloads to a handler with
 /// randomized latency; lost deliveries simply never arrive.
 class SimLink {
@@ -34,8 +52,9 @@ class SimLink {
       : sim_{&simulator}, cfg_{cfg}, rng_{rng} {}
 
   /// Queues a delivery. Returns false if the draw decided the packet is
-  /// lost (the handler will never fire for it).
-  bool send(std::vector<std::uint8_t> payload, Handler handler);
+  /// lost (the handler will never fire for it). The link must outlive
+  /// the simulator events it schedules (it tallies the delivery).
+  [[nodiscard]] bool send(std::vector<std::uint8_t> payload, Handler handler);
 
   /// One latency draw [s] (exposed for tests).
   double draw_latency();
@@ -43,15 +62,15 @@ class SimLink {
   const LinkConfig& config() const { return cfg_; }
 
   /// Counters.
-  std::uint64_t sent() const { return sent_; }
-  std::uint64_t lost() const { return lost_; }
+  const LinkStats& stats() const { return stats_; }
+  std::uint64_t sent() const { return stats_.sent; }
+  std::uint64_t lost() const { return stats_.lost; }
 
  private:
   sim::Simulator* sim_;
   LinkConfig cfg_;
   Rng rng_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t lost_ = 0;
+  LinkStats stats_;
 };
 
 /// Ethernet multicast from the controller to all subscribed TXs: one
@@ -75,11 +94,15 @@ class EthernetMulticast {
 
   std::size_t subscriber_count() const { return handlers_.size(); }
 
+  /// Aggregate counters over all subscriber deliveries.
+  const LinkStats& stats() const { return stats_; }
+
  private:
   sim::Simulator* sim_;
   LinkConfig cfg_;
   Rng rng_;
   std::vector<Handler> handlers_;
+  LinkStats stats_;
 };
 
 }  // namespace densevlc::net

@@ -102,4 +102,27 @@ std::vector<std::vector<geom::Vec3>> random_instances(std::size_t count,
   return instances;
 }
 
+fault::FaultSchedule chaos_schedule(std::size_t num_tx,
+                                    double led_fail_fraction,
+                                    double t_fail_s, double epoch_period_s,
+                                    std::uint64_t seed) {
+  const auto failures = static_cast<std::size_t>(std::llround(
+      led_fail_fraction * static_cast<double>(num_tx)));
+  auto schedule = fault::FaultSchedule::random_led_burnouts(
+      num_tx, failures, t_fail_s, seed);
+
+  fault::FaultEvent burst;
+  burst.kind = fault::FaultKind::kReportLossBurst;
+  burst.t_start_s = t_fail_s + 2.0 * epoch_period_s;
+  burst.t_end_s = burst.t_start_s + epoch_period_s;
+  schedule.add(burst);
+
+  fault::FaultEvent pilot;
+  pilot.kind = fault::FaultKind::kSyncPilotLoss;
+  pilot.t_start_s = burst.t_start_s;
+  pilot.t_end_s = burst.t_end_s;
+  schedule.add(pilot);
+  return schedule;
+}
+
 }  // namespace densevlc::sim

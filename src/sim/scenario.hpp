@@ -15,6 +15,7 @@
 
 #include "channel/model.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "geom/grid.hpp"
 #include "geom/vec3.hpp"
 #include "optics/lambertian.hpp"
@@ -71,5 +72,16 @@ std::vector<geom::Vec3> scenario3_rx_positions();
 std::vector<std::vector<geom::Vec3>> random_instances(
     std::size_t count, double radius_m, const geom::Room& room,
     std::uint64_t seed);
+
+/// Chaos-soak fault schedule for an `num_tx`-LED grid: `led_fail_fraction`
+/// of the LEDs (rounded to the nearest count, seed-chosen) burn out
+/// permanently at `t_fail_s`; a report-loss burst and a sync-pilot-loss
+/// window each cover one epoch starting two epochs later, so the soak
+/// exercises the watchdog and the degraded sync path too. Deterministic
+/// given the seed.
+fault::FaultSchedule chaos_schedule(std::size_t num_tx,
+                                    double led_fail_fraction,
+                                    double t_fail_s, double epoch_period_s,
+                                    std::uint64_t seed);
 
 }  // namespace densevlc::sim

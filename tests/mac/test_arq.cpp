@@ -65,6 +65,32 @@ TEST(ArqTx, DropsAfterMaxAttempts) {
   EXPECT_FALSE(tx.next_segment().has_value());
 }
 
+TEST(ArqTx, GiveUpNotificationCarriesPayload) {
+  ArqTransmitter tx{2};
+  tx.enqueue({0xAB, 0xCD});
+  ASSERT_TRUE(tx.next_segment().has_value());
+  // Retries remain after the first timeout: no give-up yet.
+  EXPECT_FALSE(tx.on_timeout().has_value());
+  ASSERT_TRUE(tx.next_segment().has_value());
+  const auto give_up = tx.on_timeout();
+  ASSERT_TRUE(give_up.has_value());
+  EXPECT_EQ(give_up->seq, 0);
+  EXPECT_EQ(give_up->attempts, 2u);
+  EXPECT_EQ(give_up->data, (std::vector<std::uint8_t>{0xAB, 0xCD}));
+  EXPECT_EQ(tx.dropped(), 1u);
+  // The transmitter moves on to the next queued segment afterwards.
+  tx.enqueue({7});
+  const auto next = tx.next_segment();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->seq, 1);
+}
+
+TEST(ArqTx, TimeoutWhileIdleGivesNothing) {
+  ArqTransmitter tx{2};
+  EXPECT_FALSE(tx.on_timeout().has_value());
+  EXPECT_EQ(tx.dropped(), 0u);
+}
+
 TEST(ArqTx, StaleAckIgnored) {
   ArqTransmitter tx;
   tx.enqueue({1});
@@ -86,6 +112,27 @@ TEST(ArqTx, SequenceNumbersWrap) {
   }
 }
 
+TEST(ArqTx, ReorderedAndDuplicatedAcksIgnored) {
+  ArqTransmitter tx;
+  tx.enqueue({1});
+  tx.enqueue({2});
+  const auto first = tx.next_segment();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(tx.on_ack(first->seq));
+  const auto second = tx.next_segment();
+  ASSERT_TRUE(second.has_value());
+  // A late duplicate of the first ACK arrives out of order: it must not
+  // acknowledge the new outstanding segment.
+  EXPECT_FALSE(tx.on_ack(first->seq));
+  EXPECT_EQ(tx.delivered(), 1u);
+  ASSERT_TRUE(tx.next_segment().has_value());  // still outstanding
+  EXPECT_TRUE(tx.on_ack(second->seq));
+  // And a duplicate of the now-consumed ACK is also a no-op.
+  EXPECT_FALSE(tx.on_ack(second->seq));
+  EXPECT_EQ(tx.delivered(), 2u);
+  EXPECT_EQ(tx.dropped(), 0u);
+}
+
 TEST(ArqRx, AcceptsNewRejectsDuplicate) {
   ArqReceiver rx;
   const Segment s{5, {9}};
@@ -97,6 +144,31 @@ TEST(ArqRx, AcceptsNewRejectsDuplicate) {
   EXPECT_EQ(dup.ack_seq, 5);  // duplicate still gets ACKed
   EXPECT_EQ(rx.duplicates(), 1u);
   EXPECT_EQ(rx.accepted(), 1u);
+}
+
+TEST(ArqRx, DuplicateSuppressionAcrossSequenceWrap) {
+  ArqTransmitter tx;
+  ArqReceiver rx;
+  // March the transmitter through the full sequence space and past the
+  // 255 -> 0 wrap, duplicating every downlink frame (as a lost ACK
+  // would): the receiver must deliver each segment exactly once and ACK
+  // the duplicate without delivering it — including at the wrap, where
+  // seq 0 reappears and must not be mistaken for the original seq 0.
+  for (int i = 0; i < 260; ++i) {
+    tx.enqueue({static_cast<std::uint8_t>(i)});
+    const auto seg = tx.next_segment();
+    ASSERT_TRUE(seg.has_value());
+    EXPECT_EQ(seg->seq, static_cast<std::uint8_t>(i));
+    const auto fresh = rx.on_segment(*seg);
+    EXPECT_TRUE(fresh.deliver_to_app) << "i=" << i;
+    const auto dup = rx.on_segment(*seg);
+    EXPECT_FALSE(dup.deliver_to_app) << "i=" << i;
+    EXPECT_EQ(dup.ack_seq, seg->seq);
+    ASSERT_TRUE(tx.on_ack(dup.ack_seq));
+  }
+  EXPECT_EQ(rx.accepted(), 260u);
+  EXPECT_EQ(rx.duplicates(), 260u);
+  EXPECT_EQ(tx.delivered(), 260u);
 }
 
 TEST(Arq, EndToEndOverLossyLink) {

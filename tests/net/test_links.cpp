@@ -13,11 +13,11 @@ TEST(SimLink, DeliversWithLatency) {
   SimLink link{des, LinkConfig{100e-6, 0.0, 0.0}, Rng{1}};
   bool delivered = false;
   SimTime at{};
-  link.send({1, 2, 3}, [&](const std::vector<std::uint8_t>& p) {
+  EXPECT_TRUE(link.send({1, 2, 3}, [&](const std::vector<std::uint8_t>& p) {
     delivered = true;
     at = des.now();
     EXPECT_EQ(p, (std::vector<std::uint8_t>{1, 2, 3}));
-  });
+  }));
   des.run_until(SimTime::from_ms(10));
   EXPECT_TRUE(delivered);
   EXPECT_GE(at, SimTime::from_us(100));
@@ -36,7 +36,7 @@ TEST(SimLink, LossDropsDeliveries) {
   SimLink link{des, LinkConfig{10e-6, 0.0, 0.5}, Rng{3}};
   int delivered = 0;
   for (int i = 0; i < 1000; ++i) {
-    link.send({0}, [&](const auto&) { ++delivered; });
+    (void)link.send({0}, [&](const auto&) { ++delivered; });  // loss expected
   }
   des.run_until(SimTime::from_sec(1));
   EXPECT_EQ(link.sent(), 1000u);
@@ -53,6 +53,53 @@ TEST(SimLink, NoLossDeliversEverything) {
   }
   des.run_until(SimTime::from_sec(1));
   EXPECT_EQ(delivered, 100);
+}
+
+TEST(SimLink, StatsAccountForEveryPacket) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{100e-6, 50e-6, 0.3}, Rng{8}};
+  for (int i = 0; i < 500; ++i) {
+    (void)link.send({1}, [](const auto&) {});  // loss expected
+  }
+  const auto& mid = link.stats();
+  EXPECT_EQ(mid.sent, 500u);
+  EXPECT_EQ(mid.delivered, 0u);  // nothing delivered before the sim runs
+  EXPECT_EQ(mid.in_flight(), 500u - mid.lost);
+
+  des.run_until(SimTime::from_sec(10));
+  const auto& s = link.stats();
+  EXPECT_EQ(s.sent, 500u);
+  EXPECT_EQ(s.lost + s.delivered, 500u);  // every packet accounted for
+  EXPECT_EQ(s.in_flight(), 0u);
+  EXPECT_GT(s.delivered, 0u);
+  // Latency tallies: base 100 us, so the mean sits above it and the max
+  // bounds the mean.
+  EXPECT_GE(s.mean_latency_s(), 100e-6);
+  EXPECT_GE(s.max_latency_s, s.mean_latency_s());
+  EXPECT_NEAR(s.total_latency_s,
+              s.mean_latency_s() * static_cast<double>(s.delivered), 1e-12);
+}
+
+TEST(SimLink, LosslessStatsHaveZeroLost) {
+  sim::Simulator des;
+  SimLink link{des, LinkConfig{10e-6, 0.0, 0.0}, Rng{9}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(link.send({0}, [](const auto&) {}));
+  }
+  des.run_until(SimTime::from_sec(1));
+  const auto& s = link.stats();
+  EXPECT_EQ(s.lost, 0u);
+  EXPECT_EQ(s.delivered, 50u);
+  // No jitter: every delivery took the base latency (mean up to the
+  // accumulation rounding of the sum).
+  EXPECT_NEAR(s.mean_latency_s(), 10e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_latency_s, 10e-6);
+}
+
+TEST(SimLink, EmptyStatsAreZero) {
+  const LinkStats s;
+  EXPECT_EQ(s.in_flight(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_s(), 0.0);
 }
 
 TEST(Multicast, FansOutToAllSubscribers) {
@@ -84,6 +131,22 @@ TEST(Multicast, IndependentLatenciesPerSubscriber) {
   des.run_until(SimTime::from_ms(10));
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_NE(arrivals[0], arrivals[1]);  // jitter decorrelates ports
+}
+
+TEST(Multicast, StatsAggregateAcrossSubscribers) {
+  sim::Simulator des;
+  EthernetMulticast eth{des, LinkConfig{100e-6, 10e-6, 0.0}, Rng{10}};
+  for (int i = 0; i < 3; ++i) {
+    eth.subscribe([](std::size_t, const auto&) {});
+  }
+  eth.send({1});
+  eth.send({2});
+  des.run_until(SimTime::from_ms(10));
+  const auto& s = eth.stats();
+  EXPECT_EQ(s.sent, 6u);  // 2 sends x 3 subscribers
+  EXPECT_EQ(s.delivered, 6u);
+  EXPECT_EQ(s.lost, 0u);
+  EXPECT_GE(s.mean_latency_s(), 100e-6);
 }
 
 TEST(Multicast, PayloadIntegrity) {
