@@ -1,0 +1,120 @@
+// Counting replacements for the global allocation functions. See
+// alloc_hook.hpp for the contract. The full set (array, nothrow, and
+// aligned forms) is replaced so no allocation path escapes the counter.
+#include "alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void count() { g_allocs.fetch_add(1, std::memory_order_relaxed); }
+
+void* plain_alloc(std::size_t size) noexcept {
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* aligned_alloc_impl(std::size_t size, std::size_t align) noexcept {
+  if (size == 0) size = 1;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) return nullptr;
+  return p;
+}
+
+/// Retry-through-new-handler loop required of the throwing forms.
+template <typename Alloc>
+void* alloc_or_throw(std::size_t size, Alloc alloc) {
+  for (;;) {
+    if (void* p = alloc(size)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc{};
+    handler();
+  }
+}
+
+}  // namespace
+
+namespace densevlc::bench {
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace densevlc::bench
+
+void* operator new(std::size_t size) {
+  count();
+  return alloc_or_throw(size, plain_alloc);
+}
+
+void* operator new[](std::size_t size) {
+  count();
+  return alloc_or_throw(size, plain_alloc);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  count();
+  return plain_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  count();
+  return plain_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  count();
+  return alloc_or_throw(size, [align](std::size_t s) {
+    return aligned_alloc_impl(s, static_cast<std::size_t>(align));
+  });
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  count();
+  return alloc_or_throw(size, [align](std::size_t s) {
+    return aligned_alloc_impl(s, static_cast<std::size_t>(align));
+  });
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  count();
+  return aligned_alloc_impl(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  count();
+  return aligned_alloc_impl(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,506 @@
+// PHY fast-path microbenchmark: the zero-allocation sample path's
+// perf-trajectory datapoint.
+//
+// Times the LUT/arena rework against the frozen scalar baselines in
+// phy_reference.{hpp,cpp} and checks two contracts on every run:
+//
+//   frame_codec      headline: serialize + interleave + Manchester chips
+//                    and back, old scalar path vs LUT fast path
+//                    (frames/s; the >= 3x acceptance figure)
+//   rs_codec         RS(216, 200) encode + 4-error decode (bytes/s)
+//   manchester       byte round trip, bit loops vs 256-entry LUTs
+//   frontend_filter  TIA + AC + Butterworth + ADC chain (samples/s)
+//   frame_wave       full modulate -> front-end -> demodulate chain on
+//                    the fast path only, asserting zero steady-state
+//                    heap allocations via the alloc_hook counter
+//
+// Fast-path outputs are bit-compared against the scalar baselines; any
+// drift prints MISMATCH and a steady-state allocation prints
+// HOT-PATH-ALLOC (both treated as failure by the ctest smoke wrapper).
+// Results go to stdout as tables and to BENCH_phy.json (path
+// overridable via argv) for CI artifacts.
+//
+// Usage: micro_phy [--quick] [output.json]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc_hook.hpp"
+#include "bench_json.hpp"
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dsp/waveform.hpp"
+#include "phy/frame.hpp"
+#include "phy/frame_codec.hpp"
+#include "phy/frontend.hpp"
+#include "phy/manchester.hpp"
+#include "phy/ook.hpp"
+#include "phy/reed_solomon.hpp"
+#include "phy_reference.hpp"
+
+namespace {
+
+using namespace densevlc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One measured path (scalar baseline or fast path) of a workload.
+struct PathOutcome {
+  double wall_time_s = 0.0;
+  double work_items = 0.0;
+};
+
+/// Everything the report needs about one workload.
+struct WorkloadResult {
+  std::string name;
+  std::string items_unit;
+  std::optional<PathOutcome> scalar;  ///< absent for fast-only workloads
+  PathOutcome fast;
+  bool identical = true;
+  std::uint64_t steady_allocs = 0;
+};
+
+/// Test corpus: deterministic random frames shared by the workloads.
+std::vector<phy::MacFrame> make_frames(std::size_t count,
+                                       std::size_t payload_bytes) {
+  Rng rng{0xD3A5EU};
+  std::vector<phy::MacFrame> frames(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    frames[i].dst = static_cast<std::uint16_t>(0x0100 + i);
+    frames[i].src = 0x00FE;
+    frames[i].payload.resize(payload_bytes);
+    for (auto& b : frames[i].payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+  }
+  return frames;
+}
+
+std::vector<std::uint8_t> make_bytes(std::size_t count, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::uint8_t> bytes(count);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_phy.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  constexpr std::size_t kPayloadBytes = 600;
+  const std::size_t depth = phy::FrameCodec::matched_depth(kPayloadBytes);
+  const auto frames = make_frames(quick ? 4 : 8, kPayloadBytes);
+
+  std::cout << "micro_phy - PHY fast-path benchmark (payload "
+            << kPayloadBytes << " B, interleave depth " << depth
+            << (quick ? ", quick mode" : "") << ")\n\n";
+
+  std::vector<WorkloadResult> results;
+  bool all_identical = true;
+  bool zero_alloc_ok = true;
+
+  // --- frame_codec: the headline scalar-vs-LUT comparison ----------------
+  {
+    WorkloadResult r{"frame_codec", "frames", {}, {}, true, 0};
+    const std::size_t reps = quick ? 3 : 60;
+    const phy::FrameCodec codec{depth};
+    phy::FrameCodec::Scratch cscr;
+    std::vector<std::uint8_t> wire;
+    std::vector<phy::Chip> chips;
+    std::vector<std::uint8_t> bytes;
+    phy::ParsedFrame parsed;
+
+    // Correctness pass: fast chips and decode must match the frozen
+    // scalar pipeline bit for bit on every frame.
+    for (const auto& f : frames) {
+      const auto ref_chips = bench::ref::codec_encode_chips(f, depth);
+      const auto ref_parsed = bench::ref::codec_decode_chips(ref_chips, depth);
+
+      codec.encode_into(f, wire, cscr);
+      arena_resize(chips, wire.size() * 16);
+      phy::manchester_encode_bytes(wire, chips);
+      arena_resize(bytes, chips.size() / 16);
+      phy::manchester_decode_bytes_lenient(chips, bytes);
+      const bool ok = codec.decode_into(bytes, parsed, cscr);
+
+      if (chips != ref_chips || !ref_parsed || !ok ||
+          parsed.frame != ref_parsed->frame ||
+          parsed.frame.payload != f.payload) {
+        r.identical = false;
+      }
+    }
+
+    {  // scalar timing
+      r.scalar.emplace();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (const auto& f : frames) {
+          const auto c = bench::ref::codec_encode_chips(f, depth);
+          const auto p = bench::ref::codec_decode_chips(c, depth);
+          if (!p) r.identical = false;
+          r.scalar->work_items += 1.0;
+        }
+      }
+      r.scalar->wall_time_s = seconds_since(t0);
+    }
+
+    {  // fast timing, with the zero-allocation assertion after warm-up
+      for (const auto& f : frames) {  // warm-up rep (buffers grow here)
+        codec.encode_into(f, wire, cscr);
+        arena_resize(chips, wire.size() * 16);
+        phy::manchester_encode_bytes(wire, chips);
+        arena_resize(bytes, chips.size() / 16);
+        phy::manchester_decode_bytes_lenient(chips, bytes);
+        if (!codec.decode_into(bytes, parsed, cscr)) r.identical = false;
+      }
+      const std::uint64_t allocs0 = bench::alloc_count();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (const auto& f : frames) {
+          codec.encode_into(f, wire, cscr);
+          arena_resize(chips, wire.size() * 16);
+          phy::manchester_encode_bytes(wire, chips);
+          arena_resize(bytes, chips.size() / 16);
+          phy::manchester_decode_bytes_lenient(chips, bytes);
+          if (!codec.decode_into(bytes, parsed, cscr)) r.identical = false;
+          r.fast.work_items += 1.0;
+        }
+      }
+      r.fast.wall_time_s = seconds_since(t0);
+      r.steady_allocs = bench::alloc_count() - allocs0;
+    }
+    results.push_back(std::move(r));
+  }
+
+  // --- rs_codec: encode + 4-error decode throughput ----------------------
+  {
+    WorkloadResult r{"rs_codec", "message_bytes", {}, {}, true, 0};
+    const std::size_t reps = quick ? 8 : 200;
+    constexpr std::size_t kMsgBytes = 200;
+    const std::size_t n_msgs = quick ? 4 : 16;
+    const bench::ref::ReedSolomon ref_rs{phy::kRsBlockParity};
+    const phy::ReedSolomon rs{phy::kRsBlockParity};
+    std::vector<std::vector<std::uint8_t>> msgs;
+    for (std::size_t i = 0; i < n_msgs; ++i) {
+      msgs.push_back(make_bytes(kMsgBytes, 0x55000 + i));
+    }
+    // Deterministic 4-byte error burst per codeword.
+    const auto corrupt = [](std::vector<std::uint8_t>& cw, std::size_t i) {
+      for (std::size_t e = 0; e < 4; ++e) {
+        const std::size_t pos = (i * 37 + e * 53 + 11) % cw.size();
+        cw[pos] = static_cast<std::uint8_t>(cw[pos] ^ (0x5A + e));
+      }
+    };
+
+    std::vector<std::uint8_t> cw;
+    std::vector<std::uint8_t> bad;
+    phy::RsDecodeResult dec;
+    phy::RsScratch rscr;
+
+    // Correctness pass.
+    for (std::size_t i = 0; i < n_msgs; ++i) {
+      auto ref_cw = ref_rs.encode(msgs[i]);
+      rs.encode_into(msgs[i], cw);
+      if (cw != ref_cw) r.identical = false;
+      corrupt(ref_cw, i);
+      bad = cw;
+      corrupt(bad, i);
+      const auto ref_dec = ref_rs.decode(ref_cw);
+      const bool ok = rs.decode_into(bad, dec, rscr);
+      if (!ref_dec || !ok || dec.data != ref_dec->data ||
+          dec.corrected_errors != ref_dec->corrected_errors ||
+          dec.data != msgs[i]) {
+        r.identical = false;
+      }
+    }
+
+    {  // scalar timing
+      r.scalar.emplace();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (std::size_t i = 0; i < n_msgs; ++i) {
+          auto c = ref_rs.encode(msgs[i]);
+          corrupt(c, i);
+          if (!ref_rs.decode(c)) r.identical = false;
+          r.scalar->work_items += kMsgBytes;
+        }
+      }
+      r.scalar->wall_time_s = seconds_since(t0);
+    }
+
+    {  // fast timing (already warm from the correctness pass)
+      const std::uint64_t allocs0 = bench::alloc_count();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (std::size_t i = 0; i < n_msgs; ++i) {
+          rs.encode_into(msgs[i], cw);
+          bad = cw;
+          corrupt(bad, i);
+          if (!rs.decode_into(bad, dec, rscr)) r.identical = false;
+          r.fast.work_items += kMsgBytes;
+        }
+      }
+      r.fast.wall_time_s = seconds_since(t0);
+      r.steady_allocs = bench::alloc_count() - allocs0;
+    }
+    results.push_back(std::move(r));
+  }
+
+  // --- manchester: byte round trip, bit loops vs LUTs --------------------
+  {
+    WorkloadResult r{"manchester", "bytes", {}, {}, true, 0};
+    const std::size_t reps = quick ? 8 : 400;
+    const auto data = make_bytes(quick ? 256 : 1125, 0xABCDEF);
+
+    std::vector<phy::Chip> chips;
+    std::vector<std::uint8_t> back;
+
+    // Correctness pass.
+    {
+      const auto ref_bits = bench::ref::bytes_to_bits(data);
+      const auto ref_chips = bench::ref::manchester_encode(ref_bits);
+      const auto ref_dec = bench::ref::manchester_decode_lenient(ref_chips);
+      const auto ref_back = bench::ref::bits_to_bytes(ref_dec.bits);
+
+      arena_resize(chips, 16 * data.size());
+      phy::manchester_encode_bytes(data, chips);
+      arena_resize(back, data.size());
+      const std::size_t violations =
+          phy::manchester_decode_bytes_lenient(chips, back);
+      if (chips != ref_chips || !ref_back || back != *ref_back ||
+          back != data || violations != ref_dec.violations) {
+        r.identical = false;
+      }
+    }
+
+    {  // scalar timing
+      r.scalar.emplace();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto bits = bench::ref::bytes_to_bits(data);
+        const auto c = bench::ref::manchester_encode(bits);
+        const auto dec = bench::ref::manchester_decode_lenient(c);
+        if (!bench::ref::bits_to_bytes(dec.bits)) r.identical = false;
+        r.scalar->work_items += static_cast<double>(data.size());
+      }
+      r.scalar->wall_time_s = seconds_since(t0);
+    }
+
+    {  // fast timing (warm from the correctness pass)
+      const std::uint64_t allocs0 = bench::alloc_count();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        arena_resize(chips, 16 * data.size());
+        phy::manchester_encode_bytes(data, chips);
+        arena_resize(back, data.size());
+        phy::manchester_decode_bytes_lenient(chips, back);
+        r.fast.work_items += static_cast<double>(data.size());
+      }
+      r.fast.wall_time_s = seconds_since(t0);
+      r.steady_allocs = bench::alloc_count() - allocs0;
+    }
+    results.push_back(std::move(r));
+  }
+
+  // --- frontend_filter: analog chain throughput --------------------------
+  {
+    WorkloadResult r{"frontend_filter", "samples", {}, {}, true, 0};
+    const std::size_t reps = quick ? 2 : 40;
+    const std::size_t n = quick ? 5000 : 50000;
+
+    dsp::Waveform optical;
+    optical.sample_rate_hz = 1e6;
+    optical.samples.resize(n);
+    Rng pattern_rng{0xF00D};
+    for (std::size_t i = 0; i < n; ++i) {
+      // OOK-like optical power: 0 or ~2.5 uW, new chip every 10 samples.
+      if (i % 10 == 0) {
+        optical.samples[i] = pattern_rng.bernoulli(0.5) ? 2.5e-6 : 0.0;
+      } else {
+        optical.samples[i] = optical.samples[i - 1];
+      }
+    }
+
+    const phy::FrontEndConfig cfg{};  // default noisy front end
+    // process() and process_into() from identically seeded front ends
+    // must agree bit for bit (same noise stream, same filter states).
+    {
+      phy::ReceiverFrontEnd fe_a{cfg, Rng{42}};
+      phy::ReceiverFrontEnd fe_b{cfg, Rng{42}};
+      const auto out_a = fe_a.process(optical);
+      dsp::Waveform out_b;
+      fe_b.process_into(optical, out_b);
+      if (out_a.samples != out_b.samples) r.identical = false;
+    }
+
+    {  // scalar timing (allocating process())
+      r.scalar.emplace();
+      phy::ReceiverFrontEnd fe{cfg, Rng{42}};
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto out = fe.process(optical);
+        r.scalar->work_items += static_cast<double>(out.samples.size());
+      }
+      r.scalar->wall_time_s = seconds_since(t0);
+    }
+
+    {  // fast timing
+      phy::ReceiverFrontEnd fe{cfg, Rng{42}};
+      dsp::Waveform out;
+      fe.process_into(optical, out);  // warm-up
+      const std::uint64_t allocs0 = bench::alloc_count();
+      const auto t0 = Clock::now();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        fe.process_into(optical, out);
+        r.fast.work_items += static_cast<double>(out.samples.size());
+      }
+      r.fast.wall_time_s = seconds_since(t0);
+      r.steady_allocs = bench::alloc_count() - allocs0;
+    }
+    results.push_back(std::move(r));
+  }
+
+  // --- frame_wave: full TX -> front end -> RX chain, fast path only ------
+  {
+    WorkloadResult r{"frame_wave", "frames", {}, {}, true, 0};
+    const std::size_t reps = quick ? 3 : 20;
+
+    const phy::OokParams params{};
+    const phy::OokModulator mod{params};
+    phy::FrontEndConfig fcfg{};
+    fcfg.noise_psd_a2_per_hz = 0.0;  // quiet: decode must always succeed
+    phy::ReceiverFrontEnd fe{fcfg, Rng{7}};
+    const phy::OokDemodulator demod{params.chip_rate_hz,
+                                    fcfg.adc.sample_rate_hz};
+    // LED current [A] -> received optical power [W]: chosen so the
+    // 0.9 A swing lands around 1 V peak-to-peak after the 400 kV/W
+    // receive gain (R 0.4 A/W x TIA 50 kOhm x AC gain 20).
+    constexpr double kOpticalWPerAmp = 2.78e-6;
+    // Long guards let the AC-coupling transient die out before the
+    // preamble on the very first frame (corner 1 kHz ~ 160 samples).
+    constexpr std::size_t kGuardChips = 64;
+
+    phy::OokModulator::TxScratch txs;
+    phy::OokDemodulator::RxScratch rxs;
+    phy::OokDemodulator::RxResult rx;
+    dsp::Waveform wf;
+    dsp::Waveform optical;
+    dsp::Waveform rx_wf;
+
+    const auto run_one = [&](const phy::MacFrame& f) {
+      mod.modulate_frame_into(f, false, 0, kGuardChips, wf, txs);
+      optical.sample_rate_hz = wf.sample_rate_hz;
+      arena_resize(optical.samples, wf.samples.size());
+      for (std::size_t i = 0; i < wf.samples.size(); ++i) {
+        optical.samples[i] = kOpticalWPerAmp * wf.samples[i];
+      }
+      fe.process_into(optical, rx_wf);
+      if (!demod.receive_frame_into(rx_wf.samples, rx, rxs)) return false;
+      return rx.parsed.frame.payload == f.payload;
+    };
+
+    for (std::size_t i = 0; i < 2; ++i) {  // warm-up (and filter settling)
+      if (!run_one(frames[i % frames.size()])) r.identical = false;
+    }
+    const std::uint64_t allocs0 = bench::alloc_count();
+    const auto t0 = Clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      if (!run_one(frames[rep % frames.size()])) r.identical = false;
+      r.fast.work_items += 1.0;
+    }
+    r.fast.wall_time_s = seconds_since(t0);
+    r.steady_allocs = bench::alloc_count() - allocs0;
+    results.push_back(std::move(r));
+  }
+
+  // --- Report -------------------------------------------------------------
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", "micro_phy");
+  doc.set("quick", quick);
+  doc.set("payload_bytes", kPayloadBytes);
+  doc.set("interleave_depth", depth);
+  bench::Json workload_array = bench::Json::array();
+
+  double headline_speedup = 0.0;
+  for (const auto& r : results) {
+    TablePrinter table{{"path", "wall [s]", r.items_unit + "/s"}};
+    const auto rate = [](const PathOutcome& p) {
+      return p.wall_time_s > 0.0 ? p.work_items / p.wall_time_s : 0.0;
+    };
+    bench::Json wj = bench::Json::object();
+    wj.set("name", r.name);
+    wj.set("unit", r.items_unit);
+    if (r.scalar) {
+      table.add_row({"scalar", fmt(r.scalar->wall_time_s, 4),
+                     fmt_si(rate(*r.scalar))});
+      bench::Json sj = bench::Json::object();
+      sj.set("wall_time_s", r.scalar->wall_time_s);
+      sj.set(r.items_unit + "_per_s", rate(*r.scalar));
+      wj.set("scalar", std::move(sj));
+    }
+    table.add_row({"fast", fmt(r.fast.wall_time_s, 4), fmt_si(rate(r.fast))});
+    bench::Json fj = bench::Json::object();
+    fj.set("wall_time_s", r.fast.wall_time_s);
+    fj.set(r.items_unit + "_per_s", rate(r.fast));
+    wj.set("fast", std::move(fj));
+
+    std::cout << r.name << ":\n";
+    table.print(std::cout);
+    if (r.scalar) {
+      const double speedup =
+          rate(r.fast) > 0.0 && rate(*r.scalar) > 0.0
+              ? rate(r.fast) / rate(*r.scalar)
+              : 0.0;
+      std::cout << "  speedup fast vs scalar: " << fmt(speedup, 2) << "x\n";
+      wj.set("speedup_fast_vs_scalar", speedup);
+      if (r.name == "frame_codec") headline_speedup = speedup;
+    }
+    std::cout << "  outputs vs scalar baseline: "
+              << (r.identical ? "bit-identical" : "MISMATCH") << "\n"
+              << "  steady-state heap allocations: " << r.steady_allocs
+              << (r.steady_allocs == 0 ? "" : "  HOT-PATH-ALLOC") << "\n\n";
+    wj.set("bit_identical", r.identical);
+    wj.set("steady_state_allocs", r.steady_allocs);
+    workload_array.push(std::move(wj));
+
+    all_identical = all_identical && r.identical;
+    zero_alloc_ok = zero_alloc_ok && (r.steady_allocs == 0);
+  }
+
+  doc.set("workloads", std::move(workload_array));
+  doc.set("frame_codec_speedup", headline_speedup);
+  doc.set("bit_identical", all_identical);
+  doc.set("zero_alloc", zero_alloc_ok);
+  if (!bench::write_json_file(out_path, doc)) {
+    std::cerr << "failed to write " << out_path << '\n';
+    return 1;
+  }
+
+  std::cout << (all_identical ? "correctness: all fast paths bit-identical"
+                              : "correctness MISMATCH: see tables")
+            << '\n'
+            << (zero_alloc_ok
+                    ? "allocations: zero in steady state"
+                    : "HOT-PATH-ALLOC: steady-state allocation detected")
+            << '\n'
+            << "frame_codec speedup: " << fmt(headline_speedup, 2)
+            << "x (target >= 3x)\nwrote " << out_path << '\n';
+  return (all_identical && zero_alloc_ok) ? 0 : 1;
+}

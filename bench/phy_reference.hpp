@@ -1,0 +1,74 @@
+// Frozen pre-LUT scalar PHY implementations, for differential testing
+// and as the baseline the micro_phy speedups are measured against.
+//
+// These are verbatim copies of the bit-at-a-time Manchester coder, the
+// per-coefficient GF(256) Reed-Solomon codec, the permutation-vector
+// interleaver, and the allocating frame serializer as they stood before
+// the LUT/zero-allocation rework. They must NOT be "improved": their
+// whole value is staying exactly what the production code used to
+// compute, so old-vs-new comparisons are bit-for-bit meaningful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/manchester.hpp"
+
+namespace densevlc::bench::ref {
+
+// --- Manchester (bit-level loops) ---------------------------------------
+
+std::vector<phy::Chip> manchester_encode(std::span<const std::uint8_t> bits);
+phy::LenientDecode manchester_decode_lenient(std::span<const phy::Chip> chips);
+std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes);
+std::optional<std::vector<std::uint8_t>> bits_to_bytes(
+    std::span<const std::uint8_t> bits);
+
+// --- Interleaver (explicit permutation vector) --------------------------
+
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> data,
+                                     std::size_t depth);
+std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> data,
+                                       std::size_t depth);
+
+// --- Reed-Solomon (per-coefficient gf::mul) -----------------------------
+
+class ReedSolomon {
+ public:
+  explicit ReedSolomon(std::size_t parity_symbols);
+
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> message) const;
+  std::optional<phy::RsDecodeResult> decode(
+      std::span<const std::uint8_t> codeword) const;
+
+  std::size_t parity_symbols() const { return n_parity_; }
+  std::size_t correction_capacity() const { return n_parity_ / 2; }
+
+ private:
+  std::size_t n_parity_;
+  std::vector<std::uint8_t> generator_;
+};
+
+// --- Frame (allocating serializer / parser on the reference RS) ---------
+
+std::vector<std::uint8_t> serialize_frame(const phy::MacFrame& frame);
+std::optional<phy::ParsedFrame> parse_frame(
+    std::span<const std::uint8_t> bytes);
+
+// --- Whole-codec pipeline (FrameCodec semantics + chip coding) ----------
+
+/// serialize + interleave(depth) + bytes_to_bits + manchester_encode:
+/// the full scalar bytes-to-chips TX path (no preamble).
+std::vector<phy::Chip> codec_encode_chips(const phy::MacFrame& frame,
+                                          std::size_t depth);
+
+/// manchester_decode_lenient + bits_to_bytes + deinterleave(depth) +
+/// parse_frame: the full scalar chips-to-frame RX path.
+std::optional<phy::ParsedFrame> codec_decode_chips(
+    std::span<const phy::Chip> chips, std::size_t depth);
+
+}  // namespace densevlc::bench::ref

@@ -31,6 +31,24 @@ ChannelMatrix ChannelMatrix::from_geometry(
   return ChannelMatrix{tx_poses.size(), rx_poses.size(), std::move(gains)};
 }
 
+void ChannelMatrix::update_columns_from_geometry(
+    const std::vector<geom::Pose>& tx_poses,
+    const std::vector<geom::Pose>& rx_poses,
+    const optics::LambertianEmitter& emitter, const optics::Photodiode& pd,
+    std::span<const std::size_t> dirty_rx) {
+  DVLC_EXPECT(tx_poses.size() == num_tx_ && rx_poses.size() == num_rx_,
+              "update_columns_from_geometry: dimension mismatch");
+  // Parallel over TX rows like from_geometry; each row writes a disjoint
+  // slice, so the result is thread-count independent.
+  parallel_for(0, num_tx_, [&](std::size_t j) {
+    for (std::size_t k : dirty_rx) {
+      DVLC_ASSERT(k < num_rx_, "dirty column out of range");
+      gains_[j * num_rx_ + k] =
+          optics::los_gain(emitter, pd, tx_poses[j], rx_poses[k]);
+    }
+  });
+}
+
 std::size_t ChannelMatrix::best_tx_for(std::size_t rx) const {
   std::size_t best = 0;
   double best_gain = -1.0;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -37,6 +38,16 @@ class ChannelMatrix {
       const std::vector<geom::Pose>& tx_poses,
       const std::vector<geom::Pose>& rx_poses,
       const optics::LambertianEmitter& emitter, const optics::Photodiode& pd);
+
+  /// Recomputes only the listed RX columns from geometry; every other
+  /// entry keeps its value. The per-entry arithmetic is the same call
+  /// from_geometry makes, so updating the dirty columns of a cached
+  /// matrix is bit-identical to a full rebuild. Dimensions must match.
+  void update_columns_from_geometry(
+      const std::vector<geom::Pose>& tx_poses,
+      const std::vector<geom::Pose>& rx_poses,
+      const optics::LambertianEmitter& emitter, const optics::Photodiode& pd,
+      std::span<const std::size_t> dirty_rx);
 
   std::size_t num_tx() const { return num_tx_; }
   std::size_t num_rx() const { return num_rx_; }

@@ -1,0 +1,47 @@
+// Reusable buffer arena for the zero-allocation sample path.
+//
+// The PHY hot loops (files marked `// DVLC_HOT`) must not touch the heap
+// in steady state: every frame reuses buffers whose capacity was
+// established during the first (warm-up) frame. The idiom throughout the
+// fast paths is a caller-owned scratch struct of named vectors, each
+// managed through the helpers below — `arena_resize` grows capacity only
+// until the high-water mark is reached, after which a resize is a plain
+// size bookkeeping update and the hot loop performs zero allocations.
+//
+// SDR stacks keep their sample paths allocation-free the same way
+// (pre-sized sample buffers reused across slots); this header is the
+// repo-wide home of that contract so the `hot-loop-alloc` lint rule can
+// point offenders at one explanation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace densevlc {
+
+/// Resizes `buf` to exactly `n` elements while keeping its capacity.
+/// Steady state (capacity >= n): no allocation, newly exposed elements
+/// keep their previous values and must be overwritten by the caller.
+/// Warm-up (capacity < n): one geometric growth, amortized away.
+template <class T>
+inline std::vector<T>& arena_resize(std::vector<T>& buf, std::size_t n) {
+  buf.resize(n);
+  return buf;
+}
+
+/// Empties `buf` without releasing storage, for append-style refills that
+/// stay within the warmed-up capacity.
+template <class T>
+inline std::vector<T>& arena_clear(std::vector<T>& buf) {
+  buf.clear();
+  return buf;
+}
+
+/// True once `buf` can hold `n` elements without allocating — the
+/// steady-state condition the allocation-count assertions rely on.
+template <class T>
+inline bool arena_warm(const std::vector<T>& buf, std::size_t n) {
+  return buf.capacity() >= n;
+}
+
+}  // namespace densevlc

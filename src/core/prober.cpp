@@ -152,4 +152,37 @@ channel::ChannelMatrix ChannelProber::probe_matrix(
   return measured;
 }
 
+channel::ChannelMatrix ChannelProber::probe_matrix_incremental(
+    const channel::ChannelMatrix& truth, Rng& rng,
+    const std::vector<bool>& dirty_rx,
+    const channel::ChannelMatrix& previous) const {
+  // One fork regardless of how many links are skipped: the caller's
+  // stream stays aligned with probe_matrix, so everything drawn after
+  // the sweep (report loss, TX offsets, ...) is unaffected by the mode.
+  const Rng sweep = rng.fork();
+  const std::size_t n = truth.num_tx();
+  const std::size_t m = truth.num_rx();
+  const bool shape_ok = previous.num_tx() == n && previous.num_rx() == m &&
+                        dirty_rx.size() == m;
+  channel::ChannelMatrix measured = shape_ok ? previous : truth;
+
+  // Work list of global link indices to probe; split() is keyed by the
+  // same index as the full sweep, so each probed link draws the noise it
+  // would have drawn under probe_matrix.
+  std::vector<std::size_t> work;
+  work.reserve(n * m);
+  for (std::size_t idx = 0; idx < n * m; ++idx) {
+    if (!shape_ok || dirty_rx[idx % m]) work.push_back(idx);
+  }
+  parallel_for(0, work.size(), [&](std::size_t w) {
+    const std::size_t idx = work[w];
+    const std::size_t j = idx / m;
+    const std::size_t k = idx % m;
+    Rng link_rng = sweep.split(idx);
+    measured.set_gain(j, k,
+                      probe_link(truth.gain(j, k), link_rng).gain_estimate);
+  });
+  return measured;
+}
+
 }  // namespace densevlc::core

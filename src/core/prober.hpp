@@ -48,6 +48,18 @@ class ChannelProber {
   channel::ChannelMatrix probe_matrix(const channel::ChannelMatrix& truth,
                                       Rng& rng) const;
 
+  /// Incremental sweep: probes only the RX columns flagged in `dirty_rx`;
+  /// clean columns keep the measurements in `previous` (that airtime is
+  /// simply not spent). Consumes exactly one fork of `rng` like
+  /// probe_matrix, and keys each link's noise sub-stream by the same
+  /// global link index, so an all-dirty mask reproduces probe_matrix
+  /// bit for bit. Falls back to a full sweep when `previous` or
+  /// `dirty_rx` does not match the truth dimensions.
+  channel::ChannelMatrix probe_matrix_incremental(
+      const channel::ChannelMatrix& truth, Rng& rng,
+      const std::vector<bool>& dirty_rx,
+      const channel::ChannelMatrix& previous) const;
+
   /// The calibration constant mapping received voltage amplitude back to
   /// channel gain: volts per unit H.
   double volts_per_gain() const { return volts_per_gain_; }

@@ -80,7 +80,25 @@ channel::ChannelMatrix DenseVlcSystem::true_channel(double t_s) const {
   std::vector<geom::Vec3> positions;
   positions.reserve(mobility_.size());
   for (const auto& m : mobility_) positions.push_back(m->position(t_s));
-  return cfg_.testbed.channel_for(positions);
+  if (truth_cache_valid_ && truth_positions_.size() == positions.size()) {
+    // Recompute only the columns of RXs that moved. rx_poses() uses the
+    // x/y components alone, so z changes cannot dirty a column.
+    std::vector<std::size_t> dirty;
+    for (std::size_t k = 0; k < positions.size(); ++k) {
+      if (positions[k].x != truth_positions_[k].x ||
+          positions[k].y != truth_positions_[k].y) {
+        dirty.push_back(k);
+      }
+    }
+    if (!dirty.empty()) {
+      cfg_.testbed.update_channel_for(truth_cache_, positions, dirty);
+    }
+  } else {
+    truth_cache_ = cfg_.testbed.channel_for(positions);
+    truth_cache_valid_ = true;
+  }
+  truth_positions_ = std::move(positions);
+  return truth_cache_;
 }
 
 channel::ChannelMatrix DenseVlcSystem::faulted_channel(double t_s) const {
@@ -168,7 +186,35 @@ std::vector<double> DenseVlcSystem::draw_tx_offsets(const Beamspot& spot,
 
 void DenseVlcSystem::measure_and_decide(double t_s, Rng& rng) {
   const auto truth = faulted_channel(t_s);
-  const auto measured = prober_.probe_matrix(truth, rng);
+  // With incremental probing on, only RX columns whose physical channel
+  // changed since the previous sweep (movement, blockage, TX fault
+  // scaling) are re-probed; clean columns keep their last measurement.
+  // Either path consumes exactly one fork of `rng`, so the draws after
+  // the sweep (WiFi report loss, ...) are identical in both modes.
+  channel::ChannelMatrix measured;
+  if (cfg_.incremental_probing) {
+    if (have_probe_cache_ && last_probe_truth_.num_tx() == truth.num_tx() &&
+        last_probe_truth_.num_rx() == truth.num_rx()) {
+      std::vector<bool> dirty(truth.num_rx(), false);
+      for (std::size_t k = 0; k < truth.num_rx(); ++k) {
+        for (std::size_t j = 0; j < truth.num_tx(); ++j) {
+          if (truth.gain(j, k) != last_probe_truth_.gain(j, k)) {
+            dirty[k] = true;
+            break;
+          }
+        }
+      }
+      measured =
+          prober_.probe_matrix_incremental(truth, rng, dirty, last_measured_);
+    } else {
+      measured = prober_.probe_matrix(truth, rng);
+    }
+    last_probe_truth_ = truth;
+    last_measured_ = measured;
+    have_probe_cache_ = true;
+  } else {
+    measured = prober_.probe_matrix(truth, rng);
+  }
 
   // Each RX serializes a quantized channel report and sends it over the
   // lossy WiFi uplink; the controller decodes what arrives. A lost

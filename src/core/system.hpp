@@ -169,6 +169,19 @@ class DenseVlcSystem {
   // Last measured gains per RX (columns survive lost reports).
   std::vector<std::vector<double>> last_reports_;
   std::uint8_t epoch_counter_ = 0;
+  // Geometry cache behind true_channel(): only the columns of RXs that
+  // moved (x/y — rx_poses ignores z) are recomputed, which is
+  // bit-identical to a full rebuild because los_gain is a pure function
+  // of the poses. mutable: true_channel() is logically const; the system
+  // is driven from a single thread.
+  mutable std::vector<geom::Vec3> truth_positions_;
+  mutable channel::ChannelMatrix truth_cache_;
+  mutable bool truth_cache_valid_ = false;
+  // Incremental-probing state (cfg_.incremental_probing): the physical
+  // channel seen by the last probe sweep, and what it measured.
+  channel::ChannelMatrix last_probe_truth_;
+  channel::ChannelMatrix last_measured_;
+  bool have_probe_cache_ = false;
 };
 
 }  // namespace densevlc::core

@@ -1,14 +1,18 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "dsp/biquad.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
+#include "common/arena.hpp"
 #include "common/units.hpp"
 
 namespace densevlc::dsp {
 
 BiquadCascade::BiquadCascade(const std::vector<BiquadCoeffs>& sections) {
   sections_.reserve(sections.size());
+  // dvlc-lint: allow(hot-loop-alloc) — one-time construction, reserved above
   for (const auto& c : sections) sections_.emplace_back(c);
 }
 
@@ -17,11 +21,20 @@ double BiquadCascade::step(double x) {
   return x;
 }
 
+void BiquadCascade::process_block(std::span<double> x) {
+  for (auto& s : sections_) s.process_block(x);
+}
+
+void BiquadCascade::process_into(const Waveform& in, Waveform& out) {
+  out.sample_rate_hz = in.sample_rate_hz;
+  arena_resize(out.samples, in.samples.size());
+  std::copy(in.samples.begin(), in.samples.end(), out.samples.begin());
+  process_block(out.samples);
+}
+
 Waveform BiquadCascade::process(const Waveform& in) {
   Waveform out;
-  out.sample_rate_hz = in.sample_rate_hz;
-  out.samples.reserve(in.samples.size());
-  for (double x : in.samples) out.samples.push_back(step(x));
+  process_into(in, out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 // numerically preferred direct form for double-precision audio-rate work.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "dsp/waveform.hpp"
@@ -32,6 +33,11 @@ class Biquad {
     return y;
   }
 
+  /// Filters a block in place — same arithmetic as step() per sample.
+  void process_block(std::span<double> x) {
+    for (double& v : x) v = step(v);
+  }
+
   /// Clears the delay line.
   void reset() { s1_ = s2_ = 0.0; }
 
@@ -53,6 +59,16 @@ class BiquadCascade {
 
   /// Filters a whole waveform (stateful: continues from previous state).
   Waveform process(const Waveform& in);
+
+  /// Filters a block in place: one full-block pass per section, so each
+  /// section's coefficients stay in registers for the whole block.
+  /// Bit-identical to chaining step() sample by sample (each section's
+  /// output depends only on its own state and input stream).
+  void process_block(std::span<double> x);
+
+  /// process() into a reused waveform (see common/arena.hpp): zero heap
+  /// allocations once `out` has warmed up.
+  void process_into(const Waveform& in, Waveform& out);
 
   /// Clears all delay lines.
   void reset();

@@ -1,6 +1,10 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "dsp/correlate.hpp"
 
 #include <cmath>
+#include <utility>
+
+#include "common/arena.hpp"
 
 namespace densevlc::dsp {
 
@@ -15,36 +19,40 @@ std::vector<double> correlate(std::span<const double> signal,
     for (std::size_t j = 0; j < pattern.size(); ++j) {
       acc += signal[i + j] * pattern[j];
     }
+    // dvlc-lint: allow(hot-loop-alloc) — reserved above, ablation-only path
     out.push_back(acc);
   }
   return out;
 }
 
-std::vector<double> normalized_correlate(std::span<const double> signal,
-                                         std::span<const double> pattern) {
-  std::vector<double> out;
-  if (pattern.empty() || signal.size() < pattern.size()) return out;
+void normalized_correlate_into(std::span<const double> signal,
+                               std::span<const double> pattern,
+                               CorrelateScratch& scratch) {
+  arena_clear(scratch.scores);
+  if (pattern.empty() || signal.size() < pattern.size()) return;
   const std::size_t m = pattern.size();
 
   // Mean-removed pattern and its energy, computed once.
   double pat_mean = 0.0;
   for (double p : pattern) pat_mean += p;
   pat_mean /= static_cast<double>(m);
-  std::vector<double> pat(m);
+  arena_resize(scratch.pattern, m);
+  std::vector<double>& pat = scratch.pattern;
   double pat_energy = 0.0;
   for (std::size_t j = 0; j < m; ++j) {
     pat[j] = pattern[j] - pat_mean;
     pat_energy += pat[j] * pat[j];
   }
+  const std::size_t n = signal.size() - m + 1;
   if (pat_energy <= 0.0) {
-    out.assign(signal.size() - m + 1, 0.0);
-    return out;
+    arena_resize(scratch.scores, n);
+    for (double& s : scratch.scores) s = 0.0;
+    return;
   }
 
   // Rolling window sums let each position cost O(m) for the dot product
   // but O(1) for mean/energy bookkeeping.
-  const std::size_t n = signal.size() - m + 1;
-  out.reserve(n);
+  arena_resize(scratch.scores, n);
   double win_sum = 0.0;
   double win_sq = 0.0;
   for (std::size_t j = 0; j < m; ++j) {
@@ -62,26 +70,40 @@ std::vector<double> normalized_correlate(std::span<const double> signal,
       }
       score = dot / std::sqrt(var * pat_energy);
     }
-    out.push_back(score);
+    scratch.scores[i] = score;
     if (i + m < signal.size()) {
       win_sum += signal[i + m] - signal[i];
       win_sq += signal[i + m] * signal[i + m] - signal[i] * signal[i];
     }
   }
-  return out;
+}
+
+std::vector<double> normalized_correlate(std::span<const double> signal,
+                                         std::span<const double> pattern) {
+  CorrelateScratch scratch;
+  normalized_correlate_into(signal, pattern, scratch);
+  return std::move(scratch.scores);
+}
+
+std::optional<PeakDetection> detect_pattern_into(
+    std::span<const double> signal, std::span<const double> pattern,
+    double threshold, CorrelateScratch& scratch) {
+  normalized_correlate_into(signal, pattern, scratch);
+  std::optional<PeakDetection> best;
+  for (std::size_t i = 0; i < scratch.scores.size(); ++i) {
+    if (scratch.scores[i] >= threshold &&
+        (!best || scratch.scores[i] > best->score)) {
+      best = PeakDetection{i, scratch.scores[i]};
+    }
+  }
+  return best;
 }
 
 std::optional<PeakDetection> detect_pattern(std::span<const double> signal,
                                             std::span<const double> pattern,
                                             double threshold) {
-  const auto scores = normalized_correlate(signal, pattern);
-  std::optional<PeakDetection> best;
-  for (std::size_t i = 0; i < scores.size(); ++i) {
-    if (scores[i] >= threshold && (!best || scores[i] > best->score)) {
-      best = PeakDetection{i, scores[i]};
-    }
-  }
-  return best;
+  CorrelateScratch scratch;
+  return detect_pattern_into(signal, pattern, threshold, scratch);
 }
 
 }  // namespace densevlc::dsp

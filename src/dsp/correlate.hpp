@@ -37,4 +37,24 @@ std::optional<PeakDetection> detect_pattern(std::span<const double> signal,
                                             std::span<const double> pattern,
                                             double threshold);
 
+// --- Zero-allocation overloads (see common/arena.hpp) -------------------
+
+/// Reusable workspace for repeated pattern searches: mean-removed pattern
+/// staging plus the score vector.
+struct CorrelateScratch {
+  std::vector<double> pattern;
+  std::vector<double> scores;
+};
+
+/// normalized_correlate into `scratch.scores`. Bit-identical to the
+/// value-returning function, which now wraps this.
+void normalized_correlate_into(std::span<const double> signal,
+                               std::span<const double> pattern,
+                               CorrelateScratch& scratch);
+
+/// detect_pattern running off a reused workspace.
+std::optional<PeakDetection> detect_pattern_into(
+    std::span<const double> signal, std::span<const double> pattern,
+    double threshold, CorrelateScratch& scratch);
+
 }  // namespace densevlc::dsp

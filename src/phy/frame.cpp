@@ -1,7 +1,10 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/frame.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "phy/reed_solomon.hpp"
 
 namespace densevlc::phy {
@@ -42,9 +45,9 @@ const ReedSolomon& rs_codec() {
   return rs;
 }
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+void store_u16(std::uint8_t* at, std::uint16_t v) {
+  at[0] = static_cast<std::uint8_t>(v >> 8);
+  at[1] = static_cast<std::uint8_t>(v & 0xFF);
 }
 
 std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
@@ -63,79 +66,100 @@ std::size_t serialized_frame_bytes(std::size_t payload_bytes) {
   return 9 + payload_bytes + blocks * kRsBlockParity;
 }
 
-std::vector<std::uint8_t> serialize_frame(const MacFrame& frame) {
+void serialize_frame_into(const MacFrame& frame,
+                          std::vector<std::uint8_t>& out) {
   if (frame.payload.size() > kMaxPayload) {
     throw std::invalid_argument{"serialize_frame: payload exceeds kMaxPayload"};
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(serialized_frame_bytes(frame.payload.size()));
-  out.push_back(kSfd);
-  put_u16(out, static_cast<std::uint16_t>(frame.payload.size()));
-  put_u16(out, frame.dst);
-  put_u16(out, frame.src);
-  put_u16(out, frame.protocol);
+  arena_resize(out, serialized_frame_bytes(frame.payload.size()));
+  out[0] = kSfd;
+  store_u16(out.data() + 1, static_cast<std::uint16_t>(frame.payload.size()));
+  store_u16(out.data() + 3, frame.dst);
+  store_u16(out.data() + 5, frame.src);
+  store_u16(out.data() + 7, frame.protocol);
   // Payload followed by per-block RS parity: block i covers payload bytes
   // [i*200, min((i+1)*200, x)). Parity for all blocks trails the payload,
-  // matching Table 3's single trailing Reed-Solomon field.
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  // matching Table 3's single trailing Reed-Solomon field. Parity is
+  // encoded straight into the output tail, one block at a time.
+  std::copy(frame.payload.begin(), frame.payload.end(), out.begin() + 9);
   const auto& rs = rs_codec();
+  std::size_t parity_at = 9 + frame.payload.size();
   for (std::size_t off = 0; off < frame.payload.size(); off += kRsBlockData) {
     const std::size_t len =
         std::min(kRsBlockData, frame.payload.size() - off);
-    const auto cw = rs.encode(
-        std::span<const std::uint8_t>{frame.payload}.subspan(off, len));
-    out.insert(out.end(), cw.end() - static_cast<std::ptrdiff_t>(kRsBlockParity),
-               cw.end());
+    rs.encode_parity_into(
+        std::span<const std::uint8_t>{frame.payload}.subspan(off, len),
+        std::span<std::uint8_t>{out}.subspan(parity_at, kRsBlockParity));
+    parity_at += kRsBlockParity;
   }
+}
+
+std::vector<std::uint8_t> serialize_frame(const MacFrame& frame) {
+  std::vector<std::uint8_t> out;
+  serialize_frame_into(frame, out);
   return out;
 }
 
-std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 9) return std::nullopt;
-  if (bytes[0] != kSfd) return std::nullopt;
+bool parse_frame_into(std::span<const std::uint8_t> bytes, ParsedFrame& out,
+                      FrameScratch& scratch) {
+  out.corrected_bytes = 0;
+  arena_clear(out.frame.payload);
+  if (bytes.size() < 9) return false;
+  if (bytes[0] != kSfd) return false;
   const std::uint16_t length = get_u16(bytes, 1);
-  if (length > kMaxPayload) return std::nullopt;
+  if (length > kMaxPayload) return false;
   const std::size_t blocks = (length + kRsBlockData - 1) / kRsBlockData;
   const std::size_t expected = 9 + length + blocks * kRsBlockParity;
-  if (bytes.size() < expected) return std::nullopt;
+  if (bytes.size() < expected) return false;
 
-  ParsedFrame out;
   out.frame.dst = get_u16(bytes, 3);
   out.frame.src = get_u16(bytes, 5);
   out.frame.protocol = get_u16(bytes, 7);
 
   const auto& rs = rs_codec();
-  out.frame.payload.reserve(length);
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t off = b * kRsBlockData;
     const std::size_t len = std::min(kRsBlockData,
                                      static_cast<std::size_t>(length) - off);
-    std::vector<std::uint8_t> codeword;
-    codeword.reserve(len + kRsBlockParity);
-    const auto data_at = static_cast<std::ptrdiff_t>(9 + off);
-    codeword.insert(codeword.end(), bytes.begin() + data_at,
-                    bytes.begin() + data_at + static_cast<std::ptrdiff_t>(len));
+    arena_resize(scratch.codeword, len + kRsBlockParity);
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(9 + off), len,
+                scratch.codeword.begin());
     const std::size_t parity_at = 9 + length + b * kRsBlockParity;
-    codeword.insert(codeword.end(), bytes.begin() + static_cast<std::ptrdiff_t>(parity_at),
-                    bytes.begin() + static_cast<std::ptrdiff_t>(parity_at + kRsBlockParity));
-    const auto decoded = rs.decode(codeword);
-    if (!decoded) return std::nullopt;
-    out.corrected_bytes += decoded->corrected_errors;
-    out.frame.payload.insert(out.frame.payload.end(), decoded->data.begin(),
-                             decoded->data.end());
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(parity_at),
+                kRsBlockParity,
+                scratch.codeword.begin() + static_cast<std::ptrdiff_t>(len));
+    if (!rs.decode_into(scratch.codeword, scratch.block, scratch.rs)) {
+      return false;
+    }
+    out.corrected_bytes += scratch.block.corrected_errors;
+    out.frame.payload.insert(out.frame.payload.end(),
+                             scratch.block.data.begin(),
+                             scratch.block.data.end());
   }
+  return true;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> bytes) {
+  FrameScratch scratch;
+  ParsedFrame out;
+  if (!parse_frame_into(bytes, out, scratch)) return std::nullopt;
   return out;
 }
 
-std::vector<Chip> frame_to_chips(const MacFrame& frame) {
-  const auto bytes = serialize_frame(frame);
-  const auto bits = bytes_to_bits(bytes);
-  const auto data_chips = manchester_encode(bits);
-  std::vector<Chip> chips;
-  chips.reserve(kPreambleChips + data_chips.size());
+void frame_to_chips_into(const MacFrame& frame, std::vector<Chip>& out,
+                         std::vector<std::uint8_t>& wire_scratch) {
+  serialize_frame_into(frame, wire_scratch);
+  arena_resize(out, kPreambleChips + wire_scratch.size() * 16);
   const auto pre = preamble_pattern();
-  chips.insert(chips.end(), pre.begin(), pre.end());
-  chips.insert(chips.end(), data_chips.begin(), data_chips.end());
+  std::copy(pre.begin(), pre.end(), out.begin());
+  manchester_encode_bytes(wire_scratch,
+                          std::span<Chip>{out}.subspan(kPreambleChips));
+}
+
+std::vector<Chip> frame_to_chips(const MacFrame& frame) {
+  std::vector<Chip> chips;
+  std::vector<std::uint8_t> wire;
+  frame_to_chips_into(frame, chips, wire);
   return chips;
 }
 
@@ -145,8 +169,10 @@ std::vector<std::uint8_t> serialize_controller_frame(
   const auto body = serialize_frame(cf.frame);
   out.reserve(9 + body.size());
   for (int i = 7; i >= 0; --i) {
+    // dvlc-lint: allow(hot-loop-alloc) — control plane, reserved above
     out.push_back(static_cast<std::uint8_t>((cf.tx_mask >> (8 * i)) & 0xFF));
   }
+  // dvlc-lint: allow(hot-loop-alloc)
   out.push_back(cf.leading_tx);
   out.insert(out.end(), body.begin(), body.end());
   return out;

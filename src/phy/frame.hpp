@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "phy/manchester.hpp"
+#include "phy/reed_solomon.hpp"
 
 namespace densevlc::phy {
 
@@ -87,6 +88,33 @@ struct ParsedFrame {
 /// Manchester coding of the serialized bytes. (The pilot is prepended
 /// separately by the leading TX only.)
 std::vector<Chip> frame_to_chips(const MacFrame& frame);
+
+// --- Zero-allocation overloads (see common/arena.hpp) -------------------
+
+/// Reusable workspace for parse_frame_into: codeword staging plus the
+/// Reed-Solomon decoder buffers. Keep one per receive chain.
+struct FrameScratch {
+  std::vector<std::uint8_t> codeword;
+  RsDecodeResult block;
+  RsScratch rs;
+};
+
+/// serialize_frame into a reused buffer. RS parity is computed straight
+/// into the output tail (no staging codeword). Throws like
+/// serialize_frame on over-long payloads.
+void serialize_frame_into(const MacFrame& frame,
+                          std::vector<std::uint8_t>& out);
+
+/// parse_frame into a reused result; false replaces nullopt. On failure
+/// `out` is left partially filled and must not be read.
+[[nodiscard]] bool parse_frame_into(std::span<const std::uint8_t> bytes,
+                                    ParsedFrame& out, FrameScratch& scratch);
+
+/// frame_to_chips into a reused chip buffer; `wire_scratch` holds the
+/// serialized bytes between calls (the byte-at-a-time Manchester LUT
+/// encodes them straight into `out`).
+void frame_to_chips_into(const MacFrame& frame, std::vector<Chip>& out,
+                         std::vector<std::uint8_t>& wire_scratch);
 
 /// Controller -> TX Ethernet encapsulation (Sec. 7.2): 64-bit mask of TX
 /// ids that must transmit, the appointed leading TX, and the MAC frame.

@@ -1,7 +1,9 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/frame_codec.hpp"
 
 #include <algorithm>
 
+#include "common/arena.hpp"
 #include "phy/interleaver.hpp"
 
 namespace densevlc::phy {
@@ -11,27 +13,47 @@ constexpr std::size_t kHeaderBytes = 9;
 
 }  // namespace
 
+void FrameCodec::encode_into(const MacFrame& frame,
+                             std::vector<std::uint8_t>& out,
+                             Scratch& scratch) const {
+  serialize_frame_into(frame, out);
+  if (depth_ <= 1 || out.size() <= kHeaderBytes) return;
+  // Stage the clear body, then interleave it back into place.
+  arena_resize(scratch.body, out.size() - kHeaderBytes);
+  std::copy(out.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+            out.end(), scratch.body.begin());
+  interleave_into(scratch.body, depth_,
+                  std::span<std::uint8_t>{out}.subspan(kHeaderBytes));
+}
+
 std::vector<std::uint8_t> FrameCodec::encode(const MacFrame& frame) const {
-  auto wire = serialize_frame(frame);
-  if (depth_ <= 1 || wire.size() <= kHeaderBytes) return wire;
-  const std::span<const std::uint8_t> body{wire.data() + kHeaderBytes,
-                                           wire.size() - kHeaderBytes};
-  const auto mixed = interleave(body, depth_);
-  std::copy(mixed.begin(), mixed.end(), wire.begin() + kHeaderBytes);
-  return wire;
+  Scratch scratch;
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out, scratch);
+  return out;
+}
+
+bool FrameCodec::decode_into(std::span<const std::uint8_t> bytes,
+                             ParsedFrame& out, Scratch& scratch) const {
+  if (depth_ <= 1 || bytes.size() <= kHeaderBytes) {
+    return parse_frame_into(bytes, out, scratch.frame);
+  }
+  arena_resize(scratch.wire, bytes.size());
+  std::copy(bytes.begin(), bytes.end(), scratch.wire.begin());
+  arena_resize(scratch.body, bytes.size() - kHeaderBytes);
+  std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+            bytes.end(), scratch.body.begin());
+  deinterleave_into(scratch.body, depth_,
+                    std::span<std::uint8_t>{scratch.wire}.subspan(kHeaderBytes));
+  return parse_frame_into(scratch.wire, out, scratch.frame);
 }
 
 std::optional<ParsedFrame> FrameCodec::decode(
     std::span<const std::uint8_t> bytes) const {
-  if (depth_ <= 1 || bytes.size() <= kHeaderBytes) {
-    return parse_frame(bytes);
-  }
-  std::vector<std::uint8_t> wire(bytes.begin(), bytes.end());
-  const std::span<const std::uint8_t> body{wire.data() + kHeaderBytes,
-                                           wire.size() - kHeaderBytes};
-  const auto restored = deinterleave(body, depth_);
-  std::copy(restored.begin(), restored.end(), wire.begin() + kHeaderBytes);
-  return parse_frame(wire);
+  Scratch scratch;
+  ParsedFrame out;
+  if (!decode_into(bytes, out, scratch)) return std::nullopt;
+  return out;
 }
 
 std::size_t FrameCodec::matched_depth(std::size_t payload_bytes) {

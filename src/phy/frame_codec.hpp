@@ -33,6 +33,22 @@ class FrameCodec {
   std::optional<ParsedFrame> decode(
       std::span<const std::uint8_t> bytes) const;
 
+  /// Reusable workspace for the zero-allocation overloads below: wire and
+  /// body staging plus the frame/RS scratch (see common/arena.hpp).
+  struct Scratch {
+    std::vector<std::uint8_t> wire;
+    std::vector<std::uint8_t> body;
+    FrameScratch frame;
+  };
+
+  /// encode() into a reused buffer. Bit-identical wire bytes.
+  void encode_into(const MacFrame& frame, std::vector<std::uint8_t>& out,
+                   Scratch& scratch) const;
+
+  /// decode() into a reused result; false replaces nullopt.
+  [[nodiscard]] bool decode_into(std::span<const std::uint8_t> bytes,
+                                 ParsedFrame& out, Scratch& scratch) const;
+
   /// Depth that aligns interleaver rows with RS codewords for a given
   /// payload size — the configuration with the clean analytic burst
   /// bound (see phy::burst_tolerance). Returns 1 when the payload fits a

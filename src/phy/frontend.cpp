@@ -1,7 +1,9 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/frontend.hpp"
 
 #include <cmath>
 
+#include "common/arena.hpp"
 #include "dsp/butterworth.hpp"
 
 namespace densevlc::phy {
@@ -27,32 +29,41 @@ Amperes ReceiverFrontEnd::noise_current_sigma(Hertz sample_rate) const {
 }
 
 dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
-  const double fs = cfg_.adc.sample_rate_hz;
-  // Resample the optical power to the ADC rate by zero-order hold.
   dsp::Waveform out;
+  process_into(optical, out);
+  return out;
+}
+
+void ReceiverFrontEnd::process_into(const dsp::Waveform& optical,
+                                    dsp::Waveform& out) {
+  const double fs = cfg_.adc.sample_rate_hz;
   out.sample_rate_hz = fs;
-  if (optical.samples.empty() || optical.sample_rate_hz <= 0.0) return out;
+  arena_clear(out.samples);
+  if (optical.samples.empty() || optical.sample_rate_hz <= 0.0) return;
   const auto n_out =
       static_cast<std::size_t>(optical.duration() * fs);
-  out.samples.reserve(n_out);
+  arena_resize(out.samples, n_out);
 
+  // Pass 1: zero-order-hold resample, photodiode responsivity, additive
+  // photocurrent noise, TIA. Noise is drawn per sample in stream order so
+  // the Rng sequence matches the historical sample-by-sample loop.
   const double noise_sigma = noise_current_sigma(Hertz{fs}).value();
   for (std::size_t i = 0; i < n_out; ++i) {
     const double t = static_cast<double>(i) / fs;
     auto idx = static_cast<std::size_t>(t * optical.sample_rate_hz);
     idx = std::min(idx, optical.samples.size() - 1);
-
-    // Photodiode + noise.
     const double current = cfg_.responsivity_a_per_w * optical.samples[idx] +
                            rng_.gaussian(0.0, noise_sigma);
-    // TIA.
-    double v = cfg_.tia_gain_ohm * current;
-    // AC-coupled gain stage.
-    v = cfg_.ac_gain * ac_stage_.step(v);
-    // Anti-aliasing low-pass.
-    v = lowpass_.step(v);
-    out.samples.push_back(v);
+    out.samples[i] = cfg_.tia_gain_ohm * current;
   }
+
+  // Pass 2: AC-coupled gain stage. Scaling the filter output afterwards
+  // commutes bitwise with scaling inside the per-sample loop.
+  ac_stage_.process_block(out.samples);
+  for (double& v : out.samples) v = cfg_.ac_gain * v;
+
+  // Pass 3: anti-aliasing low-pass.
+  lowpass_.process_block(out.samples);
 
   // Model the ADC around mid-rail, then remove the offset again so
   // downstream DSP sees a zero-referenced signal with quantization applied.
@@ -60,7 +71,6 @@ dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
     const std::uint32_t code = adc_.quantize(v + mid_rail_);
     v = adc_.code_to_volts(code) - mid_rail_;
   }
-  return out;
 }
 
 void ReceiverFrontEnd::reset() {

@@ -47,6 +47,11 @@ class ReceiverFrontEnd {
   /// lines so back-to-back calls model a continuous stream.
   dsp::Waveform process(const dsp::Waveform& optical);
 
+  /// process() into a reused waveform (see common/arena.hpp): zero heap
+  /// allocations once `out` has warmed up. Noise samples are drawn in the
+  /// same per-sample order as process(), so the output is bit-identical.
+  void process_into(const dsp::Waveform& optical, dsp::Waveform& out);
+
   /// Resets all filter state (fresh reception).
   void reset();
 

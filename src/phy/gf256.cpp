@@ -67,6 +67,14 @@ std::uint8_t poly_eval(std::span<const std::uint8_t> poly, std::uint8_t x) {
   return acc;
 }
 
+MulRow mul_row(std::uint8_t c) {
+  MulRow row{};
+  for (unsigned x = 0; x < 256; ++x) {
+    row[x] = mul(c, static_cast<std::uint8_t>(x));
+  }
+  return row;
+}
+
 std::vector<std::uint8_t> poly_mul(std::span<const std::uint8_t> a,
                                    std::span<const std::uint8_t> b) {
   if (a.empty() || b.empty()) return {};

@@ -1,49 +1,62 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/interleaver.hpp"
 
-namespace densevlc::phy {
-namespace {
+#include <algorithm>
 
-/// Computes the permutation: out[i] = data[perm[i]]. Row-wise write,
-/// column-wise read over a depth x cols matrix, skipping pad cells of
-/// the final partial row.
-std::vector<std::size_t> permutation(std::size_t size, std::size_t depth) {
-  const std::size_t cols = (size + depth - 1) / depth;
-  std::vector<std::size_t> perm;
-  perm.reserve(size);
+#include "common/contracts.hpp"
+
+namespace densevlc::phy {
+
+void interleave_into(std::span<const std::uint8_t> data, std::size_t depth,
+                     std::span<std::uint8_t> out) {
+  DVLC_EXPECT(out.size() == data.size(),
+              "interleave_into: output size mismatch");
+  if (depth <= 1 || data.size() <= depth) {
+    std::copy(data.begin(), data.end(), out.begin());
+    return;
+  }
+  // Row-wise write, column-wise read over a depth x cols matrix, skipping
+  // pad cells of the final partial row; the walk below enumerates the
+  // permutation without materializing it.
+  const std::size_t cols = (data.size() + depth - 1) / depth;
+  std::size_t w = 0;
   for (std::size_t c = 0; c < cols; ++c) {
     for (std::size_t r = 0; r < depth; ++r) {
       const std::size_t idx = r * cols + c;
-      if (idx < size) perm.push_back(idx);
+      if (idx < data.size()) out[w++] = data[idx];
     }
   }
-  return perm;
 }
 
-}  // namespace
+void deinterleave_into(std::span<const std::uint8_t> data, std::size_t depth,
+                       std::span<std::uint8_t> out) {
+  DVLC_EXPECT(out.size() == data.size(),
+              "deinterleave_into: output size mismatch");
+  if (depth <= 1 || data.size() <= depth) {
+    std::copy(data.begin(), data.end(), out.begin());
+    return;
+  }
+  const std::size_t cols = (data.size() + depth - 1) / depth;
+  std::size_t w = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < depth; ++r) {
+      const std::size_t idx = r * cols + c;
+      if (idx < data.size()) out[idx] = data[w++];
+    }
+  }
+}
 
 std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> data,
                                      std::size_t depth) {
-  if (depth <= 1 || data.size() <= depth) {
-    return {data.begin(), data.end()};
-  }
-  const auto perm = permutation(data.size(), depth);
   std::vector<std::uint8_t> out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out[i] = data[perm[i]];
-  }
+  interleave_into(data, depth, out);
   return out;
 }
 
 std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> data,
                                        std::size_t depth) {
-  if (depth <= 1 || data.size() <= depth) {
-    return {data.begin(), data.end()};
-  }
-  const auto perm = permutation(data.size(), depth);
   std::vector<std::uint8_t> out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out[perm[i]] = data[i];
-  }
+  deinterleave_into(data, depth, out);
   return out;
 }
 

@@ -29,6 +29,19 @@ std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> data,
 std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> data,
                                        std::size_t depth);
 
+// --- Zero-allocation overloads (see common/arena.hpp) -------------------
+//
+// The permutation is generated on the fly instead of materialized, so
+// these never allocate. `out` must have the size of `data` and must not
+// alias it. Bit-identical to the value-returning functions, which wrap
+// them.
+
+void interleave_into(std::span<const std::uint8_t> data, std::size_t depth,
+                     std::span<std::uint8_t> out);
+
+void deinterleave_into(std::span<const std::uint8_t> data, std::size_t depth,
+                       std::span<std::uint8_t> out);
+
 /// Longest wire burst a depth-D interleaver converts into at most
 /// `rs_capacity` errors per RS block, assuming the canonical pairing of
 /// one matrix row per RS codeword (depth == number of codewords, so a

@@ -1,80 +1,215 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/manchester.hpp"
 
+#include <algorithm>
+
+#include "common/arena.hpp"
+#include "common/contracts.hpp"
+
 namespace densevlc::phy {
+namespace {
+
+// 256-entry chip-pattern table: row b holds the 16 chips of byte b,
+// MSB-first, bit 1 = (HIGH, LOW), bit 0 = (LOW, HIGH).
+constexpr std::array<std::array<Chip, 16>, 256> build_encode_lut() {
+  std::array<std::array<Chip, 16>, 256> lut{};
+  for (unsigned b = 0; b < 256; ++b) {
+    for (unsigned i = 0; i < 8; ++i) {
+      const bool bit = ((b >> (7 - i)) & 1u) != 0;
+      lut[b][2 * i] = bit ? Chip::kHigh : Chip::kLow;
+      lut[b][2 * i + 1] = bit ? Chip::kLow : Chip::kHigh;
+    }
+  }
+  return lut;
+}
+constexpr auto kEncodeLut = build_encode_lut();
+
+// Lenient decode of 8 chips (4 Manchester pairs) at once: the index is
+// the chips packed MSB-first, the entry is the decoded nibble plus the
+// number of coding violations (violating pairs resolve to bit 0, the
+// same best guess manchester_decode_lenient makes).
+struct HalfDecode {
+  std::uint8_t nibble = 0;
+  std::uint8_t violations = 0;
+};
+constexpr std::array<HalfDecode, 256> build_decode_lut() {
+  std::array<HalfDecode, 256> lut{};
+  for (unsigned idx = 0; idx < 256; ++idx) {
+    std::uint8_t nibble = 0;
+    std::uint8_t violations = 0;
+    for (unsigned p = 0; p < 4; ++p) {
+      const unsigned c0 = (idx >> (7 - 2 * p)) & 1u;
+      const unsigned c1 = (idx >> (6 - 2 * p)) & 1u;
+      unsigned bit = 0;
+      if (c0 == 0 && c1 == 1) {
+        bit = 0;
+      } else if (c0 == 1 && c1 == 0) {
+        bit = 1;
+      } else {
+        bit = 0;
+        ++violations;
+      }
+      nibble = static_cast<std::uint8_t>((nibble << 1) | bit);
+    }
+    lut[idx] = HalfDecode{nibble, violations};
+  }
+  return lut;
+}
+constexpr auto kDecodeLut = build_decode_lut();
+
+// Row b holds the 8 MSB-first bit values of byte b (bytes_to_bits).
+constexpr std::array<std::array<std::uint8_t, 8>, 256> build_unpack_lut() {
+  std::array<std::array<std::uint8_t, 8>, 256> lut{};
+  for (unsigned b = 0; b < 256; ++b) {
+    for (unsigned i = 0; i < 8; ++i) {
+      lut[b][i] = static_cast<std::uint8_t>((b >> (7 - i)) & 1u);
+    }
+  }
+  return lut;
+}
+constexpr auto kUnpackLut = build_unpack_lut();
+
+/// Packs 8 chips into a kDecodeLut index, MSB-first.
+inline unsigned pack8(const Chip* chips) {
+  unsigned idx = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    idx = (idx << 1) | static_cast<unsigned>(chips[i]);
+  }
+  return idx;
+}
+
+}  // namespace
+
+void manchester_encode_into(std::span<const std::uint8_t> bits,
+                            std::vector<Chip>& out) {
+  arena_resize(out, bits.size() * 2);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool one = bits[i] != 0;
+    out[2 * i] = one ? Chip::kHigh : Chip::kLow;      // 1: Ih -> Il
+    out[2 * i + 1] = one ? Chip::kLow : Chip::kHigh;  // 0: Il -> Ih
+  }
+}
 
 std::vector<Chip> manchester_encode(std::span<const std::uint8_t> bits) {
   std::vector<Chip> chips;
-  chips.reserve(bits.size() * 2);
-  for (std::uint8_t bit : bits) {
-    if (bit) {
-      chips.push_back(Chip::kHigh);  // 1: Ih -> Il
-      chips.push_back(Chip::kLow);
+  manchester_encode_into(bits, chips);
+  return chips;
+}
+
+bool manchester_decode_into(std::span<const Chip> chips,
+                            std::vector<std::uint8_t>& out) {
+  arena_clear(out);
+  if (chips.size() % 2 != 0) return false;
+  arena_resize(out, chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    if (chips[i] == Chip::kLow && chips[i + 1] == Chip::kHigh) {
+      out[i / 2] = 0;
+    } else if (chips[i] == Chip::kHigh && chips[i + 1] == Chip::kLow) {
+      out[i / 2] = 1;
     } else {
-      chips.push_back(Chip::kLow);   // 0: Il -> Ih
-      chips.push_back(Chip::kHigh);
+      arena_clear(out);
+      return false;
     }
   }
-  return chips;
+  return true;
 }
 
 std::optional<std::vector<std::uint8_t>> manchester_decode(
     std::span<const Chip> chips) {
-  if (chips.size() % 2 != 0) return std::nullopt;
   std::vector<std::uint8_t> bits;
-  bits.reserve(chips.size() / 2);
-  for (std::size_t i = 0; i < chips.size(); i += 2) {
-    if (chips[i] == Chip::kLow && chips[i + 1] == Chip::kHigh) {
-      bits.push_back(0);
-    } else if (chips[i] == Chip::kHigh && chips[i + 1] == Chip::kLow) {
-      bits.push_back(1);
-    } else {
-      return std::nullopt;
-    }
-  }
+  if (!manchester_decode_into(chips, bits)) return std::nullopt;
   return bits;
 }
 
-LenientDecode manchester_decode_lenient(std::span<const Chip> chips) {
-  LenientDecode out;
-  out.bits.reserve(chips.size() / 2);
+void manchester_decode_lenient_into(std::span<const Chip> chips,
+                                    LenientDecode& out) {
+  out.violations = 0;
+  arena_resize(out.bits, chips.size() / 2);
+  std::size_t n = 0;
   for (std::size_t i = 0; i + 1 < chips.size(); i += 2) {
     if (chips[i] == Chip::kLow && chips[i + 1] == Chip::kHigh) {
-      out.bits.push_back(0);
+      out.bits[n++] = 0;
     } else if (chips[i] == Chip::kHigh && chips[i + 1] == Chip::kLow) {
-      out.bits.push_back(1);
+      out.bits[n++] = 1;
     } else {
-      out.bits.push_back(0);
+      out.bits[n++] = 0;
       ++out.violations;
     }
   }
   if (chips.size() % 2 != 0) ++out.violations;
+}
+
+LenientDecode manchester_decode_lenient(std::span<const Chip> chips) {
+  LenientDecode out;
+  manchester_decode_lenient_into(chips, out);
   return out;
+}
+
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::vector<std::uint8_t>& out) {
+  arena_resize(out, bytes.size() * 8);
+  std::uint8_t* dst = out.data();
+  for (std::uint8_t b : bytes) {
+    const auto& row = kUnpackLut[b];
+    std::copy_n(row.begin(), 8, dst);
+    dst += 8;
+  }
 }
 
 std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
   std::vector<std::uint8_t> bits;
-  bits.reserve(bytes.size() * 8);
-  for (std::uint8_t b : bytes) {
-    for (int i = 7; i >= 0; --i) {
-      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1));
-    }
-  }
+  bytes_to_bits_into(bytes, bits);
   return bits;
 }
 
-std::optional<std::vector<std::uint8_t>> bits_to_bytes(
-    std::span<const std::uint8_t> bits) {
-  if (bits.size() % 8 != 0) return std::nullopt;
-  std::vector<std::uint8_t> bytes;
-  bytes.reserve(bits.size() / 8);
+bool bits_to_bytes_into(std::span<const std::uint8_t> bits,
+                        std::vector<std::uint8_t>& out) {
+  arena_clear(out);
+  if (bits.size() % 8 != 0) return false;
+  arena_resize(out, bits.size() / 8);
   for (std::size_t i = 0; i < bits.size(); i += 8) {
     std::uint8_t b = 0;
     for (std::size_t j = 0; j < 8; ++j) {
       b = static_cast<std::uint8_t>((b << 1) | (bits[i + j] & 1));
     }
-    bytes.push_back(b);
+    out[i / 8] = b;
   }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> bits_to_bytes(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes;
+  if (!bits_to_bytes_into(bits, bytes)) return std::nullopt;
   return bytes;
+}
+
+void manchester_encode_bytes(std::span<const std::uint8_t> bytes,
+                             std::span<Chip> out_chips) {
+  DVLC_EXPECT(out_chips.size() == bytes.size() * 16,
+              "manchester_encode_bytes: output must hold 16 chips per byte");
+  Chip* dst = out_chips.data();
+  for (std::uint8_t b : bytes) {
+    const auto& row = kEncodeLut[b];
+    std::copy_n(row.begin(), 16, dst);
+    dst += 16;
+  }
+}
+
+std::size_t manchester_decode_bytes_lenient(std::span<const Chip> chips,
+                                            std::span<std::uint8_t> out_bytes) {
+  DVLC_EXPECT(chips.size() == out_bytes.size() * 16,
+              "manchester_decode_bytes_lenient: need 16 chips per byte");
+  std::size_t violations = 0;
+  const Chip* src = chips.data();
+  for (std::uint8_t& b : out_bytes) {
+    const HalfDecode hi = kDecodeLut[pack8(src)];
+    const HalfDecode lo = kDecodeLut[pack8(src + 8)];
+    b = static_cast<std::uint8_t>((hi.nibble << 4) | lo.nibble);
+    violations += hi.violations + lo.violations;
+    src += 16;
+  }
+  return violations;
 }
 
 }  // namespace densevlc::phy

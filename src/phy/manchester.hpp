@@ -46,4 +46,55 @@ std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes);
 std::optional<std::vector<std::uint8_t>> bits_to_bytes(
     std::span<const std::uint8_t> bits);
 
+// --- Zero-allocation overloads (see common/arena.hpp) -------------------
+//
+// Each writes its result into a caller-owned buffer whose capacity is
+// reused across calls; after the first (warm-up) frame they perform no
+// heap allocation. Bit-identical to the value-returning functions above,
+// which are now thin wrappers around these.
+
+/// manchester_encode into a reused chip buffer.
+void manchester_encode_into(std::span<const std::uint8_t> bits,
+                            std::vector<Chip>& out);
+
+/// manchester_decode into a reused bit buffer; false replaces nullopt
+/// (odd length or coding violation). `out` is left empty on failure.
+[[nodiscard]] bool manchester_decode_into(std::span<const Chip> chips,
+                                          std::vector<std::uint8_t>& out);
+
+/// manchester_decode_lenient into a reused result.
+void manchester_decode_lenient_into(std::span<const Chip> chips,
+                                    LenientDecode& out);
+
+/// bytes_to_bits into a reused bit buffer (LUT-driven: one 8-entry row
+/// copy per byte).
+void bytes_to_bits_into(std::span<const std::uint8_t> bytes,
+                        std::vector<std::uint8_t>& out);
+
+/// bits_to_bytes into a reused byte buffer; false replaces nullopt on
+/// ragged length. Packing directly assembles the byte that indexes the
+/// encode/unpack LUTs, so there is no separate table for this direction;
+/// the all-256-value parity test in tests/phy pins it to the LUTs.
+[[nodiscard]] bool bits_to_bytes_into(std::span<const std::uint8_t> bits,
+                                      std::vector<std::uint8_t>& out);
+
+// --- Byte-at-a-time LUT fast paths --------------------------------------
+//
+// 256-entry chip-pattern tables replace the per-bit loops: one row copy
+// encodes a whole byte, two table hits decode one. Exactly equivalent to
+// composing the bit-level functions (the differential suite and the
+// fingerprint benches hold them bit-identical).
+
+/// Fused bytes -> chips: manchester_encode(bytes_to_bits(bytes)).
+/// `out_chips.size()` must equal `16 * bytes.size()`.
+void manchester_encode_bytes(std::span<const std::uint8_t> bytes,
+                             std::span<Chip> out_chips);
+
+/// Fused lenient chips -> bytes:
+/// bits_to_bytes(manchester_decode_lenient(chips).bits) for an even,
+/// byte-aligned chip stream. `chips.size()` must equal
+/// `16 * out_bytes.size()`. Returns the coding-violation count.
+std::size_t manchester_decode_bytes_lenient(std::span<const Chip> chips,
+                                            std::span<std::uint8_t> out_bytes);
+
 }  // namespace densevlc::phy

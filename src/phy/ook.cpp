@@ -1,8 +1,11 @@
+// DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/ook.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "common/arena.hpp"
 #include "dsp/correlate.hpp"
 
 namespace densevlc::phy {
@@ -13,57 +16,90 @@ double OokModulator::chip_current(Chip chip) const {
                              : params_.bias_current_a - half;
 }
 
-dsp::Waveform OokModulator::modulate(std::span<const Chip> chips) const {
-  dsp::Waveform wf;
+void OokModulator::modulate_into(std::span<const Chip> chips,
+                                 dsp::Waveform& wf) const {
   wf.sample_rate_hz = params_.sample_rate_hz();
-  wf.samples.reserve(chips.size() * params_.samples_per_chip);
+  const std::size_t spc = params_.samples_per_chip;
+  arena_resize(wf.samples, chips.size() * spc);
+  std::size_t w = 0;
   for (Chip c : chips) {
     const double level = chip_current(c);
-    wf.samples.insert(wf.samples.end(), params_.samples_per_chip, level);
+    for (std::size_t s = 0; s < spc; ++s) wf.samples[w++] = level;
   }
+}
+
+dsp::Waveform OokModulator::modulate(std::span<const Chip> chips) const {
+  dsp::Waveform wf;
+  modulate_into(chips, wf);
   return wf;
+}
+
+void OokModulator::idle_into(std::size_t idle_chips, dsp::Waveform& wf) const {
+  wf.sample_rate_hz = params_.sample_rate_hz();
+  arena_resize(wf.samples, idle_chips * params_.samples_per_chip);
+  for (double& v : wf.samples) v = params_.bias_current_a;
 }
 
 dsp::Waveform OokModulator::idle(std::size_t idle_chips) const {
   dsp::Waveform wf;
-  wf.sample_rate_hz = params_.sample_rate_hz();
-  wf.samples.assign(idle_chips * params_.samples_per_chip,
-                    params_.bias_current_a);
+  idle_into(idle_chips, wf);
   return wf;
+}
+
+void OokModulator::modulate_frame_into(const MacFrame& frame,
+                                       bool include_pilot, std::uint8_t tx_id,
+                                       std::size_t guard_chips,
+                                       dsp::Waveform& wf,
+                                       TxScratch& scratch) const {
+  // Assemble the on-air chip sequence: [pilot + id] preamble + data.
+  serialize_frame_into(frame, scratch.wire);
+  const auto pilot = pilot_pattern();
+  const auto pre = preamble_pattern();
+  const std::size_t pilot_chips =
+      include_pilot ? pilot.size() + 16 : 0;  // 16 chips: Manchester id byte
+  const std::size_t total_chips =
+      pilot_chips + pre.size() + scratch.wire.size() * 16;
+  arena_resize(scratch.chips, total_chips);
+  std::span<Chip> at{scratch.chips};
+  if (include_pilot) {
+    std::copy(pilot.begin(), pilot.end(), at.begin());
+    const std::array<std::uint8_t, 1> id_byte{tx_id};
+    manchester_encode_bytes(id_byte, at.subspan(pilot.size(), 16));
+    at = at.subspan(pilot_chips);
+  }
+  std::copy(pre.begin(), pre.end(), at.begin());
+  manchester_encode_bytes(scratch.wire, at.subspan(pre.size()));
+
+  // Render guard + data + guard in one buffer.
+  wf.sample_rate_hz = params_.sample_rate_hz();
+  const std::size_t spc = params_.samples_per_chip;
+  const std::size_t guard_samples = guard_chips * spc;
+  arena_resize(wf.samples, guard_samples * 2 + total_chips * spc);
+  std::size_t w = 0;
+  for (std::size_t s = 0; s < guard_samples; ++s)
+    wf.samples[w++] = params_.bias_current_a;
+  for (Chip c : scratch.chips) {
+    const double level = chip_current(c);
+    for (std::size_t s = 0; s < spc; ++s) wf.samples[w++] = level;
+  }
+  for (std::size_t s = 0; s < guard_samples; ++s)
+    wf.samples[w++] = params_.bias_current_a;
 }
 
 dsp::Waveform OokModulator::modulate_frame(const MacFrame& frame,
                                            bool include_pilot,
                                            std::uint8_t tx_id,
                                            std::size_t guard_chips) const {
-  std::vector<Chip> chips;
-  if (include_pilot) {
-    const auto pilot = pilot_pattern();
-    chips.insert(chips.end(), pilot.begin(), pilot.end());
-    // TX id byte, Manchester-coded, so listeners can verify the leader.
-    const std::uint8_t id_byte[1] = {tx_id};
-    const auto id_bits = bytes_to_bits(id_byte);
-    const auto id_chips = manchester_encode(id_bits);
-    chips.insert(chips.end(), id_chips.begin(), id_chips.end());
-  }
-  const auto body = frame_to_chips(frame);
-  chips.insert(chips.end(), body.begin(), body.end());
-
-  dsp::Waveform wf = idle(guard_chips);
-  const dsp::Waveform data = modulate(chips);
-  wf.samples.insert(wf.samples.end(), data.samples.begin(),
-                    data.samples.end());
-  const dsp::Waveform tail = idle(guard_chips);
-  wf.samples.insert(wf.samples.end(), tail.samples.begin(),
-                    tail.samples.end());
+  dsp::Waveform wf;
+  TxScratch scratch;
+  modulate_frame_into(frame, include_pilot, tx_id, guard_chips, wf, scratch);
   return wf;
 }
 
-std::vector<Chip> OokDemodulator::slice_chips(std::span<const double> signal,
-                                              double offset_samples,
-                                              std::size_t count) const {
-  std::vector<Chip> chips;
-  chips.reserve(count);
+void OokDemodulator::slice_chips_into(std::span<const double> signal,
+                                      double offset_samples, std::size_t count,
+                                      std::vector<Chip>& out) const {
+  arena_resize(out, count);
   const double spc = samples_per_chip();
   for (std::size_t i = 0; i < count; ++i) {
     const double start = offset_samples + static_cast<double>(i) * spc;
@@ -79,31 +115,46 @@ std::vector<Chip> OokDemodulator::slice_chips(std::span<const double> signal,
       ++n;
     }
     const double mean = n > 0 ? acc / static_cast<double>(n) : 0.0;
-    chips.push_back(mean > 0.0 ? Chip::kHigh : Chip::kLow);
+    out[i] = mean > 0.0 ? Chip::kHigh : Chip::kLow;
   }
+}
+
+std::vector<Chip> OokDemodulator::slice_chips(std::span<const double> signal,
+                                              double offset_samples,
+                                              std::size_t count) const {
+  std::vector<Chip> chips;
+  slice_chips_into(signal, offset_samples, count, chips);
   return chips;
 }
 
-std::vector<double> OokDemodulator::preamble_template() const {
+void OokDemodulator::preamble_template_into(std::vector<double>& tpl) const {
   const auto pre = preamble_pattern();
   const double spc = samples_per_chip();
   const auto total = static_cast<std::size_t>(
       std::ceil(static_cast<double>(pre.size()) * spc));
-  std::vector<double> tpl(total);
+  arena_resize(tpl, total);
   for (std::size_t s = 0; s < total; ++s) {
     const auto chip_idx = std::min<std::size_t>(
         static_cast<std::size_t>(static_cast<double>(s) / spc),
         pre.size() - 1);
     tpl[s] = pre[chip_idx] == Chip::kHigh ? 1.0 : -1.0;
   }
+}
+
+std::vector<double> OokDemodulator::preamble_template() const {
+  std::vector<double> tpl;
+  preamble_template_into(tpl);
   return tpl;
 }
 
-std::optional<OokDemodulator::RxResult> OokDemodulator::receive_frame(
-    std::span<const double> signal, double min_correlation) const {
-  const auto tpl = preamble_template();
-  const auto peak = dsp::detect_pattern(signal, tpl, min_correlation);
-  if (!peak) return std::nullopt;
+bool OokDemodulator::receive_frame_into(std::span<const double> signal,
+                                        RxResult& out, RxScratch& scratch,
+                                        double min_correlation) const {
+  preamble_template_into(scratch.preamble_tpl);
+  const auto peak = dsp::detect_pattern_into(signal, scratch.preamble_tpl,
+                                             min_correlation,
+                                             scratch.correlate);
+  if (!peak) return false;
 
   const double spc = samples_per_chip();
   const double data_start =
@@ -111,30 +162,35 @@ std::optional<OokDemodulator::RxResult> OokDemodulator::receive_frame(
       static_cast<double>(kPreambleChips) * spc;
 
   // First decode the 9 header bytes (9 * 8 bits * 2 chips).
-  const std::size_t header_chips = 9 * 8 * 2;
-  const auto head = slice_chips(signal, data_start, header_chips);
-  auto head_decoded = manchester_decode_lenient(head);
-  const auto head_bytes = bits_to_bytes(head_decoded.bits);
-  if (!head_bytes || head_bytes->size() != 9) return std::nullopt;
-  if ((*head_bytes)[0] != kSfd) return std::nullopt;
+  constexpr std::size_t kHeaderBytes = 9;
+  slice_chips_into(signal, data_start, kHeaderBytes * 16, scratch.chips);
+  std::array<std::uint8_t, kHeaderBytes> head_bytes{};
+  manchester_decode_bytes_lenient(scratch.chips, head_bytes);
+  if (head_bytes[0] != kSfd) return false;
   const std::uint16_t length = static_cast<std::uint16_t>(
-      ((*head_bytes)[1] << 8) | (*head_bytes)[2]);
-  if (length > kMaxPayload) return std::nullopt;
+      (head_bytes[1] << 8) | head_bytes[2]);
+  if (length > kMaxPayload) return false;
 
   const std::size_t total_bytes = serialized_frame_bytes(length);
-  const std::size_t total_chips = total_bytes * 8 * 2;
-  const auto all = slice_chips(signal, data_start, total_chips);
-  auto decoded = manchester_decode_lenient(all);
-  const auto bytes = bits_to_bytes(decoded.bits);
-  if (!bytes) return std::nullopt;
-  const auto parsed = parse_frame(*bytes);
-  if (!parsed) return std::nullopt;
+  slice_chips_into(signal, data_start, total_bytes * 16, scratch.chips);
+  arena_resize(scratch.bytes, total_bytes);
+  const std::size_t violations =
+      manchester_decode_bytes_lenient(scratch.chips, scratch.bytes);
+  if (!parse_frame_into(scratch.bytes, out.parsed, scratch.frame))
+    return false;
 
-  RxResult out;
-  out.parsed = *parsed;
   out.preamble_at = peak->index;
   out.correlation = peak->score;
-  out.manchester_violations = decoded.violations;
+  out.manchester_violations = violations;
+  return true;
+}
+
+std::optional<OokDemodulator::RxResult> OokDemodulator::receive_frame(
+    std::span<const double> signal, double min_correlation) const {
+  RxScratch scratch;
+  RxResult out;
+  if (!receive_frame_into(signal, out, scratch, min_correlation))
+    return std::nullopt;
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "dsp/correlate.hpp"
 #include "dsp/waveform.hpp"
 #include "phy/frame.hpp"
 #include "phy/manchester.hpp"
@@ -55,6 +56,25 @@ class OokModulator {
                                std::uint8_t tx_id,
                                std::size_t guard_chips) const;
 
+  // --- Zero-allocation overloads (see common/arena.hpp) -----------------
+
+  /// Reusable TX workspace: on-air chip staging plus serialized bytes.
+  struct TxScratch {
+    std::vector<Chip> chips;
+    std::vector<std::uint8_t> wire;
+  };
+
+  /// modulate into a reused waveform.
+  void modulate_into(std::span<const Chip> chips, dsp::Waveform& wf) const;
+
+  /// idle into a reused waveform.
+  void idle_into(std::size_t idle_chips, dsp::Waveform& wf) const;
+
+  /// modulate_frame into a reused waveform; bit-identical samples.
+  void modulate_frame_into(const MacFrame& frame, bool include_pilot,
+                           std::uint8_t tx_id, std::size_t guard_chips,
+                           dsp::Waveform& wf, TxScratch& scratch) const;
+
  private:
   OokParams params_;
 };
@@ -91,6 +111,34 @@ class OokDemodulator {
   /// no preamble is found or the frame fails to decode (counts as a frame
   /// error at the MAC).
   std::optional<RxResult> receive_frame(std::span<const double> signal,
+                                        double min_correlation = 0.6) const;
+
+  // --- Zero-allocation overloads (see common/arena.hpp) -----------------
+
+  /// Reusable RX workspace spanning the whole receive chain: preamble
+  /// template, correlation search, chip slicing, decoded bytes, and the
+  /// frame parser's Reed-Solomon buffers.
+  struct RxScratch {
+    std::vector<double> preamble_tpl;
+    dsp::CorrelateScratch correlate;
+    std::vector<Chip> chips;
+    std::vector<std::uint8_t> bytes;
+    FrameScratch frame;
+  };
+
+  /// slice_chips into a reused chip buffer.
+  void slice_chips_into(std::span<const double> signal, double offset_samples,
+                        std::size_t count, std::vector<Chip>& out) const;
+
+  /// preamble_template into a reused buffer. Rebuilt from the pattern each
+  /// call (cheap), so the scratch can never go stale across demodulators.
+  void preamble_template_into(std::vector<double>& tpl) const;
+
+  /// receive_frame into a reused result; false replaces nullopt. The fused
+  /// byte-at-a-time Manchester decode replaces the bit-level pipeline and
+  /// is bit-identical to it (differential suite in tests/phy).
+  [[nodiscard]] bool receive_frame_into(std::span<const double> signal,
+                                        RxResult& out, RxScratch& scratch,
                                         double min_correlation = 0.6) const;
 
   double samples_per_chip() const { return sample_rate_hz_ / chip_rate_hz_; }

@@ -9,10 +9,13 @@
 // symbols.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "phy/gf256.hpp"
 
 namespace densevlc::phy {
 
@@ -20,6 +23,24 @@ namespace densevlc::phy {
 struct RsDecodeResult {
   std::vector<std::uint8_t> data;   ///< corrected message (k' bytes)
   std::size_t corrected_errors = 0; ///< number of byte positions fixed
+};
+
+/// Fixed-capacity decoder workspace: every buffer the decoder needs, so
+/// decode_into never touches the heap. A few KB — keep one per receive
+/// chain and reuse it across frames (see common/arena.hpp).
+struct RsScratch {
+  std::array<std::uint8_t, 254> syndromes{};
+  // Berlekamp-Massey polynomials. sigma can transiently grow to
+  // prev_sigma.size() + m before trailing zeros are trimmed, so the
+  // buffers are sized for the worst-case sum, not just degree 254.
+  std::array<std::uint8_t, 512> sigma{};
+  std::array<std::uint8_t, 512> prev_sigma{};
+  std::array<std::uint8_t, 512> old_sigma{};
+  std::array<std::uint8_t, 512> adjust{};
+  std::array<std::uint8_t, 254> omega{};
+  std::array<std::uint8_t, 256> sigma_deriv{};
+  std::array<std::size_t, 128> error_positions{};
+  std::array<std::uint8_t, 255> corrected{};
 };
 
 /// A Reed-Solomon code with a fixed number of parity symbols.
@@ -50,9 +71,34 @@ class ReedSolomon {
   std::optional<RsDecodeResult> decode(
       std::span<const std::uint8_t> codeword) const;
 
+  // --- Zero-allocation overloads (see common/arena.hpp) -----------------
+
+  /// Writes just the parity bytes of `message` into `parity`, whose size
+  /// must equal parity_symbols(). The LFSR division runs off per-tap
+  /// GF(256) row tables; no allocation, no throw (contract-checks the
+  /// sizes instead). `parity` must not alias `message`.
+  void encode_parity_into(std::span<const std::uint8_t> message,
+                          std::span<std::uint8_t> parity) const;
+
+  /// encode() into a reused buffer (message followed by parity). Throws
+  /// like encode() on over-long messages. `out` must not alias `message`.
+  void encode_into(std::span<const std::uint8_t> message,
+                   std::vector<std::uint8_t>& out) const;
+
+  /// decode() into a reused result + fixed workspace; false replaces
+  /// nullopt. Bit-identical outcomes to decode(), which now wraps this.
+  [[nodiscard]] bool decode_into(std::span<const std::uint8_t> codeword,
+                                 RsDecodeResult& out,
+                                 RsScratch& scratch) const;
+
  private:
   std::size_t n_parity_;
   std::vector<std::uint8_t> generator_;  // descending-degree coefficients
+  // Row tables for the two hot inner loops: encode_rows_[i] multiplies by
+  // generator_[i + 1] (LFSR tap i), syndrome_rows_[i] multiplies by
+  // alpha^i (Horner step of syndrome i).
+  std::vector<gf256::MulRow> encode_rows_;
+  std::vector<gf256::MulRow> syndrome_rows_;
 };
 
 }  // namespace densevlc::phy

@@ -32,6 +32,13 @@ channel::ChannelMatrix Testbed::channel_for_poses(
   return channel::ChannelMatrix::from_geometry(tx_poses(), rx, emitter, pd);
 }
 
+void Testbed::update_channel_for(channel::ChannelMatrix& h,
+                                 const std::vector<geom::Vec3>& rx_xy,
+                                 std::span<const std::size_t> dirty_rx) const {
+  h.update_columns_from_geometry(tx_poses(), rx_poses(rx_xy), emitter, pd,
+                                 dirty_rx);
+}
+
 namespace {
 
 Testbed make_testbed(double mount_height, double rx_height) {

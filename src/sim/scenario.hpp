@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "channel/model.hpp"
@@ -44,6 +45,14 @@ struct Testbed {
   /// LOS channel matrix for RXs at the given positions.
   channel::ChannelMatrix channel_for(
       const std::vector<geom::Vec3>& rx_xy) const;
+
+  /// Recomputes only the listed RX columns of a cached channel matrix
+  /// for RXs at `rx_xy`; other columns keep their values. Bit-identical
+  /// to channel_for when the untouched columns were computed from the
+  /// same geometry (incremental re-probing, ROADMAP "mobility epochs").
+  void update_channel_for(channel::ChannelMatrix& h,
+                          const std::vector<geom::Vec3>& rx_xy,
+                          std::span<const std::size_t> dirty_rx) const;
 
   /// LOS channel matrix for arbitrarily oriented RX poses (tilted
   /// receivers, Sec. 9's orientation discussion).

@@ -167,5 +167,42 @@ TEST_P(InterferenceSweep, OtherRxSwingNeverHelps) {
 INSTANTIATE_TEST_SUITE_P(Swings, InterferenceSweep,
                          ::testing::Values(0.1, 0.3, 0.5, 0.7));
 
+// Incremental column update: recomputing only the moved RXs' columns
+// must land bit-for-bit on a full from-scratch rebuild.
+TEST(ChannelMatrix, UpdateColumnsMatchesFullRebuild) {
+  const auto tb = sim::make_simulation_testbed();
+  auto rx = sim::fig7_rx_positions();
+  auto h = tb.channel_for(rx);
+
+  rx[1].x += 0.40;
+  rx[3].y -= 0.25;
+  const auto full = tb.channel_for(rx);
+
+  const std::size_t dirty[] = {1, 3};
+  tb.update_channel_for(h, rx, dirty);
+
+  ASSERT_EQ(h.num_tx(), full.num_tx());
+  ASSERT_EQ(h.num_rx(), full.num_rx());
+  for (std::size_t j = 0; j < h.num_tx(); ++j) {
+    for (std::size_t k = 0; k < h.num_rx(); ++k) {
+      EXPECT_EQ(h.gain(j, k), full.gain(j, k)) << "j=" << j << " k=" << k;
+    }
+  }
+}
+
+// An empty dirty list must leave the matrix untouched.
+TEST(ChannelMatrix, UpdateColumnsEmptyDirtyListIsNoOp) {
+  const auto tb = sim::make_simulation_testbed();
+  const auto rx = sim::fig7_rx_positions();
+  auto h = tb.channel_for(rx);
+  const auto before = h;
+  tb.update_channel_for(h, rx, {});
+  for (std::size_t j = 0; j < h.num_tx(); ++j) {
+    for (std::size_t k = 0; k < h.num_rx(); ++k) {
+      EXPECT_EQ(h.gain(j, k), before.gain(j, k));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace densevlc::channel

@@ -1,0 +1,323 @@
+// Differential suite for the zero-allocation PHY fast paths.
+//
+// Every LUT/arena rework is held bit-for-bit against the frozen scalar
+// baselines in bench/phy_reference.{hpp,cpp}: same chips, same decodes,
+// same violation and correction counts, including Reed-Solomon error
+// bursts up to and beyond the correction capacity. The binary also links
+// bench/alloc_hook.cpp, so the steady-state loops can assert a literal
+// zero heap allocations on the DVLC_HOT paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc_hook.hpp"
+#include "common/arena.hpp"
+#include "common/rng.hpp"
+#include "dsp/waveform.hpp"
+#include "phy/frame.hpp"
+#include "phy/frame_codec.hpp"
+#include "phy/frontend.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/manchester.hpp"
+#include "phy/ook.hpp"
+#include "phy/reed_solomon.hpp"
+#include "phy_reference.hpp"
+
+namespace densevlc {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return bytes;
+}
+
+phy::MacFrame random_frame(std::size_t payload, Rng& rng) {
+  phy::MacFrame f;
+  f.dst = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+  f.src = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+  f.payload = random_bytes(payload, rng);
+  return f;
+}
+
+// --- Manchester ----------------------------------------------------------
+
+TEST(FastPath, ManchesterEncodeMatchesScalarReference) {
+  Rng rng{0xA1};
+  for (std::size_t n : {0, 1, 2, 9, 64, 257, 1125}) {
+    const auto bytes = random_bytes(n, rng);
+    const auto ref_chips =
+        bench::ref::manchester_encode(bench::ref::bytes_to_bits(bytes));
+    std::vector<phy::Chip> chips(16 * n);
+    phy::manchester_encode_bytes(bytes, chips);
+    EXPECT_EQ(chips, ref_chips) << "n=" << n;
+  }
+}
+
+TEST(FastPath, ManchesterLenientDecodeMatchesScalarOnCorruptChips) {
+  Rng rng{0xA2};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto bytes = random_bytes(200, rng);
+    std::vector<phy::Chip> chips(16 * bytes.size());
+    phy::manchester_encode_bytes(bytes, chips);
+    // Flip a handful of chips: creates coding violations and bit errors.
+    for (int e = 0; e < trial; ++e) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(chips.size()) - 1));
+      chips[at] = chips[at] == phy::Chip::kHigh ? phy::Chip::kLow
+                                                : phy::Chip::kHigh;
+    }
+    const auto ref_dec = bench::ref::manchester_decode_lenient(chips);
+    const auto ref_bytes = bench::ref::bits_to_bytes(ref_dec.bits);
+    ASSERT_TRUE(ref_bytes.has_value());
+    std::vector<std::uint8_t> fast(bytes.size());
+    const std::size_t violations =
+        phy::manchester_decode_bytes_lenient(chips, fast);
+    EXPECT_EQ(fast, *ref_bytes) << "trial=" << trial;
+    EXPECT_EQ(violations, ref_dec.violations) << "trial=" << trial;
+  }
+}
+
+TEST(FastPath, BitHelpersMatchScalarReference) {
+  Rng rng{0xA3};
+  const auto bytes = random_bytes(513, rng);
+  EXPECT_EQ(phy::bytes_to_bits(bytes), bench::ref::bytes_to_bits(bytes));
+  const auto bits = bench::ref::bytes_to_bits(bytes);
+  const auto packed = phy::bits_to_bytes(bits);
+  const auto ref_packed = bench::ref::bits_to_bytes(bits);
+  ASSERT_TRUE(packed.has_value());
+  ASSERT_TRUE(ref_packed.has_value());
+  EXPECT_EQ(*packed, *ref_packed);
+}
+
+// --- Interleaver ---------------------------------------------------------
+
+TEST(FastPath, InterleaverMatchesScalarReference) {
+  Rng rng{0xB1};
+  for (std::size_t n : {0, 1, 7, 200, 648, 1000}) {
+    const auto data = random_bytes(n, rng);
+    for (std::size_t depth : {0, 1, 2, 3, 8}) {
+      EXPECT_EQ(phy::interleave(data, depth),
+                bench::ref::interleave(data, depth))
+          << "n=" << n << " depth=" << depth;
+      EXPECT_EQ(phy::deinterleave(data, depth),
+                bench::ref::deinterleave(data, depth))
+          << "n=" << n << " depth=" << depth;
+    }
+  }
+}
+
+// --- Reed-Solomon --------------------------------------------------------
+
+TEST(FastPath, RsEncodeMatchesScalarReference) {
+  Rng rng{0xC1};
+  const phy::ReedSolomon rs{16};
+  const bench::ref::ReedSolomon ref_rs{16};
+  for (std::size_t n : {1, 8, 50, 200, 239}) {
+    const auto msg = random_bytes(n, rng);
+    EXPECT_EQ(rs.encode(msg), ref_rs.encode(msg)) << "n=" << n;
+  }
+}
+
+TEST(FastPath, RsErrorBurstDecodesMatchScalarReference) {
+  Rng rng{0xC2};
+  const phy::ReedSolomon rs{16};
+  const bench::ref::ReedSolomon ref_rs{16};
+  const auto msg = random_bytes(200, rng);
+  const auto clean = ref_rs.encode(msg);
+  phy::RsDecodeResult dec;
+  phy::RsScratch scratch;
+  // Contiguous bursts of 0..10 errors: 9 and 10 exceed the capacity of 8
+  // and must fail identically on both paths.
+  for (std::size_t burst = 0; burst <= 10; ++burst) {
+    auto cw = clean;
+    const std::size_t start = 40 + 3 * burst;
+    for (std::size_t e = 0; e < burst; ++e) {
+      cw[start + e] = static_cast<std::uint8_t>(cw[start + e] ^ 0xFF);
+    }
+    const auto ref_dec = ref_rs.decode(cw);
+    const bool ok = rs.decode_into(cw, dec, scratch);
+    ASSERT_EQ(ok, ref_dec.has_value()) << "burst=" << burst;
+    EXPECT_EQ(ok, burst <= rs.correction_capacity()) << "burst=" << burst;
+    if (ok) {
+      EXPECT_EQ(dec.data, ref_dec->data) << "burst=" << burst;
+      EXPECT_EQ(dec.corrected_errors, ref_dec->corrected_errors)
+          << "burst=" << burst;
+      EXPECT_EQ(dec.data, msg) << "burst=" << burst;
+    }
+  }
+}
+
+TEST(FastPath, RsScatteredErrorsMatchScalarReference) {
+  Rng rng{0xC3};
+  const phy::ReedSolomon rs{16};
+  const bench::ref::ReedSolomon ref_rs{16};
+  phy::RsDecodeResult dec;
+  phy::RsScratch scratch;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto msg = random_bytes(
+        static_cast<std::size_t>(rng.uniform_int(1, 200)), rng);
+    auto cw = ref_rs.encode(msg);
+    const auto n_err = static_cast<std::size_t>(rng.uniform_int(0, 10));
+    for (std::size_t e = 0; e < n_err; ++e) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cw.size()) - 1));
+      cw[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto ref_dec = ref_rs.decode(cw);
+    const bool ok = rs.decode_into(cw, dec, scratch);
+    ASSERT_EQ(ok, ref_dec.has_value()) << "trial=" << trial;
+    if (ok) {
+      EXPECT_EQ(dec.data, ref_dec->data) << "trial=" << trial;
+      EXPECT_EQ(dec.corrected_errors, ref_dec->corrected_errors)
+          << "trial=" << trial;
+    }
+  }
+}
+
+// --- Frame + codec -------------------------------------------------------
+
+TEST(FastPath, FrameSerializationMatchesScalarReference) {
+  Rng rng{0xD1};
+  for (std::size_t payload : {0, 1, 199, 200, 201, 600, 1500}) {
+    const auto f = random_frame(payload, rng);
+    const auto wire = phy::serialize_frame(f);
+    EXPECT_EQ(wire, bench::ref::serialize_frame(f)) << "payload=" << payload;
+    const auto parsed = phy::parse_frame(wire);
+    const auto ref_parsed = bench::ref::parse_frame(wire);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(ref_parsed.has_value());
+    EXPECT_EQ(parsed->frame, ref_parsed->frame);
+    EXPECT_EQ(parsed->corrected_bytes, ref_parsed->corrected_bytes);
+  }
+}
+
+TEST(FastPath, CodecChipPipelineMatchesScalarReference) {
+  Rng rng{0xD2};
+  phy::FrameCodec::Scratch cscr;
+  std::vector<std::uint8_t> wire;
+  std::vector<phy::Chip> chips;
+  std::vector<std::uint8_t> bytes;
+  phy::ParsedFrame parsed;
+  for (std::size_t payload : {0, 1, 200, 600}) {
+    for (std::size_t depth : {0, 1, 3}) {
+      const auto f = random_frame(payload, rng);
+      const auto ref_chips = bench::ref::codec_encode_chips(f, depth);
+      const phy::FrameCodec codec{depth};
+      codec.encode_into(f, wire, cscr);
+      arena_resize(chips, wire.size() * 16);
+      phy::manchester_encode_bytes(wire, chips);
+      EXPECT_EQ(chips, ref_chips) << "payload=" << payload
+                                  << " depth=" << depth;
+
+      const auto ref_parsed = bench::ref::codec_decode_chips(chips, depth);
+      arena_resize(bytes, chips.size() / 16);
+      phy::manchester_decode_bytes_lenient(chips, bytes);
+      const bool ok = codec.decode_into(bytes, parsed, cscr);
+      ASSERT_TRUE(ok);
+      ASSERT_TRUE(ref_parsed.has_value());
+      EXPECT_EQ(parsed.frame, ref_parsed->frame);
+      EXPECT_EQ(parsed.frame.payload, f.payload);
+    }
+  }
+}
+
+// --- OOK / front end -----------------------------------------------------
+
+TEST(FastPath, ReceiveFrameIntoMatchesValueApi) {
+  Rng rng{0xE1};
+  const phy::OokParams params{};
+  const phy::OokModulator mod{params};
+  const phy::OokDemodulator demod{params.chip_rate_hz,
+                                  params.sample_rate_hz()};
+  phy::OokDemodulator::RxScratch rxs;
+  phy::OokDemodulator::RxResult rx;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto f = random_frame(120, rng);
+    const auto wf = mod.modulate_frame(f, false, 0, 8);
+    std::vector<double> signal = wf.samples;
+    for (double& v : signal) v -= params.bias_current_a;  // ideal AC coupling
+    const auto value_rx = demod.receive_frame(signal);
+    const bool ok = demod.receive_frame_into(signal, rx, rxs);
+    ASSERT_TRUE(value_rx.has_value());
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(rx.parsed.frame, value_rx->parsed.frame);
+    EXPECT_EQ(rx.parsed.corrected_bytes, value_rx->parsed.corrected_bytes);
+    EXPECT_EQ(rx.preamble_at, value_rx->preamble_at);
+    EXPECT_EQ(rx.correlation, value_rx->correlation);
+    EXPECT_EQ(rx.manchester_violations, value_rx->manchester_violations);
+    EXPECT_EQ(rx.parsed.frame.payload, f.payload);
+  }
+}
+
+TEST(FastPath, FrontEndProcessIntoMatchesValueApi) {
+  phy::FrontEndConfig cfg{};  // default noisy configuration
+  phy::ReceiverFrontEnd fe_a{cfg, Rng{99}};
+  phy::ReceiverFrontEnd fe_b{cfg, Rng{99}};
+  dsp::Waveform optical;
+  optical.sample_rate_hz = 1e6;
+  optical.samples.assign(20000, 0.0);
+  for (std::size_t i = 0; i < optical.samples.size(); ++i) {
+    optical.samples[i] = (i / 10) % 2 == 0 ? 2.5e-6 : 0.0;
+  }
+  dsp::Waveform out_b;
+  // Two back-to-back calls: filter and RNG state must stay in lockstep.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto out_a = fe_a.process(optical);
+    fe_b.process_into(optical, out_b);
+    EXPECT_EQ(out_a.samples, out_b.samples) << "pass=" << pass;
+    EXPECT_EQ(out_a.sample_rate_hz, out_b.sample_rate_hz);
+  }
+}
+
+// --- Zero-allocation assertions ------------------------------------------
+
+TEST(FastPath, CodecSteadyStateIsAllocationFree) {
+  Rng rng{0xF1};
+  const auto f = random_frame(600, rng);
+  const phy::FrameCodec codec{phy::FrameCodec::matched_depth(600)};
+  phy::FrameCodec::Scratch cscr;
+  std::vector<std::uint8_t> wire;
+  std::vector<phy::Chip> chips;
+  std::vector<std::uint8_t> bytes;
+  phy::ParsedFrame parsed;
+  const auto run_one = [&] {
+    codec.encode_into(f, wire, cscr);
+    arena_resize(chips, wire.size() * 16);
+    phy::manchester_encode_bytes(wire, chips);
+    arena_resize(bytes, chips.size() / 16);
+    phy::manchester_decode_bytes_lenient(chips, bytes);
+    ASSERT_TRUE(codec.decode_into(bytes, parsed, cscr));
+  };
+  run_one();  // warm-up: buffers reach steady-state capacity here
+  const std::uint64_t before = bench::alloc_count();
+  for (int i = 0; i < 10; ++i) run_one();
+  EXPECT_EQ(bench::alloc_count() - before, 0u);
+}
+
+TEST(FastPath, ReceiveChainSteadyStateIsAllocationFree) {
+  Rng rng{0xF2};
+  const auto f = random_frame(300, rng);
+  const phy::OokParams params{};
+  const phy::OokModulator mod{params};
+  const phy::OokDemodulator demod{params.chip_rate_hz,
+                                  params.sample_rate_hz()};
+  phy::OokModulator::TxScratch txs;
+  phy::OokDemodulator::RxScratch rxs;
+  phy::OokDemodulator::RxResult rx;
+  dsp::Waveform wf;
+  const auto run_one = [&] {
+    mod.modulate_frame_into(f, false, 0, 8, wf, txs);
+    for (double& v : wf.samples) v -= params.bias_current_a;
+    ASSERT_TRUE(demod.receive_frame_into(wf.samples, rx, rxs));
+    ASSERT_EQ(rx.parsed.frame.payload, f.payload);
+  };
+  run_one();  // warm-up
+  const std::uint64_t before = bench::alloc_count();
+  for (int i = 0; i < 5; ++i) run_one();
+  EXPECT_EQ(bench::alloc_count() - before, 0u);
+}
+
+}  // namespace
+}  // namespace densevlc

@@ -103,5 +103,43 @@ TEST(Packing, EmptyInputsAreEmpty) {
   EXPECT_TRUE(packed->empty());
 }
 
+// The LUT-driven byte paths (manchester_encode_bytes, the fused lenient
+// decode, and the bytes_to_bits/bits_to_bytes pair) must agree with a
+// first-principles bit loop on every one of the 256 possible byte
+// values. This pins each table row, not just the rows random payloads
+// happen to exercise.
+TEST(Packing, All256ByteValuesMatchScalarBitLoops) {
+  for (int value = 0; value < 256; ++value) {
+    const std::vector<std::uint8_t> byte{static_cast<std::uint8_t>(value)};
+
+    // Scalar reference: unpack MSB-first, then one transition per bit.
+    std::vector<std::uint8_t> ref_bits(8);
+    for (int i = 0; i < 8; ++i) {
+      ref_bits[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((value >> (7 - i)) & 1);
+    }
+    std::vector<Chip> ref_chips;
+    for (const auto bit : ref_bits) {
+      ref_chips.push_back(bit ? Chip::kHigh : Chip::kLow);
+      ref_chips.push_back(bit ? Chip::kLow : Chip::kHigh);
+    }
+
+    EXPECT_EQ(bytes_to_bits(byte), ref_bits) << "value=" << value;
+    EXPECT_EQ(manchester_encode(ref_bits), ref_chips) << "value=" << value;
+
+    std::vector<Chip> lut_chips(16);
+    manchester_encode_bytes(byte, lut_chips);
+    EXPECT_EQ(lut_chips, ref_chips) << "value=" << value;
+
+    std::vector<std::uint8_t> decoded(1);
+    EXPECT_EQ(manchester_decode_bytes_lenient(ref_chips, decoded), 0u);
+    EXPECT_EQ(decoded, byte) << "value=" << value;
+
+    const auto packed = bits_to_bytes(ref_bits);
+    ASSERT_TRUE(packed.has_value());
+    EXPECT_EQ(*packed, byte) << "value=" << value;
+  }
+}
+
 }  // namespace
 }  // namespace densevlc::phy

@@ -26,6 +26,13 @@
 //                 magic constants with unit-suffixed names must use the
 //                 unit literals (`450.0_mA`) or units:: helpers instead of
 //                 a naked number, so the unit is visible at the use site.
+//   hot-loop-alloc in files whose first line carries the `// DVLC_HOT`
+//                 marker (the zero-allocation PHY sample path, see
+//                 common/arena.hpp), member calls to the growing vector
+//                 APIs (`push_back`, `emplace_back`, `resize`) are
+//                 flagged: hot paths must stage through arena_resize /
+//                 arena_clear so steady-state reuse is explicit.
+//                 Intentional cold-path growth carries a waiver.
 //
 // The scanner is a small C++ tokenizer, not a per-line regex pass: string
 // literals, character literals, and block comments can no longer produce
@@ -560,6 +567,52 @@ void check_naked_literal(const std::string& file,
   }
 }
 
+// --- rule: hot-loop-alloc --------------------------------------------------
+
+/// True when the file opts into the zero-allocation contract: a comment
+/// on line 1 that starts with the DVLC_HOT marker. (Prose elsewhere may
+/// *mention* the marker — common/arena.hpp does — without opting in.)
+bool has_hot_marker(const std::vector<Token>& toks) {
+  for (const Token& t : toks) {
+    if (t.line > 1) break;
+    if (t.kind != TokenKind::kComment) continue;
+    const std::size_t at = t.text.find_first_not_of(" \t");
+    if (at != std::string::npos && t.text.compare(at, 8, "DVLC_HOT") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_hot_loop_alloc(const std::string& file,
+                          const std::vector<Token>& toks,
+                          const WaiverMap& waivers) {
+  static const char* const kGrowers[] = {"push_back", "emplace_back",
+                                         "resize"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (std::none_of(std::begin(kGrowers), std::end(kGrowers),
+                     [&](const char* g) { return t.text == g; })) {
+      continue;
+    }
+    // Only member calls (`buf.resize(...)`): a free function named
+    // arena_resize is one identifier token and never matches.
+    const std::size_t p = prev_code(toks, i);
+    const bool member_call =
+        p != std::string::npos &&
+        (toks[p].text == "." || toks[p].text == "->") &&
+        token_is(toks, next_code(toks, i), "(");
+    if (!member_call) continue;
+    if (waived(waivers, "hot-loop-alloc", t.line)) continue;
+    report(file, t.line, "hot-loop-alloc",
+           "'" + t.text +
+               "' grows a container in a DVLC_HOT file; stage through "
+               "arena_resize/arena_clear (common/arena.hpp) or waive an "
+               "intentional cold path");
+  }
+}
+
 // --- driver ----------------------------------------------------------------
 
 void lint_file(const fs::path& path) {
@@ -577,6 +630,7 @@ void lint_file(const fs::path& path) {
   const std::string file = path.string();
   const bool is_header = path.extension() == ".hpp";
   check_banned(file, tokens, waivers);
+  if (has_hot_marker(tokens)) check_hot_loop_alloc(file, tokens, waivers);
   if (is_header) {
     check_units(file, tokens, waivers);
     check_nodiscard(file, tokens, waivers);
