@@ -56,7 +56,7 @@ class ReedSolomon {
 // --- Frame (allocating serializer / parser on the reference RS) ---------
 
 std::vector<std::uint8_t> serialize_frame(const phy::MacFrame& frame);
-std::optional<phy::ParsedFrame> parse_frame(
+[[nodiscard]] std::optional<phy::ParsedFrame> parse_frame(
     std::span<const std::uint8_t> bytes);
 
 // --- Whole-codec pipeline (FrameCodec semantics + chip coding) ----------

@@ -1,10 +1,10 @@
-#include "sim/event_queue.hpp"
+#include "common/event_queue.hpp"
 
 #include <algorithm>
 
 #include "common/contracts.hpp"
 
-namespace densevlc::sim {
+namespace densevlc {
 
 std::uint64_t Simulator::schedule_at(SimTime when, Callback cb) {
   DVLC_EXPECT(cb != nullptr, "scheduled callback must not be empty");
@@ -82,4 +82,4 @@ std::size_t Simulator::run_all(std::size_t max_events) {
   return executed;
 }
 
-}  // namespace densevlc::sim
+}  // namespace densevlc

@@ -20,7 +20,7 @@ inline constexpr double kBoltzmann = 1.380649e-23;
 inline constexpr double kElementaryCharge = 1.602176634e-19;
 
 /// Thermal voltage kT/q at T = 300 K [V]. Used by the LED Shockley model.
-// dvlc-lint: allow(units) — physics constant, unit documented above
+// DVLC_LINT_WAIVE(units): physics constant, unit documented above
 inline constexpr double kThermalVoltage300K = 0.025852;
 
 /// Speed of light in vacuum [m/s].
@@ -28,7 +28,7 @@ inline constexpr double kSpeedOfLight = 299792458.0;
 
 /// Luminous efficacy of the photopic peak (555 nm) [lm/W]. Used to convert
 /// radiant flux of a white LED into luminous flux with a spectral factor.
-// dvlc-lint: allow(units) — physics constant, unit documented above
+// DVLC_LINT_WAIVE(units): physics constant, unit documented above
 inline constexpr double kLuminousEfficacyPeak = 683.0;
 
 /// Typical luminous efficacy of radiation for a cool-white phosphor LED

@@ -12,7 +12,7 @@
 #include "optics/nlos.hpp"
 #include "phy/frontend.hpp"
 #include "phy/ook.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 #include "sync/timesync.hpp"
 
 namespace densevlc::core {
@@ -33,7 +33,7 @@ struct MacTiming {
 
 /// Everything needed to instantiate the full system.
 struct SystemConfig {
-  sim::Testbed testbed = sim::make_experimental_testbed();
+  Testbed testbed = make_experimental_testbed();
   phy::OokParams ook{};                 ///< 100 kchip/s, Table 1 currents
   phy::FrontEndConfig frontend{};       ///< RX chain incl. 1 Msps ADC
   sync::TimeSyncConfig timesync{};      ///< NTP/PTP + no-sync calibration

@@ -17,7 +17,7 @@ double CoverageResult::coverage_fraction(double threshold_fraction) const {
          static_cast<double>(throughput_mbps.values.size());
 }
 
-CoverageResult compute_coverage(const sim::Testbed& testbed,
+CoverageResult compute_coverage(const Testbed& testbed,
                                 const CoverageConfig& cfg,
                                 const std::vector<std::size_t>& failed_txs) {
   CoverageResult out;

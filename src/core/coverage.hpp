@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/pgm.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::core {
 
@@ -40,7 +40,7 @@ struct CoverageResult {
 /// served by the SJR heuristic under the config's budget. `failed_txs`
 /// marks dead luminaires (their links contribute nothing) — the failure-
 /// injection case coverage analysis exists for.
-CoverageResult compute_coverage(const sim::Testbed& testbed,
+CoverageResult compute_coverage(const Testbed& testbed,
                                 const CoverageConfig& cfg,
                                 const std::vector<std::size_t>& failed_txs = {});
 

@@ -26,7 +26,7 @@ ControllerConfig controller_config(const SystemConfig& cfg) {
 
 DenseVlcSystem::DenseVlcSystem(
     const SystemConfig& cfg,
-    std::vector<std::unique_ptr<sim::MobilityModel>> mobility)
+    std::vector<std::unique_ptr<geom::MobilityModel>> mobility)
     : cfg_{cfg},
       mobility_{std::move(mobility)},
       controller_{controller_config(cfg)},
@@ -68,10 +68,10 @@ DenseVlcSystem::DenseVlcSystem(
 
 DenseVlcSystem DenseVlcSystem::with_static_rxs(
     const SystemConfig& cfg, const std::vector<geom::Vec3>& positions) {
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
+  std::vector<std::unique_ptr<geom::MobilityModel>> mobility;
   mobility.reserve(positions.size());
   for (const auto& p : positions) {
-    mobility.push_back(std::make_unique<sim::StaticMobility>(p));
+    mobility.push_back(std::make_unique<geom::StaticMobility>(p));
   }
   return DenseVlcSystem{cfg, std::move(mobility)};
 }
@@ -285,7 +285,7 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
   report.rx.resize(num_rx());
   report.duration_s = duration_s;
 
-  sim::Simulator des;
+  Simulator des;
   Rng rng = master_rng_.fork();
   net::EthernetMulticast eth{des, cfg_.ethernet, rng.fork()};
   net::SimLink wifi{des, cfg_.wifi, rng.fork()};

@@ -31,8 +31,8 @@
 #include "core/controller.hpp"
 #include "core/prober.hpp"
 #include "net/links.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/mobility.hpp"
+#include "common/event_queue.hpp"
+#include "geom/mobility.hpp"
 
 namespace densevlc::core {
 
@@ -80,7 +80,7 @@ class DenseVlcSystem {
  public:
   /// `mobility` supplies one model per RX (the models define the RX count).
   DenseVlcSystem(const SystemConfig& cfg,
-                 std::vector<std::unique_ptr<sim::MobilityModel>> mobility);
+                 std::vector<std::unique_ptr<geom::MobilityModel>> mobility);
 
   /// Convenience: static RXs at the given floor positions.
   static DenseVlcSystem with_static_rxs(
@@ -160,7 +160,7 @@ class DenseVlcSystem {
   void measure_and_decide(double t_s, Rng& rng);
 
   SystemConfig cfg_;
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility_;
+  std::vector<std::unique_ptr<geom::MobilityModel>> mobility_;
   Controller controller_;
   ChannelProber prober_;
   JointTransmission data_path_;

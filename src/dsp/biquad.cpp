@@ -12,7 +12,7 @@ namespace densevlc::dsp {
 
 BiquadCascade::BiquadCascade(const std::vector<BiquadCoeffs>& sections) {
   sections_.reserve(sections.size());
-  // dvlc-lint: allow(hot-loop-alloc) — one-time construction, reserved above
+  // DVLC_LINT_WAIVE(hot-loop-alloc): one-time construction, reserved above
   for (const auto& c : sections) sections_.emplace_back(c);
 }
 

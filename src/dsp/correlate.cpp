@@ -19,7 +19,7 @@ std::vector<double> correlate(std::span<const double> signal,
     for (std::size_t j = 0; j < pattern.size(); ++j) {
       acc += signal[i + j] * pattern[j];
     }
-    // dvlc-lint: allow(hot-loop-alloc) — reserved above, ablation-only path
+    // DVLC_LINT_WAIVE(hot-loop-alloc): reserved above, ablation-only path
     out.push_back(acc);
   }
   return out;

@@ -20,8 +20,8 @@ namespace densevlc::dsp {
 /// unit of whatever samples were fed in (A^2 for photocurrent, V^2 for
 /// post-TIA voltage), so they carry no fixed unit suffix.
 struct SnrEstimate {
-  double signal_power = 0.0;  // dvlc-lint: allow(units)
-  double noise_power = 0.0;   // dvlc-lint: allow(units)
+  double signal_power = 0.0;  // DVLC_LINT_WAIVE(units): accumulator over arbitrary signal scale
+  double noise_power = 0.0;   // DVLC_LINT_WAIVE(units): accumulator over arbitrary signal scale
   double snr_linear = 0.0;
   double snr_db = 0.0;
 };

@@ -1,4 +1,4 @@
-#include "sim/mobility.hpp"
+#include "geom/mobility.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -6,7 +6,7 @@
 
 #include "common/units.hpp"
 
-namespace densevlc::sim {
+namespace densevlc::geom {
 
 WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
     : waypoints_{std::move(waypoints)} {
@@ -77,4 +77,4 @@ geom::Vec3 RandomWalkMobility::position(double t_s) const {
   return track_[idx];
 }
 
-}  // namespace densevlc::sim
+}  // namespace densevlc::geom

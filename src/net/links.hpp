@@ -13,7 +13,7 @@
 
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
-#include "sim/event_queue.hpp"
+#include "common/event_queue.hpp"
 
 namespace densevlc::net {
 
@@ -48,7 +48,7 @@ class SimLink {
  public:
   using Handler = std::function<void(const std::vector<std::uint8_t>&)>;
 
-  SimLink(sim::Simulator& simulator, const LinkConfig& cfg, Rng rng)
+  SimLink(Simulator& simulator, const LinkConfig& cfg, Rng rng)
       : sim_{&simulator}, cfg_{cfg}, rng_{rng} {}
 
   /// Queues a delivery. Returns false if the draw decided the packet is
@@ -67,7 +67,7 @@ class SimLink {
   std::uint64_t lost() const { return stats_.lost; }
 
  private:
-  sim::Simulator* sim_;
+  Simulator* sim_;
   LinkConfig cfg_;
   Rng rng_;
   LinkStats stats_;
@@ -82,7 +82,7 @@ class EthernetMulticast {
       std::function<void(std::size_t subscriber_id,
                          const std::vector<std::uint8_t>&)>;
 
-  EthernetMulticast(sim::Simulator& simulator, const LinkConfig& cfg,
+  EthernetMulticast(Simulator& simulator, const LinkConfig& cfg,
                     Rng rng)
       : sim_{&simulator}, cfg_{cfg}, rng_{rng} {}
 
@@ -98,7 +98,7 @@ class EthernetMulticast {
   const LinkStats& stats() const { return stats_; }
 
  private:
-  sim::Simulator* sim_;
+  Simulator* sim_;
   LinkConfig cfg_;
   Rng rng_;
   std::vector<Handler> handlers_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
+
 namespace densevlc::optics {
 
 Watts LedModel::power_at_current(Amperes current) const {
   const double current_a = current.value();
+  DVLC_ASSERT(std::isfinite(current_a), "LED drive current must be finite");
   if (current_a <= 0.0) return Watts{0.0};
   const double junction = elec_.ideality_factor * elec_.thermal_voltage_v *
                           std::log(current_a / elec_.saturation_current_a +
@@ -19,6 +22,7 @@ Watts LedModel::power_at_current(Amperes current) const {
 
 Volts LedModel::forward_voltage(Amperes current) const {
   const double current_a = current.value();
+  DVLC_ASSERT(std::isfinite(current_a), "LED drive current must be finite");
   if (current_a <= 0.0) return Volts{0.0};
   return Volts{elec_.ideality_factor * elec_.thermal_voltage_v *
                    std::log(current_a / elec_.saturation_current_a + 1.0) +
@@ -33,12 +37,16 @@ Ohms LedModel::dynamic_resistance() const {
 }
 
 Watts LedModel::comm_power_approx(Amperes swing) const {
+  DVLC_ASSERT(std::isfinite(swing.value()) && swing.value() >= 0.0,
+              "swing current must be finite and non-negative");
   // Eq. 10: P_C = r * (Isw/2)^2 — A^2 * ohm = W, checked at compile time.
   const Amperes half = swing / 2.0;
   return half * half * dynamic_resistance();
 }
 
 Watts LedModel::comm_power_exact(Amperes swing) const {
+  DVLC_ASSERT(std::isfinite(swing.value()) && swing.value() >= 0.0,
+              "swing current must be finite and non-negative");
   const Amperes high = bias_current() + swing / 2.0;
   const Amperes low = bias_current() - swing / 2.0;
   return (power_at_current(high) + power_at_current(low)) / 2.0 -
@@ -46,6 +54,8 @@ Watts LedModel::comm_power_exact(Amperes swing) const {
 }
 
 double LedModel::comm_power_relative_error(Amperes swing) const {
+  DVLC_ASSERT(std::isfinite(swing.value()) && swing.value() >= 0.0,
+              "swing current must be finite and non-negative");
   const Watts base = power_at_current(bias_current());
   const Watts exact = base + comm_power_exact(swing);
   if (exact <= Watts{0.0}) return 0.0;

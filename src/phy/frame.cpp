@@ -169,10 +169,10 @@ std::vector<std::uint8_t> serialize_controller_frame(
   const auto body = serialize_frame(cf.frame);
   out.reserve(9 + body.size());
   for (int i = 7; i >= 0; --i) {
-    // dvlc-lint: allow(hot-loop-alloc) — control plane, reserved above
+    // DVLC_LINT_WAIVE(hot-loop-alloc): control plane, reserved above
     out.push_back(static_cast<std::uint8_t>((cf.tx_mask >> (8 * i)) & 0xFF));
   }
-  // dvlc-lint: allow(hot-loop-alloc)
+  // DVLC_LINT_WAIVE(hot-loop-alloc): control plane, reserved above
   out.push_back(cf.leading_tx);
   out.insert(out.end(), body.begin(), body.end());
   return out;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/arena.hpp"
+#include "common/contracts.hpp"
 #include "dsp/butterworth.hpp"
 
 namespace densevlc::phy {
@@ -24,6 +25,7 @@ ReceiverFrontEnd::ReceiverFrontEnd(const FrontEndConfig& cfg, Rng rng)
 }
 
 Amperes ReceiverFrontEnd::noise_current_sigma(Hertz sample_rate) const {
+  DVLC_ASSERT(sample_rate.value() > 0.0, "sample rate must be positive");
   const AmpsSquaredPerHertz n0{cfg_.noise_psd_a2_per_hz};
   return densevlc::sqrt(n0 * sample_rate / 2.0);
 }

@@ -31,9 +31,9 @@ ReedSolomon::ReedSolomon(std::size_t parity_symbols)
   encode_rows_.reserve(n_parity_);
   syndrome_rows_.reserve(n_parity_);
   for (std::size_t i = 0; i < n_parity_; ++i) {
-    // dvlc-lint: allow(hot-loop-alloc) — one-time construction, reserved above
+    // DVLC_LINT_WAIVE(hot-loop-alloc): one-time construction, reserved above
     encode_rows_.push_back(gf::mul_row(generator_[i + 1]));
-    // dvlc-lint: allow(hot-loop-alloc) — one-time construction, reserved above
+    // DVLC_LINT_WAIVE(hot-loop-alloc): one-time construction, reserved above
     syndrome_rows_.push_back(gf::mul_row(gf::pow_alpha(static_cast<int>(i))));
   }
 }
@@ -56,6 +56,13 @@ void ReedSolomon::encode_parity_into(std::span<const std::uint8_t> message,
     }
     parity[n_parity_ - 1] = encode_rows_[n_parity_ - 1][feedback];
   }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode_parity(
+    std::span<const std::uint8_t> message) const {
+  std::vector<std::uint8_t> parity(n_parity_, 0);
+  encode_parity_into(message, parity);
+  return parity;
 }
 
 void ReedSolomon::encode_into(std::span<const std::uint8_t> message,

@@ -1,69 +1,16 @@
-// Receiver mobility models (substitute for the OpenBuilds ACRO 2-axis
-// positioners that move the paper's RXs around the 3 m x 3 m floor).
+// Compatibility shim: the receiver mobility models are pure geometry
+// (positions as functions of time) and live in geom/mobility.hpp, below
+// `core` in the layering DAG — DenseVlcSystem owns the models while the
+// `sim` module sits above it. Include the real header in new code.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "common/rng.hpp"
-#include "geom/grid.hpp"
-#include "geom/vec3.hpp"
+#include "geom/mobility.hpp"
 
 namespace densevlc::sim {
 
-/// Position of a receiver as a function of simulated time.
-class MobilityModel {
- public:
-  virtual ~MobilityModel() = default;
-
-  /// Position at time `t_s` [s from scenario start].
-  virtual geom::Vec3 position(double t_s) const = 0;
-};
-
-/// A receiver that never moves.
-class StaticMobility final : public MobilityModel {
- public:
-  explicit StaticMobility(geom::Vec3 pos) : pos_{pos} {}
-  geom::Vec3 position(double /*t_s*/) const override { return pos_; }
-
- private:
-  geom::Vec3 pos_;
-};
-
-/// Piecewise-linear motion through timed waypoints. Before the first
-/// waypoint the position holds at the first; after the last it holds at
-/// the last. Waypoint times must be strictly increasing.
-class WaypointMobility final : public MobilityModel {
- public:
-  struct Waypoint {
-    double time_s = 0.0;
-    geom::Vec3 pos{};
-  };
-
-  /// Throws std::invalid_argument on empty or non-monotonic waypoints.
-  explicit WaypointMobility(std::vector<Waypoint> waypoints);
-
-  geom::Vec3 position(double t_s) const override;
-
- private:
-  std::vector<Waypoint> waypoints_;
-};
-
-/// A bounded random walk at constant speed: a new heading is drawn every
-/// `heading_interval_s`; walls reflect. Deterministic given the seed.
-/// Positions are pre-sampled on a fine grid so position(t) is a pure
-/// function of t (required by the MobilityModel contract).
-class RandomWalkMobility final : public MobilityModel {
- public:
-  RandomWalkMobility(geom::Vec3 start, double speed_mps,
-                     double heading_interval_s, const geom::Room& room,
-                     double duration_s, std::uint64_t seed);
-
-  geom::Vec3 position(double t_s) const override;
-
- private:
-  std::vector<geom::Vec3> track_;  ///< sampled every tick_s_
-  double tick_s_ = 0.01;
-};
+using geom::MobilityModel;
+using geom::RandomWalkMobility;
+using geom::StaticMobility;
+using geom::WaypointMobility;
 
 }  // namespace densevlc::sim

@@ -7,61 +7,6 @@
 
 namespace densevlc::sim {
 
-std::vector<geom::Pose> Testbed::tx_poses() const {
-  return geom::make_ceiling_grid(room, grid);
-}
-
-std::vector<geom::Pose> Testbed::rx_poses(
-    const std::vector<geom::Vec3>& xy) const {
-  std::vector<geom::Pose> poses;
-  poses.reserve(xy.size());
-  for (const auto& p : xy) {
-    poses.push_back(geom::floor_pose(p.x, p.y, rx_height_m));
-  }
-  return poses;
-}
-
-channel::ChannelMatrix Testbed::channel_for(
-    const std::vector<geom::Vec3>& rx_xy) const {
-  return channel::ChannelMatrix::from_geometry(tx_poses(), rx_poses(rx_xy),
-                                               emitter, pd);
-}
-
-channel::ChannelMatrix Testbed::channel_for_poses(
-    const std::vector<geom::Pose>& rx) const {
-  return channel::ChannelMatrix::from_geometry(tx_poses(), rx, emitter, pd);
-}
-
-void Testbed::update_channel_for(channel::ChannelMatrix& h,
-                                 const std::vector<geom::Vec3>& rx_xy,
-                                 std::span<const std::size_t> dirty_rx) const {
-  h.update_columns_from_geometry(tx_poses(), rx_poses(rx_xy), emitter, pd,
-                                 dirty_rx);
-}
-
-namespace {
-
-Testbed make_testbed(double mount_height, double rx_height) {
-  Testbed tb;
-  tb.room = geom::Room{3.0, 3.0, std::max(mount_height, 2.8)};
-  tb.grid = geom::GridSpec{6, 6, 0.5, mount_height};
-  tb.rx_height_m = rx_height;
-  tb.emitter.half_power_semi_angle_rad = units::deg_to_rad(15.0);
-  tb.pd = optics::Photodiode{};  // Table 1 defaults
-  tb.led = optics::LedModel{optics::LedElectrical{},
-                            optics::LedOperatingPoint{0.45, 0.9}};
-  tb.budget = channel::LinkBudget::from_led(tb.led, AmperesPerWatt{0.4},
-                                            AmpsSquaredPerHertz{7.02e-23},
-                                            Hertz{units::MHz(1.0)});
-  return tb;
-}
-
-}  // namespace
-
-Testbed make_simulation_testbed() { return make_testbed(2.8, 0.8); }
-
-Testbed make_experimental_testbed() { return make_testbed(2.0, 0.0); }
-
 std::vector<geom::Vec3> fig7_rx_positions() {
   return {{0.92, 0.92, 0.0},
           {1.65, 0.65, 0.0},

@@ -1,0 +1,15 @@
+// Fixture: physics entry point with typed-quantity inputs and a
+// non-trivial body but no precondition checks.
+namespace densevlc::optics {
+
+Watts radiated_power(Watts input, double efficiency) {  // EXPECT-FINDING: api-assert-precondition
+  const double raw = input.value();
+  double scaled = raw * efficiency;
+  if (scaled < 0.0) {
+    scaled = 0.0;
+  }
+  const double losses = scaled * 0.01;
+  return Watts{scaled - losses};
+}
+
+}  // namespace densevlc::optics

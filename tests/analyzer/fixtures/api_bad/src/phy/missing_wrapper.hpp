@@ -1,0 +1,22 @@
+// Fixture: a *_into overload without its value-returning sibling, and
+// scratch structs passed against the convention.
+#pragma once
+
+#include <vector>
+
+namespace densevlc::phy {
+
+struct DemodScratch {
+  std::vector<double> buffer;
+};
+
+void window_into(const std::vector<double>& signal,  // EXPECT-FINDING: api-into-wrapper
+                 std::vector<double>& out);
+
+void run_const(const DemodScratch& scratch);  // EXPECT-FINDING: api-scratch-ref
+
+void run_by_value(DemodScratch scratch);  // EXPECT-FINDING: api-scratch-ref
+
+void run_ok(DemodScratch& scratch);  // non-const reference: clean
+
+}  // namespace densevlc::phy

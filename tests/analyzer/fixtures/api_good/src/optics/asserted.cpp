@@ -1,0 +1,15 @@
+// Fixture: the same entry point with its precondition asserted.
+namespace densevlc::optics {
+
+Watts radiated_power(Watts input, double efficiency) {
+  DVLC_ASSERT(input.value() >= 0.0, "input power must be non-negative");
+  const double raw = input.value();
+  double scaled = raw * efficiency;
+  if (scaled < 0.0) {
+    scaled = 0.0;
+  }
+  const double losses = scaled * 0.01;
+  return Watts{scaled - losses};
+}
+
+}  // namespace densevlc::optics

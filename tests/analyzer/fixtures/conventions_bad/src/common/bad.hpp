@@ -1,0 +1,31 @@
+// Fixture: conventions violations in an ordinary header.
+#pragma once
+
+#include <cstdlib>
+
+namespace densevlc {
+
+struct BadConfig {
+  double power = 1.0;     // EXPECT-FINDING: units
+  double delay = 0.5;     // EXPECT-FINDING: units
+  double power_w = 1.0;   // suffixed: clean
+  int retries = 3;        // not floating point: clean
+};
+
+bool load_state(const BadConfig& cfg);  // EXPECT-FINDING: nodiscard
+
+[[nodiscard]] bool load_state_checked(const BadConfig& cfg);  // clean
+
+inline int noisy_sample() {
+  return rand();  // EXPECT-FINDING: banned
+}
+
+inline void unreachable_case() {
+  assert(false);  // EXPECT-FINDING: banned
+}
+
+inline void explained_failure(bool ok) {
+  assert(ok && "message present");  // clean: carries a condition
+}
+
+}  // namespace densevlc

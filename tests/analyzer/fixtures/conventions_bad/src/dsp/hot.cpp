@@ -1,0 +1,10 @@
+// DVLC_HOT — fixture: container growth inside a hot-path file.
+#include <vector>
+
+namespace densevlc::dsp {
+
+void accumulate(std::vector<double>& buf, double x) {
+  buf.push_back(x);  // EXPECT-FINDING: hot-loop-alloc
+}
+
+}  // namespace densevlc::dsp

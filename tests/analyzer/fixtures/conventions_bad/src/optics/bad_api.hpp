@@ -1,0 +1,12 @@
+// Fixture: physics-core header passing quantities as bare double.
+#pragma once
+
+namespace densevlc::optics {
+
+void set_power(double power_w);       // EXPECT-FINDING: raw-double
+
+double emitted_power_w();             // EXPECT-FINDING: raw-double
+
+void set_angle(double angle_rad);     // dimensionless suffix: clean
+
+}  // namespace densevlc::optics

@@ -1,0 +1,11 @@
+// Fixture: physics-core source with a naked magic constant.
+namespace densevlc::optics {
+
+void configure() {
+  double bias_w = 0.45;  // EXPECT-FINDING: naked-literal
+  double zero_w = 0.0;   // zero needs no unit: clean
+  (void)bias_w;
+  (void)zero_w;
+}
+
+}  // namespace densevlc::optics

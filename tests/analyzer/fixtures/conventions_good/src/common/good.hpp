@@ -1,0 +1,16 @@
+// Fixture: the same shapes as conventions_bad, written correctly or
+// carrying a canonical waiver. Must produce zero findings.
+#pragma once
+
+namespace densevlc {
+
+struct GoodConfig {
+  double power_w = 1.0;
+  double delay_s = 0.5;
+  // DVLC_LINT_WAIVE(units): legacy field kept for config compatibility
+  double power = 1.0;
+};
+
+[[nodiscard]] bool load_state(const GoodConfig& cfg);
+
+}  // namespace densevlc

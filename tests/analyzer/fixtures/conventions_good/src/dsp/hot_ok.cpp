@@ -1,0 +1,18 @@
+// DVLC_HOT — fixture: cold-path growth carries a waiver; the hot path
+// stages through arena helpers (free functions never match the rule).
+#include <vector>
+
+namespace densevlc::dsp {
+
+template <typename T>
+void arena_resize(std::vector<T>& v, unsigned long n) {
+  v.resize(n);  // DVLC_LINT_WAIVE(hot-loop-alloc): the arena helper itself
+}
+
+void warm_up(std::vector<double>& buf) {
+  // DVLC_LINT_WAIVE(hot-loop-alloc): one-time construction, reserved above
+  buf.push_back(0.0);
+  arena_resize(buf, 16);
+}
+
+}  // namespace densevlc::dsp

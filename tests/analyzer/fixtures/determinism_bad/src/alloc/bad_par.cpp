@@ -1,0 +1,40 @@
+// Fixture: every way a parallel body can break the reproducibility
+// contract of common/thread_pool.hpp.
+#include <cstddef>
+#include <vector>
+
+namespace densevlc {
+
+void shared_mutation(std::vector<double>& out, std::size_t n) {
+  double total = 0.0;
+  parallel_for(0, n, [&](std::size_t i) {
+    total += static_cast<double>(i);  // EXPECT-FINDING: par-shared-write
+    out[i] = total;
+  });
+}
+
+void shared_counter(std::size_t n) {
+  std::size_t hits = 0;
+  parallel_for(0, n, [&](std::size_t i) {
+    if (i % 2 == 0) {
+      ++hits;  // EXPECT-FINDING: par-shared-write
+    }
+  });
+  (void)hits;
+}
+
+void unordered_growth(std::vector<double>& found, std::size_t n) {
+  parallel_for(0, n, [&](std::size_t i) {
+    if (i > 3) {
+      found.push_back(static_cast<double>(i));  // EXPECT-FINDING: par-container-growth
+    }
+  });
+}
+
+void shared_rng(std::vector<double>& samples, Rng& rng, std::size_t n) {
+  parallel_for(0, n, [&](std::size_t i) {
+    samples[i] = rng.uniform();  // EXPECT-FINDING: par-rng-stream
+  });
+}
+
+}  // namespace densevlc

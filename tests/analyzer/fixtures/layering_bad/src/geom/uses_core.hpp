@@ -1,0 +1,5 @@
+// Fixture: a low-tier module reaching up the DAG.
+#pragma once
+
+#include "core/testbed.hpp"  // EXPECT-FINDING: layer-back-edge
+#include "geom/vec3.hpp"

@@ -1,0 +1,2 @@
+#pragma once  // EXPECT-FINDING: layer-cycle
+#include "phy/cycle_b.hpp"

@@ -1,0 +1,4 @@
+// Fixture: sync -> phy is a declared extra edge, not a back-edge.
+#pragma once
+
+#include "phy/frontend.hpp"

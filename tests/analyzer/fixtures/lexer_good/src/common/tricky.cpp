@@ -1,0 +1,42 @@
+// Fixture: lexer regression material. Every banned-looking construct
+// below lives inside a literal or a swallowed continuation line, so this
+// file must produce zero findings.
+#include <cstdint>
+#include <string>
+
+namespace densevlc {
+
+const char* raw_plain() {
+  return R"(rand(); assert(false); " unbalanced)";
+}
+
+const char* raw_custom_delim() {
+  return R"dvlc(a raw string containing )" and rand() too)dvlc";
+}
+
+const char* raw_prefixed() {
+  return u8R"(assert(false) inside a u8R literal)";
+}
+
+std::string ordinary_literals() {
+  std::string s = "rand()";
+  s += 'r';
+  s += "dvlc-lint: allow(banned) inside a string waives nothing";
+  return s;
+}
+
+// A line comment continued with a backslash swallows its next line: \
+   rand(); assert(false);
+
+std::uint64_t digit_separators() {
+  const std::uint64_t big = 1'000'000;
+  const std::uint64_t hex = 0xFF'FF'FF;
+  return big + hex;
+}
+
+#define TRICKY_SUM(a, b) \
+  ((a) + (b))
+
+int uses_macro() { return TRICKY_SUM(1, 2); }
+
+}  // namespace densevlc

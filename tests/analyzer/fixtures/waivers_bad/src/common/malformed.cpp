@@ -1,0 +1,12 @@
+// Fixture: canonical waivers must carry a reason; a bare tag is itself a
+// finding — and it waives nothing.
+#include <cstdlib>
+
+namespace densevlc {
+
+int sample() {
+  // DVLC_LINT_WAIVE(banned)  EXPECT-FINDING: waiver-syntax
+  return rand();  // EXPECT-FINDING: banned
+}
+
+}  // namespace densevlc

@@ -13,7 +13,7 @@ CoverageConfig small_config() {
 }
 
 TEST(Coverage, RasterShapeAndStats) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   const auto result = compute_coverage(tb, small_config());
   EXPECT_EQ(result.throughput_mbps.width, 11u);
   EXPECT_EQ(result.throughput_mbps.height, 11u);
@@ -24,7 +24,7 @@ TEST(Coverage, RasterShapeAndStats) {
 }
 
 TEST(Coverage, CenterBeatsCorner) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   const auto result = compute_coverage(tb, small_config());
   const auto& f = result.throughput_mbps;
   const double center = f.values[5 * 11 + 5];
@@ -33,7 +33,7 @@ TEST(Coverage, CenterBeatsCorner) {
 }
 
 TEST(Coverage, FractionBoundsAndMonotonicity) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   const auto result = compute_coverage(tb, small_config());
   const double at_half = result.coverage_fraction(0.5);
   const double at_ninety = result.coverage_fraction(0.9);
@@ -43,7 +43,7 @@ TEST(Coverage, FractionBoundsAndMonotonicity) {
 }
 
 TEST(Coverage, FailedTxDimsItsNeighborhood) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   const auto cfg = small_config();
   const auto healthy = compute_coverage(tb, cfg);
   // Kill TX22 (0-based 21) near the center and its 3 neighbours: the
@@ -59,7 +59,7 @@ TEST(Coverage, FailedTxDimsItsNeighborhood) {
 }
 
 TEST(Coverage, HigherBudgetNeverHurts) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   CoverageConfig lo = small_config();
   lo.power_budget_w = 0.06;
   CoverageConfig hi = small_config();
@@ -70,7 +70,7 @@ TEST(Coverage, HigherBudgetNeverHurts) {
 }
 
 TEST(Coverage, ExportsToPgm) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = make_experimental_testbed();
   const auto result = compute_coverage(tb, small_config());
   const auto bytes = to_pgm(result.throughput_mbps);
   EXPECT_FALSE(bytes.empty());

@@ -20,9 +20,9 @@ SystemConfig fast_config() {
 
 TEST(System, TrueChannelTracksMobility) {
   SystemConfig cfg = fast_config();
-  std::vector<std::unique_ptr<sim::MobilityModel>> mob;
-  mob.push_back(std::make_unique<sim::WaypointMobility>(
-      std::vector<sim::WaypointMobility::Waypoint>{
+  std::vector<std::unique_ptr<geom::MobilityModel>> mob;
+  mob.push_back(std::make_unique<geom::WaypointMobility>(
+      std::vector<geom::WaypointMobility::Waypoint>{
           {0.0, {0.75, 0.75, 0.0}}, {10.0, {2.25, 2.25, 0.0}}}));
   DenseVlcSystem system{cfg, std::move(mob)};
   const auto h0 = system.true_channel(0.0);
@@ -91,12 +91,12 @@ TEST(System, IncrementalProbingMatchesFullWhenAllRxsMove) {
   // epoch — the one regime where incremental probing is guaranteed
   // bit-identical to the full sweep (same noise sub-streams per link).
   const auto make_mobility = [] {
-    std::vector<std::unique_ptr<sim::MobilityModel>> mob;
-    mob.push_back(std::make_unique<sim::WaypointMobility>(
-        std::vector<sim::WaypointMobility::Waypoint>{
+    std::vector<std::unique_ptr<geom::MobilityModel>> mob;
+    mob.push_back(std::make_unique<geom::WaypointMobility>(
+        std::vector<geom::WaypointMobility::Waypoint>{
             {0.0, {0.75, 0.75, 0.0}}, {10.0, {2.25, 2.25, 0.0}}}));
-    mob.push_back(std::make_unique<sim::WaypointMobility>(
-        std::vector<sim::WaypointMobility::Waypoint>{
+    mob.push_back(std::make_unique<geom::WaypointMobility>(
+        std::vector<geom::WaypointMobility::Waypoint>{
             {0.0, {2.25, 0.75, 0.0}}, {10.0, {0.75, 2.25, 0.0}}}));
     return mob;
   };

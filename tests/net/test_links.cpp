@@ -9,7 +9,7 @@ namespace densevlc::net {
 namespace {
 
 TEST(SimLink, DeliversWithLatency) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{100e-6, 0.0, 0.0}, Rng{1}};
   bool delivered = false;
   SimTime at{};
@@ -24,7 +24,7 @@ TEST(SimLink, DeliversWithLatency) {
 }
 
 TEST(SimLink, JitterIsNonNegativeAddition) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{50e-6, 20e-6, 0.0}, Rng{2}};
   for (int i = 0; i < 1000; ++i) {
     EXPECT_GE(link.draw_latency(), 50e-6);
@@ -32,7 +32,7 @@ TEST(SimLink, JitterIsNonNegativeAddition) {
 }
 
 TEST(SimLink, LossDropsDeliveries) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{10e-6, 0.0, 0.5}, Rng{3}};
   int delivered = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -45,7 +45,7 @@ TEST(SimLink, LossDropsDeliveries) {
 }
 
 TEST(SimLink, NoLossDeliversEverything) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{10e-6, 5e-6, 0.0}, Rng{4}};
   int delivered = 0;
   for (int i = 0; i < 100; ++i) {
@@ -56,7 +56,7 @@ TEST(SimLink, NoLossDeliversEverything) {
 }
 
 TEST(SimLink, StatsAccountForEveryPacket) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{100e-6, 50e-6, 0.3}, Rng{8}};
   for (int i = 0; i < 500; ++i) {
     (void)link.send({1}, [](const auto&) {});  // loss expected
@@ -81,7 +81,7 @@ TEST(SimLink, StatsAccountForEveryPacket) {
 }
 
 TEST(SimLink, LosslessStatsHaveZeroLost) {
-  sim::Simulator des;
+  Simulator des;
   SimLink link{des, LinkConfig{10e-6, 0.0, 0.0}, Rng{9}};
   for (int i = 0; i < 50; ++i) {
     EXPECT_TRUE(link.send({0}, [](const auto&) {}));
@@ -103,7 +103,7 @@ TEST(SimLink, EmptyStatsAreZero) {
 }
 
 TEST(Multicast, FansOutToAllSubscribers) {
-  sim::Simulator des;
+  Simulator des;
   EthernetMulticast eth{des, LinkConfig{100e-6, 10e-6, 0.0}, Rng{5}};
   std::vector<int> hits(3, 0);
   for (std::size_t i = 0; i < 3; ++i) {
@@ -119,7 +119,7 @@ TEST(Multicast, FansOutToAllSubscribers) {
 }
 
 TEST(Multicast, IndependentLatenciesPerSubscriber) {
-  sim::Simulator des;
+  Simulator des;
   EthernetMulticast eth{des, LinkConfig{100e-6, 50e-6, 0.0}, Rng{6}};
   std::vector<SimTime> arrivals;
   for (int i = 0; i < 2; ++i) {
@@ -134,7 +134,7 @@ TEST(Multicast, IndependentLatenciesPerSubscriber) {
 }
 
 TEST(Multicast, StatsAggregateAcrossSubscribers) {
-  sim::Simulator des;
+  Simulator des;
   EthernetMulticast eth{des, LinkConfig{100e-6, 10e-6, 0.0}, Rng{10}};
   for (int i = 0; i < 3; ++i) {
     eth.subscribe([](std::size_t, const auto&) {});
@@ -150,7 +150,7 @@ TEST(Multicast, StatsAggregateAcrossSubscribers) {
 }
 
 TEST(Multicast, PayloadIntegrity) {
-  sim::Simulator des;
+  Simulator des;
   EthernetMulticast eth{des, LinkConfig{10e-6, 0.0, 0.0}, Rng{7}};
   const std::vector<std::uint8_t> payload{9, 8, 7, 6};
   std::vector<std::uint8_t> received;

@@ -1,0 +1,104 @@
+// Pass framework for dvlc_analyze.
+//
+// A Pass sees the whole project at once (every indexed SourceFile plus
+// the include graph), so multi-file rules — layering, cross-overload
+// pairing — are first-class. Findings funnel through a Sink that applies
+// inline waivers; baselining happens after all passes ran (baseline.hpp).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "source.hpp"
+
+namespace densevlc::analyze {
+
+/// One diagnostic. `symbol` is the stable anchor used for baseline
+/// matching (an identifier, module name, or rule-specific tag) so
+/// baselines survive unrelated line drift.
+struct Finding {
+  std::string rule;
+  std::string file;  // root-relative path
+  std::size_t line = 0;
+  std::string symbol;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Everything the passes can look at.
+struct AnalysisContext {
+  std::filesystem::path root;
+  std::vector<SourceFile> files;
+
+  /// Layering rank per module; lower = more fundamental. A file may only
+  /// include modules of strictly lower rank (or its own module), unless
+  /// the edge is in `extra_edges`.
+  std::map<std::string, int> module_rank;
+
+  /// Declared same-tier exceptions, as (from, to) module pairs.
+  std::vector<std::pair<std::string, std::string>> extra_edges;
+};
+
+/// Collects findings, dropping waived ones at report time.
+class Sink {
+ public:
+  /// Waived findings are counted but not stored.
+  void report(const SourceFile& file, std::size_t line,
+              const std::string& rule, const std::string& symbol,
+              const std::string& message);
+
+  /// Reports that bypass waiver lookup (used for waiver-syntax errors —
+  /// a broken waiver must not be able to waive itself).
+  void report_unwaivable(const SourceFile& file, std::size_t line,
+                         const std::string& rule, const std::string& symbol,
+                         const std::string& message);
+
+  std::size_t waived_count() const { return waived_; }
+  std::vector<Finding> take_findings();
+
+ private:
+  std::vector<Finding> findings_;
+  std::size_t waived_ = 0;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<RuleInfo> rules() const = 0;
+  virtual void run(const AnalysisContext& ctx, Sink& sink) const = 0;
+};
+
+/// The pass registry, in canonical execution order.
+std::vector<std::unique_ptr<Pass>> make_all_passes();
+
+// Pass factories (one per translation unit).
+std::unique_ptr<Pass> make_conventions_pass();
+std::unique_ptr<Pass> make_determinism_pass();
+std::unique_ptr<Pass> make_layering_pass();
+std::unique_ptr<Pass> make_api_pass();
+
+/// The declared module DAG of this repository (see docs/static_analysis.md).
+void default_layering(AnalysisContext& ctx);
+
+/// End-to-end: index `paths` under `root`, run the selected passes
+/// (empty = all), return sorted deduplicated findings. `pass_filter`
+/// entries are pass names. Used by main() and the self-test suite.
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t waived = 0;
+};
+AnalysisResult analyze_paths(const std::vector<std::filesystem::path>& paths,
+                             const std::filesystem::path& root,
+                             const std::vector<std::string>& pass_filter = {});
+
+}  // namespace densevlc::analyze

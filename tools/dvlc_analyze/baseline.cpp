@@ -1,0 +1,74 @@
+#include "baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace densevlc::analyze {
+
+BaselineLoad load_baseline(const std::filesystem::path& path) {
+  BaselineLoad out;
+  std::ifstream in{path};
+  if (!in) return out;  // no baseline file: empty baseline
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t at = line.find_first_not_of(" \t");
+    if (at == std::string::npos || line[at] == '#') continue;
+    std::istringstream fields{line};
+    std::string rule, file, symbol;
+    std::size_t count = 0;
+    if (!(fields >> rule >> file >> symbol >> count) || count == 0) {
+      out.ok = false;
+      out.error = path.string() + ":" + std::to_string(lineno) +
+                  ": expected '<rule> <file> <symbol> <count>'";
+      return out;
+    }
+    out.baseline.allowed[{rule, file, symbol}] += count;
+  }
+  return out;
+}
+
+BaselineApplication apply_baseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings) {
+  BaselineApplication out;
+  std::map<BaselineKey, std::size_t> used;
+  for (const Finding& f : findings) {
+    const BaselineKey key{f.rule, f.file, f.symbol};
+    const auto it = baseline.allowed.find(key);
+    if (it != baseline.allowed.end() && used[key] < it->second) {
+      ++used[key];
+      ++out.suppressed;
+    } else {
+      out.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, allowed] : baseline.allowed) {
+    const auto it = used.find(key);
+    const std::size_t seen = it == used.end() ? 0 : it->second;
+    if (seen < allowed) {
+      out.stale.push_back(std::get<0>(key) + " " + std::get<1>(key) + " " +
+                          std::get<2>(key) + " (" + std::to_string(allowed) +
+                          " baselined, " + std::to_string(seen) + " seen)");
+    }
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::map<BaselineKey, std::size_t> counts;
+  for (const Finding& f : findings) ++counts[{f.rule, f.file, f.symbol}];
+  std::ostringstream out;
+  out << "# dvlc_analyze baseline: pre-existing findings, suppressed by\n"
+         "# (rule, file, symbol, count). Regenerate with\n"
+         "#   dvlc_analyze --write-baseline <this file> <paths...>\n"
+         "# New findings beyond these counts fail the run. Shrink, never\n"
+         "# grow, this file.\n";
+  for (const auto& [key, count] : counts) {
+    out << std::get<0>(key) << ' ' << std::get<1>(key) << ' '
+        << std::get<2>(key) << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace densevlc::analyze

@@ -1,0 +1,52 @@
+// Committed-baseline support: pre-existing findings a PR inherits but did
+// not introduce. The format is line-number-free so the baseline survives
+// unrelated edits:
+//
+//   <rule> <file> <symbol> <count>
+//
+// one entry per line, `#` comments and blank lines ignored. A finding is
+// suppressed while fewer than `count` findings with the same
+// (rule, file, symbol) key have been seen; the (count+1)-th is new and
+// fails the run. Entries that match nothing are reported as stale on
+// stderr (a nudge to shrink the file) but do not fail.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace densevlc::analyze {
+
+using BaselineKey = std::tuple<std::string, std::string, std::string>;
+
+struct Baseline {
+  std::map<BaselineKey, std::size_t> allowed;
+};
+
+/// Parses a baseline file. Missing file -> empty baseline, ok=true;
+/// unreadable/garbled lines -> ok=false with a message in `error`.
+struct BaselineLoad {
+  Baseline baseline;
+  bool ok = true;
+  std::string error;
+};
+BaselineLoad load_baseline(const std::filesystem::path& path);
+
+/// Splits findings into (new, suppressed) per the baseline and collects
+/// stale entries (keys with a larger count than was actually seen).
+struct BaselineApplication {
+  std::vector<Finding> fresh;
+  std::size_t suppressed = 0;
+  std::vector<std::string> stale;  // human-readable descriptions
+};
+BaselineApplication apply_baseline(const Baseline& baseline,
+                                   const std::vector<Finding>& findings);
+
+/// Serializes findings as a baseline file body (sorted, deduplicated into
+/// counts, with a header comment).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+}  // namespace densevlc::analyze

@@ -1,0 +1,22 @@
+// Output renderers: GCC-style human text, SARIF 2.1.0 (for CI annotation
+// and artifact upload), and a small plain-JSON form for scripting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace densevlc::analyze {
+
+/// `path:line: error: [rule] message` — editors and CI both parse this.
+std::string render_human(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 with one run, one rule descriptor per distinct rule id.
+std::string render_sarif(const std::vector<Finding>& findings,
+                         const std::vector<RuleInfo>& rules);
+
+/// `{"findings": [{...}]}`.
+std::string render_json(const std::vector<Finding>& findings);
+
+}  // namespace densevlc::analyze
