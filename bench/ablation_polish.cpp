@@ -9,12 +9,12 @@
 #include "alloc/optimal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 250;
 
@@ -23,7 +23,7 @@ int main() {
 
   TablePrinter table{{"budget [W]", "optimal tput [Mbit/s]",
                       "binary tput [Mbit/s]", "loss [%]", "fractional TXs"}};
-  const auto instances = sim::random_instances(20, 0.25, tb.room, 0xAB1A);
+  const auto instances = scenario::random_instances(20, 0.25, tb.room, 0xAB1A);
 
   std::vector<double> losses;  // only budgets >= 0.6 W enter the verdict
   for (double budget : {0.3, 0.6, 0.9, 1.2, 1.8}) {

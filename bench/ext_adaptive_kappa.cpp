@@ -11,13 +11,13 @@
 #include "alloc/optimal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(20, 0.25, tb.room, 0xADA7);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(20, 0.25, tb.room, 0xADA7);
   alloc::OptimalSolverConfig ocfg;
   ocfg.max_iterations = 250;
   alloc::AssignmentOptions opts;

@@ -2,92 +2,94 @@
 //
 // The paper conjectures that in cell-free massive MIMO VLC, blockage
 // "could bring benefit to the system since it can reduce the
-// interference from other TXs". This bench quantifies both directions:
+// interference from other TXs". Thin wrapper over
+// scenarios/ext_blockage.ini: the base spec places a person on RX1's
+// serving path, the sweep walks the person across the room. Quantified
+// here:
 //   - a person standing on a *serving* path hurts the blocked RX;
 //   - a person standing on a dominant *interference* path can raise the
 //     victim RX's throughput (the controller re-allocates around the
 //     shadow).
+//
+// Usage: bench_ext_blockage [campaign.ini]
+#include <algorithm>
+#include <fstream>
 #include <iostream>
-#include <vector>
+#include <sstream>
+#include <string>
 
-#include "alloc/assignment.hpp"
-#include "channel/blockage.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/campaign.hpp"
 
-namespace {
+#ifndef DVLC_SCENARIO_DIR
+#define DVLC_SCENARIO_DIR "scenarios"
+#endif
 
-using namespace densevlc;
+int main(int argc, char** argv) {
+  using namespace densevlc;
 
-struct Outcome {
-  double system_mbps = 0.0;
-  std::vector<double> per_rx_mbps;
-};
-
-Outcome evaluate(const sim::Testbed& tb, const channel::ChannelMatrix& h) {
-  alloc::AssignmentOptions opts;
-  const auto res = alloc::heuristic_allocate(h, 1.3, Watts{1.2}, tb.budget, opts);
-  const auto tput = channel::throughput_bps(h, res.allocation, tb.budget);
-  Outcome out;
-  for (double t : tput) {
-    out.per_rx_mbps.push_back(t / 1e6);
-    out.system_mbps += t / 1e6;
+  const std::string spec_path =
+      argc > 1 ? argv[1] : DVLC_SCENARIO_DIR "/ext_blockage.ini";
+  std::ifstream in{spec_path};
+  if (!in) {
+    std::cerr << "cannot read " << spec_path << '\n';
+    return 2;
   }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  const auto tb = sim::make_experimental_testbed();
-  const auto rx_xy = sim::fig7_rx_positions();
-  const auto clear = tb.channel_for(rx_xy);
-  const auto tx_poses = tb.tx_poses();
-  const auto rx_poses = tb.rx_poses(rx_xy);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = scenario::parse_campaign(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "invalid campaign:\n" << parsed.error_text();
+    return 2;
+  }
+  const scenario::CampaignSpec& campaign = *parsed.campaign;
 
   std::cout << "Extension - blockage in cell-free VLC "
                "(kappa = 1.3, budget 1.2 W)\n\n";
 
-  const Outcome base = evaluate(tb, clear);
+  // Clear room: the committed spec minus its blocker.
+  scenario::ScenarioSpec clear_spec = campaign.base;
+  clear_spec.blockers.clear();
+  const auto base = scenario::run_instance(scenario::compile(clear_spec),
+                                           clear_spec.seed);
 
-  // Case A: person next to RX1, shadowing its serving TXs.
-  const std::vector<channel::CylinderBlocker> on_service{
-      {rx_xy[0].x + 0.15, rx_xy[0].y, 0.25, 1.7}};
-  const Outcome service = evaluate(
-      tb, channel::apply_blockage(clear, tx_poses, rx_poses, on_service));
+  // The committed base spec itself: person on RX1's serving path.
+  const auto service = scenario::run_instance(
+      scenario::compile(campaign.base), campaign.base.seed);
 
-  // Case B: sweep a person across the room; find the position that
-  // maximizes system throughput (expected: between beamspots, where the
-  // body shadows interference paths).
-  Outcome best_interference = base;
-  double best_x = 0.0;
-  double best_y = 0.0;
-  for (double x = 0.4; x <= 2.6; x += 0.2) {
-    for (double y = 0.4; y <= 2.6; y += 0.2) {
-      const std::vector<channel::CylinderBlocker> person{{x, y, 0.25, 1.7}};
-      const Outcome o = evaluate(
-          tb, channel::apply_blockage(clear, tx_poses, rx_poses, person));
-      if (o.system_mbps > best_interference.system_mbps) {
-        best_interference = o;
-        best_x = x;
-        best_y = y;
-      }
+  // The sweep: walk the person across the room, find the best spot.
+  std::vector<scenario::CampaignInstance> instances;
+  const auto errors = scenario::expand_campaign(
+      campaign, campaign.instances_per_point, instances);
+  if (!errors.empty()) {
+    for (const auto& e : errors) std::cerr << e.to_string() << '\n';
+    return 2;
+  }
+  const auto run = scenario::run_campaign(campaign, instances);
+  std::size_t best = 0;
+  for (std::size_t p = 0; p < run.instances.size(); ++p) {
+    if (run.instances[p].system_mbps > run.instances[best].system_mbps) {
+      best = p;
     }
   }
+  const scenario::InstanceResult& best_interference =
+      run.instances[best].system_mbps > base.system_mbps
+          ? run.instances[best]
+          : base;
+  const auto& best_blocker = instances[best].spec.blockers.front();
 
   TablePrinter table{{"scenario", "system [Mbit/s]", "RX1", "RX2", "RX3",
                       "RX4"}};
-  auto add = [&](const std::string& name, const Outcome& o) {
+  auto add = [&](const std::string& name,
+                 const scenario::InstanceResult& o) {
     table.add_row({name, fmt(o.system_mbps, 2), fmt(o.per_rx_mbps[0], 2),
                    fmt(o.per_rx_mbps[1], 2), fmt(o.per_rx_mbps[2], 2),
                    fmt(o.per_rx_mbps[3], 2)});
   };
   add("no blockage", base);
   add("person on RX1's beamspot", service);
-  add("person at best spot (" + fmt(best_x, 1) + ", " + fmt(best_y, 1) +
-          ")",
+  add("person at best spot (" + fmt(best_blocker.x, 1) + ", " +
+          fmt(best_blocker.y, 1) + ")",
       best_interference);
   table.print(std::cout);
   table.print_csv(std::cout, "ext_blockage");

@@ -3,62 +3,84 @@
 // larger Isw,max. The opposite holds for a smaller or larger value of
 // Ib").
 //
-// Sweeps the illumination target; for each level the luminaire planner
-// sizes the per-LED bias, the swing ceiling follows (min(0.9 A, 2 Ib)),
-// and the communication layer is re-evaluated under a fixed power budget
-// with that ceiling — quantifying the illumination/communication
-// coupling DenseVLC lives with.
+// Thin wrapper over scenarios/ext_dimming.ini: the illumination-target
+// sweep lives in the spec; the scenario compiler runs the luminaire
+// planner per point (bias, swing ceiling, link budget) before the
+// communication layer is evaluated. This binary re-derives the plan only
+// to print the paper-style table columns the InstanceResult does not
+// carry (achieved lux, illumination power).
+//
+// Usage: bench_ext_dimming [campaign.ini]
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 
-#include "alloc/assignment.hpp"
 #include "common/table.hpp"
+#include "core/testbed.hpp"
 #include "illum/dimming.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/campaign.hpp"
 
-int main() {
+#ifndef DVLC_SCENARIO_DIR
+#define DVLC_SCENARIO_DIR "scenarios"
+#endif
+
+int main(int argc, char** argv) {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
-  const auto rx_xy = sim::fig7_rx_positions();
-  const double comm_budget_w = 0.6;
+  const std::string spec_path =
+      argc > 1 ? argv[1] : DVLC_SCENARIO_DIR "/ext_dimming.ini";
+  std::ifstream in{spec_path};
+  if (!in) {
+    std::cerr << "cannot read " << spec_path << '\n';
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = scenario::parse_campaign(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "invalid campaign:\n" << parsed.error_text();
+    return 2;
+  }
+  const scenario::CampaignSpec& campaign = *parsed.campaign;
+
+  std::vector<scenario::CampaignInstance> instances;
+  const auto errors = scenario::expand_campaign(
+      campaign, campaign.instances_per_point, instances);
+  if (!errors.empty()) {
+    for (const auto& e : errors) std::cerr << e.to_string() << '\n';
+    return 2;
+  }
+  const auto run = scenario::run_campaign(campaign, instances);
 
   std::cout << "Extension - dimming level vs communication "
-               "(fixed 0.6 W communication budget, Fig. 7 RXs)\n\n";
+               "(fixed " << fmt(campaign.base.power_budget_w, 1)
+            << " W communication budget, Fig. 7 RXs)\n\n";
 
   TablePrinter table{{"target [lux]", "Ib [mA]", "Isw,max [mA]",
                       "ISO >= 500 lux", "system tput [Mbit/s]",
                       "P_ill per TX [W]"}};
   double tput_at_500 = 0.0;
   double tput_at_200 = 0.0;
-  for (double lux : {150.0, 200.0, 300.0, 400.0, 500.0, 600.0}) {
+  for (std::size_t p = 0; p < run.points.size(); ++p) {
+    const scenario::ScenarioSpec& spec = instances[p].spec;
+    const auto compiled = scenario::compile(spec);
+    const auto& tb = compiled.system.testbed;
+    // Re-run the planner for the display-only columns.
     illum::LuminaireDesign design;
-    design.target_lux = lux;
-    const auto plan = plan_luminaires(tb.room, tb.tx_poses(), tb.emitter,
-                                      tb.led.electrical(), design);
-
-    // Rebuild the electrical operating point at the dimmed bias.
-    const optics::LedModel led{tb.led.electrical(),
-                               {plan.bias_a, plan.max_swing_a}};
-    const auto budget =
-        channel::LinkBudget::from_led(led, AmperesPerWatt{0.4}, AmpsSquaredPerHertz{7.02e-23}, Hertz{1e6});
-    const auto h = tb.channel_for(rx_xy);
-
-    alloc::AssignmentOptions opts;
-    opts.max_swing_a = plan.max_swing_a;
-    const auto res =
-        alloc::heuristic_allocate(h, 1.3, Watts{comm_budget_w}, budget, opts);
-    double tput = 0.0;
-    for (double t : channel::throughput_bps(h, res.allocation, budget)) {
-      tput += t;
-    }
-    if (lux == 500.0) tput_at_500 = tput;
-    if (lux == 200.0) tput_at_200 = tput;
-
-    table.add_row({fmt(lux, 0), fmt(plan.bias_a * 1e3, 0),
+    design.target_lux = spec.target_lux;
+    design.leds_per_tx = spec.leds_per_tx;
+    const auto plan =
+        plan_luminaires(tb.room, tb.tx_poses(), tb.emitter,
+                        tb.led.electrical(), design);
+    const double tput_mbps = run.points[p].system_mbps.mean;
+    if (spec.target_lux == 500.0) tput_at_500 = tput_mbps;
+    if (spec.target_lux == 200.0) tput_at_200 = tput_mbps;
+    table.add_row({fmt(spec.target_lux, 0), fmt(plan.bias_a * 1e3, 0),
                    fmt(plan.max_swing_a * 1e3, 0),
                    plan.achieved_lux >= 500.0 ? "yes" : "no",
-                   fmt(tput / 1e6, 2),
-                   fmt(plan.illumination_power_w, 2)});
+                   fmt(tput_mbps, 2), fmt(plan.illumination_power_w, 2)});
   }
   table.print(std::cout);
   table.print_csv(std::cout, "ext_dimming");

@@ -11,13 +11,13 @@
 #include "alloc/baselines.hpp"
 #include "common/table.hpp"
 #include "core/energy.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_experimental_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   const double window_s = 60.0;  // accounting window
 
   std::cout << "Extension - energy per delivered bit "

@@ -28,7 +28,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/system.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace {
 
@@ -45,12 +45,12 @@ struct SoakResult {
 SoakResult run_soak(double fail_fraction, std::size_t epochs,
                     double t_fail_s) {
   core::SystemConfig cfg;
-  cfg.testbed = sim::make_experimental_testbed();
+  cfg.testbed = core::make_experimental_testbed();
   cfg.power_budget_w = 1.2;
-  cfg.faults = sim::chaos_schedule(36, fail_fraction, t_fail_s,
+  cfg.faults = scenario::chaos_schedule(36, fail_fraction, t_fail_s,
                                    cfg.mac.epoch_period_s, 0xFA17);
   auto system =
-      core::DenseVlcSystem::with_static_rxs(cfg, sim::fig7_rx_positions());
+      core::DenseVlcSystem::with_static_rxs(cfg, scenario::fig7_rx_positions());
 
   SoakResult out;
   out.dead_txs = cfg.faults.dead_tx_count(t_fail_s + 1.0);

@@ -13,13 +13,13 @@
 #include "alloc/assignment.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_experimental_testbed();
-  const auto rx_xy = sim::fig7_rx_positions();
+  const auto tb = core::make_experimental_testbed();
+  const auto rx_xy = scenario::fig7_rx_positions();
 
   std::cout << "Extension - tilted receivers (each RX leans outward by "
                "the tilt angle; kappa = 1.3, budget 1.2 W)\n\n";

@@ -15,12 +15,12 @@
 #include "alloc/small_cell.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   const alloc::CellPartition cells{tb.room, 2, 2};
   const double budget = 0.5;
 

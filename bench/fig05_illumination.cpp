@@ -8,12 +8,12 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const illum::IlluminanceMap map{
       tb.room, tb.tx_poses(), tb.emitter, tb.led, Meters{0.8}, 61,
       kWhiteLedEfficacy};

@@ -11,13 +11,13 @@
 #include "alloc/optimal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(100, 0.25, tb.room, 0xF16'8);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(100, 0.25, tb.room, 0xF16'8);
 
   std::cout << "Fig. 8 - Optimal throughput vs communication power "
                "(100 random instances, 95% CI)\n\n";

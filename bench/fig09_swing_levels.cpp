@@ -8,13 +8,13 @@
 
 #include "alloc/optimal.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
 
   std::cout << "Fig. 9 - Optimal swing levels vs power budget "
                "(Fig. 7 instance, TX1..TX18 shown)\n"

@@ -10,13 +10,13 @@
 #include "alloc/optimal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(5, 0.25, tb.room, 0xF16'10);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(5, 0.25, tb.room, 0xF16'10);
 
   // Swing of interest: what each TX gives to RX2 (paper index 2 ->
   // 0-based 1).

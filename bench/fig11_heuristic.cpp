@@ -11,7 +11,7 @@
 #include "alloc/optimal.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace {
 
@@ -28,7 +28,7 @@ double sum_tput(const channel::ChannelMatrix& h,
 }  // namespace
 
 int main() {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const std::vector<double> kappas{1.0, 1.2, 1.3, 1.5};
 
   alloc::OptimalSolverConfig cfg;
@@ -38,7 +38,7 @@ int main() {
 
   // Left panel: Fig. 7 instance, budget sweep.
   {
-    const auto h = tb.channel_for(sim::fig7_rx_positions());
+    const auto h = tb.channel_for(scenario::fig7_rx_positions());
     std::cout << "Fig. 11 (left) - system throughput [Mbit/s] vs budget, "
                  "Fig. 7 instance\n\n";
     TablePrinter table{{"P_C,tot [W]", "optimal", "k=1.0", "k=1.2", "k=1.3",
@@ -60,7 +60,7 @@ int main() {
 
   // Right panel: loss distribution over the 100 random instances,
   // averaged over the budget sweep per instance.
-  const auto instances = sim::random_instances(100, 0.25, tb.room, 0xF16'8);
+  const auto instances = scenario::random_instances(100, 0.25, tb.room, 0xF16'8);
   std::vector<std::vector<double>> losses(kappas.size());
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);

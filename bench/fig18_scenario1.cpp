@@ -3,10 +3,10 @@
 // assigning a TX to one RX costs the others nothing; all kappa values
 // perform similarly, with kappa = 1.0 slightly behind.
 #include "scenario_bench.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   return densevlc::bench::run_scenario_bench(
       "fig18", "Scenario 1: interference-free, no dominating TX",
-      densevlc::sim::scenario1_rx_positions());
+      densevlc::scenario::scenario1_rx_positions());
 }

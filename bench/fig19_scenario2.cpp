@@ -3,10 +3,10 @@
 // below the other RXs (it sits nearest the interference hot zone);
 // kappa = 1.0 starts slow at low budgets; kappa = 1.3 performs well.
 #include "scenario_bench.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   return densevlc::bench::run_scenario_bench(
       "fig19", "Scenario 2: interference, no dominating TX",
-      densevlc::sim::fig7_rx_positions());
+      densevlc::scenario::fig7_rx_positions());
 }

@@ -3,10 +3,10 @@
 // RX throughputs comparable; the system curve sags at very high budgets
 // as late assignments add more interference than signal.
 #include "scenario_bench.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   return densevlc::bench::run_scenario_bench(
       "fig20", "Scenario 3: interference, dominating TXs",
-      densevlc::sim::scenario3_rx_positions());
+      densevlc::scenario::scenario3_rx_positions());
 }

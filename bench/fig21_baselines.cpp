@@ -11,13 +11,13 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/prober.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
 
-  const auto tb = sim::make_experimental_testbed();
-  const auto truth = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto truth = tb.channel_for(scenario::fig7_rx_positions());
   core::ChannelProber prober{tb.led, phy::OokParams{},
                              phy::FrontEndConfig{}, 0.9};
   Rng rng{0xF16'21};

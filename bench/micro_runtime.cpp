@@ -31,7 +31,7 @@
 #include "common/units.hpp"
 #include "common/thread_pool.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace {
 
@@ -73,10 +73,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto instances =
-      sim::random_instances(quick ? 3 : 16, 0.25, tb.room, 0xF16'8);
-  const auto fig7 = sim::fig7_rx_positions();
+      scenario::random_instances(quick ? 3 : 16, 0.25, tb.room, 0xF16'8);
+  const auto fig7 = scenario::fig7_rx_positions();
 
   std::vector<Workload> workloads;
 

@@ -8,20 +8,20 @@
 
 #include "alloc/assignment.hpp"
 #include "alloc/optimal.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace {
 
 using namespace densevlc;
 
-const sim::Testbed& testbed() {
-  static const sim::Testbed tb = sim::make_simulation_testbed();
+const core::Testbed& testbed() {
+  static const core::Testbed tb = core::make_simulation_testbed();
   return tb;
 }
 
 const channel::ChannelMatrix& fig7_channel() {
   static const channel::ChannelMatrix h =
-      testbed().channel_for(sim::fig7_rx_positions());
+      testbed().channel_for(scenario::fig7_rx_positions());
   return h;
 }
 

@@ -7,14 +7,14 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/prober.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::bench {
 
 int run_scenario_bench(const std::string& figure,
                        const std::string& description,
                        const std::vector<geom::Vec3>& rx_positions) {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   const std::vector<double> kappas{1.0, 1.2, 1.3, 1.5};
 
   // Experimental channel measurement at waveform level.

@@ -15,7 +15,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/beamspot.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 #include "sync/nlos_sync.hpp"
 #include "sync/timesync.hpp"
 
@@ -28,7 +28,7 @@ struct ScenarioResult {
   double per_percent = 0.0;
 };
 
-ScenarioResult run_scenario(const sim::Testbed& tb,
+ScenarioResult run_scenario(const core::Testbed& tb,
                             const std::vector<std::size_t>& txs,
                             bool second_bbb_synced, bool second_bbb_used,
                             const std::vector<double>& nlos_errors,
@@ -90,7 +90,7 @@ ScenarioResult run_scenario(const sim::Testbed& tb,
 }  // namespace
 
 int main() {
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   Rng rng{0x7AB'5};
 
   // Characterize the NLOS sync error for TX2 leading TX3 once.

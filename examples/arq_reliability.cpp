@@ -8,7 +8,7 @@
 
 #include "common/table.hpp"
 #include "core/system.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 int main() {
   using namespace densevlc;
@@ -32,7 +32,7 @@ int main() {
                        {"starved beamspot at the room edge", 0.0, 0.06,
                         4}}) {
     core::SystemConfig cfg;
-    cfg.testbed = sim::make_experimental_testbed();
+    cfg.testbed = core::make_experimental_testbed();
     cfg.mac.epoch_period_s = 1.0;  // reports retry every second
     cfg.power_budget_w = c.budget_w;
     cfg.wifi.loss_probability = c.wifi_loss;

@@ -22,7 +22,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace {
 
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   }
 
   // Assemble the testbed from the file, defaulting to Table 1.
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   tb.room = geom::Room{config->get_double("room.width", 3.0),
                        config->get_double("room.depth", 3.0),
                        config->get_double("room.height", 2.8)};

@@ -13,13 +13,13 @@
 #include "common/units.hpp"
 #include "core/coverage.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 int main(int argc, char** argv) {
   using namespace densevlc;
 
   const std::string dir = argc > 1 ? argv[1] : ".";
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
 
   // Illuminance field.
   const std::size_t n = 61;

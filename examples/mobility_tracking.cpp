@@ -11,8 +11,8 @@
 #include "common/table.hpp"
 #include "core/system.hpp"
 #include "core/trace.hpp"
-#include "sim/mobility.hpp"
-#include "sim/scenario.hpp"
+#include "geom/mobility.hpp"
+#include "core/testbed.hpp"
 
 int main() {
   using namespace densevlc;
@@ -21,14 +21,14 @@ int main() {
   config.power_budget_w = 0.6;
 
   // RX1 walks a diagonal across the room in 20 s; RX2 sits still.
-  std::vector<std::unique_ptr<sim::MobilityModel>> mobility;
-  mobility.push_back(std::make_unique<sim::WaypointMobility>(
-      std::vector<sim::WaypointMobility::Waypoint>{
+  std::vector<std::unique_ptr<geom::MobilityModel>> mobility;
+  mobility.push_back(std::make_unique<geom::WaypointMobility>(
+      std::vector<geom::WaypointMobility::Waypoint>{
           {0.0, {0.6, 0.6, 0.0}},
           {10.0, {2.4, 1.2, 0.0}},
           {20.0, {2.4, 2.4, 0.0}}}));
   mobility.push_back(
-      std::make_unique<sim::StaticMobility>(geom::Vec3{0.75, 2.25, 0.0}));
+      std::make_unique<geom::StaticMobility>(geom::Vec3{0.75, 2.25, 0.0}));
 
   core::DenseVlcSystem system{config, std::move(mobility)};
 
@@ -59,7 +59,7 @@ int main() {
     }
     const geom::Vec3 p = [&] {
       // Re-derive RX1's position from the waypoint path for display.
-      const sim::WaypointMobility path{{{0.0, {0.6, 0.6, 0.0}},
+      const geom::WaypointMobility path{{{0.0, {0.6, 0.6, 0.0}},
                                         {10.0, {2.4, 1.2, 0.0}},
                                         {20.0, {2.4, 2.4, 0.0}}}};
       return path.position(t);

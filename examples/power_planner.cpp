@@ -13,7 +13,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 int main(int argc, char** argv) {
   using namespace densevlc;
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   }
 
   // Scale the paper's grid density (one TX per 0.5 m) to the room.
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   tb.room = geom::Room{side, side, 2.8};
   const auto per_axis = static_cast<std::size_t>(side / 0.5);
   tb.grid = geom::GridSpec{per_axis, per_axis, 0.5, 2.8};

@@ -7,7 +7,7 @@
 
 #include "common/table.hpp"
 #include "core/system.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 int main() {
   using namespace densevlc;
@@ -20,7 +20,7 @@ int main() {
 
   // 2. Place four receivers (the Fig. 7 instance) and build the system.
   auto system = core::DenseVlcSystem::with_static_rxs(
-      config, sim::fig7_rx_positions());
+      config, scenario::fig7_rx_positions());
 
   // 3. Run one MAC epoch: probe every TX->RX link through the analog
   //    front-end model, report to the controller, form beamspots.

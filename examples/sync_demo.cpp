@@ -11,7 +11,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/beamspot.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 #include "sync/nlos_sync.hpp"
 #include "sync/timesync.hpp"
 
@@ -59,7 +59,7 @@ int main() {
   table.print(std::cout);
 
   // Stage 4: why it matters — a joint transmission from two BBBs.
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   core::JointTransmission jt{tb.led, phy::OokParams{},
                              phy::FrontEndConfig{}};
   const auto h = tb.channel_for({{1.0, 0.5, 0.0}});

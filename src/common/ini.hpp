@@ -40,6 +40,11 @@ class IniConfig {
   /// Whether the key exists.
   bool has(const std::string& key) const;
 
+  /// All key-value pairs, ordered by full key name. Schema-checking
+  /// consumers (the scenario spec parser) iterate this to reject unknown
+  /// keys instead of silently ignoring them.
+  const std::map<std::string, std::string>& items() const { return values_; }
+
   /// Number of key-value pairs.
   std::size_t size() const { return values_.size(); }
 

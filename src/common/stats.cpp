@@ -46,6 +46,17 @@ double ci95_halfwidth(std::span<const double> samples) {
          std::sqrt(static_cast<double>(samples.size()));
 }
 
+double jain_index(std::span<const double> samples) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : samples) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(samples.size()) * sum_sq);
+}
+
 double min(std::span<const double> samples) {
   if (samples.empty()) return 0.0;
   return *std::min_element(samples.begin(), samples.end());

@@ -31,6 +31,10 @@ double quantile(std::span<const double> samples, double p);
 /// mean: 1.96 * s / sqrt(n). Returns 0 for n < 2.
 double ci95_halfwidth(std::span<const double> samples);
 
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) in (0, 1]; 1 is a
+/// perfectly even split. Returns 0 for empty or all-zero input.
+double jain_index(std::span<const double> samples);
+
 /// Minimum value; 0 for empty input.
 double min(std::span<const double> samples);
 

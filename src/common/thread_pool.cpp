@@ -12,9 +12,17 @@ namespace {
 /// the (already busy) pool.
 thread_local bool t_in_chunk = false;
 
+/// Save/restore, not set/clear: the inline (reentrant) path of
+/// run_chunks opens its own scope, and an unconditional reset would
+/// mark the thread idle while it is still inside the outer chunk — the
+/// next nested call would then enqueue on the busy pool and deadlock
+/// against its own batch.
 struct ChunkScope {
-  ChunkScope() { t_in_chunk = true; }
-  ~ChunkScope() { t_in_chunk = false; }
+  ChunkScope() : prev_{t_in_chunk} { t_in_chunk = true; }
+  ~ChunkScope() { t_in_chunk = prev_; }
+
+ private:
+  bool prev_;
 };
 
 }  // namespace

@@ -1,0 +1,313 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace densevlc::scenario {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 0);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+/// Splits an axis value on '|' into trimmed legs.
+std::vector<std::string> split_legs(const std::string& value) {
+  std::vector<std::string> legs;
+  std::size_t start = 0;
+  while (true) {
+    const auto bar = value.find('|', start);
+    legs.push_back(trim(value.substr(
+        start, bar == std::string::npos ? std::string::npos : bar - start)));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return legs;
+}
+
+/// Applies one axis leg to a spec. A leg containing '=' is a
+/// whitespace-separated list of absolute `key=value` overrides; any
+/// other leg is the value of the axis key itself.
+std::optional<SpecError> apply_leg(ScenarioSpec& spec,
+                                   const std::string& axis_key,
+                                   const std::string& leg) {
+  if (leg.find('=') == std::string::npos) {
+    return apply_override(spec, axis_key, leg);
+  }
+  std::istringstream tokens{leg};
+  std::string token;
+  while (tokens >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 > token.size()) {
+      return SpecError{"sweep." + axis_key,
+                       "expected key=value overrides (got '" + token + "')"};
+    }
+    if (auto err = apply_override(spec, token.substr(0, eq),
+                                  token.substr(eq + 1))) {
+      err->key = "sweep." + axis_key + " -> " + err->key;
+      return err;
+    }
+  }
+  return std::nullopt;
+}
+
+/// FNV-1a over a sequence of 64-bit hashes (hash of hashes).
+std::uint64_t hash_u64s(std::span<const std::uint64_t> values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t v : values) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::num_points() const {
+  std::size_t points = 1;
+  for (const CampaignAxis& axis : axes) points *= axis.values.size();
+  return points;
+}
+
+std::size_t CampaignSpec::num_instances() const {
+  return num_points() * instances_per_point;
+}
+
+std::string CampaignParseResult::error_text() const {
+  std::string out;
+  for (const SpecError& e : errors) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+CampaignParseResult parse_campaign(const std::string& text) {
+  CampaignParseResult result;
+  CampaignSpec campaign;
+
+  // Split the file by section: [campaign] and [sweep] are consumed here
+  // (line order preserved — axis declaration order IS the sweep-point
+  // enumeration order); everything else is scenario schema and goes to
+  // parse_spec verbatim. The line handling mirrors IniConfig::parse.
+  std::string spec_text;
+  std::istringstream in{text};
+  std::string raw;
+  std::string section;
+  bool quick_set = false;
+  while (std::getline(in, raw)) {
+    std::string line = raw;
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (!line.empty() && line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+    }
+    if (section != "campaign" && section != "sweep") {
+      spec_text += raw;
+      spec_text += '\n';
+      continue;
+    }
+    if (line.empty() || line.front() == '[') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      result.errors.push_back(
+          {"<syntax>", "[" + section + "] line without '=': " + line});
+      continue;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      result.errors.push_back({"<syntax>", "[" + section + "] empty key"});
+      continue;
+    }
+
+    if (section == "campaign") {
+      const auto v = parse_u64(value);
+      if (key == "instances") {
+        if (!v || *v < 1 || *v > 1000000) {
+          result.errors.push_back(
+              {"campaign.instances",
+               "instances per point must be in [1, 1000000]"});
+        } else {
+          campaign.instances_per_point = static_cast<std::size_t>(*v);
+        }
+      } else if (key == "quick_instances") {
+        if (!v || *v < 1 || *v > 1000000) {
+          result.errors.push_back(
+              {"campaign.quick_instances",
+               "quick instances per point must be in [1, 1000000]"});
+        } else {
+          campaign.quick_instances_per_point = static_cast<std::size_t>(*v);
+          quick_set = true;
+        }
+      } else {
+        result.errors.push_back(
+            {"campaign." + key, "unknown campaign key"});
+      }
+      continue;
+    }
+
+    // [sweep]
+    const auto dup =
+        std::find_if(campaign.axes.begin(), campaign.axes.end(),
+                     [&](const CampaignAxis& a) { return a.key == key; });
+    if (dup != campaign.axes.end()) {
+      result.errors.push_back({"sweep." + key, "duplicate sweep axis"});
+      continue;
+    }
+    CampaignAxis axis;
+    axis.key = key;
+    axis.values = split_legs(value);
+    for (const std::string& leg : axis.values) {
+      if (leg.empty()) {
+        result.errors.push_back(
+            {"sweep." + key, "empty sweep value (check stray '|')"});
+      }
+    }
+    campaign.axes.push_back(std::move(axis));
+  }
+
+  SpecParseResult base = parse_spec(spec_text);
+  for (SpecError& e : base.errors) result.errors.push_back(std::move(e));
+  if (!result.errors.empty()) return result;
+  campaign.base = std::move(*base.spec);
+  if (!quick_set) {
+    campaign.quick_instances_per_point =
+        std::min<std::size_t>(campaign.instances_per_point, 2);
+  }
+
+  // Every sweep point must expand to a valid spec; probing the full grid
+  // here (specs only, nothing runs) means a campaign file is either
+  // rejected with a typed error or guaranteed runnable.
+  std::vector<CampaignInstance> probe;
+  std::vector<SpecError> expand_errors =
+      expand_campaign(campaign, 1, probe);
+  for (SpecError& e : expand_errors) result.errors.push_back(std::move(e));
+  if (result.errors.empty()) result.campaign = std::move(campaign);
+  return result;
+}
+
+std::vector<SpecError> expand_campaign(const CampaignSpec& campaign,
+                                       std::size_t instances_per_point,
+                                       std::vector<CampaignInstance>& out) {
+  std::vector<SpecError> errors;
+  std::vector<CampaignInstance> instances;
+  const std::size_t points = campaign.num_points();
+  for (std::size_t p = 0; p < points; ++p) {
+    // Decode the point index into one leg per axis, first axis outermost.
+    std::vector<std::size_t> leg(campaign.axes.size(), 0);
+    std::size_t rem = p;
+    for (std::size_t a = campaign.axes.size(); a-- > 0;) {
+      leg[a] = rem % campaign.axes[a].values.size();
+      rem /= campaign.axes[a].values.size();
+    }
+
+    ScenarioSpec spec = campaign.base;
+    std::vector<std::pair<std::string, std::string>> axis_values;
+    bool point_ok = true;
+    for (std::size_t a = 0; a < campaign.axes.size(); ++a) {
+      const std::string& value = campaign.axes[a].values[leg[a]];
+      axis_values.emplace_back(campaign.axes[a].key, value);
+      if (auto err = apply_leg(spec, campaign.axes[a].key, value)) {
+        err->message = "sweep point " + std::to_string(p) + ": " +
+                       err->message;
+        errors.push_back(std::move(*err));
+        point_ok = false;
+      }
+    }
+    if (point_ok) {
+      for (SpecError& e : validate_spec(spec)) {
+        e.message = "sweep point " + std::to_string(p) + ": " + e.message;
+        errors.push_back(std::move(e));
+        point_ok = false;
+      }
+    }
+    if (!point_ok) continue;
+
+    for (std::size_t r = 0; r < instances_per_point; ++r) {
+      CampaignInstance inst;
+      inst.index = p * instances_per_point + r;
+      inst.point = p;
+      inst.rep = r;
+      inst.seed = Rng::derive_stream_seed(campaign.base.seed, inst.index);
+      inst.spec = spec;
+      inst.axis_values = axis_values;
+      instances.push_back(std::move(inst));
+    }
+  }
+  if (errors.empty()) out = std::move(instances);
+  return errors;
+}
+
+CampaignRun run_campaign(const CampaignSpec& campaign,
+                         std::span<const CampaignInstance> instances) {
+  CampaignRun run;
+  run.instances.resize(instances.size());
+  // One instance per index slot: results land in expansion order no
+  // matter which worker ran them, so aggregation below (and the campaign
+  // hash) cannot observe scheduling. Nested parallel_for calls inside
+  // the channel builder degenerate to inline serial execution.
+  parallel_for(0, instances.size(), [&](std::size_t i) {
+    run.instances[i] =
+        run_instance(compile(instances[i].spec), instances[i].seed);
+  });
+
+  std::vector<std::uint64_t> instance_hashes;
+  instance_hashes.reserve(instances.size());
+  for (const InstanceResult& r : run.instances) {
+    instance_hashes.push_back(r.fingerprint_hash());
+  }
+  run.campaign_hash = hash_u64s(instance_hashes);
+
+  const std::size_t points = campaign.num_points();
+  run.points.resize(points);
+  std::vector<std::vector<double>> mbps(points);
+  std::vector<std::vector<std::uint64_t>> hashes(points);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    PointAggregate& agg = run.points[instances[i].point];
+    if (agg.instance_count == 0) {
+      agg.axis_values = instances[i].axis_values;
+    }
+    ++agg.instance_count;
+    const InstanceResult& r = run.instances[i];
+    mbps[instances[i].point].push_back(r.system_mbps);
+    hashes[instances[i].point].push_back(instance_hashes[i]);
+    agg.mean_jain += r.jain;
+    agg.mean_power_w += r.power_used_w;
+    agg.mean_txs += r.txs_assigned;
+  }
+  for (std::size_t p = 0; p < points; ++p) {
+    PointAggregate& agg = run.points[p];
+    if (agg.instance_count == 0) continue;
+    const double n = static_cast<double>(agg.instance_count);
+    agg.mean_jain /= n;
+    agg.mean_power_w /= n;
+    agg.mean_txs /= n;
+    agg.system_mbps = stats::summarize(mbps[p]);
+    agg.p50_mbps = stats::quantile(mbps[p], 0.50);
+    agg.p99_mbps = stats::quantile(mbps[p], 0.99);
+    agg.p999_mbps = stats::quantile(mbps[p], 0.999);
+    agg.point_hash = hash_u64s(hashes[p]);
+  }
+  return run;
+}
+
+}  // namespace densevlc::scenario

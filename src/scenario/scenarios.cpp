@@ -1,11 +1,11 @@
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/units.hpp"
 
-namespace densevlc::sim {
+namespace densevlc::scenario {
 
 std::vector<geom::Vec3> fig7_rx_positions() {
   return {{0.92, 0.92, 0.0},
@@ -77,4 +77,4 @@ fault::FaultSchedule chaos_schedule(std::size_t num_tx,
   return schedule;
 }
 
-}  // namespace densevlc::sim
+}  // namespace densevlc::scenario

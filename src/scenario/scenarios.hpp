@@ -2,12 +2,12 @@
 //
 // The testbed description itself (geometry + Table 1 parameters) lives in
 // core/testbed.hpp — the system configuration embeds it, and `core` sits
-// below `sim` in the layering DAG. This header keeps the paper's receiver
-// placements: the fixed instance of Fig. 7 (identical to Table 6
+// below `scenario` in the layering DAG. This header keeps the paper's
+// receiver placements: the fixed instance of Fig. 7 (identical to Table 6
 // Scenario 2), the random instances of Fig. 6 (100 draws around the
 // Fig. 7 anchors), Table 6's Scenarios 1 and 3, and the chaos-soak fault
-// schedule. The testbed names are re-exported so existing call sites
-// (`sim::Testbed`, `sim::make_experimental_testbed`) keep compiling.
+// schedule. The declarative counterpart — scenario *files* instead of
+// hand-wired C++ — lives next door in scenario/spec.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +19,7 @@
 #include "geom/grid.hpp"
 #include "geom/vec3.hpp"
 
-namespace densevlc::sim {
-
-using Testbed = core::Testbed;
-using core::make_experimental_testbed;
-using core::make_simulation_testbed;
+namespace densevlc::scenario {
 
 /// Fig. 7 / Table 6 Scenario 2 receiver positions.
 std::vector<geom::Vec3> fig7_rx_positions();
@@ -52,4 +48,4 @@ fault::FaultSchedule chaos_schedule(std::size_t num_tx,
                                     double t_fail_s, double epoch_period_s,
                                     std::uint64_t seed);
 
-}  // namespace densevlc::sim
+}  // namespace densevlc::scenario

@@ -4,14 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "alloc/sjr.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
   AssignmentOptions opts{};
 };
 

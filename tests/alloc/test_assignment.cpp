@@ -5,19 +5,19 @@
 
 #include <cmath>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
   AssignmentOptions opts{};
 };
 
 TEST(Assignment, FullSwingTxPowerValue) {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   // r * (0.45)^2 with our CREE XT-E fit (r = 0.267 ohm) = 54.1 mW. The
   // paper quotes 74.42 mW from the same formula; see EXPERIMENTS.md for
   // the calibration note. Assert our self-consistent value.
@@ -117,7 +117,7 @@ TEST(Assignment, PrefixProperty) {
 TEST(Assignment, UnreachableTxsNeverAssigned) {
   // A channel where TX1 reaches nobody: infinite budget still skips it.
   channel::ChannelMatrix h{2, 1, {1e-6, 0.0}};
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   AssignmentOptions opts;
   const auto res = heuristic_allocate(h, 1.3, Watts{100.0}, tb.budget, opts);
   EXPECT_EQ(res.txs_assigned, 1u);

@@ -4,14 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "alloc/assignment.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_experimental_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_experimental_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
 };
 
 TEST(Siso, AssignsExactlyOneTxPerRx) {
@@ -53,7 +53,7 @@ TEST(Siso, ServesStrongestAvailableTx) {
 TEST(Siso, ContestedTxGoesToStrongerRx) {
   // Two RXs whose best TX is the same: gains 10 vs 8 for TX0.
   channel::ChannelMatrix h{2, 2, {10e-7, 8e-7, 1e-7, 2e-7}};
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   const auto res = siso_nearest_tx(h, Amperes{0.9}, tb.budget);
   EXPECT_GT(res.allocation.swing(0, 0), 0.0);  // TX0 -> RX0 (10 > 8)
   EXPECT_GT(res.allocation.swing(1, 1), 0.0);  // RX1 falls back to TX1

@@ -5,14 +5,14 @@
 
 #include "alloc/assignment.hpp"
 #include "common/thread_pool.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
 };
 
 TEST(Greedy, RespectsBudget) {
@@ -97,7 +97,7 @@ TEST(ParallelDeterminismGreedy, BitIdenticalAcrossThreadCounts) {
   // The candidate evaluations run on the global pool; the allocation,
   // utility and evaluation count must not depend on its size.
   Fixture f;
-  const auto instances = sim::random_instances(4, 0.25, f.tb.room, 0x6EE);
+  const auto instances = scenario::random_instances(4, 0.25, f.tb.room, 0x6EE);
   for (const auto& rx_xy : instances) {
     const auto h = f.tb.channel_for(rx_xy);
     GreedyResult reference;

@@ -7,14 +7,14 @@
 
 #include "alloc/assignment.hpp"
 #include "common/thread_pool.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
   OptimalSolverConfig cfg{};
 };
 
@@ -164,7 +164,7 @@ TEST(ParallelDeterminismOptimal, BitIdenticalAcrossThreadCounts) {
   // allocation and iteration totals must not depend on its size.
   Fixture f;
   f.cfg.max_iterations = 60;
-  const auto instances = sim::random_instances(2, 0.25, f.tb.room, 0x0B7);
+  const auto instances = scenario::random_instances(2, 0.25, f.tb.room, 0x0B7);
   for (const auto& rx_xy : instances) {
     const auto h = f.tb.channel_for(rx_xy);
     OptimalResult reference;

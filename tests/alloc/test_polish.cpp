@@ -5,14 +5,14 @@
 
 #include "alloc/assignment.hpp"
 #include "alloc/optimal.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
 };
 
 bool is_binary(const channel::Allocation& a, double full) {

@@ -9,14 +9,14 @@
 
 #include "alloc/assignment.hpp"
 #include "common/thread_pool.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 channel::ChannelMatrix paper_channel() {
-  return sim::make_simulation_testbed().channel_for(
-      sim::fig7_rx_positions());
+  return core::make_simulation_testbed().channel_for(
+      scenario::fig7_rx_positions());
 }
 
 TEST(Sjr, MatrixDefinition) {
@@ -156,8 +156,8 @@ TEST(ParallelDeterminismSjr, RankingAndAllocationStableAcrossThreadCounts) {
   // The SJR pipeline itself is serial, but its input channel matrix is
   // built on the global pool — end to end, the ranked list and the
   // resulting allocation must not depend on the pool size.
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(3, 0.25, tb.room, 0x53A);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(3, 0.25, tb.room, 0x53A);
   for (const auto& rx_xy : instances) {
     std::vector<RankedTx> ref_ranking;
     std::vector<double> ref_alloc;

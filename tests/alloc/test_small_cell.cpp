@@ -4,15 +4,15 @@
 #include <gtest/gtest.h>
 
 #include "alloc/assignment.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::alloc {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_experimental_testbed();
+  core::Testbed tb = core::make_experimental_testbed();
   CellPartition cells{tb.room, 2, 2};
-  std::vector<geom::Vec3> rx_xy = sim::scenario1_rx_positions();
+  std::vector<geom::Vec3> rx_xy = scenario::scenario1_rx_positions();
   channel::ChannelMatrix h = tb.channel_for(rx_xy);
 };
 

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::channel {
 namespace {
@@ -51,8 +51,8 @@ TEST(Blockage, SideGrazeDoesNotBlock) {
 }
 
 TEST(Blockage, ApplyZeroesOnlyBlockedLinks) {
-  const auto tb = sim::make_experimental_testbed();
-  const auto rx_xy = sim::fig7_rx_positions();
+  const auto tb = core::make_experimental_testbed();
+  const auto rx_xy = scenario::fig7_rx_positions();
   const auto h = tb.channel_for(rx_xy);
   const auto tx_poses = tb.tx_poses();
   const auto rx_poses = tb.rx_poses(rx_xy);
@@ -75,8 +75,8 @@ TEST(Blockage, ApplyZeroesOnlyBlockedLinks) {
 }
 
 TEST(Blockage, CountMatchesApply) {
-  const auto tb = sim::make_experimental_testbed();
-  const auto rx_xy = sim::fig7_rx_positions();
+  const auto tb = core::make_experimental_testbed();
+  const auto rx_xy = scenario::fig7_rx_positions();
   const auto h = tb.channel_for(rx_xy);
   const auto tx_poses = tb.tx_poses();
   const auto rx_poses = tb.rx_poses(rx_xy);
@@ -99,10 +99,10 @@ TEST(Blockage, CountMatchesApply) {
 }
 
 TEST(Blockage, NoBlockersIsIdentity) {
-  const auto tb = sim::make_experimental_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   const auto same = apply_blockage(h, tb.tx_poses(),
-                                   tb.rx_poses(sim::fig7_rx_positions()), {});
+                                   tb.rx_poses(scenario::fig7_rx_positions()), {});
   for (std::size_t j = 0; j < h.num_tx(); ++j) {
     for (std::size_t k = 0; k < h.num_rx(); ++k) {
       EXPECT_DOUBLE_EQ(same.gain(j, k), h.gain(j, k));

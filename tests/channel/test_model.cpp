@@ -7,13 +7,13 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::channel {
 namespace {
 
 LinkBudget paper_budget() {
-  return sim::make_simulation_testbed().budget;
+  return core::make_simulation_testbed().budget;
 }
 
 /// Tiny 2x2 setup with hand-set gains for closed-form checks.
@@ -27,8 +27,8 @@ TEST(ChannelMatrix, SizeValidation) {
 }
 
 TEST(ChannelMatrix, GeometryBestTxMatchesPaper) {
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   EXPECT_EQ(h.num_tx(), 36u);
   EXPECT_EQ(h.num_rx(), 4u);
   // Paper Sec. 4.2: TX8 serves RX1 first, TX10 serves RX2 first
@@ -96,7 +96,7 @@ TEST(Sinr, InterferenceLowersSinr) {
 
 TEST(Sinr, MoreServersRaiseSinr) {
   const auto b = paper_budget();
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto h = tb.channel_for({{0.92, 0.92, 0.0}});
   Allocation one{36, 1};
   one.set_swing(h.best_tx_for(0), 0, 0.9);
@@ -154,8 +154,8 @@ class InterferenceSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(InterferenceSweep, OtherRxSwingNeverHelps) {
   const auto b = paper_budget();
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   Allocation base{36, 4};
   base.set_swing(7, 0, 0.9);
   base.set_swing(9, 1, GetParam());
@@ -170,8 +170,8 @@ INSTANTIATE_TEST_SUITE_P(Swings, InterferenceSweep,
 // Incremental column update: recomputing only the moved RXs' columns
 // must land bit-for-bit on a full from-scratch rebuild.
 TEST(ChannelMatrix, UpdateColumnsMatchesFullRebuild) {
-  const auto tb = sim::make_simulation_testbed();
-  auto rx = sim::fig7_rx_positions();
+  const auto tb = core::make_simulation_testbed();
+  auto rx = scenario::fig7_rx_positions();
   auto h = tb.channel_for(rx);
 
   rx[1].x += 0.40;
@@ -192,8 +192,8 @@ TEST(ChannelMatrix, UpdateColumnsMatchesFullRebuild) {
 
 // An empty dirty list must leave the matrix untouched.
 TEST(ChannelMatrix, UpdateColumnsEmptyDirtyListIsNoOp) {
-  const auto tb = sim::make_simulation_testbed();
-  const auto rx = sim::fig7_rx_positions();
+  const auto tb = core::make_simulation_testbed();
+  const auto rx = scenario::fig7_rx_positions();
   auto h = tb.channel_for(rx);
   const auto before = h;
   tb.update_channel_for(h, rx, {});

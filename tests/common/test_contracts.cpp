@@ -10,7 +10,7 @@
 
 #include "core/trace.hpp"
 #include "phy/gf256.hpp"
-#include "sim/event_queue.hpp"
+#include "common/event_queue.hpp"
 
 namespace densevlc {
 namespace {
@@ -55,7 +55,7 @@ TEST(ContractsDeathTest, TraceRecorderRejectsOutOfRangeBeamspotRx) {
 }
 
 TEST(ContractsDeathTest, EventQueueRejectsEmptyCallback) {
-  sim::Simulator simulator;
+  Simulator simulator;
   EXPECT_DEATH(simulator.schedule_in(SimTime::from_ms(1), nullptr),
                "scheduled callback must not be empty");
 }

@@ -1,11 +1,11 @@
 // Tests for the discrete-event engine.
-#include "sim/event_queue.hpp"
+#include "common/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
-namespace densevlc::sim {
+namespace densevlc {
 namespace {
 
 TEST(Simulator, ExecutesInTimeOrder) {
@@ -122,4 +122,4 @@ TEST(Simulator, PendingCountsLiveEvents) {
 }
 
 }  // namespace
-}  // namespace densevlc::sim
+}  // namespace densevlc

@@ -22,7 +22,7 @@
 #include "common/units.hpp"
 #include "core/prober.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc {
 namespace {
@@ -113,6 +113,25 @@ TEST_F(ThreadPoolTest, NestedParallelForRunsInline) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST_F(ThreadPoolTest, RepeatedNestedParallelForPerChunkDoesNotDeadlock) {
+  // Regression: a chunk body that makes TWO sequential nested parallel
+  // calls. The first nested call's inline scope must not mark the thread
+  // idle on exit — if it does, the second call enqueues on the pool as a
+  // top-level batch and deadlocks against its own outer batch. Trip
+  // condition needs more items than kMaxChunks so chunks hold several
+  // indices (this is how the Monte-Carlo campaign runner found it).
+  set_global_threads(4);
+  const std::size_t n = detail::kMaxChunks * 2 + 5;
+  std::vector<int> sums(n, 0);
+  parallel_for(0, n, [&](std::size_t i) {
+    int local = 0;
+    parallel_for(0, 4, [&](std::size_t) { ++local; });
+    parallel_for(0, 4, [&](std::size_t) { ++local; });
+    sums[i] = local;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sums[i], 8);
+}
+
 TEST_F(ThreadPoolTest, ReduceIsBitIdenticalAcrossThreadCounts) {
   // A floating-point sum whose result depends on association order:
   // magnitudes spread over 12 decades, so any re-grouping would move the
@@ -155,8 +174,8 @@ TEST_F(ThreadPoolTest, ReduceCombinesPartialsInChunkOrder) {
 // Determinism of the real parallel workloads across thread counts.
 
 TEST_F(ThreadPoolTest, ChannelMatrixBitIdenticalAcrossThreadCounts) {
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(3, 0.25, tb.room, 0xDE7);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(3, 0.25, tb.room, 0xDE7);
   for (const auto& rx_xy : instances) {
     std::vector<std::vector<double>> gains;
     for (std::size_t threads : sweep_thread_counts()) {
@@ -177,7 +196,7 @@ TEST_F(ThreadPoolTest, ChannelMatrixBitIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(ThreadPoolTest, IlluminanceMapBitIdenticalAcrossThreadCounts) {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   std::vector<std::vector<double>> rasters;
   for (std::size_t threads : sweep_thread_counts()) {
     set_global_threads(threads);
@@ -198,8 +217,8 @@ TEST_F(ThreadPoolTest, IlluminanceMapBitIdenticalAcrossThreadCounts) {
 }
 
 TEST_F(ThreadPoolTest, ProbeMatrixBitIdenticalAcrossThreadCounts) {
-  const auto tb = sim::make_simulation_testbed();
-  const auto truth = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto truth = tb.channel_for(scenario::fig7_rx_positions());
   core::ChannelProber prober{tb.led, phy::OokParams{}, phy::FrontEndConfig{},
                              0.9};
   std::vector<std::vector<double>> sweeps;

@@ -2,14 +2,14 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::core {
 namespace {
 
 SystemConfig fast_config() {
   SystemConfig cfg;
-  cfg.testbed = sim::make_experimental_testbed();
+  cfg.testbed = core::make_experimental_testbed();
   cfg.mac.epoch_period_s = 5.0;  // one measurement for the whole run
   cfg.power_budget_w = 0.25;
   return cfg;

@@ -5,13 +5,13 @@
 
 #include <vector>
 
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::core {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_experimental_testbed();
+  core::Testbed tb = core::make_experimental_testbed();
   phy::OokParams ook{};
   phy::FrontEndConfig frontend{};
   JointTransmission jt{tb.led, ook, frontend};

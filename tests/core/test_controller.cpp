@@ -5,14 +5,14 @@
 
 #include <algorithm>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::core {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
-  channel::ChannelMatrix h = tb.channel_for(sim::fig7_rx_positions());
+  core::Testbed tb = core::make_simulation_testbed();
+  channel::ChannelMatrix h = tb.channel_for(scenario::fig7_rx_positions());
 
   ControllerConfig config(double budget = 1.2) {
     ControllerConfig cc;
@@ -124,7 +124,7 @@ TEST(Controller, ReactsToChannelChange) {
   const auto spot_before = ctl.beamspot_for(0);
   ASSERT_TRUE(spot_before.has_value());
   // Move RX0 to the opposite corner: its beamspot must relocate.
-  auto moved = sim::fig7_rx_positions();
+  auto moved = scenario::fig7_rx_positions();
   moved[0] = {2.6, 2.6, 0.0};
   const auto h2 = f.tb.channel_for(moved);
   ctl.update_channel(h2);

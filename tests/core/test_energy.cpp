@@ -3,13 +3,13 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::core {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   EnergyMeter meter{tb.led, 36};
 };
 

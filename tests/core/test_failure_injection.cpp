@@ -2,14 +2,14 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::core {
 namespace {
 
 SystemConfig base_config() {
   SystemConfig cfg;
-  cfg.testbed = sim::make_experimental_testbed();
+  cfg.testbed = core::make_experimental_testbed();
   cfg.power_budget_w = 0.5;
   return cfg;
 }
@@ -74,7 +74,7 @@ TEST(FailureInjection, PersonalizedKappaControllerWorksEndToEnd) {
   cfg.personalize_kappa = true;
   cfg.power_budget_w = 1.2;
   auto system = DenseVlcSystem::with_static_rxs(
-      cfg, sim::fig7_rx_positions());
+      cfg, scenario::fig7_rx_positions());
   const auto epoch = system.run_epoch_analytic(0.0);
   EXPECT_EQ(epoch.beamspots.size(), 4u);
   double total = 0.0;

@@ -3,13 +3,13 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::core {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   phy::OokParams ook{};
   phy::FrontEndConfig frontend{};
   ChannelProber prober{tb.led, ook, frontend, 0.9};
@@ -57,7 +57,7 @@ TEST(Prober, EstimateScalesLinearlyWithGain) {
 TEST(Prober, MatrixMeasurementPreservesOrdering) {
   Fixture f;
   Rng rng{5};
-  const auto truth = f.tb.channel_for(sim::fig7_rx_positions());
+  const auto truth = f.tb.channel_for(scenario::fig7_rx_positions());
   const auto measured = f.prober.probe_matrix(truth, rng);
   ASSERT_EQ(measured.num_tx(), truth.num_tx());
   // The strongest TX per RX must survive measurement noise.
@@ -73,7 +73,7 @@ TEST(Prober, CalibrationConstantPositive) {
 
 TEST(Prober, IncrementalAllDirtyMatchesFullSweep) {
   Fixture f;
-  const auto truth = f.tb.channel_for(sim::fig7_rx_positions());
+  const auto truth = f.tb.channel_for(scenario::fig7_rx_positions());
   Rng rng_full{7};
   Rng rng_inc{7};
   const auto full = f.prober.probe_matrix(truth, rng_full);
@@ -94,7 +94,7 @@ TEST(Prober, IncrementalAllDirtyMatchesFullSweep) {
 
 TEST(Prober, IncrementalCleanColumnsKeepPreviousMeasurement) {
   Fixture f;
-  const auto truth = f.tb.channel_for(sim::fig7_rx_positions());
+  const auto truth = f.tb.channel_for(scenario::fig7_rx_positions());
   Rng rng{8};
   const auto previous = f.prober.probe_matrix(truth, rng);
   std::vector<bool> dirty(truth.num_rx(), false);
@@ -117,7 +117,7 @@ TEST(Prober, IncrementalCleanColumnsKeepPreviousMeasurement) {
 
 TEST(Prober, IncrementalShapeMismatchFallsBackToFullSweep) {
   Fixture f;
-  const auto truth = f.tb.channel_for(sim::fig7_rx_positions());
+  const auto truth = f.tb.channel_for(scenario::fig7_rx_positions());
   Rng rng_full{9};
   Rng rng_inc{9};
   const auto full = f.prober.probe_matrix(truth, rng_full);

@@ -5,14 +5,14 @@
 
 #include <cmath>
 
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc::core {
 namespace {
 
 SystemConfig fast_config() {
   SystemConfig cfg;
-  cfg.testbed = sim::make_experimental_testbed();
+  cfg.testbed = core::make_experimental_testbed();
   cfg.mac.epoch_period_s = 0.25;
   cfg.sync_mode = SyncMode::kNlosVlc;
   return cfg;
@@ -139,7 +139,7 @@ TEST(System, IncrementalProbingWithStaticRxsStillServesAll) {
 
 TEST(System, AnalyticEpochServesAllRxs) {
   auto system = DenseVlcSystem::with_static_rxs(
-      fast_config(), sim::fig7_rx_positions());
+      fast_config(), scenario::fig7_rx_positions());
   const auto report = system.run_epoch_analytic(0.0);
   ASSERT_EQ(report.throughput_bps.size(), 4u);
   EXPECT_EQ(report.beamspots.size(), 4u);

@@ -1,11 +1,11 @@
 // Tests for the receiver mobility models.
-#include "sim/mobility.hpp"
+#include "geom/mobility.hpp"
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 
-namespace densevlc::sim {
+namespace densevlc::geom {
 namespace {
 
 TEST(Static, NeverMoves) {
@@ -91,4 +91,4 @@ TEST(RandomWalk, ClampsPastDuration) {
 }
 
 }  // namespace
-}  // namespace densevlc::sim
+}  // namespace densevlc::geom

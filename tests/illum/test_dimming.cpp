@@ -4,13 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::illum {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   LuminaireDesign design{};  // 500 lux, 1 LED, defaults
 };
 

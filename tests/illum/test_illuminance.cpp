@@ -4,13 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 
 namespace densevlc::illum {
 namespace {
 
 struct Fixture {
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   IlluminanceMap map{tb.room,    tb.tx_poses(), tb.emitter, tb.led,
                      Meters{0.8}, 41,           kWhiteLedEfficacy};
 };
@@ -56,7 +56,7 @@ TEST(Illuminance, MapGridMatchesDirectEvaluation) {
 }
 
 TEST(Illuminance, ScalesWithBiasDrive) {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const optics::LedModel dim{tb.led.electrical(),
                              optics::LedOperatingPoint{0.2, 0.4}};
   const IlluminanceMap dim_map{tb.room,     tb.tx_poses(), tb.emitter, dim,
@@ -76,7 +76,7 @@ TEST(Illuminance, EmptyAoiReturnsZeroSamples) {
 }
 
 TEST(Illuminance, BiasSizingHitsTarget) {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const Amperes bias = size_bias_for_average_lux(
       tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), Meters{0.8},
       Meters{2.2}, Lux{500.0}, kWhiteLedEfficacy);
@@ -93,7 +93,7 @@ TEST(Illuminance, BiasSizingHitsTarget) {
 }
 
 TEST(Illuminance, BiasSizingClampsAtMax) {
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const Amperes bias = size_bias_for_average_lux(
       tb.room, tb.tx_poses(), tb.emitter, tb.led.electrical(), Meters{0.8},
       Meters{2.2}, Lux{1e9}, kWhiteLedEfficacy, Amperes{1.0});

@@ -9,7 +9,7 @@
 #include "common/stats.hpp"
 #include "core/beamspot.hpp"
 #include "core/prober.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 #include "sync/nlos_sync.hpp"
 #include "sync/timesync.hpp"
 
@@ -37,8 +37,8 @@ TEST(EndToEnd, MeasuredChannelDrivesSameBeamspotsAsTruth) {
   // Probe the channel at waveform level, run the heuristic on the
   // measurement, and confirm the strongest TXs selected match the ones
   // the true channel would select.
-  const auto tb = sim::make_experimental_testbed();
-  const auto truth = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto truth = tb.channel_for(scenario::fig7_rx_positions());
   core::ChannelProber prober{tb.led, phy::OokParams{},
                              phy::FrontEndConfig{}, 0.9};
   Rng rng{2};
@@ -68,8 +68,8 @@ TEST(EndToEnd, Fig21CrossoverExists) {
   // DenseVLC's throughput-vs-power curve must pass through SISO's
   // operating point region and reach D-MISO's throughput at far less
   // power (the 2.3x power-efficiency headline).
-  const auto tb = sim::make_experimental_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   auto sum_tput = [&](const channel::Allocation& a) {
     double s = 0.0;
     for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
@@ -104,8 +104,8 @@ TEST(EndToEnd, Fig21CrossoverExists) {
 TEST(EndToEnd, OptimalConfirmsBinarySwingInsight) {
   // Insight 2: at the solver's optimum, TXs sit at (near) zero or (near)
   // full swing; intermediate levels are rare.
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 200;
   const auto res = alloc::solve_optimal(h, Watts{0.8}, tb.budget, cfg);
@@ -125,7 +125,7 @@ TEST(EndToEnd, OptimalConfirmsBinarySwingInsight) {
 TEST(EndToEnd, NlosSyncedBeamspotDeliversWhereUnsyncedFails) {
   // Table 5 in miniature: one RX under four TXs; aligned transmission
   // succeeds, typical no-sync skew fails.
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   core::JointTransmission jt{tb.led, phy::OokParams{},
                              phy::FrontEndConfig{}};
   const auto h = tb.channel_for({{1.0, 0.5, 0.0}});  // center of TX2/3/8/9
@@ -150,8 +150,8 @@ TEST(EndToEnd, NlosSyncedBeamspotDeliversWhereUnsyncedFails) {
 TEST(EndToEnd, HeuristicKappaSweepMatchesFig11Shape) {
   // kappa = 1.2/1.3 outperform 1.0 (too interference-shy) at moderate
   // budgets on the Fig. 7 instance.
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   alloc::AssignmentOptions opts;
   auto sum_tput = [&](double kappa) {
     const auto res =

@@ -12,7 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "phy/ofdm.hpp"
 #include "phy/ook.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 namespace densevlc {
 namespace {
@@ -22,10 +22,10 @@ namespace {
 
 class InstanceSweep : public ::testing::TestWithParam<std::size_t> {
  protected:
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
   channel::ChannelMatrix channel_for_instance() {
     const auto instances =
-        sim::random_instances(12, 0.25, tb.room, 0x5EEE);
+        scenario::random_instances(12, 0.25, tb.room, 0x5EEE);
     return tb.channel_for(instances[GetParam()]);
   }
 };
@@ -85,12 +85,12 @@ class AllocatorInvariantSweep
  protected:
   void SetUp() override { set_global_threads(GetParam()); }
   void TearDown() override { set_global_threads(0); }
-  sim::Testbed tb = sim::make_simulation_testbed();
+  core::Testbed tb = core::make_simulation_testbed();
 };
 
 TEST_P(AllocatorInvariantSweep, SwingAndPowerWithinBounds) {
   constexpr double kMaxSwingA = 0.9;
-  const auto instances = sim::random_instances(5, 0.4, tb.room, 0xA110C);
+  const auto instances = scenario::random_instances(5, 0.4, tb.room, 0xA110C);
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 60;
   alloc::AssignmentOptions opts;
@@ -126,7 +126,7 @@ TEST_P(AllocatorInvariantSweep, GreedyUtilityMonotoneInBudget) {
   // Greedy's grant sequence for a smaller budget is a prefix of the
   // sequence for a larger one, and every grant improves the objective —
   // utility must be exactly non-decreasing in the budget.
-  const auto instances = sim::random_instances(4, 0.4, tb.room, 0xB06E7);
+  const auto instances = scenario::random_instances(4, 0.4, tb.room, 0xB06E7);
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);
     double prev = -1e300;
@@ -143,7 +143,7 @@ TEST_P(AllocatorInvariantSweep, HeuristicSinrImprovesWithBudget) {
   // grants a superset of TXs, so system throughput (B log2(1+SINR)
   // summed) must not fall. Small dips can occur when a marginal grant
   // adds more interference than signal; allow 5% slack for those.
-  const auto instances = sim::random_instances(4, 0.4, tb.room, 0x51A2);
+  const auto instances = scenario::random_instances(4, 0.4, tb.room, 0x51A2);
   alloc::AssignmentOptions opts;
   for (const auto& rx_xy : instances) {
     const auto h = tb.channel_for(rx_xy);
@@ -235,8 +235,8 @@ INSTANTIATE_TEST_SUITE_P(
 class PolishSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(PolishSweep, BinaryAndFeasibleEverywhere) {
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 100;
   const auto opt =

@@ -13,7 +13,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "illum/illuminance_map.hpp"
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 #include "sync/nlos_sync.hpp"
 #include "sync/timesync.hpp"
 
@@ -29,7 +29,7 @@ TEST(Golden, Fig4TaylorErrorAt900mA) {
 
 TEST(Golden, Fig5IlluminanceAndUniformity) {
   // Paper (simulation): 564 lux / 74%.
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   // 61 raster points per axis, as the Fig. 5 bench uses (the minimum-
   // finding uniformity metric is resolution-sensitive).
   const illum::IlluminanceMap map{tb.room,     tb.tx_poses(), tb.emitter,
@@ -42,8 +42,8 @@ TEST(Golden, Fig5IlluminanceAndUniformity) {
 
 TEST(Golden, Fig9FirstAssignments) {
   // Paper: TX8 first for RX1, TX10 first for RX2 (1-based).
-  const auto tb = sim::make_simulation_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_simulation_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   EXPECT_EQ(h.best_tx_for(0), 7u);
   EXPECT_EQ(h.best_tx_for(1), 9u);
 }
@@ -51,8 +51,8 @@ TEST(Golden, Fig9FirstAssignments) {
 TEST(Golden, Fig11HeuristicLossNearTwoPercent) {
   // Paper: kappa = 1.3 loses 1.8% on average. Check the Fig. 7 instance
   // stays in single digits and a small instance sample averages low.
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(10, 0.25, tb.room, 0xF16'8);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(10, 0.25, tb.room, 0xF16'8);
   alloc::OptimalSolverConfig ocfg;
   ocfg.max_iterations = 250;
   alloc::AssignmentOptions opts;
@@ -82,8 +82,8 @@ TEST(Golden, Fig8ThroughputVsPowerBudgetPinned) {
   // at three budgets with ±5% tolerances, the proportional-fairness
   // per-RX balance, the paper's RX3/RX4 > RX1/RX2 ordering at high
   // budget, and the efficiency knee beyond ~1.2 W.
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(8, 0.25, tb.room, 0xF16'8);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(8, 0.25, tb.room, 0xF16'8);
   alloc::OptimalSolverConfig cfg;
   cfg.max_iterations = 150;
 
@@ -144,8 +144,8 @@ TEST(Golden, Fig11HeuristicGapPinned) {
   // iteration-capped optimum occasionally trails the heuristic); pin it
   // with a ±2-point tolerance so the gap magnitude stays in the paper's
   // single-digit regime and silent solver drift is caught.
-  const auto tb = sim::make_simulation_testbed();
-  const auto instances = sim::random_instances(10, 0.25, tb.room, 0xF16'8);
+  const auto tb = core::make_simulation_testbed();
+  const auto instances = scenario::random_instances(10, 0.25, tb.room, 0xF16'8);
   alloc::OptimalSolverConfig ocfg;
   ocfg.max_iterations = 250;
   alloc::AssignmentOptions opts;
@@ -191,8 +191,8 @@ TEST(Golden, Table4SyncOrderingAndMagnitudes) {
 
 TEST(Golden, Fig21EfficiencyGain) {
   // Paper: 2.3x power efficiency over D-MISO; our model lands >= 1.5x.
-  const auto tb = sim::make_experimental_testbed();
-  const auto h = tb.channel_for(sim::fig7_rx_positions());
+  const auto tb = core::make_experimental_testbed();
+  const auto h = tb.channel_for(scenario::fig7_rx_positions());
   auto sum = [&](const channel::Allocation& a) {
     double s = 0.0;
     for (double t : channel::throughput_bps(h, a, tb.budget)) s += t;
@@ -216,7 +216,7 @@ TEST(Golden, FullSwingTxPowerSelfConsistent) {
   // Our r = 0.267 ohm -> 54.1 mW per full-swing TX (see the calibration
   // note in EXPERIMENTS.md; the paper's text says 74.42 mW with the same
   // formula). Pin our value so silent drift is caught.
-  const auto tb = sim::make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   EXPECT_NEAR(units::to_mW(alloc::full_swing_tx_power(Amperes{0.9}, tb.budget)),
               54.1, 1.0);
 }

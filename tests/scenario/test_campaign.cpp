@@ -1,0 +1,228 @@
+// Campaign expansion and determinism.
+//
+// The contracts under test:
+//   - expansion is point-major with instance seeds derived as
+//     Rng::derive_stream_seed(base seed, expansion index);
+//   - run_campaign() is bit-identical at thread counts {1, 4, hw}
+//     (fingerprints compared double-for-double, not via hashes);
+//   - results are independent of shard/submission order — reversed and
+//     shuffled instance lists reproduce every fingerprint exactly;
+//   - parse_campaign() rejects malformed [campaign]/[sweep] input and
+//     sweep legs that expand into invalid specs, with typed errors.
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace densevlc::scenario {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A small self-contained campaign: 2 x 2 sweep, uniform drops.
+const char* kSmallCampaign = R"(
+[scenario]
+name = unit
+kind = analytic
+seed = 0xBEEF
+
+[rx]
+placement = uniform
+count = 2
+margin = 0.4
+
+[campaign]
+instances = 3
+
+[sweep]
+rx.count = 2 | 3
+grid = grid.rows=4 grid.cols=4 grid.pitch=0.6 | grid.rows=5 grid.cols=5 grid.pitch=0.5
+)";
+
+TEST(Campaign, ExpansionIsPointMajorWithStreamSeeds) {
+  const auto parsed = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_text();
+  const CampaignSpec& campaign = *parsed.campaign;
+  EXPECT_EQ(campaign.num_points(), 4u);
+  EXPECT_EQ(campaign.num_instances(), 12u);
+
+  std::vector<CampaignInstance> instances;
+  ASSERT_TRUE(expand_campaign(campaign, 3, instances).empty());
+  ASSERT_EQ(instances.size(), 12u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(instances[i].index, i);
+    EXPECT_EQ(instances[i].point, i / 3);
+    EXPECT_EQ(instances[i].rep, i % 3);
+    EXPECT_EQ(instances[i].seed, Rng::derive_stream_seed(0xBEEF, i));
+  }
+  // First axis (rx.count) outermost, second axis (grid) innermost.
+  EXPECT_EQ(instances[0].spec.rx_count, 2u);
+  EXPECT_EQ(instances[0].spec.grid_rows, 4u);
+  EXPECT_EQ(instances[3].spec.rx_count, 2u);
+  EXPECT_EQ(instances[3].spec.grid_rows, 5u);
+  EXPECT_EQ(instances[6].spec.rx_count, 3u);
+  EXPECT_EQ(instances[6].spec.grid_rows, 4u);
+  EXPECT_EQ(instances[9].spec.rx_count, 3u);
+  EXPECT_EQ(instances[9].spec.grid_rows, 5u);
+}
+
+TEST(Campaign, BitIdenticalAcrossThreadCounts) {
+  const auto parsed = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_text();
+  std::vector<CampaignInstance> instances;
+  ASSERT_TRUE(expand_campaign(*parsed.campaign, 3, instances).empty());
+
+  std::vector<std::size_t> thread_counts{1, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(),
+                hardware_threads()) == thread_counts.end()) {
+    thread_counts.push_back(hardware_threads());
+  }
+  CampaignRun reference;
+  for (std::size_t threads : thread_counts) {
+    set_global_threads(threads);
+    CampaignRun run = run_campaign(*parsed.campaign, instances);
+    if (threads == thread_counts.front()) {
+      reference = std::move(run);
+      continue;
+    }
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    ASSERT_EQ(run.instances.size(), reference.instances.size());
+    for (std::size_t i = 0; i < run.instances.size(); ++i) {
+      // Exact doubles, not hashes: any drift must be visible here.
+      EXPECT_EQ(run.instances[i].fingerprint,
+                reference.instances[i].fingerprint)
+          << "instance " << i;
+    }
+    EXPECT_EQ(run.campaign_hash, reference.campaign_hash);
+    ASSERT_EQ(run.points.size(), reference.points.size());
+    for (std::size_t p = 0; p < run.points.size(); ++p) {
+      EXPECT_EQ(run.points[p].point_hash, reference.points[p].point_hash);
+      EXPECT_EQ(run.points[p].system_mbps.mean,
+                reference.points[p].system_mbps.mean);
+      EXPECT_EQ(run.points[p].p99_mbps, reference.points[p].p99_mbps);
+    }
+  }
+  set_global_threads(0);
+}
+
+TEST(Campaign, ShardOrderIndependent) {
+  const auto parsed = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_text();
+  std::vector<CampaignInstance> instances;
+  ASSERT_TRUE(expand_campaign(*parsed.campaign, 3, instances).empty());
+
+  const CampaignRun forward = run_campaign(*parsed.campaign, instances);
+
+  // Reversed submission order.
+  std::vector<CampaignInstance> reversed{instances.rbegin(),
+                                         instances.rend()};
+  const CampaignRun rev_run = run_campaign(*parsed.campaign, reversed);
+  for (std::size_t i = 0; i < reversed.size(); ++i) {
+    EXPECT_EQ(rev_run.instances[i].fingerprint,
+              forward.instances[reversed[i].index].fingerprint);
+  }
+
+  // Deterministically shuffled submission order.
+  std::vector<CampaignInstance> shuffled = instances;
+  Rng rng{42};
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(i)));
+    std::swap(shuffled[i - 1], shuffled[std::min(j, i - 1)]);
+  }
+  const CampaignRun shuf_run = run_campaign(*parsed.campaign, shuffled);
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    EXPECT_EQ(shuf_run.instances[i].fingerprint,
+              forward.instances[shuffled[i].index].fingerprint);
+  }
+}
+
+TEST(Campaign, QuickFlagshipCampaignParsesAndScales) {
+  const std::string text =
+      read_file(std::string{DVLC_SCENARIO_DIR} + "/campaign_quick.ini");
+  const auto parsed = parse_campaign(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_text();
+  // The acceptance shape: 10 sweep points x 100 = 1000 full instances.
+  EXPECT_EQ(parsed.campaign->num_points(), 10u);
+  EXPECT_EQ(parsed.campaign->instances_per_point, 100u);
+  EXPECT_EQ(parsed.campaign->num_instances(), 1000u);
+  EXPECT_EQ(parsed.campaign->quick_instances_per_point, 4u);
+
+  std::vector<CampaignInstance> instances;
+  ASSERT_TRUE(expand_campaign(*parsed.campaign, 1, instances).empty());
+  EXPECT_EQ(instances.size(), 10u);
+}
+
+TEST(Campaign, AggregatesMatchInstanceResults) {
+  const auto parsed = parse_campaign(kSmallCampaign);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_text();
+  std::vector<CampaignInstance> instances;
+  ASSERT_TRUE(expand_campaign(*parsed.campaign, 3, instances).empty());
+  const CampaignRun run = run_campaign(*parsed.campaign, instances);
+  ASSERT_EQ(run.points.size(), 4u);
+  for (std::size_t p = 0; p < run.points.size(); ++p) {
+    EXPECT_EQ(run.points[p].instance_count, 3u);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (instances[i].point == p) sum += run.instances[i].system_mbps;
+    }
+    EXPECT_DOUBLE_EQ(run.points[p].system_mbps.mean, sum / 3.0);
+    EXPECT_GT(run.points[p].system_mbps.mean, 0.0);
+  }
+}
+
+TEST(Campaign, RejectsUnknownCampaignKey) {
+  const auto parsed = parse_campaign(
+      "[scenario]\nname = t\n[rx]\nplacement = uniform\ncount = 2\n"
+      "[campaign]\nrepeats = 5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_text().find("campaign.repeats"), std::string::npos);
+}
+
+TEST(Campaign, RejectsBadSweepLeg) {
+  // Second leg sweeps the grid beyond the room: typed sweep-point error.
+  const auto parsed = parse_campaign(
+      "[scenario]\nname = t\n[rx]\nplacement = uniform\ncount = 2\n"
+      "[sweep]\ngrid.rows = 4 | 99\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_text().find("grid.rows"), std::string::npos);
+}
+
+TEST(Campaign, RejectsDuplicateAxisAndEmptyLeg) {
+  const auto dup = parse_campaign(
+      "[scenario]\nname = t\n[rx]\nplacement = uniform\ncount = 2\n"
+      "[sweep]\nrx.count = 2 | 3\nrx.count = 4\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.error_text().find("duplicate"), std::string::npos);
+
+  const auto empty = parse_campaign(
+      "[scenario]\nname = t\n[rx]\nplacement = uniform\ncount = 2\n"
+      "[sweep]\nrx.count = 2 | | 3\n");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.error_text().find("empty sweep value"), std::string::npos);
+}
+
+TEST(Campaign, RejectsSweepPointThatExpandsInvalid) {
+  // Each leg is fine syntactically, but mounting at 0.5 m puts the
+  // luminaires below the default 0.8 m receiver plane.
+  const auto parsed = parse_campaign(
+      "[scenario]\nname = t\n[rx]\nplacement = uniform\ncount = 2\n"
+      "[sweep]\ngrid.mount_height = 2.8 | 0.5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_text().find("sweep point 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace densevlc::scenario

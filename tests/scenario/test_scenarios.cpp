@@ -1,13 +1,13 @@
 // Tests for the paper's evaluation scenarios.
-#include "sim/scenario.hpp"
+#include "scenario/scenarios.hpp"
 
 #include <gtest/gtest.h>
 
-namespace densevlc::sim {
+namespace densevlc::scenario {
 namespace {
 
 TEST(Scenario, SimulationTestbedMatchesTable1) {
-  const auto tb = make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   EXPECT_EQ(tb.grid.count(), 36u);
   EXPECT_DOUBLE_EQ(tb.grid.pitch, 0.5);
   EXPECT_DOUBLE_EQ(tb.grid.mount_height_m, 2.8);
@@ -20,7 +20,7 @@ TEST(Scenario, SimulationTestbedMatchesTable1) {
 }
 
 TEST(Scenario, ExperimentalTestbedAtTwoMeters) {
-  const auto tb = make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   EXPECT_DOUBLE_EQ(tb.grid.mount_height_m, 2.0);
   EXPECT_DOUBLE_EQ(tb.rx_height_m, 0.0);
 }
@@ -44,7 +44,7 @@ TEST(Scenario, Scenario1IsWellSeparated) {
 
 TEST(Scenario, Scenario3IsUnderTxs) {
   const auto rx = scenario3_rx_positions();
-  const auto tb = make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   const auto poses = tb.tx_poses();
   // Every scenario-3 RX sits exactly under some TX.
   for (const auto& r : rx) {
@@ -60,7 +60,7 @@ TEST(Scenario, Scenario3IsUnderTxs) {
 }
 
 TEST(Scenario, RandomInstancesRespectAnchorsAndRoom) {
-  const auto tb = make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto instances = random_instances(100, 0.3, tb.room, 42);
   ASSERT_EQ(instances.size(), 100u);
   const auto anchors = fig7_rx_positions();
@@ -74,7 +74,7 @@ TEST(Scenario, RandomInstancesRespectAnchorsAndRoom) {
 }
 
 TEST(Scenario, RandomInstancesDeterministic) {
-  const auto tb = make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto a = random_instances(5, 0.3, tb.room, 7);
   const auto b = random_instances(5, 0.3, tb.room, 7);
   for (std::size_t i = 0; i < 5; ++i) {
@@ -87,7 +87,7 @@ TEST(Scenario, RandomInstancesDeterministic) {
 }
 
 TEST(Scenario, ChannelMatrixHasExpectedShape) {
-  const auto tb = make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto h = tb.channel_for(fig7_rx_positions());
   EXPECT_EQ(h.num_tx(), 36u);
   EXPECT_EQ(h.num_rx(), 4u);
@@ -98,7 +98,7 @@ TEST(Scenario, ChannelMatrixHasExpectedShape) {
 }
 
 TEST(Scenario, RxPosesFaceUpAtConfiguredHeight) {
-  const auto tb = make_simulation_testbed();
+  const auto tb = core::make_simulation_testbed();
   const auto poses = tb.rx_poses(fig7_rx_positions());
   for (const auto& p : poses) {
     EXPECT_DOUBLE_EQ(p.position.z, 0.8);
@@ -107,4 +107,4 @@ TEST(Scenario, RxPosesFaceUpAtConfiguredHeight) {
 }
 
 }  // namespace
-}  // namespace densevlc::sim
+}  // namespace densevlc::scenario

@@ -1,0 +1,257 @@
+// Scenario spec parser: round-trip identity, typed rejection, fuzz.
+//
+// The contract under test: parse_spec() either returns a validated spec
+// or a list of typed errors naming the offending keys — malformed or
+// out-of-range values are never silently defaulted — and
+// serialize_spec() is a canonical form, so parse(serialize(s))
+// reproduces s exactly. The bad-spec corpus under bad_specs/ pins one
+// rejection case per file via `; expect-error: <key>` annotations.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace densevlc::scenario {
+namespace {
+
+/// Canonical-form equality: serialize -> parse -> serialize fixpoint.
+void expect_round_trip(const ScenarioSpec& spec) {
+  const std::string text = serialize_spec(spec);
+  const SpecParseResult reparsed = parse_spec(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error_text() << "\n" << text;
+  EXPECT_EQ(serialize_spec(*reparsed.spec), text);
+}
+
+/// The parse must fail, and some error must name `key`.
+void expect_rejected(const std::string& text, const std::string& key) {
+  const SpecParseResult result = parse_spec(text);
+  ASSERT_FALSE(result.ok()) << "accepted despite bad " << key;
+  bool found = false;
+  for (const SpecError& e : result.errors) found = found || e.key == key;
+  EXPECT_TRUE(found) << "no error names '" << key << "'; got:\n"
+                     << result.error_text();
+}
+
+/// A minimal valid scenario to mutate in rejection tests.
+std::string valid_text(const std::string& extra = {}) {
+  return "[scenario]\nname = t\nkind = analytic\n"
+         "[rx]\nplacement = uniform\ncount = 2\nmargin = 0.4\n" +
+         extra;
+}
+
+TEST(SpecParser, SampleScenarioDefaultsRoundTrip) {
+  ScenarioSpec spec = spec_defaults(TestbedKind::kSimulation);
+  spec.rx_count = 4;
+  spec.rx_fixed = {{0.92, 0.92, 0.0},
+                   {1.65, 0.65, 0.0},
+                   {0.72, 1.93, 0.0},
+                   {1.99, 1.69, 0.0}};
+  expect_round_trip(spec);
+}
+
+TEST(SpecParser, AllSectionsRoundTrip) {
+  ScenarioSpec spec = spec_defaults(TestbedKind::kExperimental);
+  spec.name = "kitchen-sink";
+  spec.kind = EvalKind::kSoak;
+  spec.seed = 0xDEADBEEF;
+  spec.epochs = 17;
+  spec.kappa = 2.25;
+  spec.power_budget_w = 0.8;
+  spec.bandwidth_mhz = 2.5;
+  spec.incremental_probing = true;
+  spec.room_width_m = 4.5;
+  spec.room_depth_m = 3.25;
+  spec.room_height_m = 3.0;
+  spec.grid_rows = 5;
+  spec.grid_cols = 7;
+  spec.grid_pitch_m = 0.4375;
+  spec.grid_mount_height_m = 2.5;
+  spec.led_bias_ma = 387.5;
+  spec.led_max_swing_ma = 775.0;
+  spec.led_half_angle_deg = 22.5;
+  spec.placement = RxPlacement::kUniform;
+  spec.rx_count = 3;
+  spec.rx_height_m = 0.75;
+  spec.rx_margin_m = 0.5;
+  spec.dimming_enabled = true;
+  spec.target_lux = 425.0;
+  spec.leds_per_tx = 2;
+  spec.blockers = {{1.0, 1.5, 0.25, 1.7}, {2.0, 2.0, 0.3, 1.8}};
+  spec.faults_enabled = true;
+  spec.led_fail_fraction = 0.125;
+  spec.fault_time_s = 4.5;
+  spec.fault_seed = 0xFA17;
+  expect_round_trip(spec);
+}
+
+TEST(SpecParser, FuzzRandomSpecsRoundTrip) {
+  Rng rng{0x5EED50 + 7};  // arbitrary fixed seed
+  for (int iter = 0; iter < 200; ++iter) {
+    ScenarioSpec spec = spec_defaults(rng.uniform(0.0, 1.0) < 0.5
+                                          ? TestbedKind::kSimulation
+                                          : TestbedKind::kExperimental);
+    spec.name = "fuzz" + std::to_string(iter);
+    spec.kind = rng.uniform(0.0, 1.0) < 0.5 ? EvalKind::kAnalytic
+                                            : EvalKind::kSoak;
+    spec.seed = static_cast<std::uint64_t>(rng.uniform(0.0, 1e18));
+    spec.epochs = 1 + static_cast<std::size_t>(rng.uniform(0.0, 99.0));
+    spec.kappa = rng.uniform(0.1, 5.0);
+    spec.power_budget_w = rng.uniform(0.1, 3.0);
+    spec.bandwidth_mhz = rng.uniform(0.5, 10.0);
+    spec.room_width_m = rng.uniform(2.0, 8.0);
+    spec.room_depth_m = rng.uniform(2.0, 8.0);
+    spec.room_height_m = rng.uniform(2.5, 4.0);
+    spec.grid_rows = 1 + static_cast<std::size_t>(rng.uniform(0.0, 7.0));
+    spec.grid_cols = 1 + static_cast<std::size_t>(rng.uniform(0.0, 7.0));
+    // Pitch small enough for any grid in the smallest room dimension.
+    spec.grid_pitch_m = rng.uniform(0.05, 2.0 / 8.0);
+    spec.grid_mount_height_m = rng.uniform(1.8, spec.room_height_m);
+    spec.led_bias_ma = rng.uniform(100.0, 700.0);
+    spec.led_max_swing_ma = rng.uniform(100.0, 1400.0);
+    spec.led_half_angle_deg = rng.uniform(5.0, 90.0);
+    spec.placement = RxPlacement::kUniform;
+    spec.rx_count = 1 + static_cast<std::size_t>(rng.uniform(0.0, 7.0));
+    spec.rx_height_m = rng.uniform(0.0, spec.grid_mount_height_m - 0.1);
+    spec.rx_margin_m = rng.uniform(0.0, 0.9);
+    if (rng.uniform(0.0, 1.0) < 0.3) {
+      spec.dimming_enabled = true;
+      spec.target_lux = rng.uniform(50.0, 900.0);
+      spec.leds_per_tx = 1 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+    }
+    if (rng.uniform(0.0, 1.0) < 0.3) {
+      spec.blockers.push_back({rng.uniform(0.0, spec.room_width_m),
+                               rng.uniform(0.0, spec.room_depth_m),
+                               rng.uniform(0.05, 0.5),
+                               rng.uniform(0.5, 2.0)});
+    }
+    if (spec.kind == EvalKind::kSoak && rng.uniform(0.0, 1.0) < 0.3) {
+      spec.faults_enabled = true;
+      spec.led_fail_fraction = rng.uniform(0.0, 1.0);
+      spec.fault_time_s = rng.uniform(0.0, 20.0);
+      spec.fault_seed = static_cast<std::uint64_t>(rng.uniform(0.0, 1e18));
+    }
+    ASSERT_TRUE(validate_spec(spec).empty());
+    expect_round_trip(spec);
+  }
+}
+
+TEST(SpecParser, RejectsUnknownKey) {
+  expect_rejected(valid_text("[grid]\nrowz = 6\n"), "grid.rowz");
+}
+
+TEST(SpecParser, RejectsMalformedNumberInsteadOfDefaulting) {
+  expect_rejected(valid_text("[grid]\npitch = fast\n"), "grid.pitch");
+  expect_rejected(valid_text("[led]\nbias_ma = 45O\n"), "led.bias_ma");
+  expect_rejected(valid_text("[system]\nkappa = \n"), "system.kappa");
+}
+
+TEST(SpecParser, RejectsOutOfRangeValues) {
+  expect_rejected(valid_text("[grid]\nrows = 0\n"), "grid.rows");
+  expect_rejected(valid_text("[grid]\nrows = 65\n"), "grid.rows");
+  expect_rejected(valid_text("[led]\nhalf_angle_deg = 120\n"),
+                  "led.half_angle_deg");
+  expect_rejected(valid_text("[scenario]\nepochs = 0\n"), "scenario.epochs");
+  expect_rejected(valid_text("[faults]\nled_fail_fraction = 1.5\n"),
+                  "faults.led_fail_fraction");
+}
+
+TEST(SpecParser, RejectsMalformedBoolAndEnum) {
+  expect_rejected(valid_text("[system]\nincremental_probing = maybe\n"),
+                  "system.incremental_probing");
+  expect_rejected(valid_text("[scenario]\nkind = quantum\n"),
+                  "scenario.kind");
+  expect_rejected(valid_text("[system]\ntestbed = lab\n"), "system.testbed");
+  expect_rejected(valid_text("[rx]\nplacement = grid\n"), "rx.placement");
+}
+
+TEST(SpecParser, CrossFieldValidation) {
+  // Fixed placement with a coordinate-count mismatch.
+  expect_rejected(
+      "[scenario]\nname = t\n[rx]\nplacement = fixed\ncount = 2\n"
+      "x1 = 1.0\ny1 = 1.0\n",
+      "rx.count");
+  // Receiver outside the room.
+  expect_rejected(
+      "[scenario]\nname = t\n[rx]\nplacement = fixed\ncount = 1\n"
+      "x1 = 9.0\ny1 = 1.0\n",
+      "rx.x1");
+  // Uniform placement must not list coordinates.
+  expect_rejected(valid_text("[rx]\nx1 = 1.0\ny1 = 1.0\n"), "rx.x1");
+  // Margin eats the whole floor.
+  expect_rejected(valid_text("[rx]\nmargin = 1.5\n"), "rx.margin");
+  // Luminaires above the ceiling.
+  expect_rejected(valid_text("[grid]\nmount_height = 3.5\n"),
+                  "grid.mount_height");
+  // Grid footprint wider than the room.
+  expect_rejected(valid_text("[grid]\npitch = 0.7\n"), "grid.pitch");
+  // Faults demand a soak.
+  expect_rejected(valid_text("[faults]\nled_fail_fraction = 0.1\n"),
+                  "faults.led_fail_fraction");
+  // Receivers at/above the luminaire plane.
+  expect_rejected(valid_text("[rx]\nheight = 2.8\n"), "rx.height");
+}
+
+TEST(SpecParser, MissingReceiverCountIsAnError) {
+  expect_rejected("[scenario]\nname = t\n", "rx.count");
+}
+
+TEST(SpecParser, TestbedRebasesDefaultsRegardlessOfKeyOrder) {
+  // system.testbed appears *after* [grid] in map order; the parser must
+  // still re-base the defaults before applying any key.
+  const auto result = parse_spec(
+      "[system]\ntestbed = experimental\n" + valid_text());
+  ASSERT_TRUE(result.ok()) << result.error_text();
+  EXPECT_DOUBLE_EQ(result.spec->grid_mount_height_m, 2.0);
+  EXPECT_DOUBLE_EQ(result.spec->rx_height_m, 0.0);
+}
+
+TEST(SpecParser, ApplyOverrideRejectsUnknownAndMalformed) {
+  ScenarioSpec spec = spec_defaults(TestbedKind::kSimulation);
+  EXPECT_TRUE(apply_override(spec, "grid.rowz", "6").has_value());
+  EXPECT_TRUE(apply_override(spec, "grid.rows", "six").has_value());
+  EXPECT_FALSE(apply_override(spec, "grid.rows", "6").has_value());
+  EXPECT_EQ(spec.grid_rows, 6u);
+}
+
+TEST(SpecParser, ErrorsCarryTheOffendingKey) {
+  const auto result = parse_spec(valid_text("[grid]\nrows = 0\npitch = x\n"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(result.errors.size(), 2u);
+  for (const SpecError& e : result.errors) {
+    EXPECT_FALSE(e.key.empty());
+    EXPECT_FALSE(e.message.empty());
+  }
+}
+
+TEST(SpecParser, BadSpecCorpusRejectsWithAnnotatedKey) {
+  namespace fs = std::filesystem;
+  const fs::path dir{DVLC_BAD_SPEC_DIR};
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+  std::size_t cases = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    ++cases;
+    std::ifstream in{entry.path()};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    // First line: "; expect-error: <key>".
+    const std::string marker = "; expect-error:";
+    ASSERT_EQ(text.rfind(marker, 0), 0u)
+        << entry.path() << " lacks an expect-error annotation";
+    const auto eol = text.find('\n');
+    std::string key = text.substr(marker.size(), eol - marker.size());
+    key.erase(0, key.find_first_not_of(' '));
+    SCOPED_TRACE(entry.path().filename().string());
+    expect_rejected(text, key);
+  }
+  EXPECT_GE(cases, 8u) << "bad-spec corpus went missing";
+}
+
+}  // namespace
+}  // namespace densevlc::scenario

@@ -6,7 +6,7 @@
 
 #include "common/units.hpp"
 #include "optics/nlos.hpp"
-#include "sim/scenario.hpp"
+#include "core/testbed.hpp"
 #include "sync/nlos_sync.hpp"
 
 namespace densevlc {
@@ -79,7 +79,7 @@ TEST(TiltedPose, NormalIsUnitAndDirected) {
 TEST(TiltedPose, TiltTowardTxRaisesGain) {
   // Leaning the receiver toward an off-axis TX increases that link's
   // gain and decreases the opposite one.
-  const auto tb = sim::make_experimental_testbed();
+  const auto tb = core::make_experimental_testbed();
   const double tilt = units::deg_to_rad(25.0);
   // RX at the room center; TX6 (2.75, 0.25) lies toward +x/-y.
   const auto flat = tb.channel_for_poses({geom::floor_pose(1.5, 1.5, 0.0)});

@@ -41,13 +41,13 @@ std::vector<std::unique_ptr<Pass>> make_all_passes() {
 void default_layering(AnalysisContext& ctx) {
   // The declared module DAG:
   //   common -> {dsp, geom} -> optics -> {channel, phy, sync}
-  //          -> {alloc, fault, illum, mac, net} -> core -> sim -> bench
+  //          -> {alloc, fault, illum, mac, net} -> core -> scenario -> bench
   // tools and tests sit on top and may include anything.
   ctx.module_rank = {
       {"common", 0}, {"dsp", 1},   {"geom", 1},  {"optics", 2},
       {"channel", 3}, {"phy", 3},  {"sync", 3},  {"alloc", 4},
       {"fault", 4},  {"illum", 4}, {"mac", 4},   {"net", 4},
-      {"core", 5},   {"sim", 6},   {"bench", 7}, {"tools", 7},
+      {"core", 5},   {"scenario", 6}, {"bench", 7}, {"tools", 7},
       {"tests", 8},
   };
   // sync consumes the PHY frontend (pilot correlation) by design.
