@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 
 namespace densevlc::channel {
@@ -65,6 +66,9 @@ LinkBudget LinkBudget::from_led(const optics::LedModel& led,
                                 AmperesPerWatt responsivity,
                                 AmpsSquaredPerHertz noise_psd,
                                 Hertz bandwidth) {
+  DVLC_EXPECT(responsivity.value() > 0.0, "responsivity must be positive");
+  DVLC_EXPECT(noise_psd.value() >= 0.0, "noise PSD must be >= 0");
+  DVLC_EXPECT(bandwidth.value() > 0.0, "bandwidth must be positive");
   LinkBudget b;
   b.responsivity_a_per_w = responsivity.value();
   b.wall_plug_efficiency = led.electrical().wall_plug_efficiency;
@@ -141,6 +145,8 @@ double sum_log_utility(const ChannelMatrix& h, const Allocation& alloc,
 }
 
 Watts tx_comm_power(Amperes total_swing, const LinkBudget& budget) {
+  DVLC_EXPECT(total_swing.value() >= 0.0,
+              "total drive-current swing must be >= 0");
   const Amperes half = total_swing / 2.0;
   return half * half * budget.dynamic_resistance();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 
 namespace densevlc::illum {
@@ -44,6 +45,8 @@ Lux IlluminanceMap::at(std::size_t ix, std::size_t iy) const {
 }
 
 Lux IlluminanceMap::evaluate(Meters x, Meters y) const {
+  DVLC_EXPECT(std::isfinite(x.value()) && std::isfinite(y.value()),
+              "sample point must be finite");
   const geom::Pose point =
       geom::floor_pose(x.value(), y.value(), plane_height_m_);
   Lux total{0.0};
@@ -57,6 +60,7 @@ Lux IlluminanceMap::evaluate(Meters x, Meters y) const {
 
 IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
     Meters side) const {
+  DVLC_EXPECT(side.value() >= 0.0, "area-of-interest side must be >= 0");
   AreaStats s;
   if (per_axis_ == 0) return s;
   const double cx = room_.width / 2.0;
@@ -96,6 +100,8 @@ IlluminanceMap::AreaStats IlluminanceMap::area_of_interest_stats(
 
 bool IlluminanceMap::satisfies(const IsoRequirement& req,
                                Meters side) const {
+  DVLC_EXPECT(req.min_average_lux >= 0.0 && req.min_uniformity >= 0.0,
+              "ISO requirement thresholds must be >= 0");
   const AreaStats s = area_of_interest_stats(side);
   return s.average_lux >= req.min_average_lux &&
          s.uniformity >= req.min_uniformity;
@@ -108,6 +114,8 @@ Amperes size_bias_for_average_lux(const geom::Room& room,
                                   Meters plane_height, Meters aoi_side,
                                   Lux target, LumensPerWatt efficacy,
                                   Amperes i_max) {
+  DVLC_EXPECT(i_max.value() > 0.0, "bias search needs a positive i_max");
+  DVLC_EXPECT(target.value() >= 0.0, "target illuminance must be >= 0");
   auto average_at = [&](double bias) {
     optics::LedModel led{elec, {bias, 2.0 * bias}};
     const IlluminanceMap map{room,         luminaires, emitter, led,

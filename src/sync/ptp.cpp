@@ -22,19 +22,20 @@ PtpResult ptp_exchange(double true_offset_s, const PtpLinkConfig& link,
   out.true_offset_s = true_offset_s;
 
   // Master->slave (SYNC): asymmetric component applies here.
-  const double d_ms = link.base_delay_s + link.asymmetry_s +
+  const double d_master_slave_s = link.base_delay_s + link.asymmetry_s +
                       exp_draw(link.jitter_mean_s, rng);
   // Slave->master (DELAY_REQ).
-  const double d_sm = link.base_delay_s + exp_draw(link.jitter_mean_s, rng);
+  const double d_slave_master_s =
+      link.base_delay_s + exp_draw(link.jitter_mean_s, rng);
 
   auto stamp = [&](double t) {
     return t + rng.gaussian(0.0, link.timestamp_jitter_s);
   };
 
   const double t1 = 0.0;  // master clock
-  const double t2 = stamp(t1 + d_ms + true_offset_s);  // slave clock
+  const double t2 = stamp(t1 + d_master_slave_s + true_offset_s);  // slave clock
   const double t3 = stamp(t2 + 100e-6);                // slave clock
-  const double t4 = stamp(t3 - true_offset_s + d_sm);  // master clock
+  const double t4 = stamp(t3 - true_offset_s + d_slave_master_s);  // master clock
 
   out.estimated_offset_s = ((t2 - t1) - (t4 - t3)) / 2.0;
   out.residual_s = out.estimated_offset_s - true_offset_s;

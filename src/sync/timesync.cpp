@@ -51,13 +51,13 @@ double measure_sync_delay(SyncMethod method, const TimeSyncConfig& cfg,
     const PairStart start = draw_pair_start(method, cfg, rng);
     diffs.clear();
     for (std::size_t k = 0; k < symbols_per_frame; ++k) {
-      const double edge_a =
+      const double edge_a_s =
           start.tx_a_s +
           static_cast<double>(k) * period * (1.0 + start.drift_a_ppm * 1e-6);
-      const double edge_b =
+      const double edge_b_s =
           start.tx_b_s +
           static_cast<double>(k) * period * (1.0 + start.drift_b_ppm * 1e-6);
-      diffs.push_back(std::fabs(edge_a - edge_b));
+      diffs.push_back(std::fabs(edge_a_s - edge_b_s));
     }
     medians.push_back(stats::median(diffs));
   }

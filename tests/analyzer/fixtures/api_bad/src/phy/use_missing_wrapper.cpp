@@ -1,0 +1,16 @@
+// Consumer TU: references every declaration in missing_wrapper.hpp so
+// the dead-api pass sees external uses; the api-into-wrapper and
+// api-scratch-ref findings under test live in the header.
+#include <vector>
+
+namespace densevlc::phy {
+
+void exercise_missing_wrapper(std::vector<double>& buf,
+                              DemodScratch& scratch) {
+  window_into(buf, buf);
+  run_const(scratch);
+  run_by_value(scratch);
+  run_ok(scratch);
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,12 @@
+// Consumer TU: exercises both halves of the into/value pair so the
+// dead-api pass sees external uses for each.
+#include <vector>
+
+namespace densevlc::phy {
+
+void window_smoke(std::vector<double>& buf, DemodScratch& scratch) {
+  window_into(buf, buf, scratch);
+  buf = window(buf);
+}
+
+}  // namespace densevlc::phy

@@ -1,0 +1,14 @@
+// Consumer TU: references every declaration in bad.hpp from another
+// file so the dead-api pass sees external uses and the findings stay
+// scoped to what this fixture tests.
+namespace densevlc {
+
+void exercise_bad(const BadConfig& cfg, bool ok) {
+  if (load_state(cfg) && load_state_checked(cfg)) {
+    noisy_sample();
+  }
+  unreachable_case();
+  explained_failure(ok);
+}
+
+}  // namespace densevlc

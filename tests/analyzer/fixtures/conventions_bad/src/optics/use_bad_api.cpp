@@ -1,0 +1,11 @@
+// Consumer TU: keeps the bad_api.hpp declarations externally used so
+// the dead-api pass stays quiet; the raw-double findings under test
+// live in the header.
+namespace densevlc::optics {
+
+void exercise_bad_api() {
+  set_power(emitted_power_w());
+  set_angle(0.0);
+}
+
+}  // namespace densevlc::optics

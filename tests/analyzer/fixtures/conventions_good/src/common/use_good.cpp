@@ -1,0 +1,8 @@
+// Consumer TU: load_state is the fixture's public surface; calling it
+// from a second file keeps the dead-api pass quiet, as in the real
+// tree where every public declaration has a caller.
+namespace densevlc {
+
+bool reload(const GoodConfig& cfg) { return load_state(cfg); }
+
+}  // namespace densevlc

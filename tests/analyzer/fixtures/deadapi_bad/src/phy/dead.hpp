@@ -1,0 +1,17 @@
+// Fixture: a dead public declaration and an into/value pair whose
+// signatures drifted apart.
+#pragma once
+
+#include <vector>
+
+namespace densevlc::phy {
+
+std::vector<double> window(const std::vector<double>& signal);
+
+void window_into(const std::vector<double>& signal,  // EXPECT-FINDING: api-pair-drift
+                 std::vector<double>& out, std::vector<double>& scratch,
+                 int depth);
+
+double unused_helper(double x);  // EXPECT-FINDING: dead-public-api
+
+}  // namespace densevlc::phy

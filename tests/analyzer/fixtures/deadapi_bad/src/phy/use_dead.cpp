@@ -1,0 +1,12 @@
+// Consumer TU: keeps the pair itself live so only the drift and the
+// genuinely dead helper are reported.
+#include <vector>
+
+namespace densevlc::phy {
+
+void drive(std::vector<double>& buf, std::vector<double>& scratch) {
+  window_into(buf, buf, scratch, 3);
+  buf = window(buf);
+}
+
+}  // namespace densevlc::phy

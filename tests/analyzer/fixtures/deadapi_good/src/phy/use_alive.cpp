@@ -1,0 +1,12 @@
+// Consumer TU: calls every public declaration in alive.hpp.
+#include <vector>
+
+namespace densevlc::phy {
+
+double drive(std::vector<double>& buf) {
+  window_into(buf, buf);
+  buf = window(buf);
+  return used_helper(buf.empty() ? 0.0 : buf.front());
+}
+
+}  // namespace densevlc::phy

@@ -19,7 +19,10 @@
 
 #include "analysis.hpp"
 #include "baseline.hpp"
+#include "cache.hpp"
+#include "index.hpp"
 #include "output.hpp"
+#include "parse.hpp"
 #include "source.hpp"
 
 namespace densevlc::analyze {
@@ -287,6 +290,12 @@ TEST(Fixtures, ApiBad) { expect_fixture_matches("api_bad"); }
 TEST(Fixtures, ApiGood) { expect_fixture_matches("api_good"); }
 TEST(Fixtures, LexerGood) { expect_fixture_matches("lexer_good"); }
 TEST(Fixtures, WaiversBad) { expect_fixture_matches("waivers_bad"); }
+TEST(Fixtures, NondetBad) { expect_fixture_matches("nondet_bad"); }
+TEST(Fixtures, NondetGood) { expect_fixture_matches("nondet_good"); }
+TEST(Fixtures, UnitdimBad) { expect_fixture_matches("unitdim_bad"); }
+TEST(Fixtures, UnitdimGood) { expect_fixture_matches("unitdim_good"); }
+TEST(Fixtures, DeadapiBad) { expect_fixture_matches("deadapi_bad"); }
+TEST(Fixtures, DeadapiGood) { expect_fixture_matches("deadapi_good"); }
 
 /// Pass filtering: the layering_bad fixture is clean when only the
 /// conventions pass runs.
@@ -294,6 +303,262 @@ TEST(Fixtures, PassFilterRestrictsRules) {
   const fs::path dir = fixture_root() / "layering_bad";
   const AnalysisResult result = analyze_paths({dir}, dir, {"conventions"});
   EXPECT_TRUE(result.findings.empty());
+}
+
+// --- scope tree -----------------------------------------------------------
+
+TEST(ScopeTree, DeclarationShadowsLibcName) {
+  const auto toks = tokenize(
+      "void f(std::size_t n) {\n"
+      "  std::vector<double> time(n);\n"
+      "  time[0] = 1.0;\n"
+      "}\n");
+  const ScopeTree tree = build_scope_tree(toks);
+  // Find the second `time` token (the use on line 3).
+  std::size_t use = toks.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text == "time" && toks[i].line == 3) use = i;
+  }
+  ASSERT_LT(use, toks.size());
+  const ScopeVar* var = tree.lookup("time", use);
+  ASSERT_NE(var, nullptr);
+  EXPECT_NE(var->type.find("vector"), std::string::npos);
+  EXPECT_FALSE(var->is_param);
+  // The parameter resolves too.
+  const ScopeVar* param = tree.lookup("n", use);
+  ASSERT_NE(param, nullptr);
+  EXPECT_TRUE(param->is_param);
+}
+
+TEST(ScopeTree, NamespaceClassFunctionNesting) {
+  const auto toks = tokenize(
+      "namespace densevlc::phy {\n"
+      "class Codec {\n"
+      " public:\n"
+      "  int decode(int x) { return x; }\n"
+      "};\n"
+      "}  // namespace\n");
+  const ScopeTree tree = build_scope_tree(toks);
+  bool saw_ns = false, saw_class = false, saw_fn = false;
+  for (const ScopeNode& n : tree.nodes) {
+    if (n.kind == ScopeKind::kNamespace) saw_ns = true;
+    if (n.kind == ScopeKind::kClass && n.name == "Codec") saw_class = true;
+    if (n.kind == ScopeKind::kFunction && n.name == "decode") saw_fn = true;
+  }
+  EXPECT_TRUE(saw_ns);
+  EXPECT_TRUE(saw_class);
+  EXPECT_TRUE(saw_fn);
+}
+
+TEST(ScopeTree, ParallelReduceSecondLambdaIsCombineBody) {
+  const auto toks = tokenize(
+      "double g(std::size_t n) {\n"
+      "  return parallel_reduce(0, n, 0.0,\n"
+      "      [&](std::size_t i) { return 1.0; },\n"
+      "      [](double a, double b) { return a + b; });\n"
+      "}\n");
+  const ScopeTree tree = build_scope_tree(toks);
+  std::size_t parallel = 0, combine = 0;
+  for (const ScopeNode& n : tree.nodes) {
+    if (n.kind == ScopeKind::kParallelBody) ++parallel;
+    if (n.kind == ScopeKind::kCombineBody) ++combine;
+  }
+  EXPECT_EQ(parallel, 1u);
+  EXPECT_EQ(combine, 1u);
+}
+
+TEST(ScopeTree, UnitSuffixParsing) {
+  EXPECT_EQ(unit_suffix_of("span_m"), "_m");
+  EXPECT_EQ(unit_suffix_of("power_used_w_"), "_w");  // member underscore
+  EXPECT_EQ(unit_suffix_of("count"), "");
+  EXPECT_EQ(unit_suffix_of("bias_ma"), "_ma");
+}
+
+// --- project index --------------------------------------------------------
+
+SourceFile indexed(const std::string& text, const std::string& rel) {
+  SourceFile f;
+  index_source(text, fs::path{"/r"} / rel, fs::path{"/r"}, f);
+  return f;
+}
+
+TEST(ProjectIndex, HeaderSymbolsAndIncludeSpelling) {
+  const SourceFile f = indexed(
+      "#include \"common/rng.hpp\"\n"
+      "namespace densevlc::phy {\n"
+      "double helper(double x);\n"
+      "inline double twice(double x) { return 2.0 * x; }\n"
+      "}\n",
+      "src/phy/helper.hpp");
+  const FileSummary s = summarize(f, build_scope_tree(f.tokens));
+  EXPECT_TRUE(s.is_header);
+  ASSERT_EQ(s.includes.size(), 1u);
+  EXPECT_EQ(s.includes[0].target, "common/rng.hpp");
+  bool saw_decl = false, saw_def = false;
+  for (const SymbolDecl& d : s.symbols) {
+    if (d.name == "helper" && !d.is_definition) saw_decl = true;
+    if (d.name == "twice" && d.is_definition) saw_def = true;
+  }
+  EXPECT_TRUE(saw_decl);
+  EXPECT_TRUE(saw_def);
+  EXPECT_EQ(ProjectIndex::include_spelling("src/phy/helper.hpp"),
+            "phy/helper.hpp");
+}
+
+TEST(ProjectIndex, ExternalUsesExcludesOwnPair) {
+  ProjectIndex index;
+  {
+    const SourceFile h = indexed("double helper(double x);\n",
+                                 "src/phy/helper.hpp");
+    index.files.push_back(summarize(h, build_scope_tree(h.tokens)));
+  }
+  {
+    const SourceFile c = indexed("double helper(double x) { return x; }\n",
+                                 "src/phy/helper.cpp");
+    index.files.push_back(summarize(c, build_scope_tree(c.tokens)));
+  }
+  // Declaration + paired definition only: no external uses.
+  EXPECT_EQ(index.external_uses("helper", "src/phy/helper.hpp"), 0u);
+  {
+    const SourceFile u = indexed("void go() { helper(1.0); }\n",
+                                 "src/core/use.cpp");
+    index.files.push_back(summarize(u, build_scope_tree(u.tokens)));
+  }
+  EXPECT_GT(index.external_uses("helper", "src/phy/helper.hpp"), 0u);
+  EXPECT_TRUE(index.is_called("helper"));
+}
+
+// --- incremental cache ----------------------------------------------------
+
+CacheEntry sample_entry() {
+  CacheEntry entry;
+  entry.summary.rel = "src/a.cpp";
+  entry.summary.module = "phy";
+  entry.summary.is_header = false;
+  entry.summary.includes.push_back({"common/rng.hpp", 3});
+  entry.summary.waivers["units"].insert(7);
+  entry.summary.symbols.push_back({"helper", 4, 2, false});
+  entry.summary.called_names.insert("helper");
+  entry.summary.ident_uses["helper"] = 2;
+  entry.findings.push_back(
+      {"banned", "src/a.cpp", 9, "rand", "message with\ttab and\nnewline"});
+  entry.waived = 1;
+  return entry;
+}
+
+TEST(Cache, EntryRoundTrips) {
+  const CacheEntry entry = sample_entry();
+  CacheEntry back;
+  ASSERT_TRUE(parse_entry(serialize_entry(entry), back));
+  EXPECT_EQ(back.summary.rel, entry.summary.rel);
+  EXPECT_EQ(back.summary.module, entry.summary.module);
+  ASSERT_EQ(back.summary.includes.size(), 1u);
+  EXPECT_EQ(back.summary.includes[0].target, "common/rng.hpp");
+  EXPECT_EQ(back.summary.waivers.at("units").count(7), 1u);
+  ASSERT_EQ(back.summary.symbols.size(), 1u);
+  EXPECT_EQ(back.summary.symbols[0].param_count, 2u);
+  EXPECT_EQ(back.summary.ident_uses.at("helper"), 2u);
+  ASSERT_EQ(back.findings.size(), 1u);
+  EXPECT_EQ(back.findings[0].message, entry.findings[0].message);
+  EXPECT_EQ(back.waived, 1u);
+}
+
+TEST(Cache, GarbledEntryIsAMiss) {
+  CacheEntry back;
+  EXPECT_FALSE(parse_entry("not a cache entry", back));
+  EXPECT_FALSE(parse_entry("dvlca 1\nbogus record\n", back));
+}
+
+class CacheDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One directory per test case: ctest runs cases concurrently, and a
+    // shared directory would let one TearDown eat another's entries.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string{"dvlc_analyze_cache_"} + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(CacheDirTest, HitOnSameKeyMissOnContentChange) {
+  AnalysisCache cache{dir_, "config-a"};
+  cache.store("src/a.cpp", "int x;", sample_entry());
+  EXPECT_TRUE(cache.probe("src/a.cpp", "int x;").has_value());
+  EXPECT_FALSE(cache.probe("src/a.cpp", "int y;").has_value());
+}
+
+TEST_F(CacheDirTest, ConfigChangeInvalidates) {
+  // The config string folds in the pass version and the enabled pass
+  // set; changing either must miss even for identical contents.
+  {
+    AnalysisCache cache{dir_, "dvlc-analyze-v2|conventions"};
+    cache.store("src/a.cpp", "int x;", sample_entry());
+  }
+  {
+    AnalysisCache warm{dir_, "dvlc-analyze-v2|conventions"};
+    EXPECT_TRUE(warm.probe("src/a.cpp", "int x;").has_value());
+  }
+  {
+    AnalysisCache flags{dir_, "dvlc-analyze-v2|conventions,api"};
+    EXPECT_FALSE(flags.probe("src/a.cpp", "int x;").has_value());
+  }
+  {
+    AnalysisCache version{dir_, "dvlc-analyze-v3|conventions"};
+    EXPECT_FALSE(version.probe("src/a.cpp", "int x;").has_value());
+  }
+}
+
+TEST_F(CacheDirTest, PathParticipatesInKey) {
+  // Rules are path-sensitive (physics-core checks, module maps), so the
+  // same bytes under another path must not share an entry.
+  AnalysisCache cache{dir_, "config-a"};
+  cache.store("src/a.cpp", "int x;", sample_entry());
+  EXPECT_FALSE(cache.probe("src/b.cpp", "int x;").has_value());
+}
+
+TEST_F(CacheDirTest, WarmRunReanalyzesZeroFiles) {
+  const fs::path dir = fixture_root() / "conventions_bad";
+  AnalyzeOptions options;
+  options.cache_dir = dir_;
+  const AnalysisResult cold = analyze_paths({dir}, dir, options);
+  EXPECT_EQ(cold.files_from_cache, 0u);
+  const AnalysisResult warm = analyze_paths({dir}, dir, options);
+  EXPECT_EQ(warm.files_from_cache, warm.files_scanned);
+  EXPECT_GT(warm.files_scanned, 0u);
+  // Cached and fresh analysis agree finding-for-finding.
+  ASSERT_EQ(warm.findings.size(), cold.findings.size());
+  for (std::size_t i = 0; i < warm.findings.size(); ++i) {
+    EXPECT_EQ(warm.findings[i].rule, cold.findings[i].rule);
+    EXPECT_EQ(warm.findings[i].file, cold.findings[i].file);
+    EXPECT_EQ(warm.findings[i].line, cold.findings[i].line);
+  }
+  EXPECT_EQ(warm.waived, cold.waived);
+}
+
+// --- SARIF diff -----------------------------------------------------------
+
+TEST(SarifDiff, OnlyNewFindingsSurvive) {
+  const std::vector<RuleInfo> rules = {{"banned", "no rand"}};
+  const std::vector<Finding> old_findings = {
+      {"banned", "a.cpp", 3, "rand", "m"},
+  };
+  const auto old_fps =
+      load_sarif_fingerprints(render_sarif(old_findings, rules));
+  EXPECT_EQ(old_fps.size(), 1u);
+  // Same finding on a DIFFERENT line still matches (fingerprints are
+  // line-free); a second occurrence and a new rule are fresh.
+  const std::vector<Finding> now = {
+      {"banned", "a.cpp", 5, "rand", "m"},
+      {"banned", "a.cpp", 9, "rand", "m"},
+      {"units", "a.cpp", 2, "power", "m"},
+  };
+  const std::vector<Finding> fresh = sarif_diff(old_fps, now);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].line, 9u);  // second duplicate exceeds the old count
+  EXPECT_EQ(fresh[1].rule, "units");
 }
 
 }  // namespace

@@ -291,6 +291,8 @@ TEST(FastPath, CodecSteadyStateIsAllocationFree) {
     ASSERT_TRUE(codec.decode_into(bytes, parsed, cscr));
   };
   run_one();  // warm-up: buffers reach steady-state capacity here
+  ASSERT_TRUE(arena_warm(chips, wire.size() * 16));
+  ASSERT_TRUE(arena_warm(bytes, chips.size() / 16));
   const std::uint64_t before = bench::alloc_count();
   for (int i = 0; i < 10; ++i) run_one();
   EXPECT_EQ(bench::alloc_count() - before, 0u);

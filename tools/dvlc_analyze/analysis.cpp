@@ -1,23 +1,39 @@
 #include "analysis.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <tuple>
+
+#include "cache.hpp"
 
 namespace densevlc::analyze {
 
 namespace fs = std::filesystem;
 
-void Sink::report(const SourceFile& file, std::size_t line,
-                  const std::string& rule, const std::string& symbol,
-                  const std::string& message) {
-  auto it = file.waivers.find(rule);
-  if (it != file.waivers.end() &&
+void Sink::report_impl(const WaiverMap& waivers, const std::string& rel,
+                       std::size_t line, const std::string& rule,
+                       const std::string& symbol, const std::string& message) {
+  auto it = waivers.find(rule);
+  if (it != waivers.end() &&
       (it->second.count(line) != 0 ||
        (line > 0 && it->second.count(line - 1) != 0))) {
     ++waived_;
     return;
   }
-  findings_.push_back(Finding{rule, file.rel, line, symbol, message});
+  findings_.push_back(Finding{rule, rel, line, symbol, message});
+}
+
+void Sink::report(const SourceFile& file, std::size_t line,
+                  const std::string& rule, const std::string& symbol,
+                  const std::string& message) {
+  report_impl(file.waivers, file.rel, line, rule, symbol, message);
+}
+
+void Sink::report(const FileSummary& file, std::size_t line,
+                  const std::string& rule, const std::string& symbol,
+                  const std::string& message) {
+  report_impl(file.waivers, file.rel, line, rule, symbol, message);
 }
 
 void Sink::report_unwaivable(const SourceFile& file, std::size_t line,
@@ -35,6 +51,9 @@ std::vector<std::unique_ptr<Pass>> make_all_passes() {
   passes.push_back(make_determinism_pass());
   passes.push_back(make_layering_pass());
   passes.push_back(make_api_pass());
+  passes.push_back(make_nondet_pass());
+  passes.push_back(make_unitdim_pass());
+  passes.push_back(make_deadapi_pass());
   return passes;
 }
 
@@ -84,48 +103,94 @@ void collect_files(const fs::path& p, std::vector<fs::path>& out) {
   }
 }
 
+std::string relative_to(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const auto rel = fs::proximate(path, root, ec);
+  std::string s = ec ? path.generic_string() : rel.generic_string();
+  if (s.rfind("../", 0) == 0) s = path.generic_string();
+  return s;
+}
+
 }  // namespace
 
 AnalysisResult analyze_paths(const std::vector<fs::path>& paths,
                              const fs::path& root,
-                             const std::vector<std::string>& pass_filter) {
+                             const AnalyzeOptions& options) {
   AnalysisContext ctx;
   ctx.root = root;
   default_layering(ctx);
+
+  const auto all_passes = make_all_passes();
+  std::vector<const Pass*> enabled;
+  std::string config = kAnalyzerPassVersion;
+  for (const auto& pass : all_passes) {
+    if (!options.pass_filter.empty() &&
+        std::find(options.pass_filter.begin(), options.pass_filter.end(),
+                  pass->name()) == options.pass_filter.end()) {
+      continue;
+    }
+    enabled.push_back(pass.get());
+    config += '|';
+    config += pass->name();
+  }
+  AnalysisCache cache{options.cache_dir, config};
 
   std::vector<fs::path> files;
   for (const auto& p : paths) collect_files(p, files);
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  for (const auto& f : files) {
-    SourceFile sf;
-    if (load_source_file(f, root, sf)) ctx.files.push_back(std::move(sf));
-  }
-
+  AnalysisResult result;
   Sink sink;
-  // Waiver-syntax problems are findings regardless of which passes run:
-  // a malformed waiver silently waives nothing, which must be loud.
-  for (const auto& sf : ctx.files) {
-    for (const auto& wp : sf.waiver_problems) {
-      sink.report_unwaivable(sf, wp.line, "waiver-syntax", "waiver",
-                             wp.detail);
-    }
-  }
+  for (const auto& path : files) {
+    std::ifstream in{path};
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string contents = buf.str();
+    const std::string rel = relative_to(path, root);
 
-  for (const auto& pass : make_all_passes()) {
-    if (!pass_filter.empty() &&
-        std::find(pass_filter.begin(), pass_filter.end(), pass->name()) ==
-            pass_filter.end()) {
+    if (auto hit = cache.probe(rel, contents)) {
+      ++result.files_scanned;
+      ++result.files_from_cache;
+      result.waived += hit->waived;
+      for (Finding& f : hit->findings) {
+        result.findings.push_back(std::move(f));
+      }
+      ctx.index.files.push_back(std::move(hit->summary));
       continue;
     }
-    pass->run(ctx, sink);
+
+    SourceFile sf;
+    index_source(contents, path, root, sf);
+    const ScopeTree scope = build_scope_tree(sf.tokens);
+    Sink file_sink;
+    // Waiver-syntax problems are findings regardless of which passes run:
+    // a malformed waiver silently waives nothing, which must be loud.
+    for (const auto& wp : sf.waiver_problems) {
+      file_sink.report_unwaivable(sf, wp.line, "waiver-syntax", "waiver",
+                                  wp.detail);
+    }
+    for (const Pass* pass : enabled) pass->run_file(sf, scope, file_sink);
+
+    CacheEntry entry;
+    entry.summary = summarize(sf, scope);
+    entry.waived = file_sink.waived_count();
+    entry.findings = file_sink.take_findings();
+    cache.store(rel, contents, entry);
+
+    ++result.files_scanned;
+    result.waived += entry.waived;
+    for (const Finding& f : entry.findings) result.findings.push_back(f);
+    ctx.index.files.push_back(std::move(entry.summary));
   }
 
-  AnalysisResult result;
-  result.files_scanned = ctx.files.size();
-  result.waived = sink.waived_count();
-  result.findings = sink.take_findings();
+  for (const Pass* pass : enabled) pass->run_project(ctx, sink);
+  result.waived += sink.waived_count();
+  for (Finding& f : sink.take_findings()) {
+    result.findings.push_back(std::move(f));
+  }
+
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule, a.symbol, a.message) <
@@ -141,6 +206,14 @@ AnalysisResult analyze_paths(const std::vector<fs::path>& paths,
                   }),
       result.findings.end());
   return result;
+}
+
+AnalysisResult analyze_paths(const std::vector<fs::path>& paths,
+                             const fs::path& root,
+                             const std::vector<std::string>& pass_filter) {
+  AnalyzeOptions options;
+  options.pass_filter = pass_filter;
+  return analyze_paths(paths, root, options);
 }
 
 }  // namespace densevlc::analyze

@@ -1,9 +1,12 @@
 // Pass framework for dvlc_analyze.
 //
-// A Pass sees the whole project at once (every indexed SourceFile plus
-// the include graph), so multi-file rules — layering, cross-overload
-// pairing — are first-class. Findings funnel through a Sink that applies
-// inline waivers; baselining happens after all passes ran (baseline.hpp).
+// Since PR 8 a pass has two halves. The *file* half sees one file at a
+// time — its token stream plus the structural scope tree (parse.hpp) —
+// and its findings are cacheable under the file's content hash. The
+// *project* half runs every time but only consumes FileSummary records
+// (index.hpp), so a warm incremental run never re-tokenizes an
+// unchanged file. Findings funnel through a Sink that applies inline
+// waivers; baselining happens after all passes ran (baseline.hpp).
 #pragma once
 
 #include <cstddef>
@@ -13,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "index.hpp"
+#include "parse.hpp"
 #include "source.hpp"
 
 namespace densevlc::analyze {
@@ -33,10 +38,10 @@ struct RuleInfo {
   std::string summary;
 };
 
-/// Everything the passes can look at.
+/// Everything the project-level pass halves can look at.
 struct AnalysisContext {
   std::filesystem::path root;
-  std::vector<SourceFile> files;
+  ProjectIndex index;
 
   /// Layering rank per module; lower = more fundamental. A file may only
   /// include modules of strictly lower rank (or its own module), unless
@@ -55,6 +60,12 @@ class Sink {
               const std::string& rule, const std::string& symbol,
               const std::string& message);
 
+  /// Summary-based overload for project passes (same waiver semantics —
+  /// summaries carry the waiver map).
+  void report(const FileSummary& file, std::size_t line,
+              const std::string& rule, const std::string& symbol,
+              const std::string& message);
+
   /// Reports that bypass waiver lookup (used for waiver-syntax errors —
   /// a broken waiver must not be able to waive itself).
   void report_unwaivable(const SourceFile& file, std::size_t line,
@@ -65,6 +76,10 @@ class Sink {
   std::vector<Finding> take_findings();
 
  private:
+  void report_impl(const WaiverMap& waivers, const std::string& rel,
+                   std::size_t line, const std::string& rule,
+                   const std::string& symbol, const std::string& message);
+
   std::vector<Finding> findings_;
   std::size_t waived_ = 0;
 };
@@ -74,7 +89,20 @@ class Pass {
   virtual ~Pass() = default;
   virtual const char* name() const = 0;
   virtual std::vector<RuleInfo> rules() const = 0;
-  virtual void run(const AnalysisContext& ctx, Sink& sink) const = 0;
+
+  /// File half: findings depend only on this file's content (cacheable).
+  virtual void run_file(const SourceFile& file, const ScopeTree& scope,
+                        Sink& sink) const {
+    (void)file;
+    (void)scope;
+    (void)sink;
+  }
+
+  /// Project half: cross-TU findings over the collected summaries.
+  virtual void run_project(const AnalysisContext& ctx, Sink& sink) const {
+    (void)ctx;
+    (void)sink;
+  }
 };
 
 /// The pass registry, in canonical execution order.
@@ -85,18 +113,34 @@ std::unique_ptr<Pass> make_conventions_pass();
 std::unique_ptr<Pass> make_determinism_pass();
 std::unique_ptr<Pass> make_layering_pass();
 std::unique_ptr<Pass> make_api_pass();
+std::unique_ptr<Pass> make_nondet_pass();
+std::unique_ptr<Pass> make_unitdim_pass();
+std::unique_ptr<Pass> make_deadapi_pass();
 
 /// The declared module DAG of this repository (see docs/static_analysis.md).
 void default_layering(AnalysisContext& ctx);
 
-/// End-to-end: index `paths` under `root`, run the selected passes
-/// (empty = all), return sorted deduplicated findings. `pass_filter`
-/// entries are pass names. Used by main() and the self-test suite.
+struct AnalyzeOptions {
+  /// Run only these passes (by pass name); empty = all.
+  std::vector<std::string> pass_filter;
+  /// Incremental-analysis cache directory; empty = caching disabled.
+  std::filesystem::path cache_dir;
+};
+
+/// End-to-end: index `paths` under `root`, run the selected passes,
+/// return sorted deduplicated findings. Used by main() and the
+/// self-test suite.
 struct AnalysisResult {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
+  std::size_t files_from_cache = 0;  // served from the incremental cache
   std::size_t waived = 0;
 };
+AnalysisResult analyze_paths(const std::vector<std::filesystem::path>& paths,
+                             const std::filesystem::path& root,
+                             const AnalyzeOptions& options);
+
+/// Back-compat convenience overload (no cache).
 AnalysisResult analyze_paths(const std::vector<std::filesystem::path>& paths,
                              const std::filesystem::path& root,
                              const std::vector<std::string>& pass_filter = {});

@@ -1,0 +1,81 @@
+// Cross-translation-unit project index for dvlc_analyze.
+//
+// Project-level passes (layering, api-into-wrapper, dead-api) must not
+// need the token stream of every file on every run — that would defeat
+// incremental analysis. Instead each file is boiled down once into a
+// FileSummary: its include edges, waiver map, declared header symbols,
+// `_into` declaration sites, and an identifier use count. Summaries are
+// small, serializable (cache.hpp) and sufficient for every cross-TU
+// rule; the ProjectIndex is just the collected summaries plus the
+// include-graph queries built over them.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parse.hpp"
+#include "source.hpp"
+
+namespace densevlc::analyze {
+
+/// A function name declared in a header (free functions only — methods
+/// are deliberately out of scope for the dead-api rule).
+struct SymbolDecl {
+  std::string name;
+  std::size_t line = 0;
+  std::size_t param_count = 0;
+  bool is_definition = false;  // `{` body follows (inline in the header)
+};
+
+/// Everything the cross-TU passes need to know about one file.
+struct FileSummary {
+  std::string rel;     // root-relative path (generic form)
+  std::string module;  // layering module ("common", ..., "tests")
+  bool is_header = false;
+  std::vector<Include> includes;
+  WaiverMap waivers;
+  /// Free-function declarations in this header (empty for .cpp files).
+  std::vector<SymbolDecl> symbols;
+  /// Header declaration sites of `*_into` functions (api-into-wrapper).
+  std::vector<SymbolDecl> into_decls;
+  /// Every identifier that appears immediately before a "(": call sites
+  /// plus declaration sites — the "somewhere in the project" set the
+  /// api-into-wrapper rule queries.
+  std::set<std::string> called_names;
+  /// Occurrence count of every identifier token in the file.
+  std::map<std::string, std::size_t> ident_uses;
+};
+
+/// Builds the summary for one indexed file (uses its scope tree to tell
+/// class methods from free functions).
+FileSummary summarize(const SourceFile& f, const ScopeTree& scope);
+
+/// The collected summaries plus include-graph queries.
+struct ProjectIndex {
+  std::vector<FileSummary> files;
+
+  /// Total occurrences of `name` across every indexed file.
+  std::size_t total_uses(const std::string& name) const;
+
+  /// Occurrences of `name` outside the header/source pair that declares
+  /// it (same directory + same stem are "its own TU").
+  std::size_t external_uses(const std::string& name,
+                            const std::string& decl_rel) const;
+
+  /// True when any indexed file calls (or declares) `name` — i.e. the
+  /// identifier appears immediately before a "(" somewhere.
+  bool is_called(const std::string& name) const;
+
+  /// Resolved file-level include edges, keyed by include spelling
+  /// ("channel/model.hpp" for src/channel/model.hpp). Built by
+  /// build_edges(); used by the layering cycle check.
+  std::map<std::string, std::vector<std::string>> build_edges() const;
+
+  /// The include spelling of a root-relative path.
+  static std::string include_spelling(const std::string& rel);
+};
+
+}  // namespace densevlc::analyze

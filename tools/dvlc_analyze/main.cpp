@@ -7,7 +7,8 @@
 //   --root <dir>            paths in reports are relative to this (default:
 //                           current directory)
 //   --passes <a,b,...>      run only these passes (conventions,
-//                           determinism, layering, api); default: all
+//                           determinism, layering, api, nondet-flow,
+//                           unit-dim, dead-api); default: all
 //   --baseline <file>       suppress findings recorded in the baseline;
 //                           NOTE: only conventions/api findings belong
 //                           there — determinism and layering baselines
@@ -16,12 +17,19 @@
 //                           baseline and exit 0
 //   --sarif <file>          also write SARIF 2.1.0 to <file>
 //   --json <file>           also write plain JSON to <file>
+//   --cache <dir>           incremental-analysis cache directory: files
+//                           whose content hash is cached are not
+//                           re-tokenized or re-analyzed
+//   --sarif-diff <file>     compare against a previous SARIF document
+//                           (by dvlcSymbol fingerprint): exit 1 only on
+//                           findings that are NEW relative to it
 //   --list-rules            print every pass and rule id, then exit
 //
-// Exit status: 0 clean (modulo baseline), 1 findings, 2 usage error.
+// Exit status: 0 clean (modulo baseline/diff), 1 findings, 2 usage error.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +67,7 @@ int usage() {
       stderr,
       "usage: dvlc_analyze [--root <dir>] [--passes a,b] [--baseline <f>]\n"
       "                    [--write-baseline <f>] [--sarif <f>] [--json <f>]\n"
+      "                    [--cache <dir>] [--sarif-diff <old.sarif>]\n"
       "                    [--list-rules] <dir-or-file> [more...]\n");
   return 2;
 }
@@ -71,6 +80,8 @@ int main(int argc, char** argv) {
   fs::path write_baseline_path;
   fs::path sarif_path;
   fs::path json_path;
+  fs::path cache_dir;
+  fs::path sarif_diff_path;
   std::vector<std::string> pass_filter;
   std::vector<fs::path> paths;
   bool list_rules = false;
@@ -92,6 +103,10 @@ int main(int argc, char** argv) {
       if (!value(sarif_path)) return usage();
     } else if (arg == "--json") {
       if (!value(json_path)) return usage();
+    } else if (arg == "--cache") {
+      if (!value(cache_dir)) return usage();
+    } else if (arg == "--sarif-diff") {
+      if (!value(sarif_diff_path)) return usage();
     } else if (arg == "--passes") {
       if (i + 1 >= argc) return usage();
       pass_filter = split_commas(argv[++i]);
@@ -123,7 +138,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const AnalysisResult result = analyze_paths(paths, root, pass_filter);
+  AnalyzeOptions options;
+  options.pass_filter = pass_filter;
+  options.cache_dir = cache_dir;
+  const AnalysisResult result = analyze_paths(paths, root, options);
 
   if (!write_baseline_path.empty()) {
     if (!write_file(write_baseline_path, render_baseline(result.findings))) {
@@ -170,11 +188,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!sarif_diff_path.empty()) {
+    std::ifstream old_in{sarif_diff_path};
+    if (!old_in) {
+      std::fprintf(stderr, "dvlc_analyze: cannot read %s\n",
+                   sarif_diff_path.string().c_str());
+      return 2;
+    }
+    std::ostringstream old_buf;
+    old_buf << old_in.rdbuf();
+    const auto old_fps = load_sarif_fingerprints(old_buf.str());
+    const std::vector<Finding> fresh = sarif_diff(old_fps, applied.fresh);
+    std::fputs(render_human(fresh).c_str(), stdout);
+    std::printf(
+        "dvlc_analyze: %zu file(s) (%zu from cache), %zu finding(s), "
+        "%zu new vs %s, %zu waived, %zu baselined\n",
+        result.files_scanned, result.files_from_cache, applied.fresh.size(),
+        fresh.size(), sarif_diff_path.string().c_str(), result.waived,
+        applied.suppressed);
+    return fresh.empty() ? 0 : 1;
+  }
+
   std::fputs(render_human(applied.fresh).c_str(), stdout);
   std::printf(
-      "dvlc_analyze: %zu file(s), %zu finding(s), %zu waived, "
-      "%zu baselined\n",
-      result.files_scanned, applied.fresh.size(), result.waived,
-      applied.suppressed);
+      "dvlc_analyze: %zu file(s) (%zu from cache), %zu finding(s), "
+      "%zu waived, %zu baselined\n",
+      result.files_scanned, result.files_from_cache, applied.fresh.size(),
+      result.waived, applied.suppressed);
   return applied.fresh.empty() ? 0 : 1;
 }

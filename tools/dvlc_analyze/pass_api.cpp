@@ -69,11 +69,6 @@ std::string wrapper_name(const std::string& into_name) {
   return into_name.substr(0, into_name.size() - kSuffix.size());
 }
 
-struct IntoSite {
-  const SourceFile* file = nullptr;
-  std::size_t line = 0;
-};
-
 class ApiPass final : public Pass {
  public:
   const char* name() const override { return "api"; }
@@ -89,53 +84,36 @@ class ApiPass final : public Pass {
     };
   }
 
-  void run(const AnalysisContext& ctx, Sink& sink) const override {
+  void run_file(const SourceFile& f, const ScopeTree& scope,
+                Sink& sink) const override {
+    (void)scope;
+    check_scratch_params(f, sink);
+    if (in_physics_core(f.rel)) check_preconditions(f, sink);
+  }
+
+  void run_project(const AnalysisContext& ctx, Sink& sink) const override {
     check_into_wrappers(ctx, sink);
-    for (const SourceFile& f : ctx.files) {
-      check_scratch_params(f, sink);
-      if (in_physics_core(f.rel)) check_preconditions(f, sink);
-    }
   }
 
  private:
-  /// A declaration site of `name` is any `name (` where the previous code
-  /// token is not `.`/`->` (member call) and not `,`/`(` (argument). The
-  /// wrapper only has to exist *somewhere* in the project — pairs usually
-  /// live in the same header, but the check is global.
+  /// Declaration sites of `*_into` overloads come pre-filtered from the
+  /// file summaries (headers only, member/argument positions excluded).
+  /// The wrapper only has to exist *somewhere* in the project — pairs
+  /// usually live in the same header, but the check is global.
   void check_into_wrappers(const AnalysisContext& ctx, Sink& sink) const {
-    std::set<std::string> all_names;
-    std::map<std::string, IntoSite> into_decls;  // first decl per name
-    for (const SourceFile& f : ctx.files) {
-      const auto& toks = f.tokens;
-      for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (toks[i].kind != TokenKind::kIdentifier) continue;
-        if (!token_is(toks, next_code(toks, i), "(")) continue;
-        all_names.insert(toks[i].text);
-        if (!ends_with(toks[i].text, "_into")) continue;
-        // Only count declaration-ish sites in headers: a call site in a
-        // .cpp should not demand a wrapper for a private helper.
-        if (!f.is_header) continue;
-        const std::size_t p = prev_code(toks, i);
-        const bool member_or_arg =
-            p != std::string::npos &&
-            (toks[p].text == "." || toks[p].text == "->" ||
-             toks[p].text == "," || toks[p].text == "(" ||
-             toks[p].text == "!");
-        if (member_or_arg) continue;
-        if (into_decls.count(toks[i].text) == 0) {
-          into_decls[toks[i].text] = IntoSite{&f, toks[i].line};
-        }
+    std::set<std::string> seen;
+    for (const FileSummary& f : ctx.index.files) {
+      for (const SymbolDecl& d : f.into_decls) {
+        if (!seen.insert(d.name).second) continue;  // first decl per name
+        const std::string wrapper = wrapper_name(d.name);
+        if (wrapper.empty()) continue;
+        if (ctx.index.is_called(wrapper)) continue;
+        sink.report(f, d.line, "api-into-wrapper", d.name,
+                    "'" + d.name + "' has no value-returning wrapper '" +
+                        wrapper +
+                        "'; provide the convenience overload so call sites "
+                        "outside the hot path never manage buffers by hand");
       }
-    }
-    for (const auto& [name, site] : into_decls) {
-      const std::string wrapper = wrapper_name(name);
-      if (wrapper.empty()) continue;
-      if (all_names.count(wrapper) != 0) continue;
-      sink.report(*site.file, site.line, "api-into-wrapper", name,
-                  "'" + name + "' has no value-returning wrapper '" +
-                      wrapper +
-                      "'; provide the convenience overload so call sites "
-                      "outside the hot path never manage buffers by hand");
     }
   }
 

@@ -341,17 +341,17 @@ class ConventionsPass final : public Pass {
     };
   }
 
-  void run(const AnalysisContext& ctx, Sink& sink) const override {
-    for (const SourceFile& f : ctx.files) {
-      check_banned(f, sink);
-      if (has_hot_marker(f.tokens)) check_hot_loop_alloc(f, sink);
-      if (f.is_header) {
-        check_units(f, sink);
-        check_nodiscard(f, sink);
-        if (in_physics_core(f.rel)) check_raw_double(f, sink);
-      } else if (in_physics_core(f.rel)) {
-        check_naked_literal(f, sink);
-      }
+  void run_file(const SourceFile& f, const ScopeTree& scope,
+                Sink& sink) const override {
+    (void)scope;
+    check_banned(f, sink);
+    if (has_hot_marker(f.tokens)) check_hot_loop_alloc(f, sink);
+    if (f.is_header) {
+      check_units(f, sink);
+      check_nodiscard(f, sink);
+      if (in_physics_core(f.rel)) check_raw_double(f, sink);
+    } else if (in_physics_core(f.rel)) {
+      check_naked_literal(f, sink);
     }
   }
 };

@@ -337,34 +337,34 @@ class DeterminismPass final : public Pass {
     };
   }
 
-  void run(const AnalysisContext& ctx, Sink& sink) const override {
-    for (const SourceFile& f : ctx.files) {
-      const auto& toks = f.tokens;
-      for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (toks[i].kind != TokenKind::kIdentifier ||
-            (toks[i].text != "parallel_for" &&
-             toks[i].text != "parallel_reduce")) {
-          continue;
-        }
-        // Skip the definitions/declarations in thread_pool.hpp: there the
-        // name is preceded by its return type (an identifier, `>`, `&`, or
-        // `*`); at a call site it follows a statement boundary, `return`,
-        // `::`, or an argument separator.
-        const std::size_t p = prev_code(toks, i);
-        if (p != std::string::npos &&
-            ((toks[p].kind == TokenKind::kIdentifier &&
-              toks[p].text != "return" && toks[p].text != "co_return") ||
-             toks[p].text == ">" || toks[p].text == "&" ||
-             toks[p].text == "*")) {
-          continue;
-        }
-        const std::size_t open = next_code(toks, i);
-        if (!token_is(toks, open, "(")) continue;
-        const std::size_t close = match_paren(toks, open);
-        if (close == std::string::npos) continue;
-        for (const LambdaBody& lb : find_lambdas(toks, open, close)) {
-          check_body(f, toks, lb, sink);
-        }
+  void run_file(const SourceFile& f, const ScopeTree& scope,
+                Sink& sink) const override {
+    (void)scope;
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier ||
+          (toks[i].text != "parallel_for" &&
+           toks[i].text != "parallel_reduce")) {
+        continue;
+      }
+      // Skip the definitions/declarations in thread_pool.hpp: there the
+      // name is preceded by its return type (an identifier, `>`, `&`, or
+      // `*`); at a call site it follows a statement boundary, `return`,
+      // `::`, or an argument separator.
+      const std::size_t p = prev_code(toks, i);
+      if (p != std::string::npos &&
+          ((toks[p].kind == TokenKind::kIdentifier &&
+            toks[p].text != "return" && toks[p].text != "co_return") ||
+           toks[p].text == ">" || toks[p].text == "&" ||
+           toks[p].text == "*")) {
+        continue;
+      }
+      const std::size_t open = next_code(toks, i);
+      if (!token_is(toks, open, "(")) continue;
+      const std::size_t close = match_paren(toks, open);
+      if (close == std::string::npos) continue;
+      for (const LambdaBody& lb : find_lambdas(toks, open, close)) {
+        check_body(f, toks, lb, sink);
       }
     }
   }

@@ -12,7 +12,9 @@
 // Only quoted includes are considered — system includes (<vector>) carry
 // no layering information. Include targets are resolved the way the build
 // does: relative to src/ for module headers, and relative to the
-// including file's directory as a fallback.
+// including file's directory as a fallback. The whole pass is
+// project-scoped and runs off FileSummary records only, so it costs
+// nothing extra on a warm incremental run.
 #include <algorithm>
 #include <map>
 #include <set>
@@ -31,8 +33,7 @@ std::string target_module(const std::string& target,
                           const std::string& includer_module) {
   const std::size_t slash = target.find('/');
   if (slash == std::string::npos) return includer_module;
-  const std::string head = target.substr(0, slash);
-  return head;
+  return target.substr(0, slash);
 }
 
 class LayeringPass final : public Pass {
@@ -47,14 +48,14 @@ class LayeringPass final : public Pass {
     };
   }
 
-  void run(const AnalysisContext& ctx, Sink& sink) const override {
+  void run_project(const AnalysisContext& ctx, Sink& sink) const override {
     check_back_edges(ctx, sink);
     check_cycles(ctx, sink);
   }
 
  private:
   void check_back_edges(const AnalysisContext& ctx, Sink& sink) const {
-    for (const SourceFile& f : ctx.files) {
+    for (const FileSummary& f : ctx.index.files) {
       if (f.module.empty()) continue;
       const auto own = ctx.module_rank.find(f.module);
       if (own == ctx.module_rank.end()) continue;
@@ -82,26 +83,11 @@ class LayeringPass final : public Pass {
   void check_cycles(const AnalysisContext& ctx, Sink& sink) const {
     // Graph keyed by the include-path spelling of each file: a file
     // src/channel/model.hpp is the node "channel/model.hpp".
-    std::map<std::string, const SourceFile*> by_spelling;
-    for (const SourceFile& f : ctx.files) {
-      by_spelling[include_spelling(f.rel)] = &f;
+    std::map<std::string, const FileSummary*> by_spelling;
+    for (const FileSummary& f : ctx.index.files) {
+      by_spelling[ProjectIndex::include_spelling(f.rel)] = &f;
     }
-    std::map<std::string, std::vector<std::string>> edges;
-    for (const SourceFile& f : ctx.files) {
-      const std::string from = include_spelling(f.rel);
-      for (const Include& inc : f.includes) {
-        std::string to = inc.target;
-        if (by_spelling.count(to) == 0) {
-          // Same-directory include ("analysis.hpp" from tools/...).
-          const std::size_t slash = from.rfind('/');
-          if (slash != std::string::npos) {
-            const std::string sibling = from.substr(0, slash + 1) + to;
-            if (by_spelling.count(sibling) != 0) to = sibling;
-          }
-        }
-        if (by_spelling.count(to) != 0) edges[from].push_back(to);
-      }
-    }
+    const auto edges = ctx.index.build_edges();
 
     // Iterative DFS with colors; report each cycle once.
     std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
@@ -113,17 +99,10 @@ class LayeringPass final : public Pass {
     }
   }
 
-  static std::string include_spelling(const std::string& rel) {
-    // src/<m>/file.hpp is included as "<m>/file.hpp"; everything else is
-    // included by its repo-relative path.
-    if (rel.rfind("src/", 0) == 0) return rel.substr(4);
-    return rel;
-  }
-
   void dfs(const std::string& node,
            const std::map<std::string, std::vector<std::string>>& edges,
            std::map<std::string, int>& color, std::vector<std::string>& stack,
-           const std::map<std::string, const SourceFile*>& by_spelling,
+           const std::map<std::string, const FileSummary*>& by_spelling,
            std::set<std::string>& reported, Sink& sink) const {
     color[node] = 1;
     stack.push_back(node);
@@ -140,7 +119,7 @@ class LayeringPass final : public Pass {
             std::string path;
             for (const std::string& hop : cycle) path += hop + " -> ";
             path += next;
-            const SourceFile* f = by_spelling.at(anchor);
+            const FileSummary* f = by_spelling.at(anchor);
             sink.report(*f, 1, "layer-cycle", anchor,
                         "include cycle: " + path);
           }

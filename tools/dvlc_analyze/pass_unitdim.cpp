@@ -1,0 +1,405 @@
+// Unit-dimension pass: dimensional analysis over the unit-suffix naming
+// convention, covering the raw-double code `Quantity<Dim>` has not
+// reached yet.
+//
+// Every suffixed identifier (`_m`, `_w`, `_hz`, ...) carries a dimension
+// vector over six axes (m, kg, s, A, lm, bit) and a scale relative to
+// the SI base (`_mm` = 1e-3 m). Expressions are analyzed as
+// *multiplicative terms* — products/quotients of factors between
+// additive or comparison operators — so `a_m * b_m + c_m2` is clean and
+// `d_m + e_w` is not. Anything the algebra cannot prove (unsuffixed
+// identifiers, function calls on unsuffixed names) makes the whole term
+// "unknown", and unknown terms make no claim; numeric literals are
+// dimensionless wildcards so `x_m * 2.0 + y_m` and `t_s > 0` stay
+// clean.
+//
+//   unit-dim-mix      additive mix of incompatible terms (`_m + _w`),
+//                     including equal dimension at a different scale for
+//                     single-identifier operands (`_m + _mm`)
+//   unit-dim-compare  comparison across incompatible terms
+//   unit-dim-assign   assignment of an incompatible term to a suffixed
+//                     lvalue (`x_m = a_m * b_m`)
+#include <array>
+#include <cstdlib>
+#include <string>
+
+#include "analysis.hpp"
+
+namespace densevlc::analyze {
+namespace {
+
+/// Dimension exponents over (m, kg, s, A, lm, bit).
+using Dim = std::array<int, 6>;
+
+struct UnitInfo {
+  const char* suffix;
+  Dim dim;
+  double scale;  // factor to the SI-coherent unit of `dim`
+};
+
+constexpr Dim kDimless = {0, 0, 0, 0, 0, 0};
+
+// Dimensionless *annotation* suffixes (_rad, _deg, _db, _dbm, _pct,
+// _ppm) are deliberately absent: dB math and angle math break linear
+// dimension algebra, so those identifiers count as "no claim".
+const UnitInfo kUnits[] = {
+    {"_m", {1, 0, 0, 0, 0, 0}, 1.0},
+    {"_mm", {1, 0, 0, 0, 0, 0}, 1e-3},
+    {"_cm", {1, 0, 0, 0, 0, 0}, 1e-2},
+    {"_m2", {2, 0, 0, 0, 0, 0}, 1.0},
+    {"_mm2", {2, 0, 0, 0, 0, 0}, 1e-6},
+    {"_s", {0, 0, 1, 0, 0, 0}, 1.0},
+    {"_ms", {0, 0, 1, 0, 0, 0}, 1e-3},
+    {"_us", {0, 0, 1, 0, 0, 0}, 1e-6},
+    {"_ns", {0, 0, 1, 0, 0, 0}, 1e-9},
+    {"_hz", {0, 0, -1, 0, 0, 0}, 1.0},
+    {"_khz", {0, 0, -1, 0, 0, 0}, 1e3},
+    {"_mhz", {0, 0, -1, 0, 0, 0}, 1e6},
+    {"_ghz", {0, 0, -1, 0, 0, 0}, 1e9},
+    {"_w", {2, 1, -3, 0, 0, 0}, 1.0},
+    {"_mw", {2, 1, -3, 0, 0, 0}, 1e-3},
+    {"_j", {2, 1, -2, 0, 0, 0}, 1.0},
+    {"_a", {0, 0, 0, 1, 0, 0}, 1.0},
+    {"_ma", {0, 0, 0, 1, 0, 0}, 1e-3},
+    {"_a2", {0, 0, 0, 2, 0, 0}, 1.0},
+    {"_v", {2, 1, -3, -1, 0, 0}, 1.0},
+    {"_ohm", {2, 1, -3, -2, 0, 0}, 1.0},
+    {"_lm", {0, 0, 0, 0, 1, 0}, 1.0},
+    {"_lux", {-2, 0, 0, 0, 1, 0}, 1.0},
+    {"_bps", {0, 0, -1, 0, 0, 1}, 1.0},
+    {"_kbps", {0, 0, -1, 0, 0, 1}, 1e3},
+    {"_mbps", {0, 0, -1, 0, 0, 1}, 1e6},
+    {"_per_m", {-1, 0, 0, 0, 0, 0}, 1.0},
+    {"_per_s", {0, 0, -1, 0, 0, 0}, 1.0},
+    {"_per_hz", {0, 0, 1, 0, 0, 0}, 1.0},
+    {"_per_w", {-2, -1, 3, 0, 0, 0}, 1.0},
+};
+
+const UnitInfo* unit_of_suffix(const std::string& suffix) {
+  for (const UnitInfo& u : kUnits) {
+    if (suffix == u.suffix) return &u;
+  }
+  return nullptr;
+}
+
+/// The dimensional claim of one multiplicative term.
+struct Term {
+  bool known = false;     // all factors had suffixes (numbers allowed)
+  bool pure = false;      // exactly one suffixed identifier, no numbers
+  Dim dim = kDimless;
+  double scale = 1.0;     // meaningful only when `pure`
+  std::string spelling;   // suffix spelling for messages, e.g. "_m*_m"
+};
+
+std::string dim_to_string(const Dim& d) {
+  static const char* const kAxis[] = {"m", "kg", "s", "A", "lm", "bit"};
+  std::string out;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] == 0) continue;
+    if (!out.empty()) out += "·";
+    out += kAxis[i];
+    if (d[i] != 1) out += "^" + std::to_string(d[i]);
+  }
+  return out.empty() ? "1" : out;
+}
+
+bool term_boundary(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) {
+    return t.text == "return" || t.text == "if" || t.text == "while" ||
+           t.text == "for" || t.text == "else" || t.text == "case";
+  }
+  if (t.kind != TokenKind::kPunct) return false;
+  const std::string& s = t.text;
+  return s == "(" || s == ")" || s == "," || s == ";" || s == "{" ||
+         s == "}" || s == "?" || s == ":" || s == "&&" || s == "||" ||
+         s == "!" || s == "[" || s == "]" || s == "+" || s == "-" ||
+         s == "<" || s == ">" || s == "<=" || s == ">=" || s == "==" ||
+         s == "!=" || s == "=" || s == "+=" || s == "-=" || s == "*=" ||
+         s == "/=" || s == "return";
+}
+
+/// Extracts the multiplicative term extending right from `begin`
+/// (inclusive) until a term boundary. Sets `end` to one past the last
+/// consumed token index.
+Term read_term_right(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t* end) {
+  Term term;
+  term.known = true;
+  int suffixed_factors = 0;
+  int number_factors = 0;
+  bool dividing = false;
+  std::size_t i = begin;
+  for (; i < toks.size();) {
+    const Token& t = toks[i];
+    if (!is_code(t)) {
+      ++i;
+      continue;
+    }
+    if (term_boundary(t)) break;
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "*") {
+        dividing = false;
+        ++i;
+        continue;
+      }
+      if (t.text == "/") {
+        dividing = true;
+        ++i;
+        continue;
+      }
+      // `.`/`->`/`::` are handled when the identifier chain is read.
+      if (t.text == "." || t.text == "->" || t.text == "::") {
+        ++i;
+        continue;
+      }
+      term.known = false;  // anything else: no claim
+      ++i;
+      continue;
+    }
+    if (t.kind == TokenKind::kNumber) {
+      ++number_factors;
+      ++i;
+      continue;
+    }
+    if (t.kind == TokenKind::kString) {
+      term.known = false;
+      ++i;
+      continue;
+    }
+    // Identifier chain: a.b->c_m — the suffix of the *last* link counts.
+    std::size_t last_ident = i;
+    std::size_t j = i;
+    while (true) {
+      const std::size_t nxt = next_code(toks, j);
+      if (nxt == std::string::npos) break;
+      if (toks[nxt].text == "." || toks[nxt].text == "->" ||
+          toks[nxt].text == "::") {
+        const std::size_t member = next_code(toks, nxt);
+        if (member == std::string::npos ||
+            toks[member].kind != TokenKind::kIdentifier) {
+          break;
+        }
+        last_ident = member;
+        j = member;
+        continue;
+      }
+      break;
+    }
+    const std::string suffix = unit_suffix_of(toks[last_ident].text);
+    std::size_t after = next_code(toks, last_ident);
+    // Subscripts are transparent: samples_s[i] has the element's unit.
+    while (after != std::string::npos && toks[after].text == "[") {
+      std::size_t depth = 0;
+      std::size_t k = after;
+      while (k < toks.size()) {
+        if (toks[k].text == "[") ++depth;
+        if (toks[k].text == "]" && --depth == 0) break;
+        ++k;
+      }
+      if (k >= toks.size()) break;
+      after = next_code(toks, k);
+      j = k;
+    }
+    const bool call = after != std::string::npos && toks[after].text == "(";
+    if (call) {
+      // `power_w(...)` keeps its suffix claim; an unsuffixed call makes
+      // no claim. Either way, skip the argument list.
+      const std::size_t close = match_paren(toks, after);
+      if (close == std::string::npos) {
+        term.known = false;
+        break;
+      }
+      j = close;
+    }
+    const UnitInfo* unit =
+        suffix.empty() ? nullptr : unit_of_suffix(suffix);
+    if (unit == nullptr) {
+      term.known = false;
+    } else {
+      ++suffixed_factors;
+      for (std::size_t d = 0; d < term.dim.size(); ++d) {
+        term.dim[d] += dividing ? -unit->dim[d] : unit->dim[d];
+      }
+      term.scale = dividing ? term.scale / unit->scale
+                            : term.scale * unit->scale;
+      if (!term.spelling.empty()) term.spelling += dividing ? "/" : "*";
+      term.spelling += suffix;
+    }
+    i = j + 1;
+  }
+  *end = i;
+  if (suffixed_factors == 0) term.known = false;
+  term.pure = suffixed_factors == 1 && number_factors == 0;
+  return term;
+}
+
+/// Extracts the multiplicative term extending left from `end`
+/// (exclusive) back to a term boundary, then reads it left-to-right.
+Term read_term_left(const std::vector<Token>& toks, std::size_t end) {
+  std::size_t begin = end;
+  int bracket = 0;
+  while (begin > 0) {
+    const Token& t = toks[begin - 1];
+    if (!is_code(t)) {
+      --begin;
+      continue;
+    }
+    if (t.text == "]") ++bracket;
+    if (t.text == "[" && bracket > 0) {
+      --bracket;
+      --begin;
+      continue;
+    }
+    if (bracket > 0) {
+      --begin;
+      continue;
+    }
+    if (term_boundary(t)) break;
+    --begin;
+  }
+  std::size_t ignored = 0;
+  Term term = read_term_right(toks, begin, &ignored);
+  // Only meaningful when the left term ends exactly at `end`.
+  if (ignored < end) {
+    // Some boundary stopped the re-read early (shouldn't happen, but a
+    // mismatch means the claim is unreliable).
+    term.known = false;
+  }
+  return term;
+}
+
+bool is_binary_context(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t p = prev_code(toks, i);
+  if (p == std::string::npos) return false;
+  const Token& t = toks[p];
+  return t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+         t.text == ")" || t.text == "]";
+}
+
+class UnitDimPass final : public Pass {
+ public:
+  const char* name() const override { return "unit-dim"; }
+
+  std::vector<RuleInfo> rules() const override {
+    return {
+        {"unit-dim-mix", "additive terms must agree in dimension and scale"},
+        {"unit-dim-compare", "compared terms must agree in dimension"},
+        {"unit-dim-assign",
+         "assigned terms must match the lvalue's unit suffix"},
+    };
+  }
+
+  void run_file(const SourceFile& f, const ScopeTree& scope,
+                Sink& sink) const override {
+    (void)scope;
+    const auto& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kPunct) continue;
+      const std::string& s = t.text;
+
+      if ((s == "+" || s == "-") && is_binary_context(toks, i)) {
+        check_pair(f, toks, i, "unit-dim-mix", sink);
+        continue;
+      }
+      if (s == "<" || s == ">" || s == "<=" || s == ">=" || s == "==" ||
+          s == "!=") {
+        if (!is_binary_context(toks, i)) continue;
+        check_pair(f, toks, i, "unit-dim-compare", sink);
+        continue;
+      }
+      if (s == "=" || s == "+=" || s == "-=") {
+        check_assign(f, toks, i, sink);
+      }
+    }
+  }
+
+ private:
+  static void check_pair(const SourceFile& f, const std::vector<Token>& toks,
+                         std::size_t op, const char* rule, Sink& sink) {
+    const Term lhs = read_term_left(toks, op);
+    if (!lhs.known) return;
+    std::size_t end = 0;
+    const std::size_t rhs_begin = next_code(toks, op);
+    if (rhs_begin == std::string::npos) return;
+    const Term rhs = read_term_right(toks, rhs_begin, &end);
+    if (!rhs.known) return;
+    if (lhs.dim != rhs.dim) {
+      sink.report(f, toks[op].line, rule, lhs.spelling + toks[op].text +
+                      rhs.spelling,
+                  "operands of '" + toks[op].text + "' have units " +
+                      lhs.spelling + " (" + dim_to_string(lhs.dim) +
+                      ") and " + rhs.spelling + " (" +
+                      dim_to_string(rhs.dim) +
+                      "); mixed-dimension arithmetic is a unit bug");
+      return;
+    }
+    // Same dimension, different scale: only claimed for pure operands
+    // (`x_m + y_mm`), where no conversion factor can be hiding.
+    if (std::string(rule) == std::string("unit-dim-mix") && lhs.pure &&
+        rhs.pure && lhs.scale != rhs.scale) {
+      sink.report(f, toks[op].line, rule,
+                  lhs.spelling + toks[op].text + rhs.spelling,
+                  "operands of '" + toks[op].text + "' have suffixes " +
+                      lhs.spelling + " and " + rhs.spelling +
+                      " — same dimension at different scales; convert "
+                      "explicitly before mixing");
+    }
+  }
+
+  static void check_assign(const SourceFile& f, const std::vector<Token>& toks,
+                           std::size_t op, Sink& sink) {
+    // The lvalue's suffix: the identifier chain directly before the `=`
+    // (subscripts transparent).
+    std::size_t p = prev_code(toks, op);
+    if (p == std::string::npos) return;
+    if (toks[p].text == "]") {
+      int depth = 0;
+      while (p != std::string::npos) {
+        if (toks[p].text == "]") ++depth;
+        if (toks[p].text == "[" && --depth == 0) break;
+        p = prev_code(toks, p);
+      }
+      if (p == std::string::npos) return;
+      p = prev_code(toks, p);
+      if (p == std::string::npos) return;
+    }
+    if (toks[p].kind != TokenKind::kIdentifier) return;
+    const std::string suffix = unit_suffix_of(toks[p].text);
+    const UnitInfo* lhs = suffix.empty() ? nullptr : unit_of_suffix(suffix);
+    if (lhs == nullptr) return;
+
+    std::size_t end = 0;
+    const std::size_t rhs_begin = next_code(toks, op);
+    if (rhs_begin == std::string::npos) return;
+    const Term rhs = read_term_right(toks, rhs_begin, &end);
+    if (!rhs.known) return;
+    // Only the first additive term is inspected; later terms are covered
+    // by unit-dim-mix against this one.
+    if (lhs->dim != rhs.dim) {
+      sink.report(f, toks[op].line, "unit-dim-assign",
+                  toks[p].text + toks[op].text + rhs.spelling,
+                  "'" + toks[p].text + "' (" + suffix + ", " +
+                      dim_to_string(lhs->dim) + ") is assigned a term of " +
+                      rhs.spelling + " (" + dim_to_string(rhs.dim) +
+                      "); the value cannot be a " + suffix + " quantity");
+      return;
+    }
+    if (rhs.pure && lhs->scale != rhs.scale) {
+      sink.report(f, toks[op].line, "unit-dim-assign",
+                  toks[p].text + toks[op].text + rhs.spelling,
+                  "'" + toks[p].text + "' (" + suffix +
+                      ") is assigned a pure " + rhs.spelling +
+                      " value — same dimension at a different scale; "
+                      "convert explicitly");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_unitdim_pass() {
+  return std::make_unique<UnitDimPass>();
+}
+
+}  // namespace densevlc::analyze

@@ -264,13 +264,20 @@ std::string module_of(const std::string& rel) {
 }
 
 bool load_source_file(const std::filesystem::path& path,
-                      const std::filesystem::path& root, SourceFile& out) {
+                      const std::filesystem::path& root, SourceFile& out,
+                      std::string* contents_out) {
   std::ifstream in{path};
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
+  index_source(text, path, root, out);
+  if (contents_out != nullptr) *contents_out = text;
+  return true;
+}
 
+void index_source(const std::string& text, const std::filesystem::path& path,
+                  const std::filesystem::path& root, SourceFile& out) {
   out.abs_path = path;
   std::error_code ec;
   const auto rel = std::filesystem::proximate(path, root, ec);
@@ -292,7 +299,6 @@ bool load_source_file(const std::filesystem::path& path,
       out.includes.push_back({toks[i + 2].text, toks[i + 2].line});
     }
   }
-  return true;
 }
 
 std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {

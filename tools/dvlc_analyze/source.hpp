@@ -84,9 +84,17 @@ struct SourceFile {
 };
 
 /// Loads and indexes one file. Returns false when the file is unreadable.
+/// When `contents_out` is non-null the raw file bytes are copied there
+/// (the incremental cache hashes them).
 [[nodiscard]] bool load_source_file(const std::filesystem::path& path,
                                     const std::filesystem::path& root,
-                                    SourceFile& out);
+                                    SourceFile& out,
+                                    std::string* contents_out = nullptr);
+
+/// Indexes already-loaded source text (tokenizes, collects waivers and
+/// includes). Shared by load_source_file and the cache-miss path.
+void index_source(const std::string& text, const std::filesystem::path& path,
+                  const std::filesystem::path& root, SourceFile& out);
 
 /// Maps a root-relative path to its layering module: src/<m>/... -> m,
 /// bench/... -> "bench", tools/... -> "tools", tests/... -> "tests",

@@ -1,0 +1,139 @@
+#include "spec_diff.hpp"
+
+#include <sstream>
+
+#include "scenario/campaign.hpp"
+#include "scenario/spec.hpp"
+
+namespace densevlc::specdiff {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// True when the text declares a [campaign] or [sweep] section.
+bool looks_like_campaign(const std::string& text) {
+  std::istringstream in{text};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = raw;
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line == "[campaign]" || line == "[sweep]") return true;
+  }
+  return false;
+}
+
+/// Flattens canonical INI text ("[section]\nkey = value") into
+/// `section.key -> value` entries.
+void flatten_ini(const std::string& text,
+                 std::map<std::string, std::string>& items) {
+  std::istringstream in{text};
+  std::string raw;
+  std::string section;
+  while (std::getline(in, raw)) {
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    items[section.empty() ? key : section + "." + key] = value;
+  }
+}
+
+std::string join(const std::vector<std::string>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += values[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Canonical canonicalize(const std::string& text) {
+  Canonical out;
+  out.is_campaign = looks_like_campaign(text);
+  if (out.is_campaign) {
+    const scenario::CampaignParseResult parsed =
+        scenario::parse_campaign(text);
+    if (!parsed.ok()) {
+      out.error = parsed.error_text();
+      return out;
+    }
+    const scenario::CampaignSpec& c = *parsed.campaign;
+    flatten_ini(scenario::serialize_spec(c.base), out.items);
+    out.items["campaign.instances"] = std::to_string(c.instances_per_point);
+    out.items["campaign.quick_instances"] =
+        std::to_string(c.quick_instances_per_point);
+    for (const scenario::CampaignAxis& axis : c.axes) {
+      out.items["sweep." + axis.key] = join(axis.values);
+    }
+  } else {
+    const scenario::SpecParseResult parsed = scenario::parse_spec(text);
+    if (!parsed.ok()) {
+      out.error = parsed.error_text();
+      return out;
+    }
+    flatten_ini(scenario::serialize_spec(*parsed.spec), out.items);
+  }
+  out.ok = true;
+  return out;
+}
+
+std::vector<DiffEntry> diff_items(
+    const std::map<std::string, std::string>& a,
+    const std::map<std::string, std::string>& b) {
+  std::vector<DiffEntry> out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back({DiffEntry::Kind::kOnlyA, ia->first, ia->second, ""});
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      out.push_back({DiffEntry::Kind::kOnlyB, ib->first, "", ib->second});
+      ++ib;
+    } else {
+      if (ia->second != ib->second) {
+        out.push_back(
+            {DiffEntry::Kind::kChanged, ia->first, ia->second, ib->second});
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+std::string render_diff(const std::vector<DiffEntry>& entries) {
+  std::ostringstream out;
+  for (const DiffEntry& e : entries) {
+    switch (e.kind) {
+      case DiffEntry::Kind::kOnlyA:
+        out << "- " << e.key << " = " << e.a << '\n';
+        break;
+      case DiffEntry::Kind::kOnlyB:
+        out << "+ " << e.key << " = " << e.b << '\n';
+        break;
+      case DiffEntry::Kind::kChanged:
+        out << "~ " << e.key << " = " << e.a << " -> " << e.b << '\n';
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace densevlc::specdiff

@@ -1,0 +1,51 @@
+// Semantic diff of scenario / campaign INI files.
+//
+// A textual diff of two INIs is mostly noise: comments, key order,
+// default spelling ("0.5" vs ".50"), and omitted-because-default keys
+// all show up even though the compiled scenario is identical. spec_diff
+// compares the *meaning* instead: both files are parsed with the real
+// scenario/campaign parser, re-serialized canonically (every key
+// present, one spelling per value), and the flattened
+// `section.key = value` maps are diffed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace densevlc::specdiff {
+
+/// A parsed file reduced to its canonical `section.key -> value` map.
+struct Canonical {
+  bool ok = false;
+  bool is_campaign = false;  ///< had a [campaign] or [sweep] section
+  std::string error;         ///< parse errors when !ok
+  std::map<std::string, std::string> items;
+};
+
+/// Parses INI text (scenario or campaign schema, auto-detected) and
+/// flattens the canonical serialization. Campaign extras appear as
+/// `campaign.instances`, `campaign.quick_instances` and `sweep.<axis>`
+/// (legs joined with " | " in declaration order).
+Canonical canonicalize(const std::string& text);
+
+/// One semantic difference between two canonical maps.
+struct DiffEntry {
+  enum class Kind { kOnlyA, kOnlyB, kChanged };
+  Kind kind = Kind::kChanged;
+  std::string key;
+  std::string a;  ///< value in A ("" for kOnlyB)
+  std::string b;  ///< value in B ("" for kOnlyA)
+};
+
+/// Key-sorted semantic differences (empty when the files mean the same).
+std::vector<DiffEntry> diff_items(const std::map<std::string, std::string>& a,
+                                  const std::map<std::string, std::string>& b);
+
+/// Human-readable rendering, one line per entry:
+///   - key = old            (only in A)
+///   + key = new            (only in B)
+///   ~ key = old -> new     (changed)
+std::string render_diff(const std::vector<DiffEntry>& entries);
+
+}  // namespace densevlc::specdiff
