@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "common/contracts.hpp"
+#include "common/journal.hpp"
 
 namespace densevlc::bench {
 namespace {
@@ -144,10 +144,9 @@ std::string Json::dump() const {
 }
 
 bool write_json_file(const std::string& path, const Json& value) {
-  std::ofstream f{path};
-  if (!f) return false;
-  f << value.dump();
-  return static_cast<bool>(f);
+  // Write-temp-then-rename: a bench killed mid-write must leave either
+  // the previous artifact or the new one, never a truncated JSON file.
+  return journal::write_file_atomic(path, value.dump());
 }
 
 }  // namespace densevlc::bench

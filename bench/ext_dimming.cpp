@@ -31,16 +31,10 @@ int main(int argc, char** argv) {
 
   const std::string spec_path =
       argc > 1 ? argv[1] : DVLC_SCENARIO_DIR "/ext_dimming.ini";
-  std::ifstream in{spec_path};
-  if (!in) {
-    std::cerr << "cannot read " << spec_path << '\n';
-    return 2;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto parsed = scenario::parse_campaign(buffer.str());
+  const auto parsed = scenario::load_campaign_file(spec_path);
   if (!parsed.ok()) {
-    std::cerr << "invalid campaign:\n" << parsed.error_text();
+    std::cerr << "invalid campaign " << spec_path << ":\n"
+              << parsed.error_text();
     return 2;
   }
   const scenario::CampaignSpec& campaign = *parsed.campaign;

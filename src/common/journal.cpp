@@ -1,0 +1,210 @@
+#include "common/journal.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DVLC_JOURNAL_HAS_FSYNC 1
+#endif
+
+namespace densevlc::journal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Frame header: payload size + payload CRC, both little-endian u32.
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// A length word above this is treated as corruption, not a record: no
+/// legitimate campaign record is remotely this large, and trusting a
+/// garbage length would make recovery swallow the rest of the file.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;  // 64 MiB
+
+void put_u32le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v & 0xffU);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xffU);
+  out[2] = static_cast<std::uint8_t>((v >> 16) & 0xffU);
+  out[3] = static_cast<std::uint8_t>((v >> 24) & 0xffU);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool sync_to_disk(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#ifdef DVLC_JOURNAL_HAS_FSYNC
+  return ::fsync(fileno(file)) == 0;
+#else
+  return true;
+#endif
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xffU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : file_{std::exchange(other.file_, nullptr)},
+      path_{std::move(other.path_)},
+      fsync_every_{other.fsync_every_},
+      unsynced_{other.unsynced_},
+      appended_{other.appended_},
+      ok_{other.ok_} {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    fsync_every_ = other.fsync_every_;
+    unsynced_ = other.unsynced_;
+    appended_ = other.appended_;
+    ok_ = other.ok_;
+  }
+  return *this;
+}
+
+std::optional<JournalWriter> JournalWriter::open(const std::string& path,
+                                                std::uint64_t keep_bytes,
+                                                std::size_t fsync_every) {
+  if (keep_bytes != kKeepAll) {
+    std::error_code ec;
+    const std::uint64_t size = fs::exists(path, ec)
+                                   ? static_cast<std::uint64_t>(
+                                         fs::file_size(path, ec))
+                                   : 0;
+    if (!ec && size > keep_bytes) {
+      fs::resize_file(path, keep_bytes, ec);
+      if (ec) return std::nullopt;
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return std::nullopt;
+  JournalWriter writer;
+  writer.file_ = file;
+  writer.path_ = path;
+  writer.fsync_every_ = fsync_every == 0 ? 1 : fsync_every;
+  return writer;
+}
+
+bool JournalWriter::append(std::span<const std::uint8_t> payload) {
+  if (file_ == nullptr || payload.size() > kMaxPayloadBytes) {
+    ok_ = false;
+    return false;
+  }
+  std::uint8_t header[kFrameHeaderBytes];
+  put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(header + 4, crc32(payload));
+  if (std::fwrite(header, 1, kFrameHeaderBytes, file_) != kFrameHeaderBytes) {
+    ok_ = false;
+    return false;
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    ok_ = false;
+    return false;
+  }
+  ++appended_;
+  if (++unsynced_ >= fsync_every_) return flush();
+  return true;
+}
+
+bool JournalWriter::flush() {
+  if (file_ == nullptr) return ok_;
+  if (!sync_to_disk(file_)) {
+    ok_ = false;
+    return false;
+  }
+  unsynced_ = 0;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (file_ == nullptr) return;
+  if (!flush()) ok_ = false;
+  if (std::fclose(file_) != 0) ok_ = false;
+  file_ = nullptr;
+}
+
+JournalRecovery read_journal(const std::string& path) {
+  JournalRecovery recovery;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    recovery.missing = true;
+    return recovery;
+  }
+  std::string bytes{std::istreambuf_iterator<char>{in},
+                    std::istreambuf_iterator<char>{}};
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::uint64_t total = bytes.size();
+
+  std::uint64_t at = 0;
+  while (at + kFrameHeaderBytes <= total) {
+    const std::uint32_t size = get_u32le(data + at);
+    const std::uint32_t crc = get_u32le(data + at + 4);
+    if (size > kMaxPayloadBytes) break;                      // garbage length
+    if (at + kFrameHeaderBytes + size > total) break;        // torn payload
+    std::span<const std::uint8_t> payload{data + at + kFrameHeaderBytes,
+                                          size};
+    if (crc32(payload) != crc) break;                        // bit rot / tear
+    recovery.records.emplace_back(payload.begin(), payload.end());
+    at += kFrameHeaderBytes + size;
+  }
+  recovery.valid_bytes = at;
+  recovery.dropped_bytes = total - at;
+  return recovery;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& contents) {
+#ifdef DVLC_JOURNAL_HAS_FSYNC
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), file) ==
+                contents.size();
+  ok = sync_to_disk(file) && ok;
+  ok = (std::fclose(file) == 0) && ok;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) (void)std::remove(tmp.c_str());
+  return ok;
+}
+
+}  // namespace densevlc::journal

@@ -1,0 +1,111 @@
+// Durable append-only record journal.
+//
+// A million-instance Monte-Carlo campaign must survive the same failure
+// the controller survives in miniature: dying mid-work without losing
+// what it already finished. This module is the storage half of that
+// contract. A *journal* is a flat file of length-prefixed, CRC32-framed
+// records appended as work completes and fsync'd in batches; reading one
+// back recovers the longest valid record prefix and drops exactly the
+// corrupt or truncated suffix a crash can leave behind (a partially
+// written frame, a torn length word, garbage past the last fsync). The
+// writer can reopen an existing journal at its recovered length, so a
+// resumed process continues the same file the dead one left.
+//
+// Record framing, all little-endian:
+//
+//   [u32 payload_size][u32 crc32(payload)][payload bytes]
+//
+// Payload contents are the caller's business (scenario/campaign.hpp
+// defines the campaign records); the journal only guarantees that a
+// record handed back by read_journal() is byte-identical to the record
+// appended. write_file_atomic() is the companion primitive for
+// *checkpoint* artifacts (JSON, SARIF): write-temp-then-rename, so an
+// interrupted run never leaves a truncated file under the final name.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace densevlc::journal {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Appends length-prefixed CRC-framed records to a journal file and
+/// fsyncs every `fsync_every` appends (and on flush()/close()). I/O
+/// errors are sticky: once ok() is false the journal must be considered
+/// incomplete on disk (recovery still salvages every durable record).
+class JournalWriter {
+ public:
+  /// Sentinel for open(): keep the whole existing file.
+  static constexpr std::uint64_t kKeepAll =
+      std::numeric_limits<std::uint64_t>::max();
+
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens `path` for appending, creating it when missing. When
+  /// `keep_bytes` is not kKeepAll an existing file is first truncated to
+  /// that length — the resume path passes the recovered valid prefix
+  /// here so a corrupt tail is physically dropped before new records
+  /// land after it. Returns nullopt when the file cannot be opened.
+  [[nodiscard]] static std::optional<JournalWriter> open(
+      const std::string& path, std::uint64_t keep_bytes = kKeepAll,
+      std::size_t fsync_every = 32);
+
+  /// Appends one framed record. Durable only after the next flush().
+  [[nodiscard]] bool append(std::span<const std::uint8_t> payload);
+
+  /// Flushes libc buffers and fsyncs the file descriptor.
+  [[nodiscard]] bool flush();
+
+  /// Flush + close. ok() keeps reporting the final health afterwards.
+  void close();
+
+  bool is_open() const { return file_ != nullptr; }
+  /// False after any append/flush/truncate failure (sticky).
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+  std::size_t records_appended() const { return appended_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t fsync_every_ = 32;
+  std::size_t unsynced_ = 0;
+  std::size_t appended_ = 0;
+  bool ok_ = true;
+};
+
+/// Outcome of reading a journal back. `records` is the longest valid
+/// record prefix; `valid_bytes` is its on-disk length (what a resuming
+/// writer passes as keep_bytes) and `dropped_bytes` the corrupt or
+/// truncated suffix that was discarded. Reading never fails on corrupt
+/// input — a missing file is simply zero records with `missing` set.
+struct JournalRecovery {
+  std::vector<std::vector<std::uint8_t>> records;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+  bool missing = false;
+};
+
+/// Recovers every intact record of `path` (see JournalRecovery).
+[[nodiscard]] JournalRecovery read_journal(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: the bytes go to a
+/// temporary file in the same directory (write + fsync), which is then
+/// renamed over the target. A crash at any instant leaves either the
+/// old file or the new one, never a truncated hybrid.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& contents);
+
+}  // namespace densevlc::journal

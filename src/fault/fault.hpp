@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 namespace densevlc::fault {
@@ -29,6 +30,7 @@ enum class FaultKind : std::uint8_t {
   kReportLossBurst,  ///< WiFi uplink loses every channel report
   kSyncPilotLoss,    ///< NLOS sync pilots go undetected
   kEpochOverrun,     ///< controller misses its decision deadline
+  kWorkerCrash,      ///< campaign worker process dies (SIGKILL) mid-run
 };
 
 /// Human-readable fault name (for traces and bench tables).
@@ -86,6 +88,15 @@ class FaultSchedule {
 
   /// Number of TXs dead at `t_s` (distinct burnout targets).
   std::size_t dead_tx_count(double t_s) const;
+
+  /// Crash-injection query for the durable campaign runner: the first
+  /// kWorkerCrash event's `target` is the number of instances the worker
+  /// journals before it SIGKILLs itself (scenario/campaign.hpp's
+  /// CampaignJournal::set_crash_after). Unlike the timed queries above
+  /// this one is count-based — a crash point must be deterministic
+  /// across thread counts, and wall time is not. Nullopt when no worker
+  /// crash is scheduled.
+  std::optional<std::size_t> worker_crash_after() const;
 
   /// Seeded generator: burns out `count` distinct LEDs of a `num_tx`
   /// grid at `t_start_s`, permanently. Which LEDs die depends only on

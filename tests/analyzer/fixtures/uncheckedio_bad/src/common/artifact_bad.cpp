@@ -1,0 +1,29 @@
+// Fixture: discarded I/O results in durable-artifact code. Every case
+// drops an error channel on the floor — a crash-safety bug in src/.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace densevlc {
+
+void drop_write(std::ofstream& sink1, const std::string& body) {
+  sink1.write(body.data(), 4);  // EXPECT-FINDING: unchecked-io
+}
+
+void drop_flush(std::ofstream& sink2) {
+  sink2.flush();  // EXPECT-FINDING: unchecked-io
+}
+
+void drop_close(std::ofstream& sink3) {
+  sink3.close();  // EXPECT-FINDING: unchecked-io
+}
+
+void drop_rename(const std::string& from, const std::string& to) {
+  std::rename(from.c_str(), to.c_str());  // EXPECT-FINDING: unchecked-io
+}
+
+void drop_remove(const std::string& path) {
+  std::remove(path.c_str());  // EXPECT-FINDING: unchecked-io
+}
+
+}  // namespace densevlc

@@ -1,0 +1,38 @@
+// Fixture: every durable-I/O result is consumed — directly, through the
+// stream's sticky state, or via an explicit void cast on a best-effort
+// cleanup path. All clean.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace densevlc {
+
+bool checked_write(std::ofstream& out, const std::string& body) {
+  if (!out.write(body.data(), 4)) return false;
+  return true;
+}
+
+bool sticky_state_write(std::ofstream& log, const std::string& body) {
+  log.write(body.data(), 4);
+  // The stream is consulted afterwards: a failed write surfaces here.
+  return static_cast<bool>(log);
+}
+
+bool checked_flush(std::ofstream& out) {
+  return static_cast<bool>(out.flush());
+}
+
+bool close_then_check(std::ofstream& file) {
+  file.close();
+  return file.good();
+}
+
+bool checked_rename(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void best_effort_cleanup(const std::string& tmp) {
+  (void)std::remove(tmp.c_str());
+}
+
+}  // namespace densevlc

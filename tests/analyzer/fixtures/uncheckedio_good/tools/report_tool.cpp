@@ -1,0 +1,12 @@
+// Fixture: same discarded-write shape as the bad corpus, but outside
+// the src/ + bench/ scope — the unchecked-io rule must not fire here.
+#include <fstream>
+#include <string>
+
+namespace densevlc {
+
+void tool_write(std::ofstream& sink, const std::string& body) {
+  sink.write(body.data(), 4);
+}
+
+}  // namespace densevlc

@@ -296,6 +296,10 @@ TEST(Fixtures, UnitdimBad) { expect_fixture_matches("unitdim_bad"); }
 TEST(Fixtures, UnitdimGood) { expect_fixture_matches("unitdim_good"); }
 TEST(Fixtures, DeadapiBad) { expect_fixture_matches("deadapi_bad"); }
 TEST(Fixtures, DeadapiGood) { expect_fixture_matches("deadapi_good"); }
+TEST(Fixtures, UncheckedioBad) { expect_fixture_matches("uncheckedio_bad"); }
+TEST(Fixtures, UncheckedioGood) {
+  expect_fixture_matches("uncheckedio_good");
+}
 
 /// Pass filtering: the layering_bad fixture is clean when only the
 /// conventions pass runs.

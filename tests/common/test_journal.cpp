@@ -1,0 +1,242 @@
+// Tests for the durable append-only journal: framing round-trips, crash
+// recovery over every truncation point, corrupt-tail isolation, and the
+// atomic checkpoint writer.
+#include "common/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace densevlc::journal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch path per test (removed up front, not after: a failing
+/// test leaves its file behind for inspection).
+std::string scratch_path(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("dvlc_journal_" + name);
+  std::error_code ec;
+  fs::remove(p, ec);
+  return p.string();
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string read_raw(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in},
+          std::istreambuf_iterator<char>{}};
+}
+
+void write_raw(const std::string& path, const std::string& contents) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good());
+}
+
+const std::vector<std::vector<std::uint8_t>>& sample_records() {
+  static const std::vector<std::vector<std::uint8_t>> records = {
+      bytes_of("alpha"), bytes_of(""), bytes_of("a much longer record "
+                                               "with some payload text"),
+      bytes_of("tail")};
+  return records;
+}
+
+std::string write_sample_journal(const std::string& name) {
+  const std::string path = scratch_path(name);
+  auto writer = JournalWriter::open(path);
+  EXPECT_TRUE(writer.has_value());
+  for (const auto& record : sample_records()) {
+    EXPECT_TRUE(writer->append(record));
+  }
+  writer->close();
+  EXPECT_TRUE(writer->ok());
+  return path;
+}
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value over "123456789".
+  const auto data = bytes_of("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Journal, RoundTrip) {
+  const std::string path = write_sample_journal("roundtrip");
+  const JournalRecovery recovery = read_journal(path);
+  EXPECT_FALSE(recovery.missing);
+  EXPECT_EQ(recovery.dropped_bytes, 0u);
+  ASSERT_EQ(recovery.records.size(), sample_records().size());
+  for (std::size_t i = 0; i < recovery.records.size(); ++i) {
+    EXPECT_EQ(recovery.records[i], sample_records()[i]) << "record " << i;
+  }
+  EXPECT_EQ(recovery.valid_bytes, fs::file_size(path));
+}
+
+TEST(Journal, ReopenContinuesSameFile) {
+  const std::string path = scratch_path("reopen");
+  {
+    auto writer = JournalWriter::open(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(bytes_of("first")));
+  }
+  {
+    auto writer = JournalWriter::open(path);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(bytes_of("second")));
+  }
+  const JournalRecovery recovery = read_journal(path);
+  ASSERT_EQ(recovery.records.size(), 2u);
+  EXPECT_EQ(recovery.records[0], bytes_of("first"));
+  EXPECT_EQ(recovery.records[1], bytes_of("second"));
+}
+
+TEST(Journal, MissingFile) {
+  const JournalRecovery recovery =
+      read_journal(scratch_path("never_written"));
+  EXPECT_TRUE(recovery.missing);
+  EXPECT_TRUE(recovery.records.empty());
+  EXPECT_EQ(recovery.valid_bytes, 0u);
+}
+
+TEST(Journal, EmptyFile) {
+  const std::string path = scratch_path("empty");
+  write_raw(path, "");
+  const JournalRecovery recovery = read_journal(path);
+  EXPECT_FALSE(recovery.missing);
+  EXPECT_TRUE(recovery.records.empty());
+  EXPECT_EQ(recovery.valid_bytes, 0u);
+  EXPECT_EQ(recovery.dropped_bytes, 0u);
+}
+
+/// A SIGKILL can cut the file at ANY byte: every prefix must recover
+/// exactly the records whose frames fit entirely inside it, and count
+/// the torn remainder as dropped.
+TEST(Journal, TruncationAtEveryByteRecoversLongestValidPrefix) {
+  const std::string full_path = write_sample_journal("trunc_src");
+  const std::string full = read_raw(full_path);
+  ASSERT_FALSE(full.empty());
+
+  // Frame boundaries of the intact file.
+  std::vector<std::size_t> frame_end;  // cumulative end offset per record
+  std::size_t at = 0;
+  for (const auto& record : sample_records()) {
+    at += 8 + record.size();
+    frame_end.push_back(at);
+  }
+  ASSERT_EQ(at, full.size());
+
+  const std::string cut_path = scratch_path("trunc_cut");
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    write_raw(cut_path, full.substr(0, len));
+    const JournalRecovery recovery = read_journal(cut_path);
+    std::size_t expect_records = 0;
+    std::size_t expect_valid = 0;
+    for (std::size_t e : frame_end) {
+      if (e <= len) {
+        ++expect_records;
+        expect_valid = e;
+      }
+    }
+    EXPECT_EQ(recovery.records.size(), expect_records) << "cut at " << len;
+    EXPECT_EQ(recovery.valid_bytes, expect_valid) << "cut at " << len;
+    EXPECT_EQ(recovery.dropped_bytes, len - expect_valid)
+        << "cut at " << len;
+    for (std::size_t i = 0; i < recovery.records.size(); ++i) {
+      EXPECT_EQ(recovery.records[i], sample_records()[i]);
+    }
+  }
+}
+
+TEST(Journal, FlippedChecksumByteDropsExactlyTheBadSuffix) {
+  const std::string path = write_sample_journal("flip_crc");
+  std::string full = read_raw(path);
+  // Record 0 is "alpha": frame 0 occupies [0, 13). Flip a CRC byte of
+  // frame 1 (its header starts at 13; CRC bytes are offsets 17..20).
+  full[18] = static_cast<char>(full[18] ^ 0x01);
+  write_raw(path, full);
+  const JournalRecovery recovery = read_journal(path);
+  ASSERT_EQ(recovery.records.size(), 1u);
+  EXPECT_EQ(recovery.records[0], bytes_of("alpha"));
+  EXPECT_EQ(recovery.valid_bytes, 13u);
+  EXPECT_EQ(recovery.dropped_bytes, full.size() - 13u);
+}
+
+TEST(Journal, FlippedPayloadByteDropsExactlyTheBadSuffix) {
+  const std::string path = write_sample_journal("flip_payload");
+  std::string full = read_raw(path);
+  // Flip a payload byte of frame 0 ("alpha" starts at offset 8).
+  full[9] = static_cast<char>(full[9] ^ 0x80);
+  write_raw(path, full);
+  const JournalRecovery recovery = read_journal(path);
+  EXPECT_TRUE(recovery.records.empty());
+  EXPECT_EQ(recovery.valid_bytes, 0u);
+  EXPECT_EQ(recovery.dropped_bytes, full.size());
+}
+
+TEST(Journal, GarbageAppendedAfterValidRecords) {
+  const std::string path = write_sample_journal("garbage");
+  std::string full = read_raw(path);
+  const std::size_t valid = full.size();
+  // 0xFF length words decode as a ~4 GiB payload: rejected as garbage,
+  // never trusted.
+  full.append(32, static_cast<char>(0xFF));
+  write_raw(path, full);
+  const JournalRecovery recovery = read_journal(path);
+  ASSERT_EQ(recovery.records.size(), sample_records().size());
+  EXPECT_EQ(recovery.valid_bytes, valid);
+  EXPECT_EQ(recovery.dropped_bytes, 32u);
+}
+
+TEST(Journal, KeepBytesTruncatesTheTail) {
+  const std::string path = write_sample_journal("keep_bytes");
+  // Keep only frame 0 (13 bytes), then append a replacement tail.
+  auto writer = JournalWriter::open(path, 13);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append(bytes_of("replacement")));
+  writer->close();
+  const JournalRecovery recovery = read_journal(path);
+  ASSERT_EQ(recovery.records.size(), 2u);
+  EXPECT_EQ(recovery.records[0], bytes_of("alpha"));
+  EXPECT_EQ(recovery.records[1], bytes_of("replacement"));
+}
+
+TEST(Journal, OversizedPayloadRejected) {
+  const std::string path = scratch_path("oversized");
+  auto writer = JournalWriter::open(path);
+  ASSERT_TRUE(writer.has_value());
+  const std::vector<std::uint8_t> huge((1u << 26) + 1, 0);
+  EXPECT_FALSE(writer->append(huge));
+  EXPECT_FALSE(writer->ok());
+}
+
+TEST(WriteFileAtomic, CreatesAndReplaces) {
+  const std::string path = scratch_path("atomic");
+  ASSERT_TRUE(write_file_atomic(path, "first contents\n"));
+  EXPECT_EQ(read_raw(path), "first contents\n");
+  ASSERT_TRUE(write_file_atomic(path, "second contents\n"));
+  EXPECT_EQ(read_raw(path), "second contents\n");
+  // No temp file left behind next to the target.
+  std::size_t siblings = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(path).parent_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("dvlc_journal_atomic", 0) == 0) ++siblings;
+  }
+  EXPECT_EQ(siblings, 1u);
+}
+
+TEST(WriteFileAtomic, FailsOnUnwritableDirectory) {
+  EXPECT_FALSE(write_file_atomic(
+      "/nonexistent_dir_dvlc/artifact.json", "contents"));
+}
+
+}  // namespace
+}  // namespace densevlc::journal

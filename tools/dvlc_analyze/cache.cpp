@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/journal.hpp"
+
 namespace densevlc::analyze {
 
 namespace {
@@ -207,8 +209,10 @@ std::optional<CacheEntry> AnalysisCache::probe(const std::string& rel,
 void AnalysisCache::store(const std::string& rel, const std::string& contents,
                           const CacheEntry& entry) {
   if (dir_.empty()) return;
-  std::ofstream out{entry_path(rel, contents)};
-  if (out) out << serialize_entry(entry);
+  // Atomic replace: a concurrent or killed analyzer must never leave a
+  // half-written entry that a later probe would half-parse.
+  (void)journal::write_file_atomic(entry_path(rel, contents).string(),
+                                   serialize_entry(entry));
 }
 
 }  // namespace densevlc::analyze

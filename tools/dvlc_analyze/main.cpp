@@ -35,6 +35,7 @@
 
 #include "analysis.hpp"
 #include "baseline.hpp"
+#include "common/journal.hpp"
 #include "output.hpp"
 
 namespace {
@@ -56,10 +57,9 @@ std::vector<std::string> split_commas(const std::string& s) {
 }
 
 bool write_file(const fs::path& path, const std::string& body) {
-  std::ofstream out{path};
-  if (!out) return false;
-  out << body;
-  return static_cast<bool>(out);
+  // SARIF / JSON / baseline artifacts are consumed by CI diffs; a crash
+  // mid-write must never leave a truncated document under the real name.
+  return densevlc::journal::write_file_atomic(path.string(), body);
 }
 
 int usage() {

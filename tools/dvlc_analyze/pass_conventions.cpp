@@ -10,6 +10,10 @@
 //   naked-literal  physics-core `double x_w = 0.45;` must use unit literals
 //                  or units:: helpers.
 //   hot-loop-alloc growing-vector member calls in `// DVLC_HOT` files.
+//   unchecked-io   discarded stream write/flush/close results and
+//                  statement-position std::rename/std::remove in
+//                  src/ + bench/ (durable artifacts must not fail
+//                  silently).
 #include <algorithm>
 #include <cctype>
 #include <sstream>
@@ -323,6 +327,86 @@ void check_hot_loop_alloc(const SourceFile& f, Sink& sink) {
   }
 }
 
+/// Durable-artifact code lives here; discarded I/O results in these
+/// trees mean a crash-safety bug (a journal append or checkpoint rename
+/// that failed without anyone noticing).
+bool in_io_scope(const std::string& rel) {
+  for (const char* dir : {"src/", "bench/"}) {
+    if (rel.rfind(dir, 0) == 0 ||
+        rel.find(std::string("/") + dir) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_unchecked_io(const SourceFile& f, Sink& sink) {
+  static const char* const kIoMembers[] = {"write", "flush", "close"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    // `std::rename(...)` / `std::remove(...)` as a bare statement: both
+    // report failure only through the return value, so a discarded call
+    // is an invisible lost checkpoint. `(void)std::remove(...)` is the
+    // explicit opt-out (the preceding `)` breaks statement position).
+    if (t.text == "rename" || t.text == "remove") {
+      const std::size_t colons = prev_code(toks, i);
+      if (!token_is(toks, colons, "::")) continue;
+      const std::size_t ns = prev_code(toks, colons);
+      if (ns == std::string::npos || toks[ns].text != "std") continue;
+      if (!token_is(toks, next_code(toks, i), "(")) continue;
+      const std::size_t before = prev_code(toks, ns);
+      if (before != std::string::npos && toks[before].text != ";" &&
+          toks[before].text != "{" && toks[before].text != "}") {
+        continue;
+      }
+      sink.report(f, t.line, "unchecked-io", "std::" + t.text,
+                  "'std::" + t.text +
+                      "' result is discarded; check it (or cast to void "
+                      "for a best-effort cleanup path)");
+      continue;
+    }
+
+    // `obj.write(...);` / `obj->flush();` / `obj.close();` as a bare
+    // statement. Streams report errors through their state, so the call
+    // is fine when the object is consulted again later in the file
+    // (`out.write(...); return static_cast<bool>(out);`) — flagged only
+    // when nothing ever looks at the object again.
+    if (std::none_of(std::begin(kIoMembers), std::end(kIoMembers),
+                     [&](const char* m) { return t.text == m; })) {
+      continue;
+    }
+    const std::size_t access = prev_code(toks, i);
+    if (access == std::string::npos ||
+        (toks[access].text != "." && toks[access].text != "->")) {
+      continue;
+    }
+    if (!token_is(toks, next_code(toks, i), "(")) continue;
+    const std::size_t obj = prev_code(toks, access);
+    if (obj == std::string::npos ||
+        toks[obj].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const std::size_t before = prev_code(toks, obj);
+    if (before != std::string::npos && toks[before].text != ";" &&
+        toks[before].text != "{" && toks[before].text != "}") {
+      continue;
+    }
+    bool object_used_later = false;
+    for (std::size_t j = i + 1; j < toks.size() && !object_used_later; ++j) {
+      object_used_later = toks[j].kind == TokenKind::kIdentifier &&
+                          toks[j].text == toks[obj].text;
+    }
+    if (object_used_later) continue;
+    sink.report(f, t.line, "unchecked-io", t.text,
+                "result of '" + toks[obj].text + "." + t.text +
+                    "' is discarded and the stream is never checked "
+                    "afterwards; test the return value or the stream state");
+  }
+}
+
 class ConventionsPass final : public Pass {
  public:
   const char* name() const override { return "conventions"; }
@@ -337,6 +421,9 @@ class ConventionsPass final : public Pass {
         {"naked-literal",
          "physics-core constants use unit literals, not naked numbers"},
         {"hot-loop-alloc", "DVLC_HOT files must not grow containers"},
+        {"unchecked-io",
+         "stream write/flush/close and std::rename/std::remove results "
+         "must be checked in src/ and bench/"},
         {"waiver-syntax", "DVLC_LINT_WAIVE needs a rule and a ': reason'"},
     };
   }
@@ -345,6 +432,7 @@ class ConventionsPass final : public Pass {
                 Sink& sink) const override {
     (void)scope;
     check_banned(f, sink);
+    if (in_io_scope(f.rel)) check_unchecked_io(f, sink);
     if (has_hot_marker(f.tokens)) check_hot_loop_alloc(f, sink);
     if (f.is_header) {
       check_units(f, sink);

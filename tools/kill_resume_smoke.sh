@@ -1,0 +1,62 @@
+#!/bin/sh
+# Kill-and-resume smoke for the durable campaign runner.
+#
+# Runs the quick campaign three ways and demands byte-identical JSON:
+#   1. an uninterrupted durable run (the reference);
+#   2. a run SIGKILLed by deterministic crash injection after 3 journaled
+#      instances, then resumed at a different thread count;
+#   3. a supervised 2-shard run whose workers each crash once on their
+#      first attempt and are requeued with backoff.
+# Any divergence prints MISMATCH (the ctest failure regex) and exits 1.
+#
+# usage: kill_resume_smoke.sh <campaign-binary> <campaign.ini> <scratch-dir>
+set -u
+
+bin="$1"
+spec="$2"
+scratch="$3"
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+fail=0
+
+echo "== reference: uninterrupted durable run =="
+if ! "$bin" --quick --threads 2 --dir "$scratch/ref" "$spec" \
+    "$scratch/ref.json"; then
+  echo "MISMATCH: reference durable run failed"
+  exit 1
+fi
+
+echo "== crash run: SIGKILL after 3 journaled instances =="
+if "$bin" --quick --threads 1 --dir "$scratch/crash" \
+    --crash-after-instances 3 "$spec" "$scratch/crash.json"; then
+  echo "MISMATCH: crash-injected run exited zero (no crash happened)"
+  fail=1
+fi
+
+echo "== resume the crashed campaign (different thread count) =="
+if ! "$bin" --quick --threads 2 --resume "$scratch/crash" "$spec" \
+    "$scratch/crash.json"; then
+  echo "MISMATCH: resume of the crashed campaign failed"
+  fail=1
+fi
+if ! cmp "$scratch/ref.json" "$scratch/crash.json"; then
+  echo "MISMATCH: resumed JSON differs from the uninterrupted reference"
+  fail=1
+fi
+
+echo "== supervised shards: 2 workers, each crashes on first attempt =="
+if ! "$bin" --quick --threads 1 --dir "$scratch/sup" --supervise 2 \
+    --crash-after-instances 2 "$spec" "$scratch/sup.json"; then
+  echo "MISMATCH: supervised run failed"
+  fail=1
+fi
+if ! cmp "$scratch/ref.json" "$scratch/sup.json"; then
+  echo "MISMATCH: supervised JSON differs from the uninterrupted reference"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "kill-resume smoke OK"
+fi
+exit "$fail"
