@@ -1,0 +1,321 @@
+// Portable fixed-width SIMD wrapper for the PHY/DSP vector kernels.
+//
+// Three backends with one contract:
+//
+//   ScalarBackend   plain C++ loops, always available, bit-identical to
+//                   the vector backends by construction (byte kernels are
+//                   exact; float kernels vectorize across independent
+//                   streams with per-lane operation order unchanged).
+//   Avx2Backend     x86-64, compiled only in TUs built with -mavx2 (the
+//                   dedicated *_simd.cpp TUs; see src/dsp/CMakeLists.txt
+//                   and src/phy/CMakeLists.txt).
+//   NeonBackend     aarch64, compiled wherever __ARM_NEON is on (default
+//                   for aarch64 targets).
+//
+// This header is the ONLY file in the repo allowed to touch raw ISA
+// intrinsics — the dvlc_analyze `simd-raw-intrinsic` rule flags
+// `_mm*`/`vld1q_*` anywhere else. Kernels are written once as templates
+// over a backend (src/dsp/dsp_kernels.hpp, src/phy/phy_kernels.hpp) and
+// instantiated for ScalarBackend in the regular TUs and for
+// `simd::VectorBackend` in the *_simd.cpp TUs.
+//
+// Runtime selection (common/simd.cpp): `use_vector_kernels()` is true
+// when the CPU supports the compiled vector ISA and the escape hatch is
+// off. `DVLC_FORCE_SCALAR=1` in the environment — or
+// `set_force_scalar(true)` from tests — forces every dispatch site onto
+// the scalar kernels; outputs are bit-identical either way (the
+// differential suite in tests/phy pins this).
+//
+// Vector type groups:
+//   u8v    native-width unsigned byte vector (kU8Lanes bytes)
+//   row16  fixed 16-byte lane group (LUT row copies)
+//   tbl16  a 16-entry byte table for nibble lookups (PSHUFB / TBL)
+//   f64x4  fixed group of 4 doubles (lane-parallel IIR / correlation)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define DVLC_SIMD_HAVE_AVX2 1
+#endif
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#define DVLC_SIMD_HAVE_NEON 1
+#endif
+
+namespace densevlc::simd {
+
+// --- Runtime backend selection (state lives in common/simd.cpp) ----------
+
+/// True when vector dispatch is suppressed: DVLC_FORCE_SCALAR=1 in the
+/// environment, or an explicit set_force_scalar(true).
+bool force_scalar() noexcept;
+
+/// Test/bench hook overriding the environment switch (both directions).
+void set_force_scalar(bool on) noexcept;
+
+/// True when the running CPU can execute the vector ISA the *_simd TUs
+/// were compiled for (AVX2 on x86-64, always true on aarch64/NEON).
+bool cpu_has_vector_support() noexcept;
+
+/// The dispatch predicate every kernel call site uses.
+bool use_vector_kernels() noexcept;
+
+/// Name of the backend dispatch sites select right now: "avx2", "neon",
+/// or "scalar" (when unsupported or forced).
+const char* active_backend_name() noexcept;
+
+// --- Scalar backend ------------------------------------------------------
+
+struct ScalarBackend {
+  static constexpr const char* kName = "scalar";
+  static constexpr std::size_t kU8Lanes = 16;
+
+  struct u8v {
+    std::array<std::uint8_t, 16> b;
+  };
+  struct row16 {
+    std::array<std::uint8_t, 16> b;
+  };
+  struct tbl16 {
+    std::array<std::uint8_t, 16> t;
+  };
+  struct f64x4 {
+    std::array<double, 4> d;
+  };
+
+  static u8v loadu(const std::uint8_t* p) {
+    u8v v;
+    std::memcpy(v.b.data(), p, 16);
+    return v;
+  }
+  static void storeu(std::uint8_t* p, u8v v) { std::memcpy(p, v.b.data(), 16); }
+  static u8v broadcast(std::uint8_t x) {
+    u8v v;
+    v.b.fill(x);
+    return v;
+  }
+  static u8v xor_(u8v a, u8v b) {
+    u8v r;
+    for (std::size_t i = 0; i < 16; ++i) {
+      r.b[i] = static_cast<std::uint8_t>(a.b[i] ^ b.b[i]);
+    }
+    return r;
+  }
+  static u8v and_(u8v a, u8v b) {
+    u8v r;
+    for (std::size_t i = 0; i < 16; ++i) {
+      r.b[i] = static_cast<std::uint8_t>(a.b[i] & b.b[i]);
+    }
+    return r;
+  }
+  /// Per-byte logical shift right by 4 (high nibble, zero-extended).
+  static u8v srl4(u8v a) {
+    u8v r;
+    for (std::size_t i = 0; i < 16; ++i) {
+      r.b[i] = static_cast<std::uint8_t>(a.b[i] >> 4);
+    }
+    return r;
+  }
+  static tbl16 load_table(const std::uint8_t* t16) {
+    tbl16 t;
+    std::memcpy(t.t.data(), t16, 16);
+    return t;
+  }
+  /// Table lookup; every index byte must be < 16.
+  static u8v lookup(const tbl16& t, u8v idx) {
+    u8v r;
+    for (std::size_t i = 0; i < 16; ++i) r.b[i] = t.t[idx.b[i] & 0x0F];
+    return r;
+  }
+  /// Bit i of the result is set iff byte i is nonzero.
+  static std::uint32_t movemask_nonzero(u8v v) {
+    std::uint32_t m = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (v.b[i] != 0) m |= (1u << i);
+    }
+    return m;
+  }
+
+  static row16 load16(const std::uint8_t* p) {
+    row16 r;
+    std::memcpy(r.b.data(), p, 16);
+    return r;
+  }
+  static void store16(std::uint8_t* p, row16 r) {
+    std::memcpy(p, r.b.data(), 16);
+  }
+
+  static f64x4 load4(const double* p) {
+    f64x4 v;
+    std::memcpy(v.d.data(), p, 4 * sizeof(double));
+    return v;
+  }
+  static void store4(double* p, f64x4 v) {
+    std::memcpy(p, v.d.data(), 4 * sizeof(double));
+  }
+  static f64x4 broadcast4(double x) {
+    f64x4 v;
+    v.d.fill(x);
+    return v;
+  }
+  static f64x4 add4(f64x4 a, f64x4 b) {
+    f64x4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.d[i] = a.d[i] + b.d[i];
+    return r;
+  }
+  static f64x4 sub4(f64x4 a, f64x4 b) {
+    f64x4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.d[i] = a.d[i] - b.d[i];
+    return r;
+  }
+  static f64x4 mul4(f64x4 a, f64x4 b) {
+    f64x4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.d[i] = a.d[i] * b.d[i];
+    return r;
+  }
+};
+
+// --- AVX2 backend (only in TUs compiled with -mavx2) ---------------------
+
+#if defined(DVLC_SIMD_HAVE_AVX2)
+
+struct Avx2Backend {
+  static constexpr const char* kName = "avx2";
+  static constexpr std::size_t kU8Lanes = 32;
+
+  using u8v = __m256i;
+  using row16 = __m128i;
+  using tbl16 = __m256i;  // 16-byte table broadcast to both 128-bit halves
+  using f64x4 = __m256d;
+
+  static u8v loadu(const std::uint8_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void storeu(std::uint8_t* p, u8v v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static u8v broadcast(std::uint8_t x) {
+    return _mm256_set1_epi8(static_cast<char>(x));
+  }
+  static u8v xor_(u8v a, u8v b) { return _mm256_xor_si256(a, b); }
+  static u8v and_(u8v a, u8v b) { return _mm256_and_si256(a, b); }
+  static u8v srl4(u8v a) {
+    // No per-byte shift on AVX2: shift 16-bit lanes, mask cross-byte bleed.
+    return _mm256_and_si256(_mm256_srli_epi16(a, 4),
+                            _mm256_set1_epi8(0x0F));
+  }
+  static tbl16 load_table(const std::uint8_t* t16) {
+    const __m128i t = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t16));
+    return _mm256_broadcastsi128_si256(t);
+  }
+  static u8v lookup(const tbl16& t, u8v idx) {
+    // PSHUFB within each 128-bit half; the table is replicated, so both
+    // halves index the same 16 entries. Indices are < 16 (bit 7 clear).
+    return _mm256_shuffle_epi8(t, idx);
+  }
+  static std::uint32_t movemask_nonzero(u8v v) {
+    const __m256i eq0 = _mm256_cmpeq_epi8(v, _mm256_setzero_si256());
+    return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(eq0));
+  }
+
+  static row16 load16(const std::uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store16(std::uint8_t* p, row16 r) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), r);
+  }
+
+  static f64x4 load4(const double* p) { return _mm256_loadu_pd(p); }
+  static void store4(double* p, f64x4 v) { _mm256_storeu_pd(p, v); }
+  static f64x4 broadcast4(double x) { return _mm256_set1_pd(x); }
+  // Plain mul + add (no FMA): matches the scalar backend's rounding
+  // exactly, which is what keeps the float kernels bit-identical.
+  static f64x4 add4(f64x4 a, f64x4 b) { return _mm256_add_pd(a, b); }
+  static f64x4 sub4(f64x4 a, f64x4 b) { return _mm256_sub_pd(a, b); }
+  static f64x4 mul4(f64x4 a, f64x4 b) { return _mm256_mul_pd(a, b); }
+};
+
+#endif  // DVLC_SIMD_HAVE_AVX2
+
+// --- NEON backend (aarch64) ----------------------------------------------
+
+#if defined(DVLC_SIMD_HAVE_NEON)
+
+struct NeonBackend {
+  static constexpr const char* kName = "neon";
+  static constexpr std::size_t kU8Lanes = 16;
+
+  using u8v = uint8x16_t;
+  using row16 = uint8x16_t;
+  using tbl16 = uint8x16_t;
+  struct f64x4 {
+    float64x2_t lo;
+    float64x2_t hi;
+  };
+
+  static u8v loadu(const std::uint8_t* p) { return vld1q_u8(p); }
+  static void storeu(std::uint8_t* p, u8v v) { vst1q_u8(p, v); }
+  static u8v broadcast(std::uint8_t x) { return vdupq_n_u8(x); }
+  static u8v xor_(u8v a, u8v b) { return veorq_u8(a, b); }
+  static u8v and_(u8v a, u8v b) { return vandq_u8(a, b); }
+  static u8v srl4(u8v a) { return vshrq_n_u8(a, 4); }
+  static tbl16 load_table(const std::uint8_t* t16) { return vld1q_u8(t16); }
+  static u8v lookup(const tbl16& t, u8v idx) { return vqtbl1q_u8(t, idx); }
+  static std::uint32_t movemask_nonzero(u8v v) {
+    // 0xFF where nonzero, AND per-lane bit weights, horizontal add per
+    // half (weights are disjoint, so add == or).
+    static const std::uint8_t kWeights[16] = {1, 2, 4, 8, 16, 32, 64, 128,
+                                              1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x16_t mask = vtstq_u8(v, v);
+    const uint8x16_t weighted = vandq_u8(mask, vld1q_u8(kWeights));
+    const std::uint32_t lo = vaddv_u8(vget_low_u8(weighted));
+    const std::uint32_t hi = vaddv_u8(vget_high_u8(weighted));
+    return lo | (hi << 8);
+  }
+
+  static row16 load16(const std::uint8_t* p) { return vld1q_u8(p); }
+  static void store16(std::uint8_t* p, row16 r) { vst1q_u8(p, r); }
+
+  static f64x4 load4(const double* p) {
+    return f64x4{vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  static void store4(double* p, f64x4 v) {
+    vst1q_f64(p, v.lo);
+    vst1q_f64(p + 2, v.hi);
+  }
+  static f64x4 broadcast4(double x) {
+    return f64x4{vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  static f64x4 add4(f64x4 a, f64x4 b) {
+    return f64x4{vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static f64x4 sub4(f64x4 a, f64x4 b) {
+    return f64x4{vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+  }
+  // vmulq, not vfmaq: keeps rounding identical to the scalar backend.
+  static f64x4 mul4(f64x4 a, f64x4 b) {
+    return f64x4{vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+};
+
+#endif  // DVLC_SIMD_HAVE_NEON
+
+// --- The vector backend this TU compiles to ------------------------------
+
+#if defined(DVLC_SIMD_HAVE_AVX2)
+using VectorBackend = Avx2Backend;
+#define DVLC_SIMD_HAS_VECTOR_BACKEND 1
+#elif defined(DVLC_SIMD_HAVE_NEON)
+using VectorBackend = NeonBackend;
+#define DVLC_SIMD_HAS_VECTOR_BACKEND 1
+#else
+using VectorBackend = ScalarBackend;
+#define DVLC_SIMD_HAS_VECTOR_BACKEND 0
+#endif
+
+}  // namespace densevlc::simd

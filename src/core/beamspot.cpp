@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "dsp/snr_estimator.hpp"
 
 namespace densevlc::core {
@@ -17,13 +18,10 @@ double JointTransmission::frame_airtime_s(const phy::MacFrame& frame) const {
   return static_cast<double>(chips) / ook_.chip_rate_hz;
 }
 
-TransmissionOutcome JointTransmission::transmit(
+void JointTransmission::render_optical_into(
     std::span<const ServingTx> servers, const phy::MacFrame& frame,
-    Rng& rng, std::span<const InterfererGroup> interferers,
-    double ambient_optical_w) const {
-  TransmissionOutcome out;
-  if (servers.empty()) return out;
-
+    std::span<const InterfererGroup> interferers, double ambient_optical_w,
+    dsp::Waveform& optical) const {
   const auto chips = phy::frame_to_chips(frame);
   const double tx_rate = ook_.sample_rate_hz();
 
@@ -49,7 +47,6 @@ TransmissionOutcome JointTransmission::transmit(
   const std::size_t total = longest_chips * ook_.samples_per_chip +
                             2 * guard_samples + 2 * offset_samples_max;
 
-  dsp::Waveform optical;
   optical.sample_rate_hz = tx_rate;
   optical.samples.assign(total, ambient_optical_w);
 
@@ -94,6 +91,18 @@ TransmissionOutcome JointTransmission::transmit(
       add_stream(itx, interferer_chips[g]);
     }
   }
+}
+
+TransmissionOutcome JointTransmission::transmit(
+    std::span<const ServingTx> servers, const phy::MacFrame& frame,
+    Rng& rng, std::span<const InterfererGroup> interferers,
+    double ambient_optical_w) const {
+  TransmissionOutcome out;
+  if (servers.empty()) return out;
+
+  dsp::Waveform optical;
+  render_optical_into(servers, frame, interferers, ambient_optical_w,
+                      optical);
 
   phy::ReceiverFrontEnd fe{frontend_, rng.fork()};
   const dsp::Waveform rx = fe.process(optical);
@@ -111,6 +120,71 @@ TransmissionOutcome JointTransmission::transmit(
     out.snr_estimate_db = snr->snr_db;
   }
   return out;
+}
+
+void JointTransmission::transmit_batch(std::span<const TransmitJob> jobs,
+                                       Rng& rng,
+                                       std::span<TransmissionOutcome> outcomes,
+                                       TransmitBatchScratch& scratch) const {
+  const std::size_t n = jobs.size();
+  DVLC_EXPECT(outcomes.size() == n,
+              "transmit_batch: one outcome per job");
+  scratch.optical.resize(n);
+  scratch.rx.resize(n);
+  scratch.active.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes[i] = TransmissionOutcome{};
+    if (jobs[i].servers.empty()) continue;  // scalar path never forks here
+    render_optical_into(jobs[i].servers, *jobs[i].frame, jobs[i].interferers,
+                        jobs[i].ambient_optical_w, scratch.optical[i]);
+    scratch.active.push_back(i);
+  }
+  const std::size_t m = scratch.active.size();
+
+  // Rendering draws nothing from `rng`, so forking all noise substreams
+  // here — in job order — yields the exact per-lane streams of the
+  // sequential transmit() calls.
+  scratch.fes.clear();
+  scratch.fes.reserve(m);
+  scratch.fe_ptrs.resize(m);
+  scratch.optical_ptrs.resize(m);
+  scratch.rx_ptrs.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t lane = scratch.active[j];
+    scratch.fes.emplace_back(frontend_, rng.fork());
+    scratch.optical_ptrs[j] = &scratch.optical[lane];
+    scratch.rx_ptrs[j] = &scratch.rx[lane];
+  }
+  for (std::size_t j = 0; j < m; ++j) scratch.fe_ptrs[j] = &scratch.fes[j];
+  phy::ReceiverFrontEnd::process_batch_into(scratch.fe_ptrs,
+                                            scratch.optical_ptrs,
+                                            scratch.rx_ptrs,
+                                            scratch.fe_scratch);
+
+  const phy::OokDemodulator demod{ook_.chip_rate_hz,
+                                  frontend_.adc.sample_rate_hz};
+  scratch.signals.resize(m);
+  scratch.results.resize(m);
+  scratch.ok.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    scratch.signals[j] = scratch.rx_ptrs[j]->samples;
+  }
+  demod.receive_batch_into(scratch.signals, scratch.results, scratch.ok,
+                           scratch.rx_scratch);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (scratch.ok[j] == 0) continue;  // scalar leaves the default outcome
+    const std::size_t lane = scratch.active[j];
+    const phy::OokDemodulator::RxResult& r = scratch.results[j];
+    TransmissionOutcome& out = outcomes[lane];
+    out.preamble_found = true;
+    out.correlation = r.correlation;
+    out.corrected_bytes = r.parsed.corrected_bytes;
+    out.delivered = r.parsed.frame == *jobs[lane].frame;
+    if (const auto snr = dsp::m2m4_snr(scratch.signals[j])) {
+      out.snr_estimate_db = snr->snr_db;
+    }
+  }
 }
 
 }  // namespace densevlc::core

@@ -64,7 +64,52 @@ class JointTransmission {
   /// On-air duration of a frame [s] (chips / chip rate), excluding guards.
   double frame_airtime_s(const phy::MacFrame& frame) const;
 
+  // --- Batch transmission path (see phy/frame_batch.hpp) ----------------
+
+  /// One lane of transmit_batch: the arguments of one transmit() call.
+  /// Referenced spans/frames must stay alive for the call.
+  struct TransmitJob {
+    std::span<const ServingTx> servers;
+    const phy::MacFrame* frame = nullptr;
+    std::span<const InterfererGroup> interferers;
+    double ambient_optical_w = 0.0;
+  };
+
+  /// Batch workspace: per-lane waveforms plus the front-end and
+  /// demodulator batch scratch. Reuse across slots.
+  struct TransmitBatchScratch {
+    std::vector<dsp::Waveform> optical;
+    std::vector<dsp::Waveform> rx;
+    std::vector<std::size_t> active;
+    std::vector<phy::ReceiverFrontEnd> fes;
+    std::vector<phy::ReceiverFrontEnd*> fe_ptrs;
+    std::vector<const dsp::Waveform*> optical_ptrs;
+    std::vector<dsp::Waveform*> rx_ptrs;
+    std::vector<std::span<const double>> signals;
+    std::vector<phy::OokDemodulator::RxResult> results;
+    std::vector<std::uint8_t> ok;
+    phy::ReceiverFrontEnd::BatchScratch fe_scratch;
+    phy::OokDemodulator::BatchRxScratch rx_scratch;
+  };
+
+  /// Transmits every job and fills outcomes[i] exactly as the equivalent
+  /// sequence of transmit() calls would — bit-identical outcomes and Rng
+  /// stream (lanes render first, which draws nothing; noise substreams
+  /// fork in job order, skipping lanes with no servers, exactly like the
+  /// sequential early-return). The receive side runs the batch front-end
+  /// and demodulator paths.
+  void transmit_batch(std::span<const TransmitJob> jobs, Rng& rng,
+                      std::span<TransmissionOutcome> outcomes,
+                      TransmitBatchScratch& scratch) const;
+
  private:
+  // DVLC_LINT_WAIVE(api-into-wrapper): private pipeline stage, not an API
+  void render_optical_into(std::span<const ServingTx> servers,
+                           const phy::MacFrame& frame,
+                           std::span<const InterfererGroup> interferers,
+                           double ambient_optical_w,
+                           dsp::Waveform& optical) const;
+
   optics::LedModel led_;
   phy::OokParams ook_;
   phy::FrontEndConfig frontend_;

@@ -312,6 +312,9 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
     std::vector<phy::ControllerFrame> frames;
   };
 
+  // Reused across slots by the batched PHY pass in run_slot.
+  JointTransmission::TransmitBatchScratch phy_batch;
+
   auto run_slot = [&](const SlotCommand& slot) {
     const double now_s = des.now().seconds();
     const auto truth = faulted_channel(now_s);
@@ -343,9 +346,16 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
       prepared.push_back(std::move(p));
     }
 
-    for (const auto& p : prepared) {
+    // One batched PHY pass for every beamspot of the slot: build all
+    // lanes' jobs (interference views must outlive the call), then run
+    // the front-end and demodulator over all lanes at once. Outcomes and
+    // the data_rng stream are bit-identical to per-spot transmit() calls.
+    std::vector<std::vector<InterfererGroup>> interference(prepared.size());
+    std::vector<JointTransmission::TransmitJob> jobs(prepared.size());
+    for (std::size_t pi = 0; pi < prepared.size(); ++pi) {
+      const auto& p = prepared[pi];
       // Other beamspots are interference at this RX.
-      std::vector<InterfererGroup> interferers;
+      std::vector<InterfererGroup>& interferers = interference[pi];
       for (const auto& q : prepared) {
         if (q.rx == p.rx) continue;
         InterfererGroup group;
@@ -360,10 +370,16 @@ RunReport DenseVlcSystem::run(double duration_s, std::size_t payload_bytes) {
         }
         interferers.push_back(std::move(group));
       }
+      jobs[pi] = JointTransmission::TransmitJob{p.servers, &p.frame,
+                                                interferers, 0.0};
+    }
+    std::vector<TransmissionOutcome> outcomes(prepared.size());
+    data_path_.transmit_batch(jobs, data_rng, outcomes, phy_batch);
 
+    for (std::size_t pi = 0; pi < prepared.size(); ++pi) {
+      const auto& p = prepared[pi];
       ++report.rx[p.rx].frames_sent;
-      const auto outcome =
-          data_path_.transmit(p.servers, p.frame, data_rng, interferers);
+      const TransmissionOutcome& outcome = outcomes[pi];
       if (outcome.delivered && !cfg_.faults.rx_down(p.rx, now_s)) {
         ++report.rx[p.rx].frames_delivered;
         report.rx[p.rx].payload_bits_delivered +=

@@ -43,6 +43,15 @@ class Biquad {
 
   const BiquadCoeffs& coeffs() const { return c_; }
 
+  /// DF2T delay-line state, exposed so the x4 batch kernel can stage
+  /// lanes into struct-of-arrays form and write the state back.
+  double state_s1() const { return s1_; }
+  double state_s2() const { return s2_; }
+  void set_state(double s1, double s2) {
+    s1_ = s1;
+    s2_ = s2;
+  }
+
  private:
   BiquadCoeffs c_{};
   double s1_ = 0.0, s2_ = 0.0;
@@ -78,8 +87,22 @@ class BiquadCascade {
 
   std::size_t section_count() const { return sections_.size(); }
 
+  /// Section access for the x4 batch kernel's state staging.
+  Biquad& section(std::size_t i) { return sections_[i]; }
+  const Biquad& section(std::size_t i) const { return sections_[i]; }
+
  private:
   std::vector<Biquad> sections_;
 };
+
+/// Filters four equally-shaped cascades in lockstep over a 4-lane
+/// interleaved block (`interleaved[t*4 + lane]`, length a multiple of 4).
+/// Stateful like process_block: each cascade's delay lines continue from
+/// and are written back to the cascade objects, so callers may finish a
+/// ragged tail per lane with process_block afterwards. Bit-identical per
+/// lane to calling cascades[lane]->process_block on that lane's samples.
+/// Dispatches to the SIMD backend unless DVLC_FORCE_SCALAR is set.
+void process_cascades_x4(BiquadCascade* const cascades[4],
+                         std::span<double> interleaved);
 
 }  // namespace densevlc::dsp

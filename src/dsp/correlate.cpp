@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/arena.hpp"
+#include "dsp/dsp_kernels.hpp"
 
 namespace densevlc::dsp {
 
@@ -51,8 +52,13 @@ void normalized_correlate_into(std::span<const double> signal,
   }
 
   // Rolling window sums let each position cost O(m) for the dot product
-  // but O(1) for mean/energy bookkeeping.
+  // but O(1) for mean/energy bookkeeping. The statistics recurrence stays
+  // scalar (each step depends on the previous), so the per-position mean
+  // and variance are the reference values regardless of backend; only
+  // the independent per-position dot products are vectorized.
   arena_resize(scratch.scores, n);
+  arena_resize(scratch.means, n);
+  arena_resize(scratch.vars, n);
   double win_sum = 0.0;
   double win_sq = 0.0;
   for (std::size_t j = 0; j < m; ++j) {
@@ -60,21 +66,22 @@ void normalized_correlate_into(std::span<const double> signal,
     win_sq += signal[j] * signal[j];
   }
   for (std::size_t i = 0; i < n; ++i) {
-    const double mean = win_sum / static_cast<double>(m);
-    const double var = win_sq - win_sum * mean;  // sum of squared deviations
-    double score = 0.0;
-    if (var > 1e-30) {
-      double dot = 0.0;
-      for (std::size_t j = 0; j < m; ++j) {
-        dot += (signal[i + j] - mean) * pat[j];
-      }
-      score = dot / std::sqrt(var * pat_energy);
-    }
-    scratch.scores[i] = score;
+    scratch.means[i] = win_sum / static_cast<double>(m);
+    // sum of squared deviations
+    scratch.vars[i] = win_sq - win_sum * scratch.means[i];
     if (i + m < signal.size()) {
       win_sum += signal[i + m] - signal[i];
       win_sq += signal[i + m] * signal[i + m] - signal[i] * signal[i];
     }
+  }
+  if (simd::use_vector_kernels()) {
+    detail::correlate_scores_vec(signal.data(), pat.data(), m,
+                                 scratch.means.data(), scratch.vars.data(),
+                                 pat_energy, scratch.scores.data(), n);
+  } else {
+    detail::correlate_scores_kernel<simd::ScalarBackend>(
+        signal.data(), pat.data(), m, scratch.means.data(),
+        scratch.vars.data(), pat_energy, scratch.scores.data(), n);
   }
 }
 

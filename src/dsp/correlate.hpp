@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace densevlc::dsp {
 
 /// Raw sliding-dot-product correlation of `pattern` against `signal`.
@@ -40,10 +42,13 @@ std::optional<PeakDetection> detect_pattern(std::span<const double> signal,
 // --- Zero-allocation overloads (see common/arena.hpp) -------------------
 
 /// Reusable workspace for repeated pattern searches: mean-removed pattern
-/// staging plus the score vector.
+/// staging, the score vector, and the per-position rolling window
+/// statistics the SIMD score kernel consumes (aligned for vector loads).
 struct CorrelateScratch {
   std::vector<double> pattern;
   std::vector<double> scores;
+  AlignedVector<double> means;
+  AlignedVector<double> vars;
 };
 
 /// normalized_correlate into `scratch.scores`. Bit-identical to the

@@ -56,6 +56,8 @@ std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
 
 }  // namespace
 
+const ReedSolomon& frame_rs_codec() { return rs_codec(); }
+
 std::span<const Chip> pilot_pattern() { return pilot_chips(); }
 
 std::span<const Chip> preamble_pattern() { return preamble_chips(); }

@@ -69,6 +69,10 @@ std::span<const Chip> preamble_pattern();
 /// dst + src + protocol = 9 bytes) + payload + RS parity.
 std::size_t serialized_frame_bytes(std::size_t payload_bytes);
 
+/// The shared RS(.., 16-parity) codec instance the frame layer encodes
+/// and decodes blocks with (exposed for the batch codec in frame_batch).
+const ReedSolomon& frame_rs_codec();
+
 /// Serializes SFD..parity. Throws std::invalid_argument when the payload
 /// exceeds kMaxPayload.
 std::vector<std::uint8_t> serialize_frame(const MacFrame& frame);

@@ -1,7 +1,9 @@
 // DVLC_HOT — zero-allocation sample path (see common/arena.hpp).
 #include "phy/frontend.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/arena.hpp"
 #include "common/contracts.hpp"
@@ -36,8 +38,8 @@ dsp::Waveform ReceiverFrontEnd::process(const dsp::Waveform& optical) {
   return out;
 }
 
-void ReceiverFrontEnd::process_into(const dsp::Waveform& optical,
-                                    dsp::Waveform& out) {
+void ReceiverFrontEnd::front_half_into(const dsp::Waveform& optical,
+                                       dsp::Waveform& out) {
   const double fs = cfg_.adc.sample_rate_hz;
   out.sample_rate_hz = fs;
   arena_clear(out.samples);
@@ -58,7 +60,9 @@ void ReceiverFrontEnd::process_into(const dsp::Waveform& optical,
                            rng_.gaussian(0.0, noise_sigma);
     out.samples[i] = cfg_.tia_gain_ohm * current;
   }
+}
 
+void ReceiverFrontEnd::filters_into(dsp::Waveform& out) {
   // Pass 2: AC-coupled gain stage. Scaling the filter output afterwards
   // commutes bitwise with scaling inside the per-sample loop.
   ac_stage_.process_block(out.samples);
@@ -66,12 +70,107 @@ void ReceiverFrontEnd::process_into(const dsp::Waveform& optical,
 
   // Pass 3: anti-aliasing low-pass.
   lowpass_.process_block(out.samples);
+}
 
+void ReceiverFrontEnd::adc_into(dsp::Waveform& out) {
   // Model the ADC around mid-rail, then remove the offset again so
   // downstream DSP sees a zero-referenced signal with quantization applied.
   for (double& v : out.samples) {
     const std::uint32_t code = adc_.quantize(v + mid_rail_);
     v = adc_.code_to_volts(code) - mid_rail_;
+  }
+}
+
+void ReceiverFrontEnd::process_into(const dsp::Waveform& optical,
+                                    dsp::Waveform& out) {
+  front_half_into(optical, out);
+  if (out.samples.empty()) return;
+  filters_into(out);
+  adc_into(out);
+}
+
+void ReceiverFrontEnd::process_batch_into(
+    std::span<ReceiverFrontEnd* const> fes,
+    std::span<const dsp::Waveform* const> optical,
+    std::span<dsp::Waveform* const> out, BatchScratch& scratch) {
+  const std::size_t n = fes.size();
+  DVLC_EXPECT(optical.size() == n && out.size() == n,
+              "process_batch_into: span sizes must match");
+  // Noise first, per lane in order: each front-end owns its Rng, so the
+  // draw sequence per lane is exactly the scalar one.
+  for (std::size_t i = 0; i < n; ++i) {
+    fes[i]->front_half_into(*optical[i], *out[i]);
+  }
+
+  const auto run_quad = [&](const std::size_t lane[4]) {
+    ReceiverFrontEnd* fe[4];
+    std::size_t min_len = SIZE_MAX;
+    bool same_shape = true;
+    for (std::size_t l = 0; l < 4; ++l) {
+      fe[l] = fes[lane[l]];
+      min_len = std::min(min_len, out[lane[l]]->samples.size());
+      same_shape = same_shape &&
+                   fe[l]->ac_stage_.section_count() ==
+                       fe[0]->ac_stage_.section_count() &&
+                   fe[l]->lowpass_.section_count() ==
+                       fe[0]->lowpass_.section_count();
+    }
+    if (!same_shape) {
+      for (std::size_t l = 0; l < 4; ++l) fe[l]->filters_into(*out[lane[l]]);
+      return;
+    }
+    // Shared prefix through the 4-lane kernel; ragged tails finish on the
+    // scalar cascades, whose delay lines continue from the written-back
+    // kernel state.
+    arena_resize(scratch.lanes, min_len * 4);
+    for (std::size_t l = 0; l < 4; ++l) {
+      const std::vector<double>& src = out[lane[l]]->samples;
+      for (std::size_t t = 0; t < min_len; ++t) {
+        scratch.lanes[t * 4 + l] = src[t];
+      }
+    }
+    const std::span<double> block{scratch.lanes.data(), min_len * 4};
+    dsp::BiquadCascade* ac[4] = {&fe[0]->ac_stage_, &fe[1]->ac_stage_,
+                                 &fe[2]->ac_stage_, &fe[3]->ac_stage_};
+    dsp::process_cascades_x4(ac, block);
+    for (std::size_t l = 0; l < 4; ++l) {
+      const double gain = fe[l]->cfg_.ac_gain;
+      for (std::size_t t = 0; t < min_len; ++t) {
+        scratch.lanes[t * 4 + l] = gain * scratch.lanes[t * 4 + l];
+      }
+    }
+    dsp::BiquadCascade* lp[4] = {&fe[0]->lowpass_, &fe[1]->lowpass_,
+                                 &fe[2]->lowpass_, &fe[3]->lowpass_};
+    dsp::process_cascades_x4(lp, block);
+    for (std::size_t l = 0; l < 4; ++l) {
+      std::vector<double>& dst = out[lane[l]]->samples;
+      for (std::size_t t = 0; t < min_len; ++t) {
+        dst[t] = scratch.lanes[t * 4 + l];
+      }
+      const std::span<double> tail =
+          std::span<double>{dst}.subspan(min_len);
+      fe[l]->ac_stage_.process_block(tail);
+      for (double& v : tail) v = fe[l]->cfg_.ac_gain * v;
+      fe[l]->lowpass_.process_block(tail);
+    }
+  };
+
+  std::size_t group[4];
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i]->samples.empty()) continue;
+    group[filled++] = i;
+    if (filled == 4) {
+      run_quad(group);
+      filled = 0;
+    }
+  }
+  for (std::size_t j = 0; j < filled; ++j) {
+    fes[group[j]]->filters_into(*out[group[j]]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!out[i]->samples.empty()) fes[i]->adc_into(*out[i]);
   }
 }
 

@@ -11,6 +11,9 @@
 // bandwidth fs/2 gives a per-sample current variance of N0 * fs / 2.
 #pragma once
 
+#include <span>
+
+#include "common/arena.hpp"
 #include "common/quantity.hpp"
 #include "common/rng.hpp"
 #include "dsp/adc.hpp"
@@ -55,12 +58,41 @@ class ReceiverFrontEnd {
   /// Resets all filter state (fresh reception).
   void reset();
 
+  /// Batch workspace for process_batch_into: 4-lane interleaved staging
+  /// for the vector biquad kernel (see common/arena.hpp).
+  struct BatchScratch {
+    AlignedVector<double> lanes;
+  };
+
+  /// Processes many independent front-ends in one call. Bit-identical per
+  /// lane to fes[i]->process_into(*optical[i], *out[i]) called in order
+  /// (each front-end draws its own noise stream first, in lane order),
+  /// but the filter stages run four lanes at a time through the vector
+  /// biquad kernel. Lanes are grouped in encounter order; groups with
+  /// mismatched filter shapes and ragged tails fall back to the scalar
+  /// cascades, whose state continues seamlessly.
+  // DVLC_LINT_WAIVE(api-into-wrapper): batch outputs are caller-owned spans
+  static void process_batch_into(std::span<ReceiverFrontEnd* const> fes,
+                                 std::span<const dsp::Waveform* const> optical,
+                                 std::span<dsp::Waveform* const> out,
+                                 BatchScratch& scratch);
+
   /// Per-sample standard deviation of the photocurrent noise at the given
   /// processing rate: sqrt(N0 * fs / 2), where sqrt(A^2/Hz * Hz) = A is
   /// derived by the quantity algebra.
   Amperes noise_current_sigma(Hertz sample_rate) const;
 
  private:
+  // The three stages of process_into, split so the batch path can run
+  // them per lane / per quad: ZOH resample + noise + TIA, the AC-coupled
+  // gain and anti-aliasing filters, and the ADC round trip.
+  // DVLC_LINT_WAIVE(api-into-wrapper): private pipeline stage, not an API
+  void front_half_into(const dsp::Waveform& optical, dsp::Waveform& out);
+  // DVLC_LINT_WAIVE(api-into-wrapper): private pipeline stage, not an API
+  void filters_into(dsp::Waveform& out);
+  // DVLC_LINT_WAIVE(api-into-wrapper): private pipeline stage, not an API
+  void adc_into(dsp::Waveform& out);
+
   FrontEndConfig cfg_;
   Rng rng_;
   dsp::Adc adc_;

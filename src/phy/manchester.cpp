@@ -5,59 +5,14 @@
 
 #include "common/arena.hpp"
 #include "common/contracts.hpp"
+#include "phy/phy_kernels.hpp"
 
 namespace densevlc::phy {
 namespace {
 
-// 256-entry chip-pattern table: row b holds the 16 chips of byte b,
-// MSB-first, bit 1 = (HIGH, LOW), bit 0 = (LOW, HIGH).
-constexpr std::array<std::array<Chip, 16>, 256> build_encode_lut() {
-  std::array<std::array<Chip, 16>, 256> lut{};
-  for (unsigned b = 0; b < 256; ++b) {
-    for (unsigned i = 0; i < 8; ++i) {
-      const bool bit = ((b >> (7 - i)) & 1u) != 0;
-      lut[b][2 * i] = bit ? Chip::kHigh : Chip::kLow;
-      lut[b][2 * i + 1] = bit ? Chip::kLow : Chip::kHigh;
-    }
-  }
-  return lut;
-}
-constexpr auto kEncodeLut = build_encode_lut();
-
-// Lenient decode of 8 chips (4 Manchester pairs) at once: the index is
-// the chips packed MSB-first, the entry is the decoded nibble plus the
-// number of coding violations (violating pairs resolve to bit 0, the
-// same best guess manchester_decode_lenient makes).
-struct HalfDecode {
-  std::uint8_t nibble = 0;
-  std::uint8_t violations = 0;
-};
-constexpr std::array<HalfDecode, 256> build_decode_lut() {
-  std::array<HalfDecode, 256> lut{};
-  for (unsigned idx = 0; idx < 256; ++idx) {
-    std::uint8_t nibble = 0;
-    std::uint8_t violations = 0;
-    for (unsigned p = 0; p < 4; ++p) {
-      const unsigned c0 = (idx >> (7 - 2 * p)) & 1u;
-      const unsigned c1 = (idx >> (6 - 2 * p)) & 1u;
-      unsigned bit = 0;
-      if (c0 == 0 && c1 == 1) {
-        bit = 0;
-      } else if (c0 == 1 && c1 == 0) {
-        bit = 1;
-      } else {
-        bit = 0;
-        ++violations;
-      }
-      nibble = static_cast<std::uint8_t>((nibble << 1) | bit);
-    }
-    lut[idx] = HalfDecode{nibble, violations};
-  }
-  return lut;
-}
-constexpr auto kDecodeLut = build_decode_lut();
-
-// Row b holds the 8 MSB-first bit values of byte b (bytes_to_bits).
+// Row b holds the 8 MSB-first bit values of byte b (bytes_to_bits). The
+// chip-level encode/decode LUTs moved to phy/phy_kernels.hpp so the SIMD
+// kernels and this TU share one table.
 constexpr std::array<std::array<std::uint8_t, 8>, 256> build_unpack_lut() {
   std::array<std::array<std::uint8_t, 8>, 256> lut{};
   for (unsigned b = 0; b < 256; ++b) {
@@ -68,15 +23,6 @@ constexpr std::array<std::array<std::uint8_t, 8>, 256> build_unpack_lut() {
   return lut;
 }
 constexpr auto kUnpackLut = build_unpack_lut();
-
-/// Packs 8 chips into a kDecodeLut index, MSB-first.
-inline unsigned pack8(const Chip* chips) {
-  unsigned idx = 0;
-  for (unsigned i = 0; i < 8; ++i) {
-    idx = (idx << 1) | static_cast<unsigned>(chips[i]);
-  }
-  return idx;
-}
 
 }  // namespace
 
@@ -188,11 +134,14 @@ void manchester_encode_bytes(std::span<const std::uint8_t> bytes,
                              std::span<Chip> out_chips) {
   DVLC_EXPECT(out_chips.size() == bytes.size() * 16,
               "manchester_encode_bytes: output must hold 16 chips per byte");
-  Chip* dst = out_chips.data();
-  for (std::uint8_t b : bytes) {
-    const auto& row = kEncodeLut[b];
-    std::copy_n(row.begin(), 16, dst);
-    dst += 16;
+  // Chip is a uint8-backed enum with values {0, 1}; the kernels work on
+  // the raw byte stream.
+  auto* dst = reinterpret_cast<std::uint8_t*>(out_chips.data());
+  if (simd::use_vector_kernels()) {
+    detail::manchester_encode_bytes_vec(bytes.data(), bytes.size(), dst);
+  } else {
+    detail::manchester_encode_bytes_kernel<simd::ScalarBackend>(
+        bytes.data(), bytes.size(), dst);
   }
 }
 
@@ -200,16 +149,13 @@ std::size_t manchester_decode_bytes_lenient(std::span<const Chip> chips,
                                             std::span<std::uint8_t> out_bytes) {
   DVLC_EXPECT(chips.size() == out_bytes.size() * 16,
               "manchester_decode_bytes_lenient: need 16 chips per byte");
-  std::size_t violations = 0;
-  const Chip* src = chips.data();
-  for (std::uint8_t& b : out_bytes) {
-    const HalfDecode hi = kDecodeLut[pack8(src)];
-    const HalfDecode lo = kDecodeLut[pack8(src + 8)];
-    b = static_cast<std::uint8_t>((hi.nibble << 4) | lo.nibble);
-    violations += hi.violations + lo.violations;
-    src += 16;
+  const auto* src = reinterpret_cast<const std::uint8_t*>(chips.data());
+  if (simd::use_vector_kernels()) {
+    return detail::manchester_decode_bytes_vec(src, out_bytes.size(),
+                                               out_bytes.data());
   }
-  return violations;
+  return detail::manchester_decode_bytes_kernel<simd::ScalarBackend>(
+      src, out_bytes.size(), out_bytes.data());
 }
 
 }  // namespace densevlc::phy

@@ -16,6 +16,7 @@
 #include "dsp/correlate.hpp"
 #include "dsp/waveform.hpp"
 #include "phy/frame.hpp"
+#include "phy/frame_batch.hpp"
 #include "phy/manchester.hpp"
 
 namespace densevlc::phy {
@@ -74,6 +75,34 @@ class OokModulator {
   void modulate_frame_into(const MacFrame& frame, bool include_pilot,
                            std::uint8_t tx_id, std::size_t guard_chips,
                            dsp::Waveform& wf, TxScratch& scratch) const;
+
+  // --- Batch-of-frames path (see phy/frame_batch.hpp) -------------------
+
+  /// One lane of modulate_batch_into: the arguments of a
+  /// modulate_frame_into call.
+  struct TxJob {
+    const MacFrame* frame = nullptr;
+    bool include_pilot = false;
+    std::uint8_t tx_id = 0;
+    std::size_t guard_chips = 0;
+  };
+
+  /// Batch TX workspace: frame pointer staging, chip staging, and the
+  /// batch codec scratch all RS parity work is routed through.
+  struct TxBatchScratch {
+    std::vector<const MacFrame*> frames;
+    std::vector<Chip> chips;
+    FrameBatch batch;
+  };
+
+  /// Renders every job's frame into *out[i]. Per lane bit-identical to
+  /// modulate_frame_into; serialization of all lanes runs through the
+  /// batch Reed-Solomon column kernels. Throws std::invalid_argument on
+  /// over-long payloads like the scalar path.
+  // DVLC_LINT_WAIVE(api-into-wrapper): batch outputs are caller-owned spans
+  void modulate_batch_into(std::span<const TxJob> jobs,
+                           std::span<dsp::Waveform* const> out,
+                           TxBatchScratch& scratch) const;
 
  private:
   OokParams params_;
@@ -140,6 +169,34 @@ class OokDemodulator {
   [[nodiscard]] bool receive_frame_into(std::span<const double> signal,
                                         RxResult& out, RxScratch& scratch,
                                         double min_correlation = 0.6) const;
+
+  // --- Batch-of-frames path (see phy/frame_batch.hpp) -------------------
+
+  /// Batch RX workspace: the per-lane front half (template, correlation,
+  /// chip slicing) shares one set of buffers; decoded wire bytes are kept
+  /// per lane so every surviving lane's parse runs through the batch
+  /// Reed-Solomon path at once.
+  struct BatchRxScratch {
+    std::vector<double> preamble_tpl;
+    dsp::CorrelateScratch correlate;
+    std::vector<Chip> chips;
+    std::vector<std::vector<std::uint8_t>> lane_bytes;
+    std::vector<std::span<const std::uint8_t>> wire_views;
+    std::vector<ParsedFrame*> parse_out;
+    std::vector<std::uint8_t> parse_ok;
+    std::vector<std::uint32_t> lane_of;  ///< parse slot -> lane index
+    FrameBatch batch;
+  };
+
+  /// Receives one frame per signal lane: out[i]/ok[i] mirror a
+  /// receive_frame_into(signals[i], out[i], ...) call — bit-identical
+  /// accept/reject decisions and results; failed lanes (ok[i] == 0) must
+  /// not be read. Returns the number of decoded lanes.
+  // DVLC_LINT_WAIVE(api-into-wrapper): batch outputs are caller-owned spans
+  std::size_t receive_batch_into(
+      std::span<const std::span<const double>> signals,
+      std::span<RxResult> out, std::span<std::uint8_t> ok,
+      BatchRxScratch& scratch, double min_correlation = 0.6) const;
 
   double samples_per_chip() const { return sample_rate_hz_ / chip_rate_hz_; }
 

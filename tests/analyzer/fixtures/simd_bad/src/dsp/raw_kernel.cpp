@@ -1,0 +1,14 @@
+// Fixture: raw intrinsics outside the portable wrapper.
+namespace densevlc::dsp {
+
+void bad_avx(const unsigned char* in, unsigned char* out) {
+  __m256i v = _mm256_loadu_si256(in);  // EXPECT-FINDING: simd-raw-intrinsic
+  _mm256_storeu_si256(out, v);         // EXPECT-FINDING: simd-raw-intrinsic
+}
+
+void bad_neon(const unsigned char* in, unsigned char* out) {
+  uint8x16_t v = vld1q_u8(in);  // EXPECT-FINDING: simd-raw-intrinsic
+  vst1q_u8(out, v);             // EXPECT-FINDING: simd-raw-intrinsic
+}
+
+}  // namespace densevlc::dsp

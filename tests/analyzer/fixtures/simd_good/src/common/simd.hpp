@@ -1,0 +1,18 @@
+// Fixture: the portable wrapper itself may spell raw intrinsics.
+#pragma once
+
+namespace densevlc::simd {
+
+struct Avx2Backend {
+  using u8v = __m256i;
+  static u8v loadu(const unsigned char* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+};
+
+struct NeonBackend {
+  using u8v = uint8x16_t;
+  static u8v loadu(const unsigned char* p) { return vld1q_u8(p); }
+};
+
+}  // namespace densevlc::simd

@@ -297,6 +297,8 @@ TEST(Fixtures, UnitdimGood) { expect_fixture_matches("unitdim_good"); }
 TEST(Fixtures, DeadapiBad) { expect_fixture_matches("deadapi_bad"); }
 TEST(Fixtures, DeadapiGood) { expect_fixture_matches("deadapi_good"); }
 TEST(Fixtures, UncheckedioBad) { expect_fixture_matches("uncheckedio_bad"); }
+TEST(Fixtures, SimdBad) { expect_fixture_matches("simd_bad"); }
+TEST(Fixtures, SimdGood) { expect_fixture_matches("simd_good"); }
 TEST(Fixtures, UncheckedioGood) {
   expect_fixture_matches("uncheckedio_good");
 }
@@ -498,19 +500,19 @@ TEST_F(CacheDirTest, ConfigChangeInvalidates) {
   // The config string folds in the pass version and the enabled pass
   // set; changing either must miss even for identical contents.
   {
-    AnalysisCache cache{dir_, "dvlc-analyze-v2|conventions"};
+    AnalysisCache cache{dir_, "dvlc-analyze-v3|conventions"};
     cache.store("src/a.cpp", "int x;", sample_entry());
   }
   {
-    AnalysisCache warm{dir_, "dvlc-analyze-v2|conventions"};
+    AnalysisCache warm{dir_, "dvlc-analyze-v3|conventions"};
     EXPECT_TRUE(warm.probe("src/a.cpp", "int x;").has_value());
   }
   {
-    AnalysisCache flags{dir_, "dvlc-analyze-v2|conventions,api"};
+    AnalysisCache flags{dir_, "dvlc-analyze-v3|conventions,api"};
     EXPECT_FALSE(flags.probe("src/a.cpp", "int x;").has_value());
   }
   {
-    AnalysisCache version{dir_, "dvlc-analyze-v3|conventions"};
+    AnalysisCache version{dir_, "dvlc-analyze-v99|conventions"};
     EXPECT_FALSE(version.probe("src/a.cpp", "int x;").has_value());
   }
 }

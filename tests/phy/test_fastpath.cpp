@@ -6,14 +6,22 @@
 // bursts up to and beyond the correction capacity. The binary also links
 // bench/alloc_hook.cpp, so the steady-state loops can assert a literal
 // zero heap allocations on the DVLC_HOT paths.
+//
+// The whole suite is parameterized over the SIMD dispatch: every test
+// runs once with the native vector backend and once forced onto the
+// scalar kernels (simd::set_force_scalar). Both legs compare against the
+// same frozen reference, so scalar and vector outputs are pinned
+// bit-identical to each other transitively.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "alloc_hook.hpp"
 #include "common/arena.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "dsp/waveform.hpp"
 #include "phy/frame.hpp"
 #include "phy/frame_codec.hpp"
@@ -26,6 +34,20 @@
 
 namespace densevlc {
 namespace {
+
+/// Param = force-scalar: false runs the native (vector) dispatch, true
+/// pins every kernel onto the scalar backend.
+class FastPath : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { simd::set_force_scalar(GetParam()); }
+  void TearDown() override { simd::set_force_scalar(false); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FastPath, ::testing::Values(false, true),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? "ForcedScalar" : "NativeSimd";
+    });
 
 std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
   std::vector<std::uint8_t> bytes(n);
@@ -43,7 +65,7 @@ phy::MacFrame random_frame(std::size_t payload, Rng& rng) {
 
 // --- Manchester ----------------------------------------------------------
 
-TEST(FastPath, ManchesterEncodeMatchesScalarReference) {
+TEST_P(FastPath, ManchesterEncodeMatchesScalarReference) {
   Rng rng{0xA1};
   for (std::size_t n : {0, 1, 2, 9, 64, 257, 1125}) {
     const auto bytes = random_bytes(n, rng);
@@ -55,7 +77,7 @@ TEST(FastPath, ManchesterEncodeMatchesScalarReference) {
   }
 }
 
-TEST(FastPath, ManchesterLenientDecodeMatchesScalarOnCorruptChips) {
+TEST_P(FastPath, ManchesterLenientDecodeMatchesScalarOnCorruptChips) {
   Rng rng{0xA2};
   for (int trial = 0; trial < 20; ++trial) {
     const auto bytes = random_bytes(200, rng);
@@ -79,7 +101,7 @@ TEST(FastPath, ManchesterLenientDecodeMatchesScalarOnCorruptChips) {
   }
 }
 
-TEST(FastPath, BitHelpersMatchScalarReference) {
+TEST_P(FastPath, BitHelpersMatchScalarReference) {
   Rng rng{0xA3};
   const auto bytes = random_bytes(513, rng);
   EXPECT_EQ(phy::bytes_to_bits(bytes), bench::ref::bytes_to_bits(bytes));
@@ -93,7 +115,7 @@ TEST(FastPath, BitHelpersMatchScalarReference) {
 
 // --- Interleaver ---------------------------------------------------------
 
-TEST(FastPath, InterleaverMatchesScalarReference) {
+TEST_P(FastPath, InterleaverMatchesScalarReference) {
   Rng rng{0xB1};
   for (std::size_t n : {0, 1, 7, 200, 648, 1000}) {
     const auto data = random_bytes(n, rng);
@@ -110,7 +132,7 @@ TEST(FastPath, InterleaverMatchesScalarReference) {
 
 // --- Reed-Solomon --------------------------------------------------------
 
-TEST(FastPath, RsEncodeMatchesScalarReference) {
+TEST_P(FastPath, RsEncodeMatchesScalarReference) {
   Rng rng{0xC1};
   const phy::ReedSolomon rs{16};
   const bench::ref::ReedSolomon ref_rs{16};
@@ -120,7 +142,7 @@ TEST(FastPath, RsEncodeMatchesScalarReference) {
   }
 }
 
-TEST(FastPath, RsErrorBurstDecodesMatchScalarReference) {
+TEST_P(FastPath, RsErrorBurstDecodesMatchScalarReference) {
   Rng rng{0xC2};
   const phy::ReedSolomon rs{16};
   const bench::ref::ReedSolomon ref_rs{16};
@@ -149,7 +171,7 @@ TEST(FastPath, RsErrorBurstDecodesMatchScalarReference) {
   }
 }
 
-TEST(FastPath, RsScatteredErrorsMatchScalarReference) {
+TEST_P(FastPath, RsScatteredErrorsMatchScalarReference) {
   Rng rng{0xC3};
   const phy::ReedSolomon rs{16};
   const bench::ref::ReedSolomon ref_rs{16};
@@ -178,7 +200,7 @@ TEST(FastPath, RsScatteredErrorsMatchScalarReference) {
 
 // --- Frame + codec -------------------------------------------------------
 
-TEST(FastPath, FrameSerializationMatchesScalarReference) {
+TEST_P(FastPath, FrameSerializationMatchesScalarReference) {
   Rng rng{0xD1};
   for (std::size_t payload : {0, 1, 199, 200, 201, 600, 1500}) {
     const auto f = random_frame(payload, rng);
@@ -193,7 +215,7 @@ TEST(FastPath, FrameSerializationMatchesScalarReference) {
   }
 }
 
-TEST(FastPath, CodecChipPipelineMatchesScalarReference) {
+TEST_P(FastPath, CodecChipPipelineMatchesScalarReference) {
   Rng rng{0xD2};
   phy::FrameCodec::Scratch cscr;
   std::vector<std::uint8_t> wire;
@@ -225,7 +247,7 @@ TEST(FastPath, CodecChipPipelineMatchesScalarReference) {
 
 // --- OOK / front end -----------------------------------------------------
 
-TEST(FastPath, ReceiveFrameIntoMatchesValueApi) {
+TEST_P(FastPath, ReceiveFrameIntoMatchesValueApi) {
   Rng rng{0xE1};
   const phy::OokParams params{};
   const phy::OokModulator mod{params};
@@ -251,7 +273,7 @@ TEST(FastPath, ReceiveFrameIntoMatchesValueApi) {
   }
 }
 
-TEST(FastPath, FrontEndProcessIntoMatchesValueApi) {
+TEST_P(FastPath, FrontEndProcessIntoMatchesValueApi) {
   phy::FrontEndConfig cfg{};  // default noisy configuration
   phy::ReceiverFrontEnd fe_a{cfg, Rng{99}};
   phy::ReceiverFrontEnd fe_b{cfg, Rng{99}};
@@ -271,9 +293,66 @@ TEST(FastPath, FrontEndProcessIntoMatchesValueApi) {
   }
 }
 
+// --- Exhaustive byte-domain sweeps ---------------------------------------
+
+TEST_P(FastPath, ManchesterAllByteValuesMatchScalarReference) {
+  // Every possible byte value through encode and decode: the whole LUT /
+  // movemask domain, not just random samples.
+  std::vector<std::uint8_t> bytes(256);
+  std::iota(bytes.begin(), bytes.end(), std::uint8_t{0});
+  const auto ref_chips =
+      bench::ref::manchester_encode(bench::ref::bytes_to_bits(bytes));
+  std::vector<phy::Chip> chips(16 * bytes.size());
+  phy::manchester_encode_bytes(bytes, chips);
+  EXPECT_EQ(chips, ref_chips);
+
+  std::vector<std::uint8_t> decoded(bytes.size());
+  const std::size_t violations =
+      phy::manchester_decode_bytes_lenient(chips, decoded);
+  EXPECT_EQ(decoded, bytes);
+  EXPECT_EQ(violations, 0u);
+
+  // Every possible *chip pair* value: both violation patterns (00, 11)
+  // in every pair slot of a byte, against the reference decoder.
+  std::vector<phy::Chip> raw(16 * 256);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    // Walks all 4 pair states through all 8 positions over the sweep.
+    raw[i] = ((i * 2654435761u) >> 7) % 2 == 0 ? phy::Chip::kLow
+                                               : phy::Chip::kHigh;
+  }
+  const auto ref_dec = bench::ref::manchester_decode_lenient(raw);
+  const auto ref_bytes = bench::ref::bits_to_bytes(ref_dec.bits);
+  ASSERT_TRUE(ref_bytes.has_value());
+  std::vector<std::uint8_t> fast(256);
+  const std::size_t raw_violations =
+      phy::manchester_decode_bytes_lenient(raw, fast);
+  EXPECT_EQ(fast, *ref_bytes);
+  EXPECT_EQ(raw_violations, ref_dec.violations);
+}
+
+TEST_P(FastPath, RsAllByteValuesMatchScalarReference) {
+  const phy::ReedSolomon rs{16};
+  const bench::ref::ReedSolomon ref_rs{16};
+  // One codeword containing every byte value (GF(256) is exercised over
+  // its full domain), plus every single-byte message.
+  std::vector<std::uint8_t> all(239);
+  std::iota(all.begin(), all.end(), std::uint8_t{0});
+  EXPECT_EQ(rs.encode(all), ref_rs.encode(all));
+  phy::RsDecodeResult dec;
+  phy::RsScratch scratch;
+  for (int v = 0; v < 256; ++v) {
+    const std::vector<std::uint8_t> one{static_cast<std::uint8_t>(v)};
+    const auto cw = ref_rs.encode(one);
+    EXPECT_EQ(rs.encode(one), cw) << "v=" << v;
+    ASSERT_TRUE(rs.decode_into(cw, dec, scratch)) << "v=" << v;
+    EXPECT_EQ(dec.data, one) << "v=" << v;
+    EXPECT_EQ(dec.corrected_errors, 0u) << "v=" << v;
+  }
+}
+
 // --- Zero-allocation assertions ------------------------------------------
 
-TEST(FastPath, CodecSteadyStateIsAllocationFree) {
+TEST_P(FastPath, CodecSteadyStateIsAllocationFree) {
   Rng rng{0xF1};
   const auto f = random_frame(600, rng);
   const phy::FrameCodec codec{phy::FrameCodec::matched_depth(600)};
@@ -298,7 +377,7 @@ TEST(FastPath, CodecSteadyStateIsAllocationFree) {
   EXPECT_EQ(bench::alloc_count() - before, 0u);
 }
 
-TEST(FastPath, ReceiveChainSteadyStateIsAllocationFree) {
+TEST_P(FastPath, ReceiveChainSteadyStateIsAllocationFree) {
   Rng rng{0xF2};
   const auto f = random_frame(300, rng);
   const phy::OokParams params{};

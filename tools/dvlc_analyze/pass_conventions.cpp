@@ -14,6 +14,12 @@
 //                  statement-position std::rename/std::remove in
 //                  src/ + bench/ (durable artifacts must not fail
 //                  silently).
+//   simd-raw-intrinsic
+//                  raw vector intrinsics (AVX/SSE `_mm*`, `__m256i`-style
+//                  types, NEON `vld1q_*`/`vqtbl1q_*`/element-typed `v*q_`
+//                  calls) anywhere but common/simd.hpp — every other TU
+//                  goes through the portable wrapper so the scalar
+//                  fallback stays bit-identical and testable.
 #include <algorithm>
 #include <cctype>
 #include <sstream>
@@ -407,6 +413,64 @@ void check_unchecked_io(const SourceFile& f, Sink& sink) {
   }
 }
 
+/// The one file allowed to spell raw intrinsics: the portable wrapper
+/// (its force-scalar switch lives in the paired .cpp, which carries no
+/// intrinsics but is exempt for symmetry).
+bool is_simd_wrapper(const std::string& rel) {
+  return ends_with(rel, "common/simd.hpp") || ends_with(rel, "common/simd.cpp");
+}
+
+/// NEON intrinsics end in an element-type suffix (`vld1q_u8`,
+/// `vaddvq_u16`, `vdupq_n_u8`); matching it keeps ordinary identifiers
+/// that merely start with 'v' out of the rule.
+bool has_neon_element_suffix(const std::string& name) {
+  static const char* const kElem[] = {"_u8",  "_s8",  "_u16", "_s16",
+                                      "_u32", "_s32", "_u64", "_s64",
+                                      "_f32", "_f64", "_p8",  "_p16"};
+  return std::any_of(std::begin(kElem), std::end(kElem),
+                     [&](const char* s) { return ends_with(name, s); });
+}
+
+bool is_raw_intrinsic(const std::string& name) {
+  // x86: _mm_/_mm256_/_mm512_ calls and the __m128/__m256/__m512 types.
+  // The intrinsic prefix always carries a second underscore after the
+  // width (`_mm_`, `_mm256_`); unit suffixes like `_mm` / `_mm2`
+  // (millimeters) do not and must not match.
+  if (name.rfind("_mm", 0) == 0 && name.find('_', 3) != std::string::npos) {
+    return true;
+  }
+  if (name.rfind("__m", 0) == 0 && name.size() > 3 &&
+      std::isdigit(static_cast<unsigned char>(name[3])) != 0) {
+    return true;
+  }
+  // NEON: 128-bit ops (`v...q_<elem>`) and the <arm_neon.h> vector types
+  // (`uint8x16_t`, `float64x2_t`).
+  if (name.size() > 1 && name[0] == 'v' &&
+      name.find("q_") != std::string::npos &&
+      has_neon_element_suffix(name)) {
+    return true;
+  }
+  if (ends_with(name, "x16_t") || ends_with(name, "x8_t") ||
+      ends_with(name, "x4_t") || ends_with(name, "x2_t")) {
+    for (const char* p : {"uint", "int", "float", "poly"}) {
+      if (name.rfind(p, 0) == 0) return true;
+    }
+  }
+  return false;
+}
+
+void check_simd_raw(const SourceFile& f, Sink& sink) {
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (!is_raw_intrinsic(t.text)) continue;
+    sink.report(f, t.line, "simd-raw-intrinsic", t.text,
+                "raw vector intrinsic '" + t.text +
+                    "' outside common/simd.hpp; add the operation to the "
+                    "portable wrapper (src/common/simd.hpp) so every kernel "
+                    "keeps its bit-identical scalar fallback");
+  }
+}
+
 class ConventionsPass final : public Pass {
  public:
   const char* name() const override { return "conventions"; }
@@ -424,6 +488,8 @@ class ConventionsPass final : public Pass {
         {"unchecked-io",
          "stream write/flush/close and std::rename/std::remove results "
          "must be checked in src/ and bench/"},
+        {"simd-raw-intrinsic",
+         "raw vector intrinsics are confined to common/simd.hpp"},
         {"waiver-syntax", "DVLC_LINT_WAIVE needs a rule and a ': reason'"},
     };
   }
@@ -432,6 +498,7 @@ class ConventionsPass final : public Pass {
                 Sink& sink) const override {
     (void)scope;
     check_banned(f, sink);
+    if (!is_simd_wrapper(f.rel)) check_simd_raw(f, sink);
     if (in_io_scope(f.rel)) check_unchecked_io(f, sink);
     if (has_hot_marker(f.tokens)) check_hot_loop_alloc(f, sink);
     if (f.is_header) {
